@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Axml List Net Printf Runtime String Workload Xml

@@ -1,0 +1,1 @@
+bench/experiments.ml: Algebra Axml Axml_peer Axml_schema Bench_util Doc Fun List Net Option Printf Query Runtime String Sys Workload Xml

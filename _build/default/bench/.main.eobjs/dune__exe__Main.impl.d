@@ -1,0 +1,1 @@
+bench/main.ml: Algebra Analyze Array Axml Bechamel Bench_util Benchmark Doc Experiments Hashtbl List Measure Net Printf Query Runtime Staged Sys Test Time Toolkit Workload Xml

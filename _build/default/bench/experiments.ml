@@ -1,0 +1,927 @@
+(* The experiment tables E1-E10 (see DESIGN.md §4 and EXPERIMENTS.md).
+   The paper publishes no numeric tables, so each experiment
+   regenerates the *claim* behind a rule of Section 3.3 with measured
+   simulator statistics: who wins, by what factor, and where the
+   crossovers sit. *)
+
+open Axml
+open Bench_util
+module Expr = Algebra.Expr
+module Names = Doc.Names
+module Rewrite = Algebra.Rewrite
+module System = Runtime.System
+
+(* --- E1: Example 1, pushing selections -------------------------- *)
+
+let e1 () =
+  section "E1  Example 1: pushing selections (rule 10+11)";
+  Printf.printf
+    "query: names of matching items; naive ships the catalog, pushed ships hits\n\n";
+  let q = Workload.Xml_gen.selection_query () in
+  let rows =
+    List.concat_map
+      (fun items ->
+        List.map
+          (fun sel ->
+            let build () = catalog_system ~items ~selectivity:sel ~seed:42 () in
+            let naive = Expr.query_at q ~at:p1 ~args:[ Expr.doc "cat" ~at:"p2" ] in
+            let sys, cat_bytes = build () in
+            let out_n = run_plan sys naive in
+            let pushed =
+              match Rewrite.r11_push_selection naive with
+              | [ r ] -> r.result
+              | _ -> assert false
+            in
+            let sys2, _ = build () in
+            let out_p = run_plan sys2 pushed in
+            check_same "E1" out_n.results out_p.results;
+            [
+              string_of_int items;
+              Printf.sprintf "%.0f%%" (sel *. 100.0);
+              fmt_bytes cat_bytes;
+              fmt_bytes out_n.stats.bytes;
+              fmt_bytes out_p.stats.bytes;
+              fmt_ratio
+                (float_of_int out_n.stats.bytes
+                /. float_of_int (max 1 out_p.stats.bytes));
+              fmt_ms out_n.elapsed_ms;
+              fmt_ms out_p.elapsed_ms;
+            ])
+          [ 0.01; 0.1; 0.5 ])
+      [ 100; 1000; 5000 ]
+  in
+  table
+    ~headers:
+      [
+        "items"; "sel"; "doc"; "naive B"; "pushed B"; "B ratio"; "naive ms";
+        "pushed ms";
+      ]
+    rows;
+  Printf.printf
+    "\nshape: pushing wins everywhere; the factor grows as selectivity drops\n"
+
+(* --- E2: rule 10, delegation crossover -------------------------- *)
+
+let e2 () =
+  section "E2  Rule 10: query delegation vs local evaluation";
+  Printf.printf
+    "data at p1, consumer at p2: evaluate locally then ship results, or\n\
+     delegate (ship data+query to p2, evaluate there)?  The winner flips\n\
+     with output/input ratio (selectivity).\n\n";
+  let items = 1500 in
+  let rows =
+    List.map
+      (fun sel ->
+        let build () =
+          let sys = mesh_system () in
+          let rng = Workload.Rng.create ~seed:7 in
+          let g = Runtime.System.gen_of sys p1 in
+          Runtime.System.add_document sys p1 ~name:"cat"
+            (Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity:sel ());
+          sys
+        in
+        (* An output-expanding query: each matching item appears twice
+           in the result, so at high selectivity the output outweighs
+           the input and shipping raw data beats shipping results. *)
+        let q =
+          Query.Parser.parse_exn
+            {|query(1) for $i in $0//item where attr($i, "category") = "wanted"
+              return <hit>{$i}{$i}</hit>|}
+        in
+        (* Local: evaluate at p1, ship only results to p2 (installed as
+           a document there). *)
+        let local =
+          Expr.send_as_doc ~name:"res" ~at:p2
+            (Expr.query_at q ~at:p1 ~args:[ Expr.doc "cat" ~at:"p1" ])
+        in
+        (* Delegated: ship query and data to p2, evaluate and install
+           there. *)
+        let delegated =
+          Expr.send_as_doc ~name:"res" ~at:p2
+            (Expr.Query_app
+               {
+                 query = Expr.Q_send { dest = p2; q = Expr.Q_val { q; at = p1 } };
+                 args = [ Expr.send_to_peer p2 (Expr.doc "cat" ~at:"p1") ];
+                 at = p2;
+               })
+        in
+        let sys_l = build () in
+        let out_l = run_plan sys_l local in
+        let sys_d = build () in
+        let out_d = run_plan sys_d delegated in
+        let doc_fp sys =
+          match System.find_document sys p2 "res" with
+          | Some d -> Doc.Equivalence.fingerprint (Doc.Document.root d)
+          | None -> "missing"
+        in
+        if doc_fp sys_l <> doc_fp sys_d then Printf.printf "  !! E2 mismatch\n";
+        [
+          Printf.sprintf "%.0f%%" (sel *. 100.0);
+          fmt_bytes out_l.stats.bytes;
+          fmt_bytes out_d.stats.bytes;
+          (if out_l.stats.bytes <= out_d.stats.bytes then "local" else "delegate");
+        ])
+      [ 0.02; 0.1; 0.3; 0.6; 0.9 ]
+  in
+  table ~headers:[ "sel"; "eval-local B"; "delegate B"; "winner" ] rows;
+  Printf.printf
+    "\nshape: local-then-ship wins while results are small; once the\n\
+     (expanding) output outweighs the input, delegation wins — the\n\
+     crossover the rule exists for\n"
+
+(* --- E3: rule 11, distributing a composed query ------------------ *)
+
+let e3 () =
+  section "E3  Rule 11: decomposing a composition across peers";
+  Printf.printf
+    "q = join(hits@p2, hits@p3): centralized (fetch both catalogs to p1)\n\
+     vs distributed (sub-queries pushed to the data, rule 11 + rule 10)\n\n";
+  let sub_query peer_doc =
+    ignore peer_doc;
+    Query.Parser.parse_exn
+      {|query(1) for $x in $0//item where attr($x, "category") = "wanted" return <hit>{$x}</hit>|}
+  in
+  let head =
+    Query.Parser.parse_exn
+      "query(2) for $a in $0, $b in $1 return <pair>{$a}{$b}</pair>"
+  in
+  let rows =
+    List.map
+      (fun items ->
+        let build () =
+          let sys = mesh_system () in
+          List.iteri
+            (fun i p ->
+              let rng = Workload.Rng.create ~seed:(100 + i) in
+              let g = Runtime.System.gen_of sys p in
+              Runtime.System.add_document sys p ~name:"cat"
+                (Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity:0.05 ()))
+            [ p2; p3 ];
+          sys
+        in
+        (* Centralized: fetch both documents and run everything at p1. *)
+        let centralized =
+          Expr.Query_app
+            {
+              query =
+                Expr.Q_val
+                  {
+                    q =
+                      Query.Parser.parse_exn
+                        {|compose { query(2) for $a in $0, $b in $1 return <pair>{$a}{$b}</pair> }
+                          ({ query(2) for $x in $0//item where attr($x, "category") = "wanted" return <hit>{$x}</hit> };
+                           { query(2) for $x in $1//item where attr($x, "category") = "wanted" return <hit>{$x}</hit> })|};
+                    at = p1;
+                  };
+              args = [ Expr.doc "cat" ~at:"p2"; Expr.doc "cat" ~at:"p3" ];
+              at = p1;
+            }
+        in
+        (* Distributed: each selection runs at its data peer; only hits
+           travel (rule 11 unfold + rule 10 per sub-query). *)
+        let pushed_sub peer =
+          Expr.Query_app
+            {
+              query =
+                Expr.Q_send
+                  { dest = peer; q = Expr.Q_val { q = sub_query peer; at = p1 } };
+              args = [ Expr.doc "cat" ~at:(Net.Peer_id.to_string peer) ];
+              at = peer;
+            }
+        in
+        let distributed =
+          Expr.Query_app
+            {
+              query = Expr.Q_val { q = head; at = p1 };
+              args = [ pushed_sub p2; pushed_sub p3 ];
+              at = p1;
+            }
+        in
+        let out_c = run_plan (build ()) centralized in
+        let out_d = run_plan (build ()) distributed in
+        [
+          string_of_int items;
+          fmt_bytes out_c.stats.bytes;
+          fmt_bytes out_d.stats.bytes;
+          fmt_ratio
+            (float_of_int out_c.stats.bytes /. float_of_int (max 1 out_d.stats.bytes));
+          fmt_ms out_c.elapsed_ms;
+          fmt_ms out_d.elapsed_ms;
+        ])
+      [ 200; 1000; 4000 ]
+  in
+  table
+    ~headers:[ "items/peer"; "central B"; "distrib B"; "ratio"; "central ms"; "distrib ms" ]
+    rows;
+  Printf.printf "\nshape: distribution wins and scales with catalog size\n"
+
+(* --- E4: rule 12, intermediary stops ----------------------------- *)
+
+let e4 () =
+  section "E4  Rule 12: when an intermediary stop pays off";
+  Printf.printf
+    "moving 1 catalog p2 -> p1 with a relay p3; the direct p2->p1 link is\n\
+     slow, relay links are fast.  Sweeping the direct link's bandwidth.\n\n";
+  let items = 1200 in
+  let rows =
+    List.map
+      (fun direct_bw ->
+        let slow = Net.Link.make ~latency_ms:40.0 ~bandwidth_bytes_per_ms:direct_bw in
+        let fast = Net.Link.make ~latency_ms:5.0 ~bandwidth_bytes_per_ms:500.0 in
+        let topo =
+          Net.Topology.of_links ~default:slow
+            [ (p2, p3, fast); (p3, p1, fast); (p1, p3, fast); (p3, p2, fast) ]
+            [ p1; p2; p3 ]
+        in
+        let build () =
+          let sys = Runtime.System.create topo in
+          let rng = Workload.Rng.create ~seed:4 in
+          let g = Runtime.System.gen_of sys p2 in
+          Runtime.System.add_document sys p2 ~name:"cat"
+            (Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity:0.1 ());
+          sys
+        in
+        let direct = Expr.send_to_peer p1 (Expr.doc "cat" ~at:"p2") in
+        let relayed =
+          Expr.Send
+            {
+              dest = Expr.To_peer p1;
+              expr =
+                Expr.Send { dest = Expr.To_peer p3; expr = Expr.doc "cat" ~at:"p2" };
+            }
+        in
+        let out_d = run_plan (build ()) direct in
+        let out_r = run_plan (build ()) relayed in
+        [
+          Printf.sprintf "%.0f B/ms" direct_bw;
+          fmt_ms out_d.elapsed_ms;
+          fmt_ms out_r.elapsed_ms;
+          fmt_bytes out_d.stats.bytes;
+          fmt_bytes out_r.stats.bytes;
+          (if out_d.elapsed_ms <= out_r.elapsed_ms then "direct" else "relay");
+        ])
+      [ 500.0; 100.0; 50.0; 20.0; 5.0 ]
+  in
+  table
+    ~headers:[ "direct bw"; "direct ms"; "relay ms"; "direct B"; "relay B"; "faster" ]
+    rows;
+  Printf.printf
+    "\nshape: the relay doubles bytes but wins on time once the direct link\n\
+     is slow enough — the paper's remark that rule 12 is not one-way\n"
+
+(* --- E5: rule 13, transfer sharing ------------------------------- *)
+
+let e5 () =
+  section "E5  Rule 13: sharing a repeated transfer via materialization";
+  Printf.printf
+    "a self-join needs the remote catalog twice; sharing materializes it\n\
+     once (bytes halve); the sequencing the paper warns about stays off\n\
+     the critical path here because both copies share one source link\n\n";
+  let join =
+    Query.Parser.parse_exn
+      {|query(2) for $x in $0//item, $y in $1//item
+        where attr($x, "category") = "wanted" and attr($y, "category") = "wanted"
+        return <pair/>|}
+  in
+  let rows =
+    List.map
+      (fun items ->
+        let build () = catalog_system ~items ~selectivity:0.05 ~seed:5 () in
+        let fetch = Expr.send_to_peer p1 (Expr.doc "cat" ~at:"p2") in
+        let twice = Expr.query_at join ~at:p1 ~args:[ fetch; fetch ] in
+        let shared =
+          match Rewrite.r13_share ~fresh:(fun () -> "_tmp_e5") twice with
+          | r :: _ -> r.result
+          | [] -> assert false
+        in
+        let sys1, _ = build () in
+        let out_t = run_plan sys1 twice in
+        let sys2, _ = build () in
+        let out_s = run_plan sys2 shared in
+        check_same "E5" out_t.results out_s.results;
+        [
+          string_of_int items;
+          fmt_bytes out_t.stats.bytes;
+          fmt_bytes out_s.stats.bytes;
+          fmt_ratio
+            (float_of_int out_t.stats.bytes /. float_of_int (max 1 out_s.stats.bytes));
+          fmt_ms out_t.elapsed_ms;
+          fmt_ms out_s.elapsed_ms;
+        ])
+      [ 200; 1000; 3000 ]
+  in
+  table
+    ~headers:[ "items"; "unshared B"; "shared B"; "ratio"; "unshared ms"; "shared ms" ]
+    rows;
+  Printf.printf "\nshape: bytes halve at every size; latency gap stays small\n"
+
+(* --- E6: rule 15, relocating sc evaluation ----------------------- *)
+
+let e6 () =
+  section "E6  Rule 15: relocating sc-rooted trees (fan-out sweep)";
+  Printf.printf
+    "an sc with k forward targets; activating it from the caller vs\n\
+     relocating the activation to the provider (params skip one hop)\n\n";
+  let items = 600 in
+  let peers =
+    p1 :: p2
+    :: List.init 16 (fun i -> Net.Peer_id.of_string (Printf.sprintf "t%d" i))
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let build () =
+          let sys =
+            Runtime.System.create (Net.Topology.full_mesh ~link:default_link peers)
+          in
+          let rng = Workload.Rng.create ~seed:6 in
+          let g2 = Runtime.System.gen_of sys p2 in
+          Runtime.System.add_service sys p2
+            (Doc.Service.declarative ~name:"find"
+               (Workload.Xml_gen.selection_query ()));
+          let param =
+            Workload.Xml_gen.catalog ~gen:g2 ~rng ~items ~selectivity:0.05 ()
+          in
+          (* k inbox documents on k target peers *)
+          let targets =
+            List.init k (fun i ->
+                let tp = Net.Peer_id.of_string (Printf.sprintf "t%d" i) in
+                let g = Runtime.System.gen_of sys tp in
+                let inbox = Xml.Tree.element_of_string ~gen:g "inbox" [] in
+                Runtime.System.add_document sys tp ~name:"inbox" inbox;
+                Names.Node_ref.make ~node:(Option.get (Xml.Tree.id inbox)) ~peer:tp)
+          in
+          let sc =
+            Doc.Sc.make ~forward:targets ~provider:(Names.At p2) ~service:"find"
+              [ [ param ] ]
+          in
+          (sys, sc)
+        in
+        let sys1, sc1 = build () in
+        let caller = run_plan sys1 (Expr.sc sc1 ~at:p1) in
+        let sys2, sc2 = build () in
+        let relocated =
+          Expr.Eval_at { at = p2; expr = Expr.Sc { sc = sc2; at = p2 } }
+        in
+        let reloc = run_plan sys2 relocated in
+        [
+          string_of_int k;
+          fmt_bytes caller.stats.bytes;
+          fmt_bytes reloc.stats.bytes;
+          fmt_ms caller.elapsed_ms;
+          fmt_ms reloc.elapsed_ms;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  table
+    ~headers:[ "fan-out k"; "at-caller B"; "relocated B"; "caller ms"; "reloc ms" ]
+    rows;
+  Printf.printf
+    "\nshape: the rule's claim is location independence — relocating the\n\
+     activation changes neither results nor (within <1%% plan-shipping\n\
+     overhead) cost; the response fan-out dominates and is identical\n"
+
+(* --- E7: rule 16, pushing queries over service calls ------------- *)
+
+let e7 () =
+  section "E7  Rule 16: pushing a query over a service call";
+  Printf.printf
+    "q extracts names from a service's response; the provider's service\n\
+     returns matching items.  Sweeping the match rate (= response size):\n\
+     pushed ships q instead of the response, but re-ships parameters.\n\n";
+  let probe =
+    Query.Parser.parse_exn
+      {|query(1) for $h in $0, $n in $h//name return <just_name>{$n}</just_name>|}
+  in
+  let items = 800 in
+  let rows =
+    List.map
+      (fun match_rate ->
+        let build () =
+          let sys = mesh_system () in
+          let rng = Workload.Rng.create ~seed:77 in
+          let g = Runtime.System.gen_of sys p1 in
+          let param =
+            Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity:match_rate
+              ~payload_bytes:96 ()
+          in
+          Runtime.System.add_service sys p2
+            (Doc.Service.declarative ~name:"wanted"
+               (Workload.Xml_gen.selection_query_with_payload ()));
+          (sys, param)
+        in
+        let plan param =
+          Expr.Query_app
+            {
+              query = Expr.Q_val { q = probe; at = p1 };
+              args =
+                [
+                  Expr.Sc
+                    {
+                      sc =
+                        Doc.Sc.make ~provider:(Names.At p2) ~service:"wanted"
+                          [ [ param ] ];
+                      at = p1;
+                    };
+                ];
+              at = p1;
+            }
+        in
+        let sys1, param1 = build () in
+        let naive = run_plan sys1 (plan param1) in
+        let sys2, param2 = build () in
+        let pushed_plan =
+          match Rewrite.r16_push_query_over_sc (plan param2) with
+          | [ r ] -> r.result
+          | _ -> assert false
+        in
+        let pushed = run_plan sys2 pushed_plan in
+        check_same "E7" naive.results pushed.results;
+        [
+          Printf.sprintf "%.0f%%" (match_rate *. 100.0);
+          fmt_bytes naive.stats.bytes;
+          fmt_bytes pushed.stats.bytes;
+          (if naive.stats.bytes <= pushed.stats.bytes then "as-is" else "push");
+        ])
+      [ 0.02; 0.1; 0.3; 0.6; 0.9 ]
+  in
+  table ~headers:[ "match rate"; "naive B"; "pushed B"; "winner" ] rows;
+  Printf.printf
+    "\nshape: parameters ship once either way; pushing replaces the response\n\
+     transfer with the (tiny) final result, so its margin grows with the\n\
+     service's match rate\n"
+
+(* --- E8: generic services, pick policies ------------------------- *)
+
+let e8 () =
+  section "E8  Definition 9: pick policies for generic resources";
+  Printf.printf
+    "one catalog replicated on 4 mirrors with heterogeneous links from the\n\
+     client; 6 consecutive generic queries per policy\n\n";
+  let mirrors =
+    List.init 4 (fun i -> Net.Peer_id.of_string (Printf.sprintf "m%d" i))
+  in
+  let client = p1 in
+  let build () =
+    (* Mirror m_i sits behind a link of latency 5*(i+1), bw 500/(i+1). *)
+    (* Mirror m0 (the one reference order picks first) sits behind the
+       worst link; quality improves with the index. *)
+    let links =
+      List.concat
+        (List.mapi
+           (fun i m ->
+             let rank = float_of_int (List.length mirrors - i) in
+             let l =
+               Net.Link.make ~latency_ms:(5.0 *. rank)
+                 ~bandwidth_bytes_per_ms:(500.0 /. rank)
+             in
+             [ (client, m, l); (m, client, l) ])
+           mirrors)
+    in
+    let topo =
+      Net.Topology.of_links ~default:default_link links (client :: mirrors)
+    in
+    let sys = Runtime.System.create topo in
+    List.iteri
+      (fun i m ->
+        let rng = Workload.Rng.create ~seed:(800 + i) in
+        let g = Runtime.System.gen_of sys m in
+        Runtime.System.add_document sys m ~name:"cat"
+          (Workload.Xml_gen.catalog ~gen:g ~rng ~items:700 ~selectivity:0.05 ());
+        Runtime.System.register_doc_class sys ~class_name:"mirror"
+          (Names.Doc_ref.at_peer "cat" ~peer:(Net.Peer_id.to_string m)))
+      mirrors;
+    sys
+  in
+  let q = Workload.Xml_gen.selection_query () in
+  let plan = Expr.query_at q ~at:client ~args:[ Expr.doc_any "mirror" ] in
+  let rows =
+    List.map
+      (fun (name, policy_of) ->
+        let sys = build () in
+        (System.peer sys client).Runtime.Peer.policy <- policy_of sys;
+        let total_bytes = ref 0 and total_ms = ref 0.0 in
+        for _ = 1 to 6 do
+          let out = run_plan sys plan in
+          total_bytes := !total_bytes + out.stats.bytes;
+          total_ms := !total_ms +. out.elapsed_ms
+        done;
+        [ name; fmt_bytes !total_bytes; fmt_ms !total_ms ])
+      [
+        ("First", fun _ -> Doc.Generic.First);
+        ("Random", fun _ -> Doc.Generic.Random 17);
+        ( "Nearest",
+          fun sys ->
+            Doc.Generic.Nearest
+              {
+                from = client;
+                topology = Net.Sim.topology (System.sim sys);
+                probe_bytes = 16_384;
+              } );
+        ( "LeastLoaded",
+          fun sys ->
+            Doc.Generic.Least_loaded
+              (fun p -> Net.Sim.busy_until (System.sim sys) p) );
+      ]
+  in
+  table ~headers:[ "policy"; "bytes (6 runs)"; "total ms" ] rows;
+  Printf.printf "\nshape: Nearest beats First/Random on completion time\n"
+
+(* --- E9: continuous evaluation ----------------------------------- *)
+
+let e9 () =
+  section "E9  Continuous queries: incremental vs re-evaluation";
+  Printf.printf
+    "a stream of n catalog fragments into a continuous selection; CPU time\n\
+     of processing every arrival incrementally vs re-running from scratch\n\n";
+  let q = Workload.Xml_gen.selection_query () in
+  let fragment seed =
+    let rng = Workload.Rng.create ~seed in
+    let g = Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "e9-%d" seed) in
+    Workload.Xml_gen.catalog ~gen:g ~rng ~items:30 ~selectivity:0.2 ()
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let stream = List.init n fragment in
+        let g = Xml.Node_id.Gen.create ~namespace:"e9" in
+        (* Incremental. *)
+        let t0 = Sys.time () in
+        let state = Query.Incremental.create q in
+        let deltas =
+          List.concat_map
+            (fun t -> Query.Incremental.push ~gen:g state ~input:0 t)
+            stream
+        in
+        let t_inc = Sys.time () -. t0 in
+        (* Re-evaluation per arrival. *)
+        let t0 = Sys.time () in
+        let full = ref [] in
+        let seen = ref [] in
+        List.iter
+          (fun t ->
+            seen := !seen @ [ t ];
+            full := Query.Eval.eval ~gen:g q [ !seen ])
+          stream;
+        let t_re = Sys.time () -. t0 in
+        if not (Xml.Canonical.equal_forest deltas !full) then
+          Printf.printf "  !! E9 mismatch\n";
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (t_inc *. 1000.0);
+          Printf.sprintf "%.1f" (t_re *. 1000.0);
+          fmt_ratio (t_re /. max 1e-9 t_inc);
+        ])
+      [ 16; 64; 128 ]
+  in
+  table ~headers:[ "stream len"; "incremental ms"; "re-eval ms"; "speedup" ] rows;
+  Printf.printf "\nshape: re-evaluation grows quadratically, incremental linearly\n"
+
+(* --- E10: optimizer end-to-end ----------------------------------- *)
+
+let e10 () =
+  section "E10 Optimizer: naive vs greedy vs exhaustive (+ablation)";
+  Printf.printf
+    "the E1 plan under the cost model; estimated cost, plans explored, and\n\
+     the simulator-measured bytes of each strategy's chosen plan\n\n";
+  let q = Workload.Xml_gen.selection_query () in
+  let naive = Expr.query_at q ~at:p1 ~args:[ Expr.doc "cat" ~at:"p2" ] in
+  let build () = catalog_system ~items:2000 ~selectivity:0.05 ~seed:10 () in
+  let _, cat_bytes = build () in
+  let env =
+    Algebra.Cost.default_env
+      ~doc_bytes:(fun _ -> cat_bytes)
+      (Net.Topology.full_mesh ~link:default_link [ p1; p2; p3 ])
+  in
+  let strategies =
+    [
+      ("naive (no search)", None);
+      ("greedy(5)", Some (Algebra.Optimizer.Greedy { max_steps = 5 }));
+      ("exhaustive(1)", Some (Algebra.Optimizer.Exhaustive { depth = 1 }));
+      ("exhaustive(2)", Some (Algebra.Optimizer.Exhaustive { depth = 2 }));
+    ]
+  in
+  let reference = ref [] in
+  let rows =
+    List.map
+      (fun (name, strategy) ->
+        let plan, explored, est =
+          match strategy with
+          | None -> (naive, 1, Algebra.Cost.of_expr env ~ctx:p1 naive)
+          | Some s ->
+              let r = Algebra.Optimizer.optimize ~env ~ctx:p1 s naive in
+              (r.plan, r.explored, r.cost)
+        in
+        let t0 = Sys.time () in
+        let sys, _ = build () in
+        let out = run_plan sys plan in
+        let wall = (Sys.time () -. t0) *. 1000.0 in
+        if !reference = [] then reference := out.results
+        else check_same "E10" !reference out.results;
+        [
+          name;
+          string_of_int explored;
+          fmt_bytes est.Algebra.Cost.bytes;
+          fmt_bytes out.stats.bytes;
+          fmt_ms out.elapsed_ms;
+          Printf.sprintf "%.0f" wall;
+        ])
+      strategies
+  in
+  table
+    ~headers:
+      [ "strategy"; "plans"; "est B"; "measured B"; "sim ms"; "search+run wall ms" ]
+    rows;
+  Printf.printf
+    "\nshape: both strategies find the pushed plan; exhaustive explores far\n\
+     more plans for the same answer — greedy is the practical default\n"
+
+(* --- E11: lazy vs eager call activation -------------------------- *)
+
+let e11 () =
+  section "E11 Lazy evaluation: activating only query-relevant calls";
+  Printf.printf
+    "a portal document with one call per section; the query inspects one\n\
+     section.  Eager activation fires everything; lazy activation uses the\n\
+     path-relevance analysis (Query.Relevance).  Sweeping section count.\n\n";
+  let build sections =
+    let sys = mesh_system () in
+    (* One service per section at p2; section k's response weighs
+       ~2^k KB so that skipping matters. *)
+    List.iter
+      (fun k ->
+        let bytes = 1024 * (1 + k) in
+        System.add_service sys p2
+          (Doc.Service.extern
+             ~name:(Printf.sprintf "feed%d" k)
+             ~signature:(Axml_schema.Signature.untyped ~arity:0)
+             (fun _ ->
+               let g =
+                 Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "f%d" k)
+               in
+               [
+                 Xml.Tree.element_of_string ~gen:g "item"
+                   [ Xml.Tree.text (String.make bytes 'x') ];
+               ])))
+      (List.init sections Fun.id);
+    let section_xml k =
+      Printf.sprintf
+        "<section%d><sc><peer>p2</peer><service>feed%d</service></sc></section%d>"
+        k k k
+    in
+    System.load_document sys p1 ~name:"portal"
+      ~xml:
+        (Printf.sprintf "<portal>%s</portal>"
+           (String.concat ""
+              (List.map section_xml (List.init sections Fun.id))));
+    sys
+  in
+  let q =
+    Query.Parser.parse_exn
+      "query(1) for $i in $0/section0//item return <got/>"
+  in
+  let rows =
+    List.map
+      (fun sections ->
+        let eager =
+          Axml_peer.Lazy_eval.eval_over_document (build sections) ~ctx:p1
+            ~mode:Axml_peer.Lazy_eval.Eager ~query:q ~doc:"portal"
+        in
+        let lazy_ =
+          Axml_peer.Lazy_eval.eval_over_document (build sections) ~ctx:p1
+            ~mode:Axml_peer.Lazy_eval.Lazy ~query:q ~doc:"portal"
+        in
+        if not (Xml.Canonical.equal_forest eager.results lazy_.results) then
+          Printf.printf "  !! E11 mismatch\n";
+        [
+          string_of_int sections;
+          Printf.sprintf "%d/%d" eager.activated sections;
+          Printf.sprintf "%d/%d" lazy_.activated sections;
+          fmt_bytes eager.stats.bytes;
+          fmt_bytes lazy_.stats.bytes;
+          fmt_ratio
+            (float_of_int eager.stats.bytes
+            /. float_of_int (max 1 lazy_.stats.bytes));
+        ])
+      [ 2; 4; 8; 16 ]
+  in
+  table
+    ~headers:
+      [ "sections"; "eager calls"; "lazy calls"; "eager B"; "lazy B"; "ratio" ]
+    rows;
+  Printf.printf
+    "\nshape: lazy activates exactly one call regardless of document size;\n\
+     savings grow with the number of irrelevant sections\n"
+
+(* --- E12: heterogeneous peers — delegating to a faster CPU ------- *)
+
+let e12 () =
+  section "E12 Heterogeneous peers: delegating computation off a slow peer";
+  Printf.printf
+    "the data lives on a slow peer p1; p2 is fast and nearby.  Rule 10\n\
+     delegation ships data+query to p2; the winner flips with p1's\n\
+     slowdown factor.\n\n";
+  let q = Workload.Xml_gen.selection_query () in
+  let build factor =
+    let sys =
+      Runtime.System.create
+        (Net.Topology.full_mesh
+           ~link:(Net.Link.make ~latency_ms:2.0 ~bandwidth_bytes_per_ms:2000.0)
+           [ p1; p2; p3 ])
+    in
+    Net.Sim.set_cpu_factor (System.sim sys) p1 factor;
+    let rng = Workload.Rng.create ~seed:12 in
+    let g = Runtime.System.gen_of sys p1 in
+    Runtime.System.add_document sys p1 ~name:"cat"
+      (Workload.Xml_gen.catalog ~gen:g ~rng ~items:2000 ~selectivity:0.05 ());
+    sys
+  in
+  let local = Expr.query_at q ~at:p1 ~args:[ Expr.doc "cat" ~at:"p1" ] in
+  let delegated =
+    Expr.Query_app
+      {
+        query = Expr.Q_send { dest = p2; q = Expr.Q_val { q; at = p1 } };
+        args = [ Expr.send_to_peer p2 (Expr.doc "cat" ~at:"p1") ];
+        at = p2;
+      }
+  in
+  let rows =
+    List.map
+      (fun factor ->
+        let out_l = run_plan (build factor) local in
+        let out_d = run_plan (build factor) delegated in
+        check_same "E12" out_l.results out_d.results;
+        [
+          Printf.sprintf "%.0fx" factor;
+          fmt_ms out_l.elapsed_ms;
+          fmt_ms out_d.elapsed_ms;
+          (if out_l.elapsed_ms <= out_d.elapsed_ms then "local" else "delegate");
+        ])
+      [ 1.0; 10.0; 50.0; 200.0; 1000.0 ]
+  in
+  table ~headers:[ "p1 slowdown"; "local ms"; "delegate ms"; "winner" ] rows;
+  Printf.printf
+    "\nshape: once the slow peer's compute time exceeds the round-trip\n\
+     transfer, delegation wins; the crossover moves with the factor\n"
+
+(* --- E13: single-site query optimization (ablation) -------------- *)
+
+let e13 () =
+  section "E13 Query-level optimization: binding reordering ablation";
+  Printf.printf
+    "a self-join whose selective binding is written last; Optimize moves it\n\
+     first so the early-filter evaluator prunes.  Enumerated binding tuples\n\
+     and wall-clock CPU per catalog size:\n\n";
+  let q =
+    Query.Parser.parse_exn
+      {|query(1) for $all in $0//item, $sel in $0//item
+        where attr($sel, "category") = "wanted"
+        return <pair/>|}
+  in
+  let optimized = Query.Optimize.optimize q in
+  let rows =
+    List.map
+      (fun items ->
+        let rng = Workload.Rng.create ~seed:13 in
+        let g =
+          Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "e13-%d" items)
+        in
+        let input =
+          [ Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity:0.05 () ]
+        in
+        let measure query =
+          let t0 = Sys.time () in
+          let out, tuples =
+            Query.Eval.eval_counted
+              ~gen:(Xml.Node_id.Gen.create ~namespace:"e13run")
+              query [ input ]
+          in
+          (List.length out, tuples, (Sys.time () -. t0) *. 1000.0)
+        in
+        let n1, t1, ms1 = measure q in
+        let n2, t2, ms2 = measure optimized in
+        if n1 <> n2 then Printf.printf "  !! E13 result mismatch\n";
+        [
+          string_of_int items;
+          string_of_int t1;
+          string_of_int t2;
+          fmt_ratio (float_of_int t1 /. float_of_int (max 1 t2));
+          Printf.sprintf "%.1f" ms1;
+          Printf.sprintf "%.1f" ms2;
+        ])
+      [ 100; 400; 1600 ]
+  in
+  table
+    ~headers:
+      [ "items"; "tuples naive"; "tuples reord"; "ratio"; "naive ms"; "reord ms" ]
+    rows;
+  Printf.printf
+    "\nshape: reordering turns O(n^2) enumeration into ~O(n + hits*n);\n\
+     the saving factor approaches 1/(1+sel) * n/selected\n"
+
+(* --- E14: distributed join over region-partitioned XMark data ---- *)
+
+let e14 () =
+  section "E14 XMark: distributed join over region-partitioned auction data";
+  Printf.printf
+    "items are partitioned by region across peers; the auction list lives\n\
+     on a hub.  Join auctions to item names: fetch every region's items to\n\
+     the hub, or ship the (small) auction list to each region and join\n\
+     there (rule 10 per partition).\n\n";
+  let join_q =
+    Query.Parser.parse_exn
+      {|query(2) for $a in $0//auction, $i in $1//item, $n in $i/name, $c in $a/current
+        where attr($a, "item") = attr($i, "id")
+        return <sale>{$n}<price>{text($c)}</price></sale>|}
+  in
+  let hub = p1 in
+  let region_peers =
+    List.map Net.Peer_id.of_string Workload.Xmark.regions
+  in
+  let build scale_desc =
+    let sys =
+      Runtime.System.create
+        (Net.Topology.star ~hub
+           ~spoke_link:(Net.Link.make ~latency_ms:8.0 ~bandwidth_bytes_per_ms:120.0)
+           (hub :: region_peers))
+    in
+    let rng = Workload.Rng.create ~seed:14 in
+    let ggen = Runtime.System.gen_of sys hub in
+    let scale =
+      { Workload.Xmark.default_scale with description_bytes = scale_desc }
+    in
+    let site = Workload.Xmark.site ~scale ~gen:ggen ~rng () in
+    (* Partition: auctions at the hub, each region's items at its
+       peer. *)
+    let part path =
+      List.hd (Xml.Path.select (Xml.Path.of_string path) site)
+    in
+    Runtime.System.add_document sys hub ~name:"auctions"
+      (Xml.Tree.copy ~gen:ggen (part "/auctions"));
+    List.iter2
+      (fun rp rname ->
+        let g = Runtime.System.gen_of sys rp in
+        Runtime.System.add_document sys rp ~name:"items"
+          (Xml.Tree.copy ~gen:g (part ("/regions/" ^ rname))))
+      region_peers Workload.Xmark.regions;
+    sys
+  in
+  let naive =
+    List.map
+      (fun rp ->
+        Expr.query_at join_q ~at:hub
+          ~args:
+            [
+              Expr.doc "auctions" ~at:(Net.Peer_id.to_string hub);
+              Expr.doc "items" ~at:(Net.Peer_id.to_string rp);
+            ])
+      region_peers
+  in
+  let distributed =
+    List.map
+      (fun rp ->
+        Expr.Query_app
+          {
+            query = Expr.Q_send { dest = rp; q = Expr.Q_val { q = join_q; at = hub } };
+            args =
+              [
+                Expr.send_to_peer rp (Expr.doc "auctions" ~at:"p1");
+                Expr.doc "items" ~at:(Net.Peer_id.to_string rp);
+              ];
+            at = rp;
+          })
+      region_peers
+  in
+  let run_all sys plans =
+    List.fold_left
+      (fun (bytes, ms, results) plan ->
+        let out = run_plan sys plan in
+        (bytes + out.stats.bytes, max ms out.elapsed_ms, results @ out.results))
+      (0, 0.0, []) plans
+  in
+  let rows =
+    List.map
+      (fun desc_bytes ->
+        let nb, nms, nres = run_all (build desc_bytes) naive in
+        let db, dms, dres = run_all (build desc_bytes) distributed in
+        check_same "E14" nres dres;
+        [
+          string_of_int desc_bytes;
+          fmt_bytes nb;
+          fmt_bytes db;
+          fmt_ratio (float_of_int nb /. float_of_int (max 1 db));
+          fmt_ms nms;
+          fmt_ms dms;
+        ])
+      [ 60; 240; 960 ]
+  in
+  table
+    ~headers:
+      [ "desc bytes"; "fetch-all B"; "join-at-data B"; "ratio"; "fetch ms"; "dist ms" ]
+    rows;
+  Printf.printf
+    "\nshape: a genuine crossover — with small items, shipping the auction\n\
+     list to every region costs more than fetching the items; as item\n\
+     payloads grow, joining at the data wins by a widening margin\n"
+
+let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ]

@@ -1,0 +1,248 @@
+(* axmlctl — command-line front end to the distributed AXML framework.
+
+   Sub-commands:
+     parse      parse an XML file and pretty-print it
+     query      run a query over XML documents
+     rules      list the rewrites applicable to a serialized plan
+     optimize   optimize a serialized plan under the cost model
+     demo       run the Example-1 demonstration end to end *)
+
+open Cmdliner
+open Axml
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- parse ----------------------------------------------------- *)
+
+let parse_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML file")
+  in
+  let keep_ws =
+    Arg.(value & flag & info [ "keep-whitespace" ] ~doc:"Keep whitespace-only text nodes")
+  in
+  let run file keep_ws =
+    let gen = Xml.Node_id.Gen.create ~namespace:"cli" in
+    match Xml.Parser.parse ~keep_ws ~gen (read_file file) with
+    | Ok t ->
+        print_string (Xml.Serializer.to_string_pretty t);
+        Format.printf "@.; %d nodes, %d bytes, depth %d@." (Xml.Tree.size t)
+          (Xml.Tree.byte_size t) (Xml.Tree.depth t)
+    | Error e ->
+        Format.eprintf "%a@." Xml.Parser.pp_error e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse an XML file and pretty-print it")
+    Term.(const run $ file $ keep_ws)
+
+(* --- query ----------------------------------------------------- *)
+
+let query_cmd =
+  let qarg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"Query text (see README for syntax)")
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Input documents")
+  in
+  let run qtext files =
+    let gen = Xml.Node_id.Gen.create ~namespace:"cli" in
+    let q =
+      match Query.Parser.parse qtext with
+      | Ok q -> q
+      | Error e ->
+          Format.eprintf "%a@." Query.Parser.pp_error e;
+          exit 1
+    in
+    if Query.Ast.arity q <> List.length files then begin
+      Format.eprintf "query expects %d input(s), %d file(s) given@."
+        (Query.Ast.arity q) (List.length files);
+      exit 1
+    end;
+    let inputs =
+      List.map
+        (fun f ->
+          match Xml.Parser.parse_forest ~gen (read_file f) with
+          | Ok forest -> forest
+          | Error e ->
+              Format.eprintf "%s: %a@." f Xml.Parser.pp_error e;
+              exit 1)
+        files
+    in
+    let out = Query.Eval.eval ~gen q inputs in
+    List.iter (fun t -> print_string (Xml.Serializer.to_string_pretty t)) out;
+    Format.printf "; %d result(s)@." (List.length out)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate a query over XML documents")
+    Term.(const run $ qarg $ files)
+
+(* --- shared plan options --------------------------------------- *)
+
+let plan_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"PLAN" ~doc:"Serialized expression (see Expr_xml)")
+
+let peers_arg =
+  Arg.(
+    value
+    & opt (list string) [ "p1"; "p2"; "p3" ]
+    & info [ "peers" ] ~docv:"PEERS" ~doc:"Peer identifiers of the system")
+
+let ctx_arg =
+  Arg.(
+    value & opt string "p1"
+    & info [ "ctx" ] ~docv:"PEER" ~doc:"Driver peer (eval@ctx)")
+
+let load_plan path = or_die (Algebra.Expr_xml.of_xml_string (read_file path))
+
+(* --- rules ------------------------------------------------------ *)
+
+let rules_cmd =
+  let run plan peers =
+    let e = load_plan plan in
+    let peers = List.map Net.Peer_id.of_string peers in
+    let n = ref 0 in
+    let fresh () =
+      incr n;
+      Printf.sprintf "_tmp_cli%d" !n
+    in
+    let rewrites = Algebra.Rewrite.everywhere ~peers ~fresh e in
+    Format.printf "plan: %a@.%d rewrite(s):@." Algebra.Expr.pp e
+      (List.length rewrites);
+    List.iter
+      (fun (r : Algebra.Rewrite.rewrite) ->
+        Format.printf "  %a@." Algebra.Rewrite.pp_rewrite r)
+      rewrites
+  in
+  Cmd.v
+    (Cmd.info "rules" ~doc:"List rewrites applicable to a plan")
+    Term.(const run $ plan_arg $ peers_arg)
+
+(* --- optimize ---------------------------------------------------- *)
+
+let optimize_cmd =
+  let strategy =
+    Arg.(
+      value & opt string "greedy"
+      & info [ "strategy" ] ~docv:"greedy|exhaustive" ~doc:"Search strategy")
+  in
+  let depth =
+    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Exhaustive depth / greedy steps")
+  in
+  let latency =
+    Arg.(value & opt float 10.0 & info [ "latency" ] ~doc:"Mesh latency (ms)")
+  in
+  let bandwidth =
+    Arg.(
+      value & opt float 100.0 & info [ "bandwidth" ] ~doc:"Mesh bandwidth (B/ms)")
+  in
+  let doc_bytes =
+    Arg.(
+      value & opt int 16384
+      & info [ "doc-bytes" ] ~doc:"Assumed size of referenced documents")
+  in
+  let run plan peers ctx strategy depth latency bandwidth doc_bytes =
+    let e = load_plan plan in
+    let peer_ids = List.map Net.Peer_id.of_string peers in
+    let topo =
+      Net.Topology.full_mesh
+        ~link:(Net.Link.make ~latency_ms:latency ~bandwidth_bytes_per_ms:bandwidth)
+        peer_ids
+    in
+    let env = Algebra.Cost.default_env ~doc_bytes:(fun _ -> doc_bytes) topo in
+    let strategy =
+      match strategy with
+      | "exhaustive" -> Algebra.Optimizer.Exhaustive { depth }
+      | _ -> Algebra.Optimizer.Greedy { max_steps = depth }
+    in
+    let result =
+      Algebra.Optimizer.optimize ~env ~ctx:(Net.Peer_id.of_string ctx) strategy e
+    in
+    Format.printf "%a@." Algebra.Optimizer.pp_result result;
+    print_endline "; serialized best plan:";
+    print_endline (Algebra.Expr_xml.to_xml_string result.plan)
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a serialized plan")
+    Term.(
+      const run $ plan_arg $ peers_arg $ ctx_arg $ strategy $ depth $ latency
+      $ bandwidth $ doc_bytes)
+
+(* --- demo -------------------------------------------------------- *)
+
+let demo_cmd =
+  let items =
+    Arg.(value & opt int 200 & info [ "items" ] ~doc:"Catalog items")
+  in
+  let selectivity =
+    Arg.(value & opt float 0.05 & info [ "selectivity" ] ~doc:"Matching fraction")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the message trace of the optimized run")
+  in
+  let run items selectivity trace =
+    let p1 = Net.Peer_id.of_string "p1" and p2 = Net.Peer_id.of_string "p2" in
+    let topo =
+      Net.Topology.full_mesh
+        ~link:(Net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0)
+        [ p1; p2 ]
+    in
+    let build () =
+      let sys = Runtime.System.create topo in
+      let rng = Workload.Rng.create ~seed:2026 in
+      let g = Runtime.System.gen_of sys p2 in
+      Runtime.System.add_document sys p2 ~name:"cat"
+        (Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity ());
+      sys
+    in
+    let q = Workload.Xml_gen.selection_query () in
+    let naive =
+      Algebra.Expr.query_at q ~at:p1 ~args:[ Algebra.Expr.doc "cat" ~at:"p2" ]
+    in
+    let out1 = Runtime.Exec.run_to_quiescence (build ()) ~ctx:p1 naive in
+    Format.printf "naive:  %6d bytes  %5.1f ms  %d results@." out1.stats.bytes
+      out1.elapsed_ms (List.length out1.results);
+    match Algebra.Rewrite.r11_push_selection naive with
+    | [ r ] ->
+        let sys2 = build () in
+        if trace then
+          Net.Stats.set_tracing (Net.Sim.stats (Runtime.System.sim sys2)) true;
+        let out2 = Runtime.Exec.run_to_quiescence ~reset_stats:false sys2 ~ctx:p1 r.result in
+        Format.printf "pushed: %6d bytes  %5.1f ms  %d results@."
+          out2.stats.bytes out2.elapsed_ms
+          (List.length out2.results);
+        Format.printf "same answers: %b; bytes ratio: %.1fx@."
+          (Xml.Canonical.equal_forest out1.results out2.results)
+          (float_of_int out1.stats.bytes /. float_of_int (max 1 out2.stats.bytes));
+        if trace then begin
+          Format.printf "@.message trace of the pushed plan:@.";
+          List.iter
+            (fun e -> Format.printf "  %a@." Net.Stats.pp_trace_entry e)
+            (Net.Stats.trace (Net.Sim.stats (Runtime.System.sim sys2)))
+        end
+    | _ -> prerr_endline "selection not pushable?"
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the Example-1 (pushing selections) demo")
+    Term.(const run $ items $ selectivity $ trace)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let info = Cmd.info "axmlctl" ~version:"1.0.0" ~doc:"Distributed AXML toolkit" in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; query_cmd; rules_cmd; optimize_cmd; demo_cmd ]))

@@ -1,0 +1,1 @@
+examples/distributed_query.ml: Algebra Axml Doc Format List Net Query Runtime String Workload Xml

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Axml Doc Format List Net Query Runtime Xml

@@ -1,0 +1,1 @@
+examples/software_distribution.ml: Algebra Axml Doc Format List Net Option Query Runtime String Workload Xml

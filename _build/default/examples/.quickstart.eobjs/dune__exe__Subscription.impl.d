@@ -1,0 +1,1 @@
+examples/subscription.ml: Axml Doc Format List Net Option Runtime String Workload Xml

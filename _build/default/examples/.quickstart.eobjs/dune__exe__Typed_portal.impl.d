@@ -1,0 +1,1 @@
+examples/typed_portal.ml: Axml Doc Filename Format Net Option Query Result Runtime Schema String Xml

@@ -1,0 +1,1 @@
+lib/algebra/cost.ml: Axml_doc Axml_net Axml_query Axml_xml Expr Expr_xml Format List Option String

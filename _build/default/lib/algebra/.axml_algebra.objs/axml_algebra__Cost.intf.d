@@ -1,0 +1,1 @@
+lib/algebra/cost.mli: Axml_doc Axml_net Axml_query Expr Format

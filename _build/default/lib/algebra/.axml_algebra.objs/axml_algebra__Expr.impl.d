@@ -1,0 +1,1 @@
+lib/algebra/expr.ml: Axml_doc Axml_net Axml_query Axml_xml Format List String

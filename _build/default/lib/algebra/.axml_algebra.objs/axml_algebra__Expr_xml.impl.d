@@ -1,0 +1,1 @@
+lib/algebra/expr_xml.ml: Axml_doc Axml_net Axml_query Axml_xml Expr Format List Printf Result String

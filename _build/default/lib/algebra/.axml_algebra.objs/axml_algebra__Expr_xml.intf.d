@@ -1,0 +1,1 @@
+lib/algebra/expr_xml.mli: Axml_xml Expr

@@ -1,0 +1,1 @@
+lib/algebra/optimizer.ml: Axml_net Cost Expr Format List Printf Rewrite

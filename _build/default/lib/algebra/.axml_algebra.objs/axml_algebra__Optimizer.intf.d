@@ -1,0 +1,1 @@
+lib/algebra/optimizer.mli: Cost Expr Format

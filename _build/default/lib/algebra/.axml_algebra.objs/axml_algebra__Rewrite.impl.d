@@ -1,0 +1,1 @@
+lib/algebra/rewrite.ml: Axml_doc Axml_net Axml_query Expr Format Fun List Option Printf Result

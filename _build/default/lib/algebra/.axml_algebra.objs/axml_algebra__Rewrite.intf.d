@@ -1,0 +1,1 @@
+lib/algebra/rewrite.mli: Expr Format

@@ -1,0 +1,104 @@
+type strategy = Exhaustive of { depth : int } | Greedy of { max_steps : int }
+
+type step = { rule : string; cost : Cost.t }
+
+type result = {
+  plan : Expr.t;
+  cost : Cost.t;
+  initial_cost : Cost.t;
+  explored : int;
+  trace : step list;
+}
+
+(* The "_tmp" prefix marks auxiliary materializations; the runtime's
+   Σ fingerprint ignores them (System.fingerprint). *)
+let make_fresh () =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "_tmp_shared_%d" !counter
+
+(* A visited list with structural equality.  Plan counts stay small
+   (bounded depth or greedy path), so a list suffices and avoids
+   hashing expressions. *)
+let seen visited e = List.exists (Expr.equal e) visited
+
+let default_objective c = Cost.weighted c
+
+let optimize ~env ~ctx ?(objective = default_objective) ?peers strategy expr =
+  let peers =
+    match peers with
+    | Some ps -> ps
+    | None -> Axml_net.Topology.peers env.Cost.topology
+  in
+  let fresh = make_fresh () in
+  let cost_of e = Cost.of_expr env ~ctx e in
+  let initial_cost = cost_of expr in
+  let explored = ref 1 in
+  match strategy with
+  | Greedy { max_steps } ->
+      let rec descend current current_cost trace steps =
+        if steps >= max_steps then (current, current_cost, trace)
+        else begin
+          let candidates = Rewrite.everywhere ~peers ~fresh current in
+          explored := !explored + List.length candidates;
+          let best =
+            List.fold_left
+              (fun acc (r : Rewrite.rewrite) ->
+                let c = cost_of r.result in
+                match acc with
+                | Some (_, _, best_c) when objective c >= objective best_c ->
+                    acc
+                | Some _ | None ->
+                    if objective c < objective current_cost then
+                      Some (r.rule, r.result, c)
+                    else acc)
+              None candidates
+          in
+          match best with
+          | None -> (current, current_cost, trace)
+          | Some (rule, next, c) ->
+              descend next c (trace @ [ { rule; cost = c } ]) (steps + 1)
+        end
+      in
+      let plan, cost, trace = descend expr initial_cost [] 0 in
+      { plan; cost; initial_cost; explored = !explored; trace }
+  | Exhaustive { depth } ->
+      (* Breadth-first enumeration of the rewrite closure; remember
+         the cheapest plan and the rule path that produced it. *)
+      let visited = ref [ expr ] in
+      let best = ref (expr, initial_cost, []) in
+      let frontier = ref [ (expr, []) ] in
+      let level = ref 0 in
+      while !level < depth && !frontier <> [] do
+        incr level;
+        let next_frontier = ref [] in
+        List.iter
+          (fun (e, path) ->
+            List.iter
+              (fun (r : Rewrite.rewrite) ->
+                if not (seen !visited r.result) then begin
+                  visited := r.result :: !visited;
+                  incr explored;
+                  let c = cost_of r.result in
+                  let path = path @ [ { rule = r.rule; cost = c } ] in
+                  let _, best_c, _ = !best in
+                  if objective c < objective best_c then
+                    best := (r.result, c, path);
+                  next_frontier := (r.result, path) :: !next_frontier
+                end)
+              (Rewrite.everywhere ~peers ~fresh e))
+          !frontier;
+        frontier := !next_frontier
+      done;
+      let plan, cost, trace = !best in
+      { plan; cost; initial_cost; explored = !explored; trace }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>initial: %a@ best:    %a@ explored %d plans, %d rewrite steps@ " Cost.pp
+    r.initial_cost Cost.pp r.cost r.explored (List.length r.trace);
+  List.iter
+    (fun s -> Format.fprintf fmt "  %s -> %a@ " s.rule Cost.pp s.cost)
+    r.trace;
+  Format.fprintf fmt "plan: %a@]" Expr.pp r.plan

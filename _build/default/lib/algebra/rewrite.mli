@@ -1,0 +1,83 @@
+(** The equivalence rules of Section 3.3.
+
+    Each rule transforms an expression into an equivalent one — same
+    effect on any system state Σ (verified by the property suites in
+    [test/test_rules.ml]) — with potentially different cost.  Rules are
+    exposed individually (each returns the rewrites applicable {e at
+    the root} of the given expression) and collectively
+    ({!everywhere}), parameterized by the candidate peers of the
+    system.
+
+    Naming follows the paper:
+    - (10) query delegation,
+    - (11) composition/decomposition (unfold/fold) and Example 1's
+      selection pushing,
+    - (12) intermediary stop introduction/elimination,
+    - (13) transfer sharing by materialization,
+    - (14) delegation of expression evaluation,
+    - (15) relocation of sc-rooted trees,
+    - (16) pushing queries over service calls. *)
+
+type rewrite = { rule : string; result : Expr.t }
+
+val pp_rewrite : Format.formatter -> rewrite -> unit
+
+(** {1 Individual rules (root position)} *)
+
+val r10_delegate : peers:Expr.Peer_id.t list -> Expr.t -> rewrite list
+(** eval\@p1(q(t)) ⇒ send_p2→p1((send_p1→p2(q))(send_p1→p2(t))),
+    one rewrite per candidate delegate p2. *)
+
+val r10_undelegate : Expr.t -> rewrite list
+(** The inverse: collapse a fully-delegated application back. *)
+
+val r11_unfold : Expr.t -> rewrite list
+(** Apply a composed query by applying its parts:
+    q1(q2,…)(args) ⇒ q1(q2(args), …). *)
+
+val r11_fold : Expr.t -> rewrite list
+(** Inverse of {!r11_unfold} when all sub-applications share the same
+    argument list. *)
+
+val r11_push_selection : Expr.t -> rewrite list
+(** Example 1: for a unary application q(arg) with the argument's data
+    at a remote peer, ship the pushable selection σ(q2) to the data
+    and keep q1 at the caller. *)
+
+val r12_skip_stop : Expr.t -> rewrite list
+(** send(p2, send(p1, e)) ⇒ send(p2, e). *)
+
+val r12_add_stop : peers:Expr.Peer_id.t list -> Expr.t -> rewrite list
+(** send(p2, e) ⇒ send(p2, send(p1, e)) for each candidate relay p1 —
+    "data in transit may make an intermediary stop" (and sometimes
+    should: see E4). *)
+
+val r13_share : fresh:(unit -> string) -> Expr.t -> rewrite list
+(** When the same transfer send(p, x) occurs at least twice inside the
+    expression, materialize it once as a document d\@p and reference
+    the document from every occurrence. *)
+
+val r14_delegate : peers:Expr.Peer_id.t list -> Expr.t -> rewrite list
+(** e ⇒ eval\@p1(send(p, eval\@p(e))): hand the whole evaluation to a
+    delegate. *)
+
+val r14_undelegate : Expr.t -> rewrite list
+
+val r15_relocate_sc : peers:Expr.Peer_id.t list -> Expr.t -> rewrite list
+(** The peer where an sc-rooted tree is evaluated does not matter when
+    results flow to an explicit forward list. *)
+
+val r16_push_query_over_sc : Expr.t -> rewrite list
+(** q(sc(p1, s1, parList, fwList)) ⇒ ship q to p1 and evaluate q over
+    s1's implementation directly there, sending results to fwList. *)
+
+(** {1 Combined application} *)
+
+val at_root :
+  peers:Expr.Peer_id.t list -> fresh:(unit -> string) -> Expr.t -> rewrite list
+(** Every rule, root position only. *)
+
+val everywhere :
+  peers:Expr.Peer_id.t list -> fresh:(unit -> string) -> Expr.t -> rewrite list
+(** Every rule at every position of the expression tree; each result
+    is the whole expression with one position rewritten. *)

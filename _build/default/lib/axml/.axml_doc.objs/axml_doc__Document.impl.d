@@ -1,0 +1,1 @@
+lib/axml/document.ml: Axml_xml Format Names Option Sc

@@ -1,0 +1,1 @@
+lib/axml/document.mli: Axml_xml Format Names Sc

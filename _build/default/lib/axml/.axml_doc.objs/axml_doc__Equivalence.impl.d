@@ -1,0 +1,1 @@
+lib/axml/equivalence.ml: Axml_xml Document Format List Names Printf Sc String

@@ -1,0 +1,1 @@
+lib/axml/equivalence.mli: Axml_xml Document

@@ -1,0 +1,1 @@
+lib/axml/generic.ml: Axml_net Hashtbl List Names Option String

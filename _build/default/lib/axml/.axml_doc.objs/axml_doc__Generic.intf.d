@@ -1,0 +1,1 @@
+lib/axml/generic.mli: Axml_net Names

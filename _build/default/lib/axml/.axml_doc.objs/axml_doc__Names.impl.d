@@ -1,0 +1,1 @@
+lib/axml/names.ml: Axml_net Axml_xml Format Map Printf Set String

@@ -1,0 +1,1 @@
+lib/axml/names.mli: Axml_net Axml_xml Format Map Set

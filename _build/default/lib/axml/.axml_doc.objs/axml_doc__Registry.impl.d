@@ -1,0 +1,1 @@
+lib/axml/registry.ml: Hashtbl List Names Option Printf Service

@@ -1,0 +1,1 @@
+lib/axml/registry.mli: Axml_query Names Service

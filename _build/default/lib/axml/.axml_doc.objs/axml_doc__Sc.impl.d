@@ -1,0 +1,1 @@
+lib/axml/sc.ml: Axml_xml Format Fun List Names Printf String

@@ -1,0 +1,1 @@
+lib/axml/sc.mli: Axml_xml Format Names

@@ -1,0 +1,1 @@
+lib/axml/service.ml: Axml_query Axml_schema Axml_xml Format List Names Printf

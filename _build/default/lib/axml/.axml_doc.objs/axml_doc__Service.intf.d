@@ -1,0 +1,1 @@
+lib/axml/service.mli: Axml_query Axml_schema Axml_xml Format Names

@@ -1,0 +1,1 @@
+lib/axml/signature_check.ml: Axml_query Axml_schema Axml_xml List Printf Registry Service String

@@ -1,0 +1,1 @@
+lib/axml/signature_check.mli: Axml_schema Names Registry Service

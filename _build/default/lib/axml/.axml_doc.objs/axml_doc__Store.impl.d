@@ -1,0 +1,1 @@
+lib/axml/store.ml: Document Hashtbl List Names Printf

@@ -1,0 +1,1 @@
+lib/axml/store.mli: Axml_xml Document Names

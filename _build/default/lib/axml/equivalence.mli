@@ -1,0 +1,32 @@
+(** Document and tree equivalence (Section 2.3).
+
+    "Two trees t1 and t2 are equivalent iff their potential evolution,
+    via service call activations, will eventually reach the same
+    fixpoint" — formalized in the Positive AXML paper [5] and
+    undecidable in general.  We implement a sound, decidable
+    approximation adequate for the optimizer:
+
+    - plain (call-free) parts are compared as unordered trees
+      ({!Axml_xml.Canonical});
+    - [sc] subtrees are compared as calls: same provider, service,
+      forward targets and (recursively) equivalent parameters.  Two
+      documents carrying the same pending calls evolve identically
+      under the same system, hence reach the same fixpoint.
+
+    Soundness: [equivalent t1 t2 = true] implies paper-equivalence.
+    Completeness fails by design (e.g. a call and its materialized
+    result are paper-equivalent but we report [false]). *)
+
+val equivalent : Axml_xml.Tree.t -> Axml_xml.Tree.t -> bool
+
+val normalize : Axml_xml.Tree.t -> Axml_xml.Tree.t
+(** The normal form compared by {!equivalent}: canonical ordering with
+    [sc] subtrees replaced by a canonical call encoding (parameters
+    canonicalized, forward list sorted). *)
+
+val equivalent_documents : Document.t -> Document.t -> bool
+(** Tree equivalence of the roots; names may differ (equivalence
+    classes group documents under {e different} names/peers). *)
+
+val fingerprint : Axml_xml.Tree.t -> string
+(** Digest of {!normalize}; equal iff {!equivalent}. *)

@@ -1,0 +1,113 @@
+module Peer_id = Axml_net.Peer_id
+
+type policy =
+  | First
+  | Random of int
+  | Nearest of {
+      from : Peer_id.t;
+      topology : Axml_net.Topology.t;
+      probe_bytes : int;
+    }
+  | Least_loaded of (Peer_id.t -> float)
+
+type t = {
+  docs : (string, Names.Doc_ref.t list ref) Hashtbl.t;
+  services : (string, Names.Service_ref.t list ref) Hashtbl.t;
+}
+
+let create () = { docs = Hashtbl.create 16; services = Hashtbl.create 16 }
+
+let register tbl ~class_name member ~equal =
+  let cell =
+    match Hashtbl.find_opt tbl class_name with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace tbl class_name c;
+        c
+  in
+  if not (List.exists (equal member) !cell) then cell := !cell @ [ member ]
+
+let register_doc t ~class_name (r : Names.Doc_ref.t) =
+  (match r.at with
+  | Names.Any -> invalid_arg "Generic.register_doc: member location is Any"
+  | Names.At _ -> ());
+  register t.docs ~class_name r ~equal:Names.Doc_ref.equal
+
+let register_service t ~class_name (r : Names.Service_ref.t) =
+  (match r.at with
+  | Names.Any -> invalid_arg "Generic.register_service: member location is Any"
+  | Names.At _ -> ());
+  register t.services ~class_name r ~equal:Names.Service_ref.equal
+
+let members tbl ~class_name =
+  match Hashtbl.find_opt tbl class_name with Some c -> !c | None -> []
+
+let doc_members t = members t.docs
+let service_members t = members t.services
+
+(* A deterministic pseudo-random index: hash of seed and class size,
+   good enough for load spreading without global state. *)
+let pseudo_random seed n = if n = 0 then 0 else abs (Hashtbl.hash (seed, n)) mod n
+
+let peer_of_location = function Names.At p -> Some p | Names.Any -> None
+
+let choose ~policy ~location ~compare_ref members =
+  match members with
+  | [] -> None
+  | members -> (
+      match policy with
+      | First -> Some (List.hd (List.sort compare_ref members))
+      | Random seed ->
+          Some (List.nth members (pseudo_random seed (List.length members)))
+      | Nearest { from; topology; probe_bytes } ->
+          let cost r =
+            match peer_of_location (location r) with
+            | None -> infinity
+            | Some dst -> (
+                match Axml_net.Topology.link topology ~src:from ~dst with
+                | link -> Axml_net.Link.transfer_ms link ~bytes:probe_bytes
+                | exception Not_found -> infinity)
+          in
+          let best =
+            List.fold_left
+              (fun acc r ->
+                match acc with
+                | None -> Some (r, cost r)
+                | Some (_, c) when cost r < c -> Some (r, cost r)
+                | Some _ -> acc)
+              None members
+          in
+          Option.map fst best
+      | Least_loaded gauge ->
+          let load r =
+            match peer_of_location (location r) with
+            | None -> infinity
+            | Some p -> gauge p
+          in
+          let best =
+            List.fold_left
+              (fun acc r ->
+                match acc with
+                | None -> Some (r, load r)
+                | Some (_, c) when load r < c -> Some (r, load r)
+                | Some _ -> acc)
+              None members
+          in
+          Option.map fst best)
+
+let pick_doc t ~policy ~class_name =
+  choose ~policy
+    ~location:(fun (r : Names.Doc_ref.t) -> r.at)
+    ~compare_ref:Names.Doc_ref.compare
+    (doc_members t ~class_name)
+
+let pick_service t ~policy ~class_name =
+  choose ~policy
+    ~location:(fun (r : Names.Service_ref.t) -> r.at)
+    ~compare_ref:Names.Service_ref.compare
+    (service_members t ~class_name)
+
+let classes t =
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq String.compare (keys t.docs @ keys t.services)

@@ -1,0 +1,45 @@
+(** Generic documents and services (Section 2.3, definition (9)).
+
+    A generic document ed\@any denotes any member of an equivalence
+    class of regular documents; similarly for services.  A {!catalog}
+    records class memberships; [pick_doc] / [pick_service] implement
+    the paper's pickDoc/pickService functions under a configurable
+    {!policy} ("the implementation of an actual pick function at p
+    depends on p's knowledge of the existing documents and services,
+    p's preferences etc."). *)
+
+type policy =
+  | First  (** Deterministic: smallest member in reference order. *)
+  | Random of int  (** Pseudo-random with the given seed. *)
+  | Nearest of {
+      from : Axml_net.Peer_id.t;
+      topology : Axml_net.Topology.t;
+      probe_bytes : int;
+    }
+      (** Cheapest link from [from] for a transfer of [probe_bytes]. *)
+  | Least_loaded of (Axml_net.Peer_id.t -> float)
+      (** Smallest load according to the supplied gauge. *)
+
+type t
+(** The catalog: class name → members.  Documents and services live in
+    separate namespaces. *)
+
+val create : unit -> t
+
+val register_doc : t -> class_name:string -> Names.Doc_ref.t -> unit
+(** Add a member to a document class.
+    @raise Invalid_argument if the member's location is {!Names.Any}. *)
+
+val register_service : t -> class_name:string -> Names.Service_ref.t -> unit
+
+val doc_members : t -> class_name:string -> Names.Doc_ref.t list
+val service_members : t -> class_name:string -> Names.Service_ref.t list
+
+val pick_doc : t -> policy:policy -> class_name:string -> Names.Doc_ref.t option
+(** Resolve d\@any to a concrete d\@p, [None] for unknown or empty
+    classes. *)
+
+val pick_service :
+  t -> policy:policy -> class_name:string -> Names.Service_ref.t option
+
+val classes : t -> string list

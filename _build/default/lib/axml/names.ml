@@ -1,0 +1,147 @@
+module Peer_id = Axml_net.Peer_id
+module Node_id = Axml_xml.Node_id
+
+module type NAME = sig
+  type t = private string
+
+  val of_string : string -> t
+  val of_string_opt : string -> t option
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Make_name (Kind : sig
+  val kind : string
+end) : NAME = struct
+  type t = string
+
+  let valid s =
+    String.length s > 0
+    && not
+         (String.exists
+            (fun c -> c = '@' || c = ' ' || c = '\t' || c = '\n' || c = '\r')
+            s)
+
+  let of_string_opt s = if valid s then Some s else None
+
+  let of_string s =
+    match of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "%s.of_string: %S" Kind.kind s)
+
+  let to_string n = n
+  let equal = String.equal
+  let compare = String.compare
+  let pp = Format.pp_print_string
+
+  module Ord = struct
+    type nonrec t = t
+
+    let compare = compare
+  end
+
+  module Map = Map.Make (Ord)
+  module Set = Set.Make (Ord)
+end
+
+module Doc_name = Make_name (struct
+  let kind = "Doc_name"
+end)
+
+module Service_name = Make_name (struct
+  let kind = "Service_name"
+end)
+
+type location = At of Peer_id.t | Any
+
+let location_equal a b =
+  match (a, b) with
+  | Any, Any -> true
+  | At p, At q -> Peer_id.equal p q
+  | (Any | At _), _ -> false
+
+let pp_location fmt = function
+  | Any -> Format.pp_print_string fmt "any"
+  | At p -> Peer_id.pp fmt p
+
+let location_of_string = function
+  | "any" -> Any
+  | s -> At (Peer_id.of_string s)
+
+let location_to_string = function
+  | Any -> "any"
+  | At p -> Peer_id.to_string p
+
+let location_compare a b =
+  match (a, b) with
+  | Any, Any -> 0
+  | Any, At _ -> -1
+  | At _, Any -> 1
+  | At p, At q -> Peer_id.compare p q
+
+module Make_ref (Name : NAME) = struct
+  type t = { name : Name.t; at : location }
+
+  let make name at = { name; at }
+  let at_peer name ~peer = { name = Name.of_string name; at = At (Peer_id.of_string peer) }
+  let any name = { name = Name.of_string name; at = Any }
+
+  let equal a b = Name.equal a.name b.name && location_equal a.at b.at
+
+  let compare a b =
+    match Name.compare a.name b.name with
+    | 0 -> location_compare a.at b.at
+    | c -> c
+
+  let to_string r =
+    Printf.sprintf "%s@%s" (Name.to_string r.name) (location_to_string r.at)
+
+  let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+  let of_string s =
+    match String.index_opt s '@' with
+    | None -> invalid_arg (Printf.sprintf "ref of_string: missing '@' in %S" s)
+    | Some i ->
+        let name = Name.of_string (String.sub s 0 i) in
+        let at =
+          location_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        { name; at }
+end
+
+module Doc_ref = Make_ref (Doc_name)
+module Service_ref = Make_ref (Service_name)
+
+module Node_ref = struct
+  type t = { node : Node_id.t; peer : Peer_id.t }
+
+  let make ~node ~peer = { node; peer }
+  let equal a b = Node_id.equal a.node b.node && Peer_id.equal a.peer b.peer
+
+  let compare a b =
+    match Node_id.compare a.node b.node with
+    | 0 -> Peer_id.compare a.peer b.peer
+    | c -> c
+
+  let to_string r =
+    Printf.sprintf "%s@%s" (Node_id.to_string r.node) (Peer_id.to_string r.peer)
+
+  let pp fmt r = Format.pp_print_string fmt (to_string r)
+
+  let of_string s =
+    match String.index_opt s '@' with
+    | None -> None
+    | Some i -> (
+        let node = Node_id.of_string (String.sub s 0 i) in
+        let peer =
+          Peer_id.of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        match (node, peer) with
+        | Some node, Some peer -> Some { node; peer }
+        | _ -> None)
+end

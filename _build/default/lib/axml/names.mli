@@ -1,0 +1,80 @@
+(** Document and service names.
+
+    The paper's sets D (document names) and S (service names), plus the
+    qualified references [d\@p], [s\@p], [n\@p] and the generic
+    [d\@any] / [s\@any] forms of Section 2.3. *)
+
+module type NAME = sig
+  type t = private string
+
+  val of_string : string -> t
+  (** @raise Invalid_argument on the empty string or strings with
+      ['@'] or whitespace. *)
+
+  val of_string_opt : string -> t option
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Map : Map.S with type key = t
+  module Set : Set.S with type elt = t
+end
+
+module Doc_name : NAME
+module Service_name : NAME
+
+(** Where a resource lives: a specific peer, or "any" — an equivalence
+    class resolved by a pick function (definition (9)). *)
+type location = At of Axml_net.Peer_id.t | Any
+
+val location_equal : location -> location -> bool
+val pp_location : Format.formatter -> location -> unit
+
+val location_of_string : string -> location
+(** ["any"] maps to {!Any}; anything else parses as a peer identifier.
+    @raise Invalid_argument on an invalid peer identifier. *)
+
+(** A document reference [d\@p] or [d\@any]. *)
+module Doc_ref : sig
+  type t = { name : Doc_name.t; at : location }
+
+  val make : Doc_name.t -> location -> t
+  val at_peer : string -> peer:string -> t
+  val any : string -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+  (** ["d\@p"] notation. *)
+
+  val of_string : string -> t
+  (** @raise Invalid_argument on malformed input. *)
+end
+
+(** A service reference [s\@p] or [s\@any]. *)
+module Service_ref : sig
+  type t = { name : Service_name.t; at : location }
+
+  val make : Service_name.t -> location -> t
+  val at_peer : string -> peer:string -> t
+  val any : string -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val of_string : string -> t
+end
+
+(** A node reference [n\@p] — the targets of forward lists. *)
+module Node_ref : sig
+  type t = { node : Axml_xml.Node_id.t; peer : Axml_net.Peer_id.t }
+
+  val make : node:Axml_xml.Node_id.t -> peer:Axml_net.Peer_id.t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+  val of_string : string -> t option
+end

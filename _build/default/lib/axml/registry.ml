@@ -1,0 +1,45 @@
+type t = {
+  services : (Names.Service_name.t, Service.t) Hashtbl.t;
+  mutable next_fresh : int;
+}
+
+let create () = { services = Hashtbl.create 16; next_fresh = 0 }
+
+let add t s =
+  let name = Service.name s in
+  if Hashtbl.mem t.services name then
+    invalid_arg
+      (Printf.sprintf "Registry.add: service %S already exists"
+         (Names.Service_name.to_string name))
+  else Hashtbl.replace t.services name s
+
+let replace t s = Hashtbl.replace t.services (Service.name s) s
+let find t name = Hashtbl.find_opt t.services name
+
+let find_by_string t s =
+  match Names.Service_name.of_string_opt s with
+  | None -> None
+  | Some n -> find t n
+
+let mem t name = Hashtbl.mem t.services name
+let remove t name = Hashtbl.remove t.services name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.services []
+  |> List.sort Names.Service_name.compare
+
+let services t = List.filter_map (find t) (names t)
+
+let visible_query t name = Option.bind (find t name) Service.query
+
+let install_query t ~prefix q =
+  let rec pick i =
+    let candidate = Printf.sprintf "%s_%d" prefix i in
+    match Names.Service_name.of_string_opt candidate with
+    | Some n when not (Hashtbl.mem t.services n) -> (candidate, n)
+    | Some _ | None -> pick (i + 1)
+  in
+  let candidate, name = pick t.next_fresh in
+  t.next_fresh <- t.next_fresh + 1;
+  add t (Service.declarative ~name:candidate q);
+  name

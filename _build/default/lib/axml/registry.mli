@@ -1,0 +1,30 @@
+(** Per-peer service registry.
+
+    The services a peer provides, keyed by name.  Declarative
+    services' implementing statements "are visible to other peers,
+    enabling many optimizations" (Section 2.2) — {!visible_query}
+    is that inspection hook. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Service.t -> unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val replace : t -> Service.t -> unit
+val find : t -> Names.Service_name.t -> Service.t option
+val find_by_string : t -> string -> Service.t option
+val mem : t -> Names.Service_name.t -> bool
+val remove : t -> Names.Service_name.t -> unit
+val names : t -> Names.Service_name.t list
+val services : t -> Service.t list
+
+val visible_query : t -> Names.Service_name.t -> Axml_query.Ast.t option
+(** The implementing query of a declarative service, if registered. *)
+
+val install_query :
+  t -> prefix:string -> Axml_query.Ast.t -> Names.Service_name.t
+(** Deploy a query as a new declarative service under a fresh name
+    derived from [prefix] — definition (8): evaluating
+    send(p2, q\@p1) "deploys query q on peer p2 as a new service". *)

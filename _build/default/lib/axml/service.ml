@@ -1,0 +1,90 @@
+module Signature = Axml_schema.Signature
+
+type impl =
+  | Declarative of Axml_query.Ast.t
+  | Extern of (Axml_xml.Forest.t list -> Axml_xml.Forest.t)
+  | Doc_feed of Names.Doc_name.t
+
+type t = {
+  name : Names.Service_name.t;
+  signature : Signature.t;
+  continuous : bool;
+  impl : impl;
+}
+
+let declarative ?signature ?(continuous = true) ~name q =
+  (match Axml_query.Ast.check q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Service.declarative: " ^ msg));
+  let arity = Axml_query.Ast.arity q in
+  let signature =
+    match signature with
+    | Some s ->
+        if Signature.arity s <> arity then
+          invalid_arg
+            (Printf.sprintf
+               "Service.declarative: signature arity %d but query arity %d"
+               (Signature.arity s) arity);
+        s
+    | None -> Signature.untyped ~arity
+  in
+  {
+    name = Names.Service_name.of_string name;
+    signature;
+    continuous;
+    impl = Declarative q;
+  }
+
+let extern ?(continuous = true) ~name ~signature f =
+  {
+    name = Names.Service_name.of_string name;
+    signature;
+    continuous;
+    impl = Extern f;
+  }
+
+let doc_feed ~name ~doc =
+  {
+    name = Names.Service_name.of_string name;
+    signature = Signature.untyped ~arity:0;
+    continuous = true;
+    impl = Doc_feed (Names.Doc_name.of_string doc);
+  }
+
+let name s = s.name
+let signature s = s.signature
+let arity s = Signature.arity s.signature
+let continuous s = s.continuous
+let impl s = s.impl
+
+let query s =
+  match s.impl with Declarative q -> Some q | Extern _ | Doc_feed _ -> None
+
+let is_declarative s =
+  match s.impl with Declarative _ -> true | Extern _ | Doc_feed _ -> false
+
+let apply ~gen s inputs =
+  if List.length inputs <> arity s then
+    invalid_arg
+      (Printf.sprintf "Service.apply: %s expects %d inputs, got %d"
+         (Names.Service_name.to_string s.name)
+         (arity s) (List.length inputs));
+  match s.impl with
+  | Declarative q -> Axml_query.Eval.eval ~gen q inputs
+  | Extern f -> f inputs
+  | Doc_feed d ->
+      invalid_arg
+        (Printf.sprintf
+           "Service.apply: %s is a feed over document %s; only a peer \
+            runtime can evaluate it"
+           (Names.Service_name.to_string s.name)
+           (Names.Doc_name.to_string d))
+
+let pp fmt s =
+  Format.fprintf fmt "service %a : %a%s%s" Names.Service_name.pp s.name
+    Signature.pp s.signature
+    (if s.continuous then " (continuous)" else "")
+    (match s.impl with
+    | Declarative _ -> " [declarative]"
+    | Extern _ -> " [extern]"
+    | Doc_feed d -> Printf.sprintf " [feed %s]" (Names.Doc_name.to_string d))

@@ -1,0 +1,69 @@
+(** Services.
+
+    A Web service (p, s) has a type signature (τin, τout); when it
+    receives an input forest it replies with one or more output trees
+    ("continuous" services send several — Section 2.1, and "we consider
+    all services are continuous", Section 2.2).
+
+    Two implementations exist:
+
+    - {e declarative} services are implemented by a visible query —
+      the ones the algebra can optimize (ship, compose, push into);
+    - {e extern} services are opaque OCaml functions, the analogue of
+      arbitrary WSDL operations.  The algebra treats them as black
+      boxes. *)
+
+type impl =
+  | Declarative of Axml_query.Ast.t
+  | Extern of (Axml_xml.Forest.t list -> Axml_xml.Forest.t)
+  | Doc_feed of Names.Doc_name.t
+      (** A continuous subscription to a provider-local document: the
+          call's response stream is the document's current children
+          followed by every subtree later inserted into it.  This is
+          the canonical continuous service of the AXML model (results
+          "accumulate as siblings of the sc node", Section 2.2). *)
+
+type t
+
+val declarative :
+  ?signature:Axml_schema.Signature.t ->
+  ?continuous:bool ->
+  name:string ->
+  Axml_query.Ast.t ->
+  t
+(** [signature] defaults to the untyped signature of the query's
+    arity; [continuous] defaults to [true].
+    @raise Invalid_argument if the query is ill-formed or the
+    signature arity differs from the query's. *)
+
+val extern :
+  ?continuous:bool ->
+  name:string ->
+  signature:Axml_schema.Signature.t ->
+  (Axml_xml.Forest.t list -> Axml_xml.Forest.t) ->
+  t
+
+val doc_feed : name:string -> doc:string -> t
+(** A nullary continuous service streaming the named local document. *)
+
+val name : t -> Names.Service_name.t
+val signature : t -> Axml_schema.Signature.t
+val arity : t -> int
+val continuous : t -> bool
+val impl : t -> impl
+
+val query : t -> Axml_query.Ast.t option
+(** The implementing query, for declarative services — what other
+    peers may inspect to enable optimizations (Section 2.2). *)
+
+val is_declarative : t -> bool
+
+val apply :
+  gen:Axml_xml.Node_id.Gen.t -> t -> Axml_xml.Forest.t list -> Axml_xml.Forest.t
+(** One evaluation round on a full input (for declarative services, a
+    plain query evaluation).  Streaming behaviour is orchestrated by
+    the peer runtime on top of {!module:Axml_query.Incremental}.
+    @raise Invalid_argument on arity mismatch or on a {!Doc_feed}
+    service, whose semantics exists only inside a peer runtime. *)
+
+val pp : Format.formatter -> t -> unit

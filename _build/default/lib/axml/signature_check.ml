@@ -1,0 +1,44 @@
+module Schema = Axml_schema.Schema
+module Signature = Axml_schema.Signature
+module Typecheck = Axml_query.Typecheck
+module Label = Axml_xml.Label
+
+let any = Schema.any_type_name
+
+let check schema service =
+  match Service.query service with
+  | None -> Ok () (* nothing to check for opaque services *)
+  | Some q -> (
+      let signature = Service.signature service in
+      let inputs = Signature.inputs signature in
+      let declared_out = Signature.output signature in
+      if declared_out = any then Ok ()
+      else
+        match Typecheck.infer_output schema ~inputs ~prefix:"_inferred" q with
+        | Error e -> Error e
+        | Ok (extended, inferred) ->
+            let compatible t =
+              t = declared_out || t = any
+              ||
+              match
+                ( Typecheck.label_of extended t,
+                  Typecheck.label_of extended declared_out )
+              with
+              | Some a, Some b -> Label.equal a b
+              | _ -> false
+            in
+            if inferred <> [] && List.for_all compatible inferred then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "declared output type %S does not cover inferred types [%s]"
+                   declared_out
+                   (String.concat "; " inferred)))
+
+let check_registry schema registry =
+  List.filter_map
+    (fun svc ->
+      match check schema svc with
+      | Ok () -> None
+      | Error msg -> Some (Service.name svc, msg))
+    (Registry.services registry)

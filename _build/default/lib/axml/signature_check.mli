@@ -1,0 +1,18 @@
+(** Service signature checking.
+
+    A declarative service's declared output type τout can be checked
+    against what its implementing query can actually produce
+    ({!Axml_query.Typecheck}).  The check is structural compatibility
+    — every inferred output type must be the declared one, the
+    universal type, or at least carry the declared element label —
+    not full regular-language inclusion (undecidable to do cheaply and
+    unnecessary for catching the common mistakes). *)
+
+val check :
+  Axml_schema.Schema.t -> Service.t -> (unit, string) result
+(** [Ok ()] for opaque (extern / feed) services and for services whose
+    declared output is the universal type. *)
+
+val check_registry :
+  Axml_schema.Schema.t -> Registry.t -> (Names.Service_name.t * string) list
+(** Check every registered service; returns the failures. *)

@@ -1,0 +1,53 @@
+type t = (Names.Doc_name.t, Document.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let add t doc =
+  let name = Document.name doc in
+  if Hashtbl.mem t name then
+    invalid_arg
+      (Printf.sprintf "Store.add: document %S already exists"
+         (Names.Doc_name.to_string name))
+  else Hashtbl.replace t name doc
+
+let install t ~name root =
+  let rec pick candidate i =
+    let dn = Names.Doc_name.of_string candidate in
+    if Hashtbl.mem t dn then pick (Printf.sprintf "%s_%d" name i) (i + 1)
+    else dn
+  in
+  let dn = pick name 1 in
+  Hashtbl.replace t dn
+    (Document.make ~name:(Names.Doc_name.to_string dn) root);
+  dn
+
+let find t name = Hashtbl.find_opt t name
+
+let find_by_string t s =
+  match Names.Doc_name.of_string_opt s with
+  | None -> None
+  | Some n -> find t n
+
+let mem t name = Hashtbl.mem t name
+let remove t name = Hashtbl.remove t name
+
+let update t doc =
+  let name = Document.name doc in
+  if not (Hashtbl.mem t name) then raise Not_found;
+  Hashtbl.replace t name doc
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t []
+  |> List.sort Names.Doc_name.compare
+
+let documents t = List.filter_map (find t) (names t)
+
+let total_bytes t =
+  Hashtbl.fold (fun _ d acc -> acc + Document.byte_size d) t 0
+
+let update_root t name f =
+  match Hashtbl.find_opt t name with
+  | None -> false
+  | Some doc ->
+      Hashtbl.replace t name (Document.with_root doc (f (Document.root doc)));
+      true

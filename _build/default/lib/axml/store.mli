@@ -1,0 +1,34 @@
+(** Per-peer document store.
+
+    Holds the documents of one peer, keyed by name ("no two documents
+    can agree on the values of (d, p)", Section 2.1).  The store is
+    mutable — it is the piece of system state Σ owned by a peer. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Document.t -> unit
+(** @raise Invalid_argument if the name is taken (the paper requires
+    installing under "a name d not previously in use"). *)
+
+val install : t -> name:string -> Axml_xml.Tree.t -> Names.Doc_name.t
+(** Install a tree under [name]; if taken, derive a fresh name by
+    numeric suffix and return it (used by [send(d\@p2, t\@p1)]
+    evaluation when racing installs occur). *)
+
+val find : t -> Names.Doc_name.t -> Document.t option
+val find_by_string : t -> string -> Document.t option
+val mem : t -> Names.Doc_name.t -> bool
+val remove : t -> Names.Doc_name.t -> unit
+val update : t -> Document.t -> unit
+(** Replace the stored document of the same name.
+    @raise Not_found if absent. *)
+
+val names : t -> Names.Doc_name.t list
+val documents : t -> Document.t list
+val total_bytes : t -> int
+
+val update_root :
+  t -> Names.Doc_name.t -> (Axml_xml.Tree.t -> Axml_xml.Tree.t) -> bool
+(** Apply a root transformation in place; [false] if absent. *)

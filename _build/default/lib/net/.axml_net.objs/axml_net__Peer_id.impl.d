@@ -1,0 +1,1 @@
+lib/net/peer_id.ml: Format Hashtbl Map Printf Set String

@@ -1,0 +1,1 @@
+lib/net/peer_id.mli: Format Hashtbl Map Set

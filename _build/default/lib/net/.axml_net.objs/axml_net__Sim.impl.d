@@ -1,0 +1,1 @@
+lib/net/sim.ml: Link Option Peer_id Pqueue Stats Topology

@@ -1,0 +1,1 @@
+lib/net/sim.mli: Peer_id Stats Topology

@@ -1,0 +1,19 @@
+type t = { latency_ms : float; bandwidth_bytes_per_ms : float }
+
+let make ~latency_ms ~bandwidth_bytes_per_ms =
+  if latency_ms < 0.0 then invalid_arg "Link.make: negative latency";
+  if bandwidth_bytes_per_ms <= 0.0 then
+    invalid_arg "Link.make: bandwidth must be positive";
+  { latency_ms; bandwidth_bytes_per_ms }
+
+let local = { latency_ms = 0.0; bandwidth_bytes_per_ms = 1e12 }
+
+let transfer_ms l ~bytes =
+  l.latency_ms +. (float_of_int bytes /. l.bandwidth_bytes_per_ms)
+
+let pp fmt l =
+  Format.fprintf fmt "%.1fms+%.0fB/ms" l.latency_ms l.bandwidth_bytes_per_ms
+
+let equal a b =
+  Float.equal a.latency_ms b.latency_ms
+  && Float.equal a.bandwidth_bytes_per_ms b.bandwidth_bytes_per_ms

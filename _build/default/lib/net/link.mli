@@ -1,0 +1,18 @@
+(** Point-to-point link characteristics.
+
+    The cost of moving a message of [b] bytes over a link is
+    [latency_ms + b / bandwidth_bytes_per_ms] milliseconds — the affine
+    model standard in distributed query processing cost studies. *)
+
+type t = { latency_ms : float; bandwidth_bytes_per_ms : float }
+
+val make : latency_ms:float -> bandwidth_bytes_per_ms:float -> t
+(** @raise Invalid_argument on non-positive bandwidth or negative
+    latency. *)
+
+val local : t
+(** The loopback link: zero latency, effectively infinite bandwidth. *)
+
+val transfer_ms : t -> bytes:int -> float
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

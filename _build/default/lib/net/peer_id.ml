@@ -1,0 +1,38 @@
+type t = string
+
+let valid s =
+  String.length s > 0
+  && not
+       (String.exists
+          (fun c -> c = '@' || c = ' ' || c = '\t' || c = '\n' || c = '\r')
+          s)
+
+let of_string_opt s = if valid s then Some s else None
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Peer_id.of_string: %S" s)
+
+let to_string p = p
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,22 @@
+(** Peer identifiers.
+
+    "We assume given a finite set of peers, each of which is
+    characterized by a distinct peer identifier p ∈ P" (Section 2). *)
+
+type t = private string
+
+val of_string : string -> t
+(** @raise Invalid_argument on the empty string or strings containing
+    ['@'] or whitespace (those characters delimit [d\@p] / [n\@p]
+    notations). *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

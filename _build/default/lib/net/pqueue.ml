@@ -1,0 +1,53 @@
+type 'a node = {
+  time : float;
+  seq : int;
+  value : 'a;
+  mutable kids : 'a node list;
+}
+
+type 'a heap = Empty | Node of 'a node
+type 'a t = { mutable heap : 'a heap; mutable next_seq : int; mutable size : int }
+
+let create () = { heap = Empty; next_seq = 0; size = 0 }
+let is_empty t = t.heap = Empty
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let meld a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node x, Node y ->
+      if before x y then begin
+        x.kids <- y :: x.kids;
+        Node x
+      end
+      else begin
+        y.kids <- x :: y.kids;
+        Node y
+      end
+
+let push t ~time value =
+  if Float.is_nan time then invalid_arg "Pqueue.push: NaN time";
+  let node = { time; seq = t.next_seq; value; kids = [] } in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  t.heap <- meld t.heap (Node node)
+
+let rec meld_pairs = function
+  | [] -> Empty
+  | [ n ] -> Node n
+  | a :: b :: rest -> meld (meld (Node a) (Node b)) (meld_pairs rest)
+
+let pop t =
+  match t.heap with
+  | Empty -> None
+  | Node n ->
+      t.heap <- meld_pairs n.kids;
+      t.size <- t.size - 1;
+      Some (n.time, n.value)
+
+let peek_time t = match t.heap with Empty -> None | Node n -> Some n.time
+let clear t =
+  t.heap <- Empty;
+  t.size <- 0

@@ -1,0 +1,19 @@
+(** Priority queue of timestamped events.
+
+    A pairing heap keyed by [(time, sequence)]: among equal times,
+    insertion order wins, which makes simulator runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument if [time] is NaN. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+val clear : 'a t -> unit

@@ -1,0 +1,87 @@
+type 'a event =
+  | Deliver of { src : Peer_id.t; dst : Peer_id.t; payload : 'a }
+  | Timer of { peer : Peer_id.t; callback : unit -> unit }
+
+type 'a t = {
+  topology : Topology.t;
+  queue : 'a event Pqueue.t;
+  handlers : (src:Peer_id.t -> 'a -> unit) Peer_id.Table.t;
+  busy : float Peer_id.Table.t;
+  cpu_factors : float Peer_id.Table.t;
+  stats : Stats.t;
+  mutable now : float;
+}
+
+exception No_handler of Peer_id.t
+
+let create topology =
+  {
+    topology;
+    queue = Pqueue.create ();
+    handlers = Peer_id.Table.create 16;
+    busy = Peer_id.Table.create 16;
+    cpu_factors = Peer_id.Table.create 16;
+    stats = Stats.create ();
+    now = 0.0;
+  }
+
+let topology t = t.topology
+let now t = t.now
+let stats t = t.stats
+let set_handler t peer f = Peer_id.Table.replace t.handlers peer f
+
+let busy_until t peer =
+  Option.value ~default:0.0 (Peer_id.Table.find_opt t.busy peer)
+
+let cpu_factor t peer =
+  Option.value ~default:1.0 (Peer_id.Table.find_opt t.cpu_factors peer)
+
+let set_cpu_factor t peer factor =
+  if factor <= 0.0 then invalid_arg "Sim.set_cpu_factor: factor must be positive";
+  Peer_id.Table.replace t.cpu_factors peer factor
+
+let consume_cpu t ~peer ~ms =
+  if ms < 0.0 then invalid_arg "Sim.consume_cpu: negative duration";
+  let horizon = max t.now (busy_until t peer) +. (ms *. cpu_factor t peer) in
+  Peer_id.Table.replace t.busy peer horizon;
+  (* Computation extends the run's completion time even when no
+     further message departs from this peer. *)
+  Stats.record_time t.stats horizon
+
+let send ?note t ~src ~dst ~bytes payload =
+  let link = Topology.link t.topology ~src ~dst in
+  let departure = max t.now (busy_until t src) in
+  let arrival = departure +. Link.transfer_ms link ~bytes in
+  Stats.record_send ~at_ms:departure ?note t.stats ~src ~dst ~bytes;
+  Pqueue.push t.queue ~time:arrival (Deliver { src; dst; payload })
+
+let after t ~peer ~delay_ms callback =
+  if delay_ms < 0.0 then invalid_arg "Sim.after: negative delay";
+  Pqueue.push t.queue ~time:(t.now +. delay_ms) (Timer { peer; callback })
+
+let pending t = Pqueue.length t.queue
+
+let run ?until_ms ?(max_events = 1_000_000) t =
+  let processed = ref 0 in
+  let continue () =
+    !processed < max_events
+    &&
+    match (Pqueue.peek_time t.queue, until_ms) with
+    | None, _ -> false
+    | Some time, Some limit -> time <= limit
+    | Some _, None -> true
+  in
+  while continue () do
+    match Pqueue.pop t.queue with
+    | None -> ()
+    | Some (time, event) ->
+        t.now <- max t.now time;
+        Stats.record_time t.stats t.now;
+        incr processed;
+        (match event with
+        | Deliver { src; dst; payload } -> (
+            match Peer_id.Table.find_opt t.handlers dst with
+            | None -> raise (No_handler dst)
+            | Some handler -> handler ~src payload)
+        | Timer { peer = _; callback } -> callback ())
+  done

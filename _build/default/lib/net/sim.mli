@@ -1,0 +1,61 @@
+(** Discrete-event network simulator.
+
+    Peers exchange messages over a {!Topology.t}; a virtual clock
+    advances from delivery to delivery.  Handlers run at delivery time
+    and may send further messages, schedule timers or consume local
+    CPU time.  The simulator is deterministic: equal-time events fire
+    in scheduling order.
+
+    The payload type is a parameter — the simulator knows nothing
+    about AXML; {!module:Axml_peer} instantiates it with algebra
+    messages. *)
+
+type 'a t
+
+val create : Topology.t -> 'a t
+val topology : 'a t -> Topology.t
+val now : 'a t -> float
+(** Current virtual time in milliseconds. *)
+
+val stats : 'a t -> Stats.t
+
+val set_handler : 'a t -> Peer_id.t -> (src:Peer_id.t -> 'a -> unit) -> unit
+(** Install the message handler of a peer, replacing any previous one.
+    Messages delivered to a peer without a handler raise during
+    {!run}. *)
+
+val send :
+  ?note:string -> 'a t -> src:Peer_id.t -> dst:Peer_id.t -> bytes:int -> 'a -> unit
+(** Enqueue a message.  It departs no earlier than the sender's busy
+    horizon and arrives after the link's transfer time.  [note] labels
+    the message in the statistics trace (see {!Stats.set_tracing}).
+    @raise Not_found if either peer is outside the topology. *)
+
+val after : 'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit
+(** Schedule a local callback on [peer] at [now + delay_ms]. *)
+
+val consume_cpu : 'a t -> peer:Peer_id.t -> ms:float -> unit
+(** Model local computation: pushes the peer's busy horizon forward so
+    that subsequent sends from this peer depart later.  The duration
+    is scaled by the peer's CPU factor. *)
+
+val set_cpu_factor : 'a t -> Peer_id.t -> float -> unit
+(** Heterogeneous peers: a factor of 2.0 makes computation twice as
+    slow there, 0.5 twice as fast.  Default 1.0.
+    @raise Invalid_argument on non-positive factors. *)
+
+val cpu_factor : 'a t -> Peer_id.t -> float
+
+val busy_until : 'a t -> Peer_id.t -> float
+
+exception No_handler of Peer_id.t
+
+val run : ?until_ms:float -> ?max_events:int -> 'a t -> unit
+(** Process events in time order until the queue drains (quiescence),
+    the clock passes [until_ms], or [max_events] deliveries have been
+    processed (a divergence guard for continuous services;
+    default 1_000_000).
+    @raise No_handler on delivery to a handler-less peer. *)
+
+val pending : 'a t -> int
+(** Number of queued events. *)

@@ -1,0 +1,90 @@
+type snapshot = {
+  messages : int;
+  bytes : int;
+  local_messages : int;
+  completion_ms : float;
+  per_link : ((Peer_id.t * Peer_id.t) * (int * int)) list;
+}
+
+type trace_entry = {
+  at_ms : float;
+  src : Peer_id.t;
+  dst : Peer_id.t;
+  trace_bytes : int;
+  note : string;
+}
+
+type t = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable local_messages : int;
+  mutable completion_ms : float;
+  per_link : (Peer_id.t * Peer_id.t, int * int) Hashtbl.t;
+  mutable tracing : bool;
+  mutable trace_rev : trace_entry list;
+}
+
+let create () =
+  {
+    messages = 0;
+    bytes = 0;
+    local_messages = 0;
+    completion_ms = 0.0;
+    per_link = Hashtbl.create 16;
+    tracing = false;
+    trace_rev = [];
+  }
+
+let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
+  if Peer_id.equal src dst then t.local_messages <- t.local_messages + 1
+  else begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    let m, b =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_link (src, dst))
+    in
+    Hashtbl.replace t.per_link (src, dst) (m + 1, b + bytes);
+    if t.tracing then
+      t.trace_rev <-
+        { at_ms; src; dst; trace_bytes = bytes; note } :: t.trace_rev
+  end
+
+let set_tracing t enabled = t.tracing <- enabled
+let tracing_enabled t = t.tracing
+let trace t = List.rev t.trace_rev
+
+let record_time t time = if time > t.completion_ms then t.completion_ms <- time
+
+let snapshot t : snapshot =
+  {
+    messages = t.messages;
+    bytes = t.bytes;
+    local_messages = t.local_messages;
+    completion_ms = t.completion_ms;
+    per_link =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_link []
+      |> List.sort compare;
+  }
+
+let reset t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.local_messages <- 0;
+  t.completion_ms <- 0.0;
+  Hashtbl.reset t.per_link;
+  t.trace_rev <- []
+
+let pp_trace_entry fmt e =
+  Format.fprintf fmt "%8.2fms  %a -> %a  %6dB  %s" e.at_ms Peer_id.pp e.src
+    Peer_id.pp e.dst e.trace_bytes e.note
+
+let pp_snapshot fmt (s : snapshot) =
+  Format.fprintf fmt
+    "@[<v>messages: %d (+%d local)@ bytes: %d@ completion: %.2f ms@ " s.messages
+    s.local_messages s.bytes s.completion_ms;
+  List.iter
+    (fun ((src, dst), (m, b)) ->
+      Format.fprintf fmt "%a -> %a: %d msg, %d B@ " Peer_id.pp src Peer_id.pp
+        dst m b)
+    s.per_link;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,53 @@
+(** Transfer statistics.
+
+    The quantities the paper's optimizations trade in: messages sent,
+    bytes shipped (total and per directed link), and the virtual time
+    at which the system went quiescent. *)
+
+type t
+
+type snapshot = {
+  messages : int;
+  bytes : int;
+  local_messages : int;  (** Loopback deliveries, not counted in [bytes]. *)
+  completion_ms : float;  (** Time of the last processed event. *)
+  per_link : ((Peer_id.t * Peer_id.t) * (int * int)) list;
+      (** (src, dst) -> (messages, bytes), remote links only. *)
+}
+
+type trace_entry = {
+  at_ms : float;  (** Virtual send time. *)
+  src : Peer_id.t;
+  dst : Peer_id.t;
+  trace_bytes : int;
+  note : string;  (** Message kind, e.g. ["invoke find/1"]. *)
+}
+
+val create : unit -> t
+
+val record_send :
+  ?at_ms:float ->
+  ?note:string ->
+  t ->
+  src:Peer_id.t ->
+  dst:Peer_id.t ->
+  bytes:int ->
+  unit
+
+val record_time : t -> float -> unit
+val snapshot : t -> snapshot
+val reset : t -> unit
+(** Clears counters and the trace; tracing stays in its current
+    enabled/disabled state. *)
+
+val set_tracing : t -> bool -> unit
+(** Record a {!trace_entry} per remote message (off by default; local
+    messages are not traced). *)
+
+val tracing_enabled : t -> bool
+
+val trace : t -> trace_entry list
+(** Recorded entries, oldest first. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+val pp_trace_entry : Format.formatter -> trace_entry -> unit

@@ -1,0 +1,84 @@
+module Pmap = Peer_id.Map
+
+type t = {
+  peer_list : Peer_id.t list;
+  peer_set : Peer_id.Set.t;
+  links : Link.t Pmap.t Pmap.t;  (** src -> dst -> link *)
+  default : Peer_id.t -> Peer_id.t -> Link.t;
+}
+
+let peers t = t.peer_list
+let mem t p = Peer_id.Set.mem p t.peer_set
+
+let link t ~src ~dst =
+  if not (mem t src && mem t dst) then raise Not_found;
+  if Peer_id.equal src dst then Link.local
+  else
+    match Pmap.find_opt src t.links |> Fun.flip Option.bind (Pmap.find_opt dst) with
+    | Some l -> l
+    | None -> t.default src dst
+
+let override t ~src ~dst l =
+  let row = Option.value ~default:Pmap.empty (Pmap.find_opt src t.links) in
+  { t with links = Pmap.add src (Pmap.add dst l row) t.links }
+
+let base peer_list default =
+  {
+    peer_list;
+    peer_set = Peer_id.Set.of_list peer_list;
+    links = Pmap.empty;
+    default;
+  }
+
+let full_mesh ~link peer_list = base peer_list (fun _ _ -> link)
+
+let scale l factor =
+  Link.make
+    ~latency_ms:(l.Link.latency_ms *. factor)
+    ~bandwidth_bytes_per_ms:(l.Link.bandwidth_bytes_per_ms /. factor)
+
+let star ~hub ~spoke_link peer_list =
+  let default src dst =
+    if Peer_id.equal src hub || Peer_id.equal dst hub then spoke_link
+    else scale spoke_link 2.0
+  in
+  base peer_list default
+
+let ring ~hop_link peer_list =
+  let arr = Array.of_list peer_list in
+  let n = Array.length arr in
+  let index p =
+    let rec go i = if Peer_id.equal arr.(i) p then i else go (i + 1) in
+    go 0
+  in
+  let default src dst =
+    let d = abs (index src - index dst) in
+    let hops = min d (n - d) in
+    scale hop_link (float_of_int (max 1 hops))
+  in
+  base peer_list default
+
+let clustered ~intra ~inter clusters =
+  let peer_list = List.concat clusters in
+  let cluster_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun ci members ->
+        List.iter (fun p -> Hashtbl.replace tbl (Peer_id.to_string p) ci) members)
+      clusters;
+    fun p -> Hashtbl.find tbl (Peer_id.to_string p)
+  in
+  let default src dst =
+    if cluster_of src = cluster_of dst then intra else inter
+  in
+  base peer_list default
+
+let of_links ~default links peer_list =
+  List.fold_left
+    (fun t (src, dst, l) -> override t ~src ~dst l)
+    (base peer_list (fun _ _ -> default))
+    links
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology over {%s}@]"
+    (String.concat ", " (List.map Peer_id.to_string t.peer_list))

@@ -1,0 +1,46 @@
+(** Peer network topologies.
+
+    The paper makes "no assumption about the structure of the peer
+    network" and promises to "discuss the impact of various network
+    structures"; experiment E4 does exactly that.  A topology assigns a
+    {!Link.t} to every ordered peer pair; the loopback pair always gets
+    {!Link.local}. *)
+
+type t
+
+val peers : t -> Peer_id.t list
+val mem : t -> Peer_id.t -> bool
+
+val link : t -> src:Peer_id.t -> dst:Peer_id.t -> Link.t
+(** @raise Not_found if either peer is not part of the topology. *)
+
+val override : t -> src:Peer_id.t -> dst:Peer_id.t -> Link.t -> t
+(** Functional update of one directed link. *)
+
+(** {1 Builders}
+
+    All builders take the full peer list; default links are symmetric. *)
+
+val full_mesh : link:Link.t -> Peer_id.t list -> t
+(** Every pair connected with the same link. *)
+
+val star : hub:Peer_id.t -> spoke_link:Link.t -> Peer_id.t list -> t
+(** Spokes reach each other through double the spoke link cost
+    (modelled as a direct link of doubled latency and halved
+    bandwidth); hub-spoke pairs use [spoke_link]. *)
+
+val ring : hop_link:Link.t -> Peer_id.t list -> t
+(** Neighbours on the ring use [hop_link]; non-neighbours use a link
+    scaled by their ring distance. *)
+
+val clustered :
+  intra:Link.t -> inter:Link.t -> Peer_id.t list list -> t
+(** Peers grouped in clusters: cheap [intra] links inside a cluster,
+    expensive [inter] links across. *)
+
+val of_links :
+  default:Link.t -> (Peer_id.t * Peer_id.t * Link.t) list -> Peer_id.t list -> t
+(** Explicit directed link list over [peers]; unlisted pairs get
+    [default]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/peer/exec.ml: Axml_algebra Axml_doc Axml_net Axml_query Axml_xml List Logs Message Peer System

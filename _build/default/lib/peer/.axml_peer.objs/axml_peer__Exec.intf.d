@@ -1,0 +1,1 @@
+lib/peer/exec.mli: Axml_algebra Axml_net Axml_xml System

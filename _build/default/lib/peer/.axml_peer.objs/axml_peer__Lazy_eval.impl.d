@@ -1,0 +1,1 @@
+lib/peer/lazy_eval.ml: Axml_doc Axml_net Axml_query Axml_xml List Printf System

@@ -1,0 +1,1 @@
+lib/peer/lazy_eval.mli: Axml_doc Axml_net Axml_query Axml_xml System

@@ -1,0 +1,1 @@
+lib/peer/message.ml: Axml_algebra Axml_doc Axml_net Axml_query Axml_xml Format List String

@@ -1,0 +1,1 @@
+lib/peer/peer.ml: Axml_doc Axml_net Axml_xml Hashtbl List Message

@@ -1,0 +1,1 @@
+lib/peer/peer.mli: Axml_doc Axml_net Axml_xml Hashtbl Message

@@ -1,0 +1,1 @@
+lib/peer/persist.ml: Array Axml_doc Axml_net Axml_query Axml_xml Filename Format Fun List Option Peer Printf Result String Sys System

@@ -1,0 +1,1 @@
+lib/peer/persist.mli: Axml_net System

@@ -1,0 +1,1 @@
+lib/peer/system.ml: Axml_algebra Axml_doc Axml_net Axml_query Axml_xml Buffer Digest Format Hashtbl List Logs Message Peer Printexc String

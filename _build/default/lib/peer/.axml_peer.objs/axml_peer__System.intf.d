@@ -1,0 +1,1 @@
+lib/peer/system.mli: Axml_algebra Axml_doc Axml_net Axml_xml Format Message Peer

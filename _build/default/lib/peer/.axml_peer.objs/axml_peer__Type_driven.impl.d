@@ -1,0 +1,1 @@
+lib/peer/type_driven.ml: Axml_doc Axml_schema Axml_xml Format List Printf System

@@ -1,0 +1,1 @@
+lib/peer/type_driven.mli: Axml_net Axml_schema Axml_xml System

@@ -1,0 +1,352 @@
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+module Tree = Axml_xml.Tree
+module Forest = Axml_xml.Forest
+module Expr = Axml_algebra.Expr
+
+let log = Logs.Src.create "axml.exec" ~doc:"AXML expression evaluation"
+
+module Log = (val Logs.src_log log)
+
+let site_peer ~ctx expr =
+  match Expr.site expr with Names.At p -> p | Names.Any -> ctx
+
+(* Register a continuation and return its reply destination. *)
+let cont_at sys ~at k =
+  let key = System.fresh_key sys in
+  System.set_cont sys key k;
+  Message.Cont { peer = at; key }
+
+(* Delegate an expression to another peer: its results stream to
+   [replies]; completion additionally pings [ack] when given. *)
+let delegate sys ~ctx ~to_ expr ~replies ~ack =
+  System.send sys ~src:ctx ~dst:to_
+    (Message.Eval_request { expr; replies; ack })
+
+let rec eval sys ~ctx (expr : Expr.t) ~(emit : System.emit) : unit =
+  match expr with
+  | Expr.Data_at { forest = _; at } when not (Peer_id.equal at ctx) ->
+      (* Definition (5): ask the owner to evaluate and send back. *)
+      delegate sys ~ctx ~to_:at expr
+        ~replies:[ cont_at sys ~at:ctx emit ]
+        ~ack:None
+  | Expr.Data_at { forest; at = _ } -> eval_local_data sys ~ctx forest ~emit
+  | Expr.Doc r -> eval_doc sys ~ctx r ~emit
+  | Expr.Query_app { query; args; at } ->
+      if not (Peer_id.equal at ctx) then
+        delegate sys ~ctx ~to_:at expr
+          ~replies:[ cont_at sys ~at:ctx emit ]
+          ~ack:None
+      else eval_query_app sys ~ctx query args ~emit
+  | Expr.Sc { sc; at } ->
+      if not (Peer_id.equal at ctx) then
+        delegate sys ~ctx ~to_:at expr
+          ~replies:[ cont_at sys ~at:ctx emit ]
+          ~ack:None
+      else eval_sc sys ~ctx sc ~emit
+  | Expr.Send { dest; expr = inner } -> eval_send sys ~ctx dest inner ~emit
+  | Expr.Eval_at { at; expr = inner } ->
+      if Peer_id.equal at ctx then eval sys ~ctx inner ~emit
+      else
+        (* Rule (14): ship the plan, stream the results back. *)
+        delegate sys ~ctx ~to_:at inner
+          ~replies:[ cont_at sys ~at:ctx emit ]
+          ~ack:None
+  | Expr.Shared { name; at; value; body } ->
+      (* Rule (13): materialize [value] as a document at [at], then run
+         [body].  The sequencing is the parallelism loss the paper
+         notes. *)
+      let dest =
+        Expr.Send
+          { dest = Expr.To_doc (name, at); expr = value }
+      in
+      eval sys ~ctx dest ~emit:(fun _ ~final ->
+          if final then eval sys ~ctx body ~emit)
+
+(* Definition (1)/(6) over literal data: plain trees are values;
+   sc-rooted trees are activated.  Embedded (non-root) calls stay inert
+   at the expression level — they activate when the data lands in a
+   document (Section 2.2 semantics, handled by System.activate_call). *)
+and eval_local_data sys ~ctx forest ~emit =
+  let scs, plain =
+    List.partition
+      (fun t ->
+        match t with
+        | Tree.Element e -> (
+            match Axml_doc.Sc.of_element e with Ok _ -> true | Error _ -> false)
+        | Tree.Text _ -> false)
+      forest
+  in
+  match scs with
+  | [] -> emit forest ~final:true
+  | scs ->
+      if plain <> [] then emit plain ~final:false;
+      let remaining = ref (List.length scs) in
+      let merged forest ~final =
+        if final then begin
+          decr remaining;
+          if !remaining = 0 then emit forest ~final:true
+          else if forest <> [] then emit forest ~final:false
+        end
+        else emit forest ~final:false
+      in
+      List.iter
+        (fun t ->
+          match t with
+          | Tree.Element e -> (
+              match Axml_doc.Sc.of_element e with
+              | Ok sc -> eval_sc sys ~ctx sc ~emit:merged
+              | Error _ -> assert false)
+          | Tree.Text _ -> assert false)
+        scs
+
+and eval_doc sys ~ctx (r : Names.Doc_ref.t) ~emit =
+  match r.at with
+  | Names.Any -> (
+      (* Definition (9): resolve through the local pick function. *)
+      let self = System.peer sys ctx in
+      match
+        Axml_doc.Generic.pick_doc self.Peer.catalog ~policy:self.Peer.policy
+          ~class_name:(Names.Doc_name.to_string r.name)
+      with
+      | Some resolved -> eval_doc sys ~ctx resolved ~emit
+      | None ->
+          Log.warn (fun m ->
+              m "peer %a: no member known for generic document %a" Peer_id.pp
+                ctx Names.Doc_name.pp r.name);
+          emit [] ~final:true)
+  | Names.At p when not (Peer_id.equal p ctx) ->
+      delegate sys ~ctx ~to_:p (Expr.Doc r)
+        ~replies:[ cont_at sys ~at:ctx emit ]
+        ~ack:None
+  | Names.At _ -> (
+      let self = System.peer sys ctx in
+      match Axml_doc.Store.find self.Peer.store r.name with
+      | Some doc ->
+          emit
+            [ Tree.copy ~gen:self.Peer.gen (Axml_doc.Document.root doc) ]
+            ~final:true
+      | None ->
+          Log.warn (fun m ->
+              m "peer %a: unknown document %a" Peer_id.pp ctx Names.Doc_name.pp
+                r.name);
+          emit [] ~final:true)
+
+(* Resolve the query value of an application running at [ctx]; the
+   continuation receives the AST once any shipping has happened. *)
+and resolve_query sys ~ctx (q : Expr.query_expr) (k : Axml_query.Ast.t option -> unit) =
+  match q with
+  | Expr.Q_val { q; at } when Peer_id.equal at ctx -> k (Some q)
+  | Expr.Q_val { q; at } ->
+      (* Definition (7): the query travels to the evaluation site. *)
+      let dest = cont_at sys ~at:ctx (fun _ ~final:_ -> k (Some q)) in
+      let key = match dest with Message.Cont { key; _ } -> key | _ -> assert false in
+      System.send sys ~src:at ~dst:ctx (Message.Query_shipped { key; query = q })
+  | Expr.Q_service r -> (
+      match r.at with
+      | Names.Any -> (
+          let self = System.peer sys ctx in
+          match
+            Axml_doc.Generic.pick_service self.Peer.catalog
+              ~policy:self.Peer.policy
+              ~class_name:(Names.Service_name.to_string r.name)
+          with
+          | Some resolved -> resolve_query sys ~ctx (Expr.Q_service resolved) k
+          | None -> k None)
+      | Names.At p ->
+          let query =
+            Axml_doc.Registry.visible_query (System.peer sys p).Peer.registry
+              r.name
+          in
+          (match query with
+          | None ->
+              Log.warn (fun m ->
+                  m "service %a has no visible query" Names.Service_ref.pp r);
+              k None
+          | Some ast ->
+              if Peer_id.equal p ctx then k (Some ast)
+              else
+                let dest =
+                  cont_at sys ~at:ctx (fun _ ~final:_ -> k (Some ast))
+                in
+                let key =
+                  match dest with
+                  | Message.Cont { key; _ } -> key
+                  | _ -> assert false
+                in
+                System.send sys ~src:p ~dst:ctx
+                  (Message.Query_shipped { key; query = ast })))
+  | Expr.Q_send { dest; q = inner } ->
+      (* Definition (8): deploy at [dest] as a new service, then use
+         it.  The query travels home → dest. *)
+      let home =
+        match Expr.query_site inner with Names.At p -> p | Names.Any -> ctx
+      in
+      let ast_of_inner kont =
+        match inner with
+        | Expr.Q_val { q; _ } -> kont (Some q)
+        | Expr.Q_service r -> (
+            match r.at with
+            | Names.At p ->
+                kont
+                  (Axml_doc.Registry.visible_query
+                     (System.peer sys p).Peer.registry r.name)
+            | Names.Any -> kont None)
+        | Expr.Q_send _ -> resolve_query sys ~ctx inner kont
+      in
+      ast_of_inner (fun ast ->
+          match ast with
+          | None -> k None
+          | Some ast ->
+              let reply =
+                cont_at sys ~at:ctx (fun _ ~final:_ -> k (Some ast))
+              in
+              System.send sys ~src:home ~dst:dest
+                (Message.Deploy { prefix = "_tmp_shipped"; query = ast; reply }))
+
+and eval_query_app sys ~ctx query args ~emit =
+  resolve_query sys ~ctx query (fun ast ->
+      match ast with
+      | None -> emit [] ~final:true
+      | Some q ->
+          let arity = Axml_query.Ast.arity q in
+          if arity <> List.length args then begin
+            Log.err (fun m ->
+                m "peer %a: query arity %d but %d arguments" Peer_id.pp ctx
+                  arity (List.length args));
+            emit [] ~final:true
+          end
+          else if arity = 0 then begin
+            let gen = System.gen_of sys ctx in
+            emit (Axml_query.Eval.eval ~gen q []) ~final:true
+          end
+          else begin
+            (* Definition (2) with streams: each argument batch is
+               pushed into the incremental state; deltas flow out as
+               they are enabled. *)
+            let state = Axml_query.Incremental.create q in
+            let gen = System.gen_of sys ctx in
+            let open_args = ref (List.length args) in
+            let push i forest ~final =
+              let bytes = Forest.byte_size forest in
+              if bytes > 0 then System.consume_cpu sys ~peer:ctx ~bytes;
+              let delta =
+                Axml_query.Incremental.push_forest ~gen state ~input:i forest
+              in
+              if final then begin
+                decr open_args;
+                if !open_args = 0 then emit delta ~final:true
+                else if delta <> [] then emit delta ~final:false
+              end
+              else if delta <> [] then emit delta ~final:false
+            in
+            List.iteri
+              (fun i arg -> eval sys ~ctx arg ~emit:(push i))
+              args
+          end)
+
+and eval_sc sys ~ctx (sc : Axml_doc.Sc.t) ~emit =
+  let self = System.peer sys ctx in
+  let params = List.map (Forest.copy ~gen:self.Peer.gen) sc.params in
+  let invoke provider service =
+    let replies, finish_now =
+      match sc.forward with
+      | [] -> ([ cont_at sys ~at:ctx emit ], false)
+      | fw -> (List.map (fun r -> Message.Node r) fw, true)
+    in
+    System.send sys ~src:ctx ~dst:provider
+      (Message.Invoke { service; params; replies });
+    (* With an explicit forward list nothing returns to the caller:
+       the expression's own value is ∅ (definition (6)). *)
+    if finish_now then emit [] ~final:true
+  in
+  match sc.provider with
+  | Names.At provider -> invoke provider sc.service
+  | Names.Any -> (
+      match
+        Axml_doc.Generic.pick_service self.Peer.catalog ~policy:self.Peer.policy
+          ~class_name:(Names.Service_name.to_string sc.service)
+      with
+      | Some { Names.Service_ref.name; at = Names.At provider } ->
+          invoke provider name
+      | Some { at = Names.Any; _ } | None ->
+          Log.warn (fun m ->
+              m "peer %a: cannot resolve generic service %a" Peer_id.pp ctx
+                Names.Service_name.pp sc.service);
+          emit [] ~final:true)
+
+and eval_send sys ~ctx dest inner ~emit =
+  let src = site_peer ~ctx inner in
+  match dest with
+  | Expr.To_peer p ->
+      if not (Peer_id.equal ctx p) then begin
+        (* The value materializes at p, not here: the driver observes
+           ∅ once the transfer completes (definition (3) — evaluating
+           a send returns the empty result at the evaluation site). *)
+        let key = System.fresh_key sys in
+        System.set_cont sys key (fun _ ~final ->
+            if final then emit [] ~final:true);
+        delegate sys ~ctx ~to_:p (Expr.Send { dest; expr = inner }) ~replies:[]
+          ~ack:(Some (ctx, key))
+      end
+      else if not (Peer_id.equal src ctx) then
+        (* Definitions (3)+(5): the operand's home evaluates and sends
+           the copy here. *)
+        delegate sys ~ctx ~to_:src inner
+          ~replies:[ cont_at sys ~at:ctx emit ]
+          ~ack:None
+      else eval sys ~ctx inner ~emit
+  | Expr.To_nodes targets ->
+      side_effecting_send sys ~ctx ~src inner ~emit
+        ~replies:(List.map (fun r -> Message.Node r) targets)
+  | Expr.To_doc (name, p) ->
+      side_effecting_send sys ~ctx ~src inner ~emit
+        ~replies:
+          [ Message.Install { peer = p; name = Names.Doc_name.to_string name } ]
+
+(* Common machinery of send-to-nodes and send-as-document: batches flow
+   to the destinations, which acknowledge the final one after applying
+   it; the driver's ∅ result closes only when every destination has
+   acknowledged — so "finished" really means the side effects are in
+   place. *)
+and side_effecting_send sys ~ctx ~src inner ~emit ~replies =
+  match replies with
+  | [] -> emit [] ~final:true
+  | _ :: _ ->
+      let key = System.fresh_key sys in
+      System.set_cont ~expected_finals:(List.length replies) sys key
+        (fun _ ~final -> if final then emit [] ~final:true);
+      let ack = Some (ctx, key) in
+      if not (Peer_id.equal src ctx) then
+        delegate sys ~ctx ~to_:src inner ~replies ~ack
+      else
+        eval sys ~ctx inner ~emit:(fun forest ~final ->
+            List.iter
+              (fun dest ->
+                System.route ?notify:(if final then ack else None) sys
+                  ~src:ctx dest forest ~final)
+              replies)
+
+type outcome = {
+  results : Forest.t;
+  finished : bool;
+  stats : Axml_net.Stats.snapshot;
+  elapsed_ms : float;
+}
+
+let run_to_quiescence ?(reset_stats = true) sys ~ctx expr =
+  if reset_stats then System.reset_stats sys;
+  let start = System.now_ms sys in
+  let acc = ref [] in
+  let finished = ref false in
+  eval sys ~ctx expr ~emit:(fun forest ~final ->
+      acc := !acc @ forest;
+      if final then finished := true);
+  System.run sys;
+  let stats = System.stats sys in
+  (* Completion covers trailing local computation (busy horizons), not
+     just the last message delivery. *)
+  let finish = max (System.now_ms sys) stats.Axml_net.Stats.completion_ms in
+  { results = !acc; finished = !finished; stats; elapsed_ms = finish -. start }
+
+let () = System.set_eval_hook (fun sys ~ctx expr ~emit -> eval sys ~ctx expr ~emit)

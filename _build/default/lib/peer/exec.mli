@@ -1,0 +1,49 @@
+(** Expression evaluation — definitions (1)–(9) of Section 3.2.
+
+    [eval sys ~ctx e ~emit] starts the evaluation of e\@ctx.  Work is
+    scheduled on the system's simulator; call {!System.run} to drive
+    it.  [emit] fires at [ctx] for every result batch of the
+    expression's stream ("a stream is a flow of XML trees which
+    accumulate", Section 3.2); the [final] flag closes the stream.
+
+    How the definitions map here:
+    - (1)/(2): local data and local query application evaluate in
+      place; continuous semantics comes from
+      {!Axml_query.Incremental} — each incoming argument batch
+      produces a delta batch;
+    - (3)/(4): [send] evaluates at the site of its operand and moves
+      the copy; side-effecting sends yield ∅;
+    - (5): a remote operand turns into an [Eval_request] delegation to
+      its home peer, which streams the result back;
+    - (6): sc-rooted trees ship parameters to the provider, whose
+      responses flow to the forward list (or back to the caller);
+    - (7): a query applied away from its home is shipped to the
+      application site (charged on the link);
+    - (8): send(p2, q) deploys q as a fresh service at p2;
+    - (9): generic documents and services resolve through the
+      evaluating peer's catalog and pick policy. *)
+
+val eval :
+  System.t ->
+  ctx:Axml_net.Peer_id.t ->
+  Axml_algebra.Expr.t ->
+  emit:System.emit ->
+  unit
+
+type outcome = {
+  results : Axml_xml.Forest.t;  (** Concatenated batches, arrival order. *)
+  finished : bool;  (** Whether the stream closed. *)
+  stats : Axml_net.Stats.snapshot;  (** Network activity of the run. *)
+  elapsed_ms : float;
+}
+
+val run_to_quiescence :
+  ?reset_stats:bool ->
+  System.t ->
+  ctx:Axml_net.Peer_id.t ->
+  Axml_algebra.Expr.t ->
+  outcome
+(** Evaluate, drive the simulator until no messages remain, and
+    collect everything the expression emitted.  [reset_stats]
+    (default [true]) zeroes the transfer counters first so the
+    snapshot describes just this evaluation. *)

@@ -1,0 +1,100 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+module Names = Axml_doc.Names
+module Peer_id = Axml_net.Peer_id
+
+type activation_mode = Eager | Lazy
+
+type outcome = {
+  results : Axml_xml.Forest.t;
+  activated : int;
+  skipped : int;
+  stats : Axml_net.Stats.snapshot;
+  elapsed_ms : float;
+}
+
+(* Label path from the document root (root's own label excluded) to
+   the node with the given identifier. *)
+let label_path_to root target =
+  let rec go acc t =
+    match t with
+    | Tree.Text _ -> None
+    | Tree.Element e ->
+        if Axml_xml.Node_id.equal e.id target then Some (List.rev acc)
+        else
+          List.find_map
+            (fun child ->
+              match child with
+              | Tree.Element ce -> go (ce.label :: acc) child
+              | Tree.Text _ -> None)
+            e.children
+  in
+  match root with
+  | Tree.Element _ -> go [] root
+  | Tree.Text _ -> None
+
+let relevant_calls q doc =
+  let root = Axml_doc.Document.root doc in
+  let judge (node, (sc : Axml_doc.Sc.t)) =
+    match sc.forward with
+    | _ :: _ ->
+        (* Results go elsewhere: they can never show up under this
+           document, hence cannot feed this query. *)
+        false
+    | [] -> (
+        (* Results accumulate under the sc node's parent. *)
+        let region =
+          match Tree.parent_of node root with
+          | Some parent -> label_path_to root parent.Tree.id
+          | None -> label_path_to root node
+        in
+        match region with
+        | None -> true (* be conservative if the node vanished *)
+        | Some prefix -> Axml_query.Relevance.relevant q ~input:0 ~prefix)
+  in
+  List.partition judge (Axml_doc.Document.calls doc)
+
+let eval_over_document sys ~ctx ~mode ~query ~doc =
+  if Axml_query.Ast.arity query <> 1 then
+    invalid_arg "Lazy_eval.eval_over_document: query must be unary";
+  let document =
+    match System.find_document sys ctx doc with
+    | Some d -> d
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Lazy_eval.eval_over_document: no document %S" doc)
+  in
+  System.reset_stats sys;
+  let start = System.now_ms sys in
+  let to_activate, skipped =
+    match mode with
+    | Eager -> (Axml_doc.Document.calls document, [])
+    | Lazy -> relevant_calls query document
+  in
+  let doc_name = Axml_doc.Document.name document in
+  let activated =
+    List.fold_left
+      (fun acc (node, _) ->
+        if System.activate_call sys ~owner:ctx ~doc:doc_name ~node then acc + 1
+        else acc)
+      0 to_activate
+  in
+  System.run sys;
+  let final_doc =
+    match System.find_document sys ctx doc with
+    | Some d -> d
+    | None -> document
+  in
+  let gen = System.gen_of sys ctx in
+  let input_bytes = Axml_doc.Document.byte_size final_doc in
+  System.consume_cpu sys ~peer:ctx ~bytes:input_bytes;
+  let results =
+    Axml_query.Eval.eval ~gen query [ [ Axml_doc.Document.root final_doc ] ]
+  in
+  {
+    results;
+    activated;
+    skipped = List.length skipped;
+    stats = System.stats sys;
+    elapsed_ms = System.now_ms sys -. start;
+  }

@@ -1,0 +1,42 @@
+(** Lazy query evaluation over AXML documents.
+
+    "A call may be activated only when the call result is needed to
+    evaluate some query over the enclosing document" (Section 2.2).
+    Evaluating a query over a document with embedded calls eagerly
+    activates everything; lazily, only the calls whose results could
+    fall inside a region the query inspects ({!Axml_query.Relevance})
+    are activated.  Irrelevant calls — often the expensive ones — never
+    ship their parameters or pull their results. *)
+
+type activation_mode = Eager | Lazy
+
+type outcome = {
+  results : Axml_xml.Forest.t;
+  activated : int;  (** Calls actually activated. *)
+  skipped : int;  (** Calls proven irrelevant (Lazy only). *)
+  stats : Axml_net.Stats.snapshot;
+  elapsed_ms : float;
+}
+
+val relevant_calls :
+  Axml_query.Ast.t ->
+  Axml_doc.Document.t ->
+  (Axml_xml.Node_id.t * Axml_doc.Sc.t) list * (Axml_xml.Node_id.t * Axml_doc.Sc.t) list
+(** Partition the document's calls into (relevant, irrelevant) for the
+    given unary query.  Relevance is judged against the label path of
+    each call's accumulation region (the [sc] node's parent, or the
+    forward-list targets when present — calls forwarding elsewhere are
+    irrelevant to a query over {e this} document). *)
+
+val eval_over_document :
+  System.t ->
+  ctx:Axml_net.Peer_id.t ->
+  mode:activation_mode ->
+  query:Axml_query.Ast.t ->
+  doc:string ->
+  outcome
+(** Evaluate a unary query over a document stored at [ctx]: activate
+    calls according to [mode], run the system to quiescence, then
+    evaluate the query over the (now extended) document.
+    @raise Invalid_argument if the document is missing, or the query
+    is not unary. *)

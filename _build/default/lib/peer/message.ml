@@ -1,0 +1,75 @@
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+module Forest = Axml_xml.Forest
+
+type reply_dest =
+  | Cont of { peer : Peer_id.t; key : int }
+  | Node of Names.Node_ref.t
+  | Install of { peer : Peer_id.t; name : string }
+
+type payload =
+  | Stream of { key : int; forest : Forest.t; final : bool }
+  | Eval_request of {
+      expr : Axml_algebra.Expr.t;
+      replies : reply_dest list;
+      ack : (Peer_id.t * int) option;
+    }
+  | Invoke of {
+      service : Names.Service_name.t;
+      params : Forest.t list;
+      replies : reply_dest list;
+    }
+  | Insert of {
+      node : Axml_xml.Node_id.t;
+      forest : Forest.t;
+      notify : (Peer_id.t * int) option;
+    }
+  | Install_doc of {
+      name : string;
+      forest : Forest.t;
+      notify : (Peer_id.t * int) option;
+    }
+  | Deploy of {
+      prefix : string;
+      query : Axml_query.Ast.t;
+      reply : reply_dest;
+    }
+  | Query_shipped of { key : int; query : Axml_query.Ast.t }
+
+type t = payload
+
+let envelope = 64
+(* Headers, addressing, framing. *)
+
+let bytes = function
+  | Stream { forest; _ } -> envelope + Forest.byte_size forest
+  | Eval_request { expr; _ } -> envelope + Axml_algebra.Expr_xml.byte_size expr
+  | Invoke { params; _ } ->
+      envelope
+      + List.fold_left (fun acc f -> acc + Forest.byte_size f) 0 params
+  | Insert { forest; _ } | Install_doc { forest; _ } ->
+      envelope + Forest.byte_size forest
+  | Deploy { query; _ } | Query_shipped { query; _ } ->
+      envelope + String.length (Axml_query.Ast.to_string query)
+
+let reply_peer = function
+  | Cont { peer; _ } -> peer
+  | Node r -> r.Names.Node_ref.peer
+  | Install { peer; _ } -> peer
+
+let pp fmt = function
+  | Stream { key; forest; final } ->
+      Format.fprintf fmt "stream[%d] %dB%s" key (Forest.byte_size forest)
+        (if final then " (final)" else "")
+  | Eval_request { expr; _ } ->
+      Format.fprintf fmt "eval-request %a" Axml_algebra.Expr.pp expr
+  | Invoke { service; params; _ } ->
+      Format.fprintf fmt "invoke %a/%d" Names.Service_name.pp service
+        (List.length params)
+  | Insert { node; forest; _ } ->
+      Format.fprintf fmt "insert %dB under %a" (Forest.byte_size forest)
+        Axml_xml.Node_id.pp node
+  | Install_doc { name; forest; _ } ->
+      Format.fprintf fmt "install %s (%dB)" name (Forest.byte_size forest)
+  | Deploy { prefix; _ } -> Format.fprintf fmt "deploy %s_*" prefix
+  | Query_shipped { key; _ } -> Format.fprintf fmt "query-shipped[%d]" key

@@ -1,0 +1,72 @@
+(** Wire messages of the peer runtime.
+
+    Everything peers exchange while evaluating expressions and running
+    AXML documents: response streams, expression delegations
+    (definition (5) and rule (14)), service invocations (steps 1–3 of
+    call activation), node/document installations (definitions (4) and
+    (8)) and query shipping.
+
+    Byte sizes are computed from the XML serializations — the simulator
+    charges what the wire would carry. *)
+
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+
+(** Where a response stream should be delivered. *)
+type reply_dest =
+  | Cont of { peer : Peer_id.t; key : int }
+      (** A continuation registered at a peer (expression results). *)
+  | Node of Names.Node_ref.t
+      (** Append under an identified node (forward lists). *)
+  | Install of { peer : Peer_id.t; name : string }
+      (** Install as a new document there. *)
+
+type payload =
+  | Stream of { key : int; forest : Axml_xml.Forest.t; final : bool }
+      (** One batch of a response stream. *)
+  | Eval_request of {
+      expr : Axml_algebra.Expr.t;
+      replies : reply_dest list;
+          (** Every result batch goes to each destination. *)
+      ack : (Peer_id.t * int) option;
+          (** Zero-byte completion signal, for drivers that only need
+              to know the side effects have been emitted. *)
+    }
+  | Invoke of {
+      service : Names.Service_name.t;
+      params : Axml_xml.Forest.t list;
+      replies : reply_dest list;
+    }
+  | Insert of {
+      node : Axml_xml.Node_id.t;
+      forest : Axml_xml.Forest.t;
+      notify : (Peer_id.t * int) option;
+          (** Destination-side acknowledgement: after applying the
+              insert, ping this continuation.  Carried by the last
+              batch of a stream so that "done" is only signalled once
+              the side effects are really in place (large data travels
+              slower than a bare ack would). *)
+    }
+  | Install_doc of {
+      name : string;
+      forest : Axml_xml.Forest.t;
+      notify : (Peer_id.t * int) option;
+    }
+  | Deploy of {
+      prefix : string;
+      query : Axml_query.Ast.t;
+      reply : reply_dest;
+    }
+      (** Definition (8): install the query as a new service; the
+          reply stream carries the fresh service name as text. *)
+  | Query_shipped of { key : int; query : Axml_query.Ast.t }
+      (** Transfer of a query value between peers; the receiving
+          continuation captures what to do with it. *)
+
+type t = payload
+
+val bytes : payload -> int
+(** Serialized size estimate charged to the link. *)
+
+val reply_peer : reply_dest -> Peer_id.t
+val pp : Format.formatter -> payload -> unit

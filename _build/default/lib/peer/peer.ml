@@ -1,0 +1,36 @@
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+
+type t = {
+  id : Peer_id.t;
+  gen : Axml_xml.Node_id.Gen.t;
+  store : Axml_doc.Store.t;
+  registry : Axml_doc.Registry.t;
+  catalog : Axml_doc.Generic.t;
+  mutable policy : Axml_doc.Generic.policy;
+  watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
+}
+
+let create ?(policy = Axml_doc.Generic.First) id =
+  {
+    id;
+    gen = Axml_xml.Node_id.Gen.create ~namespace:(Peer_id.to_string id);
+    store = Axml_doc.Store.create ();
+    registry = Axml_doc.Registry.create ();
+    catalog = Axml_doc.Generic.create ();
+    policy;
+    watchers = Hashtbl.create 8;
+  }
+
+let find_doc_with_node t node =
+  List.find_opt
+    (fun doc -> Axml_xml.Tree.mem_id node (Axml_doc.Document.root doc))
+    (Axml_doc.Store.documents t.store)
+
+let watch t doc dest =
+  match Hashtbl.find_opt t.watchers doc with
+  | Some cell -> cell := !cell @ [ dest ]
+  | None -> Hashtbl.replace t.watchers doc (ref [ dest ])
+
+let watchers_of t doc =
+  match Hashtbl.find_opt t.watchers doc with Some cell -> !cell | None -> []

@@ -1,0 +1,33 @@
+(** A peer: identity plus the local state it owns.
+
+    "A peer represents a context of computation; it can also be seen
+    as a hosting environment for documents and services" (Section 2).
+    The message-handling behaviour lives in {!module:System}; this
+    module is the passive state record. *)
+
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+
+type t = {
+  id : Peer_id.t;
+  gen : Axml_xml.Node_id.Gen.t;
+      (** Identifier generator; namespaced by the peer id so node
+          identities are globally unique. *)
+  store : Axml_doc.Store.t;
+  registry : Axml_doc.Registry.t;
+  catalog : Axml_doc.Generic.t;
+      (** This peer's knowledge of document/service equivalence
+          classes (definition (9): "depends on p's knowledge"). *)
+  mutable policy : Axml_doc.Generic.policy;
+  watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
+      (** Doc-feed subscriptions: destinations to notify when a
+          document grows. *)
+}
+
+val create : ?policy:Axml_doc.Generic.policy -> Peer_id.t -> t
+
+val find_doc_with_node : t -> Axml_xml.Node_id.t -> Axml_doc.Document.t option
+(** The stored document containing the identified node, if any. *)
+
+val watch : t -> Names.Doc_name.t -> Message.reply_dest -> unit
+val watchers_of : t -> Names.Doc_name.t -> Message.reply_dest list

@@ -1,0 +1,216 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+module Names = Axml_doc.Names
+module Peer_id = Axml_net.Peer_id
+
+let l = Label.of_string
+
+let service_to_tree ~gen svc =
+  let name = Names.Service_name.to_string (Axml_doc.Service.name svc) in
+  let continuous = string_of_bool (Axml_doc.Service.continuous svc) in
+  match Axml_doc.Service.impl svc with
+  | Axml_doc.Service.Declarative q ->
+      Tree.element ~gen (l "service")
+        ~attrs:
+          [ ("name", name); ("kind", "declarative"); ("continuous", continuous) ]
+        [
+          Tree.element ~gen (l "query")
+            [ Tree.text (Axml_query.Ast.to_string q) ];
+        ]
+  | Axml_doc.Service.Doc_feed d ->
+      Tree.element ~gen (l "service")
+        ~attrs:
+          [
+            ("name", name); ("kind", "feed");
+            ("doc", Names.Doc_name.to_string d);
+          ]
+        []
+  | Axml_doc.Service.Extern _ ->
+      (* Opaque: recorded for inventory, skipped on load. *)
+      Tree.element ~gen (l "service")
+        ~attrs:[ ("name", name); ("kind", "extern") ]
+        []
+
+let peer_to_xml sys pid =
+  let peer = System.peer sys pid in
+  let gen = Axml_xml.Node_id.Gen.create ~namespace:"persist" in
+  let documents =
+    List.map
+      (fun doc ->
+        Tree.element ~gen (l "document")
+          ~attrs:[ ("name", Names.Doc_name.to_string (Axml_doc.Document.name doc)) ]
+          [ Tree.copy ~gen (Axml_doc.Document.root doc) ])
+      (Axml_doc.Store.documents peer.Peer.store)
+  in
+  let services =
+    List.map (service_to_tree ~gen)
+      (Axml_doc.Registry.services peer.Peer.registry)
+  in
+  let classes =
+    List.concat_map
+      (fun class_name ->
+        let doc_members =
+          Axml_doc.Generic.doc_members peer.Peer.catalog ~class_name
+        in
+        let svc_members =
+          Axml_doc.Generic.service_members peer.Peer.catalog ~class_name
+        in
+        let mk kind members to_string =
+          if members = [] then []
+          else
+            [
+              Tree.element ~gen (l "class")
+                ~attrs:[ ("kind", kind); ("name", class_name) ]
+                (List.map
+                   (fun m ->
+                     Tree.element ~gen (l "member") [ Tree.text (to_string m) ])
+                   members);
+            ]
+        in
+        mk "doc" doc_members Names.Doc_ref.to_string
+        @ mk "service" svc_members Names.Service_ref.to_string)
+      (Axml_doc.Generic.classes peer.Peer.catalog)
+  in
+  let root =
+    Tree.element ~gen (l "peer")
+      ~attrs:[ ("id", Peer_id.to_string pid) ]
+      (documents @ services @ classes)
+  in
+  Axml_xml.Serializer.to_string_pretty root
+
+let ( let* ) = Result.bind
+
+let load_service sys pid (e : Tree.element) =
+  let attr name = Tree.attr (Tree.Element e) name in
+  let* name =
+    Option.to_result ~none:"service without name" (attr "name")
+  in
+  match attr "kind" with
+  | Some "declarative" -> (
+      let text = String.trim (Tree.text_content (Tree.Element e)) in
+      match Axml_query.Parser.parse text with
+      | Error pe ->
+          Error (Format.asprintf "service %s: %a" name Axml_query.Parser.pp_error pe)
+      | Ok q ->
+          let continuous = attr "continuous" <> Some "false" in
+          (match
+             Axml_doc.Service.declarative ~continuous ~name q
+           with
+          | svc ->
+              System.add_service sys pid svc;
+              Ok ()
+          | exception Invalid_argument msg -> Error msg))
+  | Some "feed" -> (
+      match attr "doc" with
+      | Some doc ->
+          System.add_service sys pid (Axml_doc.Service.doc_feed ~name ~doc);
+          Ok ()
+      | None -> Error (Printf.sprintf "feed service %s without doc" name))
+  | Some "extern" -> Ok () (* opaque, skipped *)
+  | Some other -> Error (Printf.sprintf "unknown service kind %S" other)
+  | None -> Error (Printf.sprintf "service %s without kind" name)
+
+let load_class sys pid (e : Tree.element) =
+  let attr name = Tree.attr (Tree.Element e) name in
+  let* class_name = Option.to_result ~none:"class without name" (attr "name") in
+  let* kind = Option.to_result ~none:"class without kind" (attr "kind") in
+  let peer = System.peer sys pid in
+  List.fold_left
+    (fun acc child ->
+      let* () = acc in
+      match child with
+      | Tree.Element m when Label.equal m.label (l "member") -> (
+          let text = String.trim (Tree.text_content child) in
+          match kind with
+          | "doc" -> (
+              match Names.Doc_ref.of_string text with
+              | r ->
+                  Axml_doc.Generic.register_doc peer.Peer.catalog ~class_name r;
+                  Ok ()
+              | exception Invalid_argument msg -> Error msg)
+          | "service" -> (
+              match Names.Service_ref.of_string text with
+              | r ->
+                  Axml_doc.Generic.register_service peer.Peer.catalog
+                    ~class_name r;
+                  Ok ()
+              | exception Invalid_argument msg -> Error msg)
+          | other -> Error (Printf.sprintf "unknown class kind %S" other))
+      | Tree.Element _ | Tree.Text _ -> Ok ())
+    (Ok ()) e.children
+
+let load_peer_xml sys pid xml =
+  let gen = System.gen_of sys pid in
+  match Axml_xml.Parser.parse ~gen xml with
+  | Error e -> Error (Format.asprintf "%a" Axml_xml.Parser.pp_error e)
+  | Ok (Tree.Text _) -> Error "peer file is not an element"
+  | Ok (Tree.Element root) ->
+      if not (Label.equal root.label (l "peer")) then
+        Error "root element must be <peer>"
+      else
+        List.fold_left
+          (fun acc child ->
+            let* () = acc in
+            match child with
+            | Tree.Text _ -> Ok ()
+            | Tree.Element e ->
+                if Label.equal e.label (l "document") then begin
+                  match Tree.attr child "name" with
+                  | None -> Error "document without name"
+                  | Some name -> (
+                      match List.filter Tree.is_element e.children with
+                      | [ tree ] -> (
+                          match System.add_document sys pid ~name tree with
+                          | () -> Ok ()
+                          | exception Invalid_argument msg -> Error msg)
+                      | _ -> Error (Printf.sprintf "document %s must hold one tree" name))
+                end
+                else if Label.equal e.label (l "service") then
+                  load_service sys pid e
+                else if Label.equal e.label (l "class") then load_class sys pid e
+                else Ok () (* forward compatibility: ignore unknown *))
+          (Ok ()) root.children
+
+let save sys ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (p : Peer.t) ->
+      let path =
+        Filename.concat dir (Peer_id.to_string p.Peer.id ^ ".peer.xml")
+      in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (peer_to_xml sys p.Peer.id)))
+    (System.peers sys)
+
+let load sys ~dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".peer.xml")
+    |> List.sort String.compare
+  in
+  List.fold_left
+    (fun acc file ->
+      let* n = acc in
+      let pid_str = Filename.chop_suffix file ".peer.xml" in
+      let* pid =
+        Option.to_result
+          ~none:(Printf.sprintf "invalid peer id in file name %s" file)
+          (Peer_id.of_string_opt pid_str)
+      in
+      let* () =
+        match System.peer sys pid with
+        | _ -> Ok ()
+        | exception Not_found ->
+            Error (Printf.sprintf "peer %s not in the topology" pid_str)
+      in
+      let ic = open_in_bin (Filename.concat dir file) in
+      let xml =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let* () = load_peer_xml sys pid xml in
+      Ok (n + 1))
+    (Ok 0) files

@@ -1,0 +1,39 @@
+(** Persistence of the system state Σ.
+
+    Every piece of Σ — documents, declarative services, feed services,
+    catalog knowledge — serializes to XML (this is an XML data
+    management system, after all).  Extern services are opaque OCaml
+    functions and cannot travel; they are recorded by name only and
+    skipped on load.
+
+    Formats one file per peer:
+
+    {v
+    <peer id="p1">
+      <document name="cat">…tree…</document>
+      <service name="resolve" kind="declarative" continuous="true">
+        <query>query(2) …</query>
+      </service>
+      <service name="feed" kind="feed" doc="news"/>
+      <service name="opaque" kind="extern"/>
+      <class kind="doc" name="mirror"><member>cat@p2</member></class>
+    </peer>
+    v} *)
+
+val peer_to_xml : System.t -> Axml_net.Peer_id.t -> string
+(** Serialize one peer's state. *)
+
+val load_peer_xml :
+  System.t -> Axml_net.Peer_id.t -> string -> (unit, string) result
+(** Install documents, services and catalog entries from a serialized
+    peer state into the given peer (which should be empty; name
+    clashes are errors). *)
+
+val save : System.t -> dir:string -> unit
+(** Write [<peer-id>.peer.xml] files for every peer (creates [dir] if
+    needed). *)
+
+val load : System.t -> dir:string -> (int, string) result
+(** Load every [*.peer.xml] in [dir] into the matching peers; returns
+    the number of peers restored.  Files for peers outside the
+    topology are errors. *)

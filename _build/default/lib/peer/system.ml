@@ -1,0 +1,450 @@
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+module Sim = Axml_net.Sim
+module Tree = Axml_xml.Tree
+module Forest = Axml_xml.Forest
+
+let log = Logs.Src.create "axml.system" ~doc:"AXML peer system"
+
+module Log = (val Logs.src_log log)
+
+type emit = Forest.t -> final:bool -> unit
+
+type cont_entry = { mutable remaining_finals : int; fn : emit }
+
+type t = {
+  sim : Message.t Sim.t;
+  peers : Peer.t Peer_id.Table.t;
+  conts : (int, cont_entry) Hashtbl.t;
+  mutable next_key : int;
+  response_delay_ms : float;
+  cpu_ms_per_kb : float;
+}
+
+type eval_hook = t -> ctx:Peer_id.t -> Axml_algebra.Expr.t -> emit:emit -> unit
+
+let eval_hook : eval_hook ref =
+  ref (fun _ ~ctx:_ _ ~emit:_ ->
+      failwith
+        "System: no expression evaluator installed (Axml_peer.Exec not \
+         linked?)")
+
+let set_eval_hook f = eval_hook := f
+let sim t = t.sim
+let response_delay_ms t = t.response_delay_ms
+let cpu_ms_per_kb t = t.cpu_ms_per_kb
+
+let peer t p =
+  match Peer_id.Table.find_opt t.peers p with
+  | Some peer -> peer
+  | None -> raise Not_found
+
+let peers t =
+  Axml_net.Topology.peers (Sim.topology t.sim) |> List.map (peer t)
+
+let gen_of t p = (peer t p).Peer.gen
+
+let fresh_key t =
+  let k = t.next_key in
+  t.next_key <- t.next_key + 1;
+  k
+
+let set_cont ?(expected_finals = 1) t key f =
+  Hashtbl.replace t.conts key { remaining_finals = expected_finals; fn = f }
+
+let send t ~src ~dst payload =
+  let note =
+    (* Rendering the note costs; only pay when someone listens. *)
+    if Axml_net.Stats.tracing_enabled (Sim.stats t.sim) then
+      Some (Format.asprintf "%a" Message.pp payload)
+    else None
+  in
+  Sim.send ?note t.sim ~src ~dst ~bytes:(Message.bytes payload) payload
+
+let consume_cpu t ~peer ~bytes =
+  Sim.consume_cpu t.sim ~peer
+    ~ms:(t.cpu_ms_per_kb *. (float_of_int bytes /. 1024.0))
+
+let route ?notify t ~src dest forest ~final =
+  (* [notify] rides on the message so the acknowledgement fires at the
+     destination, after the side effect — a bare ack message would
+     overtake the (larger, slower) data it acknowledges. *)
+  let notify = if final then notify else None in
+  match dest with
+  | Message.Cont { peer; key } ->
+      if forest <> [] || final then
+        send t ~src ~dst:peer (Message.Stream { key; forest; final })
+  | Message.Node r ->
+      if forest <> [] || notify <> None then
+        send t ~src ~dst:r.Names.Node_ref.peer
+          (Message.Insert { node = r.Names.Node_ref.node; forest; notify })
+  | Message.Install { peer; name } ->
+      if forest <> [] || notify <> None then
+        send t ~src ~dst:peer (Message.Install_doc { name; forest; notify })
+
+(* Notify doc-feed watchers that a document has grown. *)
+let notify_watchers t self doc_name forest =
+  List.iter
+    (fun dest -> route t ~src:self.Peer.id dest forest ~final:false)
+    (Peer.watchers_of self doc_name)
+
+let run_service t (self : Peer.t) service params replies =
+  let respond forest ~final =
+    List.iter (fun dest -> route t ~src:self.Peer.id dest forest ~final) replies
+  in
+  match Axml_doc.Registry.find self.Peer.registry service with
+  | None ->
+      Log.warn (fun m ->
+          m "peer %a: invoke of unknown service %a" Peer_id.pp self.Peer.id
+            Names.Service_name.pp service);
+      respond [] ~final:true
+  | Some svc -> (
+      match Axml_doc.Service.impl svc with
+      | Axml_doc.Service.Declarative q ->
+          let input_bytes =
+            List.fold_left (fun acc f -> acc + Forest.byte_size f) 0 params
+          in
+          consume_cpu t ~peer:self.Peer.id ~bytes:input_bytes;
+          let out =
+            try Axml_query.Eval.eval ~gen:self.Peer.gen q params
+            with Invalid_argument msg ->
+              Log.err (fun m ->
+                  m "peer %a: service %a failed: %s" Peer_id.pp self.Peer.id
+                    Names.Service_name.pp service msg);
+              []
+          in
+          respond out ~final:true
+      | Axml_doc.Service.Extern f ->
+          let out =
+            try f params
+            with exn ->
+              Log.err (fun m ->
+                  m "peer %a: extern service %a raised %s" Peer_id.pp
+                    self.Peer.id Names.Service_name.pp service
+                    (Printexc.to_string exn));
+              []
+          in
+          (* A continuous service sends its responses successively
+             (Section 2.1); space them by the configured delay. *)
+          if Axml_doc.Service.continuous svc && List.length out > 1 then
+            List.iteri
+              (fun i tree ->
+                let final = i = List.length out - 1 in
+                Sim.after t.sim ~peer:self.Peer.id
+                  ~delay_ms:(t.response_delay_ms *. float_of_int i)
+                  (fun () -> respond [ tree ] ~final))
+              out
+          else respond out ~final:true
+      | Axml_doc.Service.Doc_feed doc_name ->
+          let current =
+            match Axml_doc.Store.find self.Peer.store doc_name with
+            | Some doc ->
+                List.map
+                  (Tree.copy ~gen:self.Peer.gen)
+                  (Tree.children (Axml_doc.Document.root doc))
+            | None -> []
+          in
+          (* Initial batch now; future inserts via the watcher list.
+             A feed never terminates — no final batch. *)
+          respond current ~final:false;
+          List.iter (fun dest -> Peer.watch self doc_name dest) replies)
+
+let ping t (self : Peer.t) = function
+  | None -> ()
+  | Some (peer, key) ->
+      send t ~src:self.Peer.id ~dst:peer
+        (Message.Stream { key; forest = []; final = true })
+
+let handle_insert t (self : Peer.t) node forest notify =
+  (match Peer.find_doc_with_node self node with
+  | None ->
+      Log.warn (fun m ->
+          m "peer %a: insert target node %a not found" Peer_id.pp self.Peer.id
+            Axml_xml.Node_id.pp node)
+  | Some doc -> (
+      let name = Axml_doc.Document.name doc in
+      match Axml_doc.Document.insert_under ~node forest doc with
+      | None -> ()
+      | Some doc' ->
+          Axml_doc.Store.update self.Peer.store doc';
+          notify_watchers t self name forest));
+  ping t self notify
+
+let handle_install t (self : Peer.t) name forest notify =
+  (match Axml_doc.Store.find_by_string self.Peer.store name with
+  | Some doc ->
+      (* Subsequent batches of the same stream accumulate under the
+         existing root. *)
+      let root = Axml_doc.Document.root doc in
+      (match Tree.id root with
+      | Some node -> (
+          match Axml_doc.Document.insert_under ~node forest doc with
+          | Some doc' ->
+              Axml_doc.Store.update self.Peer.store doc';
+              notify_watchers t self (Axml_doc.Document.name doc) forest
+          | None -> ())
+      | None -> ())
+  | None ->
+      let root =
+        match forest with
+        | [ (Tree.Element _ as tree) ] -> tree
+        | forest ->
+            Tree.element ~gen:self.Peer.gen
+              (Axml_xml.Label.of_string "doc")
+              forest
+      in
+      ignore (Axml_doc.Store.install self.Peer.store ~name root));
+  ping t self notify
+
+let dispatch t (self : Peer.t) ~src payload =
+  ignore src;
+  match payload with
+  | Message.Stream { key; forest; final } -> (
+      match Hashtbl.find_opt t.conts key with
+      | None ->
+          Log.debug (fun m ->
+              m "peer %a: stream for dead continuation %d" Peer_id.pp
+                self.Peer.id key)
+      | Some entry ->
+          if final then begin
+            entry.remaining_finals <- entry.remaining_finals - 1;
+            if entry.remaining_finals <= 0 then Hashtbl.remove t.conts key
+          end;
+          (* The consumer sees the stream close only when every
+             expected source has finished. *)
+          entry.fn forest ~final:(final && entry.remaining_finals <= 0))
+  | Message.Eval_request { expr; replies; ack } ->
+      let is_side_effecting = function
+        | Message.Cont _ -> false
+        | Message.Node _ | Message.Install _ -> true
+      in
+      let side_dests = List.filter is_side_effecting replies in
+      let finished = ref false in
+      let emit forest ~final =
+        if not !finished then begin
+          List.iter
+            (fun dest ->
+              let notify = if is_side_effecting dest then ack else None in
+              route ?notify t ~src:self.Peer.id dest forest ~final)
+            replies;
+          if final then begin
+            finished := true;
+            (* With no side-effecting destination the ack fires
+               directly; otherwise the destinations acknowledge after
+               applying the final batch. *)
+            match ack with
+            | Some (peer, key) when side_dests = [] ->
+                send t ~src:self.Peer.id ~dst:peer
+                  (Message.Stream { key; forest = []; final = true })
+            | Some _ | None -> ()
+          end
+        end
+      in
+      !eval_hook t ~ctx:self.Peer.id expr ~emit
+  | Message.Invoke { service; params; replies } ->
+      run_service t self service params replies
+  | Message.Insert { node; forest; notify } ->
+      handle_insert t self node forest notify
+  | Message.Install_doc { name; forest; notify } ->
+      handle_install t self name forest notify
+  | Message.Deploy { prefix; query; reply } ->
+      let name =
+        Axml_doc.Registry.install_query self.Peer.registry ~prefix query
+      in
+      route t ~src:self.Peer.id reply
+        [ Tree.text (Names.Service_name.to_string name) ]
+        ~final:true
+  | Message.Query_shipped { key; query = _ } -> (
+      match Hashtbl.find_opt t.conts key with
+      | None -> ()
+      | Some entry ->
+          Hashtbl.remove t.conts key;
+          entry.fn [] ~final:true)
+
+let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01) topology =
+  let sim = Sim.create topology in
+  let t =
+    {
+      sim;
+      peers = Peer_id.Table.create 16;
+      conts = Hashtbl.create 64;
+      next_key = 0;
+      response_delay_ms;
+      cpu_ms_per_kb;
+    }
+  in
+  List.iter
+    (fun p ->
+      let peer = Peer.create p in
+      Peer_id.Table.replace t.peers p peer;
+      Sim.set_handler sim p (fun ~src payload -> dispatch t peer ~src payload))
+    (Axml_net.Topology.peers topology);
+  t
+
+let add_document t p ~name tree =
+  Axml_doc.Store.add (peer t p).Peer.store (Axml_doc.Document.make ~name tree)
+
+let load_document t p ~name ~xml =
+  let tree = Axml_xml.Parser.parse_exn ~gen:(gen_of t p) xml in
+  add_document t p ~name tree
+
+let add_service t p service =
+  Axml_doc.Registry.add (peer t p).Peer.registry service
+
+let register_doc_class t ~class_name ref_ =
+  List.iter
+    (fun (p : Peer.t) ->
+      Axml_doc.Generic.register_doc p.Peer.catalog ~class_name ref_)
+    (peers t)
+
+let register_service_class t ~class_name ref_ =
+  List.iter
+    (fun (p : Peer.t) ->
+      Axml_doc.Generic.register_service p.Peer.catalog ~class_name ref_)
+    (peers t)
+
+(* Document-level call activation: steps 1-3 of Section 2.2.  The
+   default forward target is the parent of the sc node — responses
+   accumulate as siblings of the call. *)
+let activate_call t ~owner ~doc ~node =
+  let self = peer t owner in
+  match Axml_doc.Store.find self.Peer.store doc with
+  | None -> false
+  | Some document -> (
+      let root = Axml_doc.Document.root document in
+      match Tree.find_by_id node root with
+      | None -> false
+      | Some element -> (
+          match Axml_doc.Sc.of_element element with
+          | Error _ -> false
+          | Ok sc -> (
+              let replies =
+                match sc.Axml_doc.Sc.forward with
+                | [] -> (
+                    match Tree.parent_of node root with
+                    | Some parent ->
+                        [
+                          Message.Node
+                            (Names.Node_ref.make ~node:parent.Tree.id
+                               ~peer:owner);
+                        ]
+                    | None ->
+                        (* Root-level sc: accumulate under the sc node
+                           itself. *)
+                        [ Message.Node (Names.Node_ref.make ~node ~peer:owner) ])
+                | fw -> List.map (fun r -> Message.Node r) fw
+              in
+              let params =
+                List.map
+                  (Forest.copy ~gen:self.Peer.gen)
+                  sc.Axml_doc.Sc.params
+              in
+              match sc.Axml_doc.Sc.provider with
+              | Names.At provider ->
+                  send t ~src:owner ~dst:provider
+                    (Message.Invoke
+                       { service = sc.Axml_doc.Sc.service; params; replies });
+                  true
+              | Names.Any -> (
+                  let picked =
+                    Axml_doc.Generic.pick_service self.Peer.catalog
+                      ~policy:self.Peer.policy
+                      ~class_name:
+                        (Names.Service_name.to_string sc.Axml_doc.Sc.service)
+                  in
+                  match picked with
+                  | Some r -> (
+                      match r.Names.Service_ref.at with
+                      | Names.At provider ->
+                          send t ~src:owner ~dst:provider
+                            (Message.Invoke
+                               {
+                                 service = r.Names.Service_ref.name;
+                                 params;
+                                 replies;
+                               });
+                          true
+                      | Names.Any -> false)
+                  | None ->
+                      Log.warn (fun m ->
+                          m "peer %a: no member for generic service %a"
+                            Peer_id.pp owner Names.Service_name.pp
+                            sc.Axml_doc.Sc.service);
+                      false))))
+
+let activate_all t ?peer:only () =
+  let count = ref 0 in
+  List.iter
+    (fun (p : Peer.t) ->
+      match only with
+      | Some o when not (Peer_id.equal o p.Peer.id) -> ()
+      | Some _ | None ->
+          List.iter
+            (fun doc ->
+              List.iter
+                (fun (node, _sc) ->
+                  if
+                    activate_call t ~owner:p.Peer.id
+                      ~doc:(Axml_doc.Document.name doc) ~node
+                  then incr count)
+                (Axml_doc.Document.calls doc))
+            (Axml_doc.Store.documents p.Peer.store))
+    (peers t);
+  !count
+
+let run ?max_events t = Sim.run ?max_events t.sim
+let now_ms t = Sim.now t.sim
+let stats t = Axml_net.Stats.snapshot (Sim.stats t.sim)
+let reset_stats t = Axml_net.Stats.reset (Sim.stats t.sim)
+
+let is_tmp name = String.length name >= 4 && String.sub name 0 4 = "_tmp"
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (p : Peer.t) ->
+      Buffer.add_string buf (Peer_id.to_string p.Peer.id);
+      Buffer.add_string buf "{docs:";
+      List.iter
+        (fun name ->
+          let ns = Names.Doc_name.to_string name in
+          if not (is_tmp ns) then begin
+            match Axml_doc.Store.find p.Peer.store name with
+            | Some doc ->
+                Buffer.add_string buf ns;
+                Buffer.add_char buf '=';
+                Buffer.add_string buf
+                  (Axml_doc.Equivalence.fingerprint (Axml_doc.Document.root doc));
+                Buffer.add_char buf ';'
+            | None -> ()
+          end)
+        (Axml_doc.Store.names p.Peer.store);
+      Buffer.add_string buf "|svcs:";
+      List.iter
+        (fun name ->
+          let ns = Names.Service_name.to_string name in
+          if not (is_tmp ns) then begin
+            Buffer.add_string buf ns;
+            Buffer.add_char buf ';'
+          end)
+        (Axml_doc.Registry.names p.Peer.registry);
+      Buffer.add_string buf "}\n")
+    (peers t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let find_document t p name =
+  Axml_doc.Store.find_by_string (peer t p).Peer.store name
+
+let pp_state fmt t =
+  List.iter
+    (fun (p : Peer.t) ->
+      Format.fprintf fmt "@[<v 2>peer %a:@ " Peer_id.pp p.Peer.id;
+      List.iter
+        (fun doc ->
+          Format.fprintf fmt "%a@ " Axml_doc.Document.pp doc)
+        (Axml_doc.Store.documents p.Peer.store);
+      List.iter
+        (fun svc -> Format.fprintf fmt "%a@ " Axml_doc.Service.pp svc)
+        (Axml_doc.Registry.services p.Peer.registry);
+      Format.fprintf fmt "@]@.")
+    (peers t)

@@ -1,0 +1,124 @@
+(** The AXML system: peers, network, dispatch, and the state Σ.
+
+    "We call state of an AXML system over peers p1…pn, and denote by
+    Σ, all documents and services on p1…pn" (Section 3.3).  A
+    {!t} bundles the simulated network with one {!Peer.t} per topology
+    member and implements the message protocol of {!module:Message}.
+
+    Expression evaluation itself lives in {!module:Exec}; the system
+    calls back into it through a hook to break the module cycle. *)
+
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+
+type t
+
+type emit = Axml_xml.Forest.t -> final:bool -> unit
+(** Result-stream consumer: called per batch; [final] marks the last
+    batch of the stream. *)
+
+(** {1 Construction} *)
+
+val create :
+  ?response_delay_ms:float -> ?cpu_ms_per_kb:float -> Axml_net.Topology.t -> t
+(** One peer is created per topology member.  [response_delay_ms]
+    spaces the successive responses of a continuous service (default
+    1.0); [cpu_ms_per_kb] prices local query evaluation (default
+    0.01). *)
+
+val sim : t -> Message.t Axml_net.Sim.t
+val peer : t -> Peer_id.t -> Peer.t
+(** @raise Not_found for unknown peers. *)
+
+val peers : t -> Peer.t list
+val gen_of : t -> Peer_id.t -> Axml_xml.Node_id.Gen.t
+
+(** {1 Populating Σ} *)
+
+val add_document : t -> Peer_id.t -> name:string -> Axml_xml.Tree.t -> unit
+val load_document : t -> Peer_id.t -> name:string -> xml:string -> unit
+(** Parse and add.
+    @raise Axml_xml.Parser.Parse_error on bad XML. *)
+
+val add_service : t -> Peer_id.t -> Axml_doc.Service.t -> unit
+
+val register_doc_class :
+  t -> class_name:string -> Names.Doc_ref.t -> unit
+(** Register a document-class member in {e every} peer's catalog
+    (global knowledge; use {!Peer.t}'s catalog directly for asymmetric
+    knowledge). *)
+
+val register_service_class :
+  t -> class_name:string -> Names.Service_ref.t -> unit
+
+(** {1 Continuations and messaging} *)
+
+val fresh_key : t -> int
+
+val set_cont :
+  ?expected_finals:int -> t -> int -> (Axml_xml.Forest.t -> final:bool -> unit) -> unit
+(** Register a stream continuation.  It is dropped automatically after
+    [expected_finals] final batches (default 1); the consumer sees
+    [final = true] only on the last of them — how a driver joins
+    acknowledgements from several destinations. *)
+
+val send : t -> src:Peer_id.t -> dst:Peer_id.t -> Message.t -> unit
+
+val route :
+  ?notify:Peer_id.t * int ->
+  t ->
+  src:Peer_id.t ->
+  Message.reply_dest ->
+  Axml_xml.Forest.t ->
+  final:bool ->
+  unit
+(** Deliver one stream batch to a destination (continuation, node
+    insertion, or document installation).  On a final batch to a
+    side-effecting destination, [notify] is carried along and pinged
+    by the destination {e after} applying the batch. *)
+
+val consume_cpu : t -> peer:Peer_id.t -> bytes:int -> unit
+(** Charge query-evaluation time at a peer. *)
+
+(** {1 Document-level AXML (Section 2.2)} *)
+
+val activate_call :
+  t -> owner:Peer_id.t -> doc:Names.Doc_name.t -> node:Axml_xml.Node_id.t -> bool
+(** Activate the service call at the [sc] node [node] of a stored
+    document: ship parameters to the provider, route responses to the
+    forward list (default: siblings of the [sc] node).  [false] if the
+    node is not a well-formed call. *)
+
+val activate_all : t -> ?peer:Peer_id.t -> unit -> int
+(** Activate every call in every (or one peer's) stored document;
+    returns the number of calls activated. *)
+
+(** {1 Running and observing} *)
+
+val run : ?max_events:int -> t -> unit
+(** Drive the simulator to quiescence. *)
+
+val now_ms : t -> float
+val stats : t -> Axml_net.Stats.snapshot
+val reset_stats : t -> unit
+
+val fingerprint : t -> string
+(** Canonical digest of Σ: every peer's documents (by name, with
+    {!Axml_doc.Equivalence.fingerprint}) and service names.  Resources
+    whose name starts with ["_tmp"] — the auxiliary documents and
+    services materialized by rewrites (rules (10), (13)) — are
+    excluded, so that plan equivalence can be checked as fingerprint
+    equality. *)
+
+val find_document : t -> Peer_id.t -> string -> Axml_doc.Document.t option
+
+val pp_state : Format.formatter -> t -> unit
+
+(** {1 Exec hook} *)
+
+val set_eval_hook :
+  (t -> ctx:Peer_id.t -> Axml_algebra.Expr.t -> emit:emit -> unit) -> unit
+(** Installed by {!module:Exec} at load time; not for end users. *)
+
+val response_delay_ms : t -> float
+val cpu_ms_per_kb : t -> float

@@ -1,0 +1,42 @@
+(** Type-driven call activation.
+
+    "A call may be activated … in order to turn d0's XML type into
+    some other desired type" (Section 2.2; the rewriting studied in
+    the paper's reference [6]).  Given a target type, activate the
+    pending calls that can supply the missing content, round by round,
+    until the document validates (pending calls are transparent to
+    validation) or no activatable call remains.
+
+    The strategy is the practical fixpoint loop: validate with [sc]
+    subtrees erased; on a content-model failure at a node that still
+    owns unactivated calls, activate them and re-run the system.  This
+    terminates (each round strictly consumes calls) and is sound
+    (success means the final document, calls erased, conforms). *)
+
+type report = {
+  conforms : bool;  (** Final validation verdict. *)
+  rounds : int;  (** Activation rounds performed. *)
+  activated : int;  (** Total calls activated. *)
+  last_error : string option;
+      (** The validation error that remained, when [conforms = false]. *)
+}
+
+val erase_calls : Axml_xml.Tree.t -> Axml_xml.Tree.t
+(** Remove every [sc] subtree — the view validation judges. *)
+
+val conforms_modulo_calls :
+  schema:Axml_schema.Schema.t ->
+  type_name:string ->
+  Axml_xml.Tree.t ->
+  (unit, Axml_schema.Validate.error) result
+
+val activate_until_valid :
+  System.t ->
+  owner:Axml_net.Peer_id.t ->
+  doc:string ->
+  schema:Axml_schema.Schema.t ->
+  type_name:string ->
+  ?max_rounds:int ->
+  unit ->
+  report
+(** @raise Invalid_argument if the document does not exist. *)

@@ -1,0 +1,1 @@
+lib/query/ast.ml: Axml_xml Float Format List Printf Result String

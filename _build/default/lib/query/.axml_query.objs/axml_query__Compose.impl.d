@@ -1,0 +1,1 @@
+lib/query/compose.ml: Ast List Printf

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Array Ast Axml_xml Float List Option Printf String

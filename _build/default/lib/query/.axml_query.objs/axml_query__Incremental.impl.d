@@ -1,0 +1,1 @@
+lib/query/incremental.ml: Array Ast Axml_xml Eval Hashtbl List Option

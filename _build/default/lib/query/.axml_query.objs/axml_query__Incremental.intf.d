@@ -1,0 +1,1 @@
+lib/query/incremental.mli: Ast Axml_xml

@@ -1,0 +1,1 @@
+lib/query/optimize.ml: Ast Axml_xml Eval List Option Selectivity

@@ -1,0 +1,1 @@
+lib/query/parser.ml: Ast Axml_xml Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/query/relevance.ml: Array Ast Axml_xml Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/query/relevance.mli: Ast Axml_xml

@@ -1,0 +1,1 @@
+lib/query/selectivity.ml: Array Ast Axml_xml Eval Float List Map Option String

@@ -1,0 +1,1 @@
+lib/query/selectivity.mli: Ast Axml_xml

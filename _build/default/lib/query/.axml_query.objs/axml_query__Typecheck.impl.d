@@ -1,0 +1,1 @@
+lib/query/typecheck.ml: Ast Axml_schema Axml_xml Hashtbl List Option Printf Result

@@ -1,0 +1,1 @@
+lib/query/typecheck.mli: Ast Axml_schema Axml_xml

@@ -1,0 +1,98 @@
+let projection ~arity ~input =
+  if input < 0 || input >= arity then
+    invalid_arg "Compose.projection: input out of range";
+  Ast.Flwr
+    {
+      arity;
+      bindings = [ { Ast.var = "x"; source = Ast.Input input; path = [] } ];
+      where = Ast.True;
+      return_ = Ast.Copy_of "x";
+    }
+
+let identity = projection ~arity:1 ~input:0
+
+let compose q1 subs =
+  let head =
+    match q1 with
+    | Ast.Flwr f -> f
+    | Ast.Compose _ ->
+        invalid_arg "Compose.compose: head of a composition must be a Flwr"
+  in
+  let q = Ast.Compose (head, subs) in
+  match Ast.check q with
+  | Ok () -> q
+  | Error msg -> invalid_arg ("Compose.compose: " ^ msg)
+
+let selection ~arity ~path ~where =
+  (match List.filter (fun v -> v <> "x") (Ast.pred_vars where) with
+  | [] -> ()
+  | v :: _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Compose.selection: predicate refers to %s; only \"x\" is bound" v));
+  Ast.Flwr
+    {
+      arity;
+      bindings = [ { Ast.var = "x"; source = Ast.Input 0; path } ];
+      where;
+      return_ = Ast.Copy_of "x";
+    }
+
+type split = { outer : Ast.t; pushed : Ast.t }
+
+(* Example 1: split q into q1(σ(q2)).  The first binding (over input 0)
+   together with the conjuncts that mention only its variable form the
+   pushed selection; the outer query re-binds the variable over the
+   selection's output roots. *)
+let push_selection = function
+  | Ast.Compose _ -> None
+  | Ast.Flwr q -> (
+      match q.bindings with
+      | ({ source = Ast.Input 0; _ } as b0) :: rest ->
+          let other_uses_input0 =
+            List.exists
+              (fun (b : Ast.binding) -> b.source = Ast.Input 0)
+              rest
+          in
+          if other_uses_input0 then None
+          else begin
+            let local, remote =
+              List.partition
+                (fun conjunct ->
+                  match Ast.pred_vars conjunct with
+                  | [ v ] -> v = b0.var
+                  | [] | _ :: _ -> false)
+                (Ast.conjuncts q.where)
+            in
+            if local = [] then None
+            else
+              let pushed =
+                Ast.Flwr
+                  {
+                    arity = q.arity;
+                    bindings = [ b0 ];
+                    where = Ast.conj local;
+                    return_ = Ast.Copy_of b0.var;
+                  }
+              in
+              let outer =
+                Ast.Flwr
+                  {
+                    arity = q.arity;
+                    bindings = { b0 with path = [] } :: rest;
+                    where = Ast.conj remote;
+                    return_ = q.return_;
+                  }
+              in
+              Some { outer; pushed }
+          end
+      | _ -> None)
+
+let apply_split { outer; pushed } =
+  let arity = Ast.arity pushed in
+  let subs =
+    pushed :: List.init (arity - 1) (fun i -> projection ~arity ~input:(i + 1))
+  in
+  (* The outer query of a split has the same arity as the original; as
+     a composition head it consumes one intermediate per sub. *)
+  compose outer subs

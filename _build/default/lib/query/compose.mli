@@ -1,0 +1,45 @@
+(** Query composition and decomposition (rule (11) and Example 1).
+
+    Rule (11): if q ≡ q1(q2, …, qn) then evaluation distributes over
+    the composition.  This module builds composed queries, recognizes
+    decomposition opportunities, and implements the selection-pushing
+    decomposition of Example 1: q ≡ q1(σ(q2)) with σ pushed down as far
+    as possible. *)
+
+val projection : arity:int -> input:int -> Ast.t
+(** The query of the given arity that copies input forest [#input]
+    unchanged and ignores the others. *)
+
+val identity : Ast.t
+(** [projection ~arity:1 ~input:0]: the unary identity query. *)
+
+val compose : Ast.t -> Ast.t list -> Ast.t
+(** [compose q1 subs] is q1(subs…).
+    @raise Invalid_argument if arities do not line up (q1's arity must
+    equal [List.length subs]; all subs must agree on arity). *)
+
+val selection : arity:int -> path:Ast.path -> where:Ast.pred -> Ast.t
+(** σ: the unary-shaped selection [query(arity) for $x in $0<path>
+    where <pred($x)> return {$x}] — keeps matching nodes whole.  The
+    predicate must reference only the variable ["x"]. *)
+
+type split = {
+  outer : Ast.t;  (** q1: runs where the original query ran. *)
+  pushed : Ast.t;  (** q3 = σ(q2): runs next to the data. *)
+}
+
+val push_selection : Ast.t -> split option
+(** Example 1.  For a [Flwr] query whose first binding draws from
+    [Input 0], split the [where] clause into conjuncts that depend only
+    on the first bound variable (pushed into q3, evaluated at the data)
+    and the rest (kept in q1).  Returns [None] if the query has no
+    first-input binding or nothing can be pushed.
+
+    The contract, verified by property tests:
+    [eval q inputs ≡ eval outer (eval pushed inputs :: tl inputs)]
+    — modulo fresh node identifiers, i.e. up to {!Axml_xml.Canonical}
+    forest equality. *)
+
+val apply_split : split -> Ast.t
+(** Recompose a split into the equivalent composed query
+    q1(q3, π1, …, πn-1) where πi projects input i. *)

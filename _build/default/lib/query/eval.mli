@@ -1,0 +1,40 @@
+(** Query evaluation.
+
+    Evaluates a query over a list of input forests, producing an output
+    forest.  This is the "usual sense" evaluation of definition (2) of
+    the paper; continuous evaluation over streams is derived from it in
+    {!module:Incremental}. *)
+
+val path_select : Ast.path -> Axml_xml.Tree.t list -> Axml_xml.Tree.t list
+(** Nodes reached from the roots of a forest by a path.  The empty
+    path selects the roots themselves. *)
+
+val eval :
+  gen:Axml_xml.Node_id.Gen.t ->
+  Ast.t ->
+  Axml_xml.Forest.t list ->
+  Axml_xml.Forest.t
+(** [eval ~gen q inputs] evaluates [q].  Constructed elements and
+    copies receive fresh identifiers from [gen].
+    @raise Invalid_argument if [List.length inputs <> Ast.arity q] or
+    the query is ill-formed (see {!Ast.check}). *)
+
+val eval_tree :
+  gen:Axml_xml.Node_id.Gen.t -> Ast.t -> Axml_xml.Tree.t -> Axml_xml.Forest.t
+(** Unary convenience: [eval ~gen q [[t]]]. *)
+
+val holds : Ast.pred -> (string * Axml_xml.Tree.t) list -> bool
+(** Predicate evaluation under an environment binding variables to
+    nodes.  Exposed for tests and for the optimizer's selectivity
+    estimation. *)
+
+val eval_counted :
+  gen:Axml_xml.Node_id.Gen.t ->
+  Ast.t ->
+  Axml_xml.Forest.t list ->
+  Axml_xml.Forest.t * int
+(** Like {!eval} (unchecked), additionally returning the number of
+    binding extensions enumerated — the work metric binding
+    reordering ({!module:Optimize}) reduces.  Conjuncts of the [where]
+    clause are applied as soon as their variables are bound, so an
+    early selective binding prunes the count. *)

@@ -1,0 +1,73 @@
+type t = { query : Ast.t; seen : Axml_xml.Forest.t array }
+
+let create q =
+  (match Ast.check q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Incremental.create: " ^ msg));
+  { query = q; seen = Array.make (max 1 (Ast.arity q)) [] }
+
+let query t = t.query
+let seen t i = t.seen.(i)
+
+let with_input forests i value =
+  List.mapi (fun j f -> if j = i then value else f) forests
+
+(* Multiset difference [full − old] by canonical fingerprints. *)
+let multiset_diff full old =
+  let tbl = Hashtbl.create 16 in
+  let count t =
+    let k = Axml_xml.Canonical.fingerprint t in
+    Hashtbl.replace tbl k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter count old;
+  List.filter
+    (fun t ->
+      let k = Axml_xml.Canonical.fingerprint t in
+      match Hashtbl.find_opt tbl k with
+      | Some n when n > 0 ->
+          Hashtbl.replace tbl k (n - 1);
+          false
+      | Some _ | None -> true)
+    full
+
+(* The delta of one arriving tree.  When the query is a single FLWR
+   block in which exactly one binding draws from the touched input, the
+   new output tuples are exactly those whose pinned binding root lies
+   in the delta — so we evaluate once with the input restricted to the
+   delta.  Otherwise (several bindings on the same input, or a
+   composition) we fall back to the reference semantics
+   eval(after) − eval(before), a canonical multiset difference. *)
+let eval_delta ~gen (q : Ast.t) seen ~input ~(delta : Axml_xml.Forest.t) =
+  let arity = Ast.arity q in
+  let before = Array.to_list (Array.sub seen 0 arity) in
+  let single_occurrence =
+    match q with
+    | Ast.Flwr f ->
+        List.length
+          (List.filter
+             (fun (b : Ast.binding) -> b.source = Ast.Input input)
+             f.bindings)
+        = 1
+    | Ast.Compose _ -> false
+  in
+  if single_occurrence then Eval.eval ~gen q (with_input before input delta)
+  else begin
+    let after = with_input before input (seen.(input) @ delta) in
+    multiset_diff (Eval.eval ~gen q after) (Eval.eval ~gen q before)
+  end
+
+let push ~gen t ~input tree =
+  if input < 0 || input >= Array.length t.seen then
+    invalid_arg "Incremental.push: input out of range";
+  let delta = [ tree ] in
+  let out = eval_delta ~gen t.query t.seen ~input ~delta in
+  t.seen.(input) <- t.seen.(input) @ delta;
+  out
+
+let push_forest ~gen t ~input forest =
+  List.concat_map (fun tree -> push ~gen t ~input tree) forest
+
+let total_output ~gen t =
+  Eval.eval ~gen t.query
+    (Array.to_list (Array.sub t.seen 0 (Ast.arity t.query)))

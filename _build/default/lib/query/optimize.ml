@@ -1,0 +1,113 @@
+let rec simplify_pred (p : Ast.pred) : Ast.pred =
+  match p with
+  | Ast.True -> Ast.True
+  | Ast.Cmp (Ast.Const a, op, Ast.Const b) ->
+      if Eval.holds (Ast.Cmp (Ast.Const a, op, Ast.Const b)) [] then Ast.True
+      else Ast.Not Ast.True
+  | Ast.Cmp (Ast.Number a, op, Ast.Number b) ->
+      if Eval.holds (Ast.Cmp (Ast.Number a, op, Ast.Number b)) [] then Ast.True
+      else Ast.Not Ast.True
+  | Ast.Cmp _ -> p
+  | Ast.Exists _ -> p
+  | Ast.Not q -> (
+      match simplify_pred q with
+      | Ast.Not r -> r (* double negation *)
+      | q -> Ast.Not q)
+  | Ast.And (a, b) -> (
+      match (simplify_pred a, simplify_pred b) with
+      | Ast.True, x | x, Ast.True -> x
+      | Ast.Not Ast.True, _ | _, Ast.Not Ast.True -> Ast.Not Ast.True
+      | a, b -> Ast.And (a, b))
+  | Ast.Or (a, b) -> (
+      match (simplify_pred a, simplify_pred b) with
+      | Ast.True, _ | _, Ast.True -> Ast.True
+      | Ast.Not Ast.True, x | x, Ast.Not Ast.True -> x
+      | a, b -> Ast.Or (a, b))
+
+(* A binding's score: how many conjuncts become checkable once it is
+   bound (more is better — schedule it early), then its estimated
+   match count (fewer is better).  Dependencies constrain the order:
+   a Var-sourced binding must follow its source. *)
+let binding_score ~conjuncts ~stats (b : Ast.binding) =
+  let enables =
+    List.length
+      (List.filter
+         (fun c -> List.mem b.var (Ast.pred_vars c))
+         conjuncts)
+  in
+  let estimated_matches =
+    match (b.source, stats) with
+    | Ast.Input i, Some stats when i < List.length stats ->
+        let st = List.nth stats i in
+        let last =
+          List.fold_left
+            (fun acc (s : Ast.step) ->
+              match s.test with
+              | Ast.Name l -> Selectivity.Stats.label_count st l
+              | Ast.Any_elt -> acc)
+            (Selectivity.Stats.total_nodes st)
+            b.path
+        in
+        last
+    | _ -> 1000
+  in
+  (-enables, estimated_matches)
+
+let reorder_flwr ?stats (q : Ast.flwr) =
+  let conjuncts = Ast.conjuncts q.where in
+  (* Greedy topological order: among the bindings whose dependencies
+     are satisfied, pick the best-scoring one. *)
+  let rec schedule placed pending =
+    if pending = [] then List.rev placed
+    else begin
+      let ready =
+        List.filter
+          (fun (b : Ast.binding) ->
+            match b.source with
+            | Ast.Input _ -> true
+            | Ast.Var v ->
+                List.exists (fun (p : Ast.binding) -> p.var = v) placed)
+          pending
+      in
+      match ready with
+      | [] -> List.rev_append placed pending (* cycle-proof fallback *)
+      | ready ->
+          let best =
+            List.fold_left
+              (fun acc b ->
+                match acc with
+                | None -> Some b
+                | Some current ->
+                    if
+                      binding_score ~conjuncts ~stats b
+                      < binding_score ~conjuncts ~stats current
+                    then Some b
+                    else acc)
+              None ready
+          in
+          let best = Option.get best in
+          schedule (best :: placed)
+            (List.filter (fun b -> b != best) pending)
+    end
+  in
+  { q with bindings = schedule [] q.bindings }
+
+let rec reorder_bindings ?stats (q : Ast.t) =
+  match q with
+  | Ast.Flwr f -> Ast.Flwr (reorder_flwr ?stats f)
+  | Ast.Compose (head, subs) ->
+      Ast.Compose
+        (reorder_flwr head, List.map (reorder_bindings ?stats) subs)
+
+let rec simplify (q : Ast.t) =
+  match q with
+  | Ast.Flwr f -> Ast.Flwr { f with where = simplify_pred f.where }
+  | Ast.Compose (head, subs) ->
+      Ast.Compose
+        ({ head with where = simplify_pred head.where }, List.map simplify subs)
+
+let optimize ?stats q = reorder_bindings ?stats (simplify q)
+
+let enumeration_cost q inputs =
+  let gen = Axml_xml.Node_id.Gen.create ~namespace:"enumcost" in
+  snd (Eval.eval_counted ~gen q inputs)

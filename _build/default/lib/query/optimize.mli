@@ -1,0 +1,37 @@
+(** Query-level (single-site) optimization.
+
+    The algebra of Section 3 moves work {e between} peers; this module
+    optimizes the query a single peer then runs — the classical
+    logical rewrites, kept separate from the distributed rules:
+
+    - {e predicate simplification}: constant folding, double-negation
+      and [True]-unit elimination, flattening;
+    - {e filter hoisting}: a conjunct is evaluated as soon as all the
+      variables it mentions are bound, instead of after the full
+      binding tuple is enumerated — realized by {!reorder}, which also
+      moves highly selective bindings early.
+
+    All rewrites preserve results {e exactly} (same multiset of output
+    trees), property-tested against random queries and data. *)
+
+val simplify_pred : Ast.pred -> Ast.pred
+(** Logical simplification: [not not p = p],
+    [p and true = p], [p or true = true], constant comparisons folded,
+    [exists] kept (data-dependent). *)
+
+val reorder_bindings : ?stats:Selectivity.Stats.t list -> Ast.t -> Ast.t
+(** Reorder the [for] clauses of each FLWR block so that (a) variable
+    dependencies are respected and (b) bindings that enable more
+    selective conjuncts come first.  With [stats], estimated match
+    counts break ties (smaller first).  Results are unchanged —
+    binding order only affects enumeration order, which the unordered
+    data model ignores. *)
+
+val optimize : ?stats:Selectivity.Stats.t list -> Ast.t -> Ast.t
+(** {!simplify_pred} on every block, then {!reorder_bindings}. *)
+
+val enumeration_cost : Ast.t -> Axml_xml.Forest.t list -> int
+(** Instrumentation for tests and benches: the number of binding
+    tuples enumerated when evaluating the query on the given inputs
+    (filters applied as early as {!Eval} applies them — at the tuple
+    level), so reorderings can be compared. *)

@@ -1,0 +1,370 @@
+module Label = Axml_xml.Label
+
+type error = { position : int; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "query parse error at offset %d: %s" e.position e.message
+
+exception Parse_error of error
+
+type state = { src : string; mutable pos : int }
+
+let fail st message = raise (Parse_error { position = st.pos; message })
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let skip_ws st = while (not (eof st)) && is_ws (peek st) do advance st done
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let eat st prefix =
+  if looking_at st prefix then begin
+    st.pos <- st.pos + String.length prefix;
+    true
+  end
+  else false
+
+let expect st prefix =
+  if not (eat st prefix) then fail st (Printf.sprintf "expected %S" prefix)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.'
+
+let read_ident st =
+  skip_ws st;
+  let start = st.pos in
+  while (not (eof st)) && is_ident_char (peek st) do advance st done;
+  if st.pos = start then fail st "expected an identifier";
+  String.sub st.src start (st.pos - start)
+
+(* A keyword must not be glued to a longer identifier. *)
+let eat_keyword st kw =
+  skip_ws st;
+  let n = String.length kw in
+  if
+    looking_at st kw
+    && (st.pos + n >= String.length st.src
+       || not (is_ident_char st.src.[st.pos + n]))
+  then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let expect_keyword st kw =
+  if not (eat_keyword st kw) then fail st (Printf.sprintf "expected %S" kw)
+
+let read_string_lit st =
+  skip_ws st;
+  expect st "\"";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated string literal"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+          advance st;
+          if eof st then fail st "unterminated escape"
+          else begin
+            (match peek st with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | c -> Buffer.add_char buf c);
+            advance st;
+            go ()
+          end
+      | c ->
+          Buffer.add_char buf c;
+          advance st;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number st =
+  skip_ws st;
+  let start = st.pos in
+  if peek st = '-' then advance st;
+  while (not (eof st)) && ((peek st >= '0' && peek st <= '9') || peek st = '.') do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail st (Printf.sprintf "invalid number %S" s)
+
+let read_var st =
+  skip_ws st;
+  expect st "$";
+  read_ident st
+
+let read_path st =
+  let rec go acc =
+    let axis =
+      if looking_at st "//" then begin
+        st.pos <- st.pos + 2;
+        Some Ast.Descendant
+      end
+      else if peek st = '/' then begin
+        advance st;
+        Some Ast.Child
+      end
+      else None
+    in
+    match axis with
+    | None -> List.rev acc
+    | Some axis ->
+        let test =
+          if eat st "*" then Ast.Any_elt
+          else Ast.Name (Label.of_string (read_ident st))
+        in
+        go ({ Ast.axis; test } :: acc)
+  in
+  go []
+
+let read_source st =
+  skip_ws st;
+  expect st "$";
+  skip_ws st;
+  let c = peek st in
+  if c >= '0' && c <= '9' then begin
+    let start = st.pos in
+    while (not (eof st)) && peek st >= '0' && peek st <= '9' do advance st done;
+    Ast.Input (int_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Ast.Var (read_ident st)
+
+let read_operand st =
+  skip_ws st;
+  if peek st = '"' then Ast.Const (read_string_lit st)
+  else if peek st = '-' || (peek st >= '0' && peek st <= '9') then
+    Ast.Number (read_number st)
+  else if eat_keyword st "text" then begin
+    skip_ws st;
+    expect st "(";
+    let v = read_var st in
+    skip_ws st;
+    expect st ")";
+    Ast.Text_of v
+  end
+  else if eat_keyword st "attr" then begin
+    skip_ws st;
+    expect st "(";
+    let v = read_var st in
+    skip_ws st;
+    expect st ",";
+    let a = read_string_lit st in
+    skip_ws st;
+    expect st ")";
+    Ast.Attr_of (v, a)
+  end
+  else fail st "expected an operand"
+
+let read_cmp_op st =
+  skip_ws st;
+  if eat st "!=" then Ast.Neq
+  else if eat st "<=" then Ast.Le
+  else if eat st ">=" then Ast.Ge
+  else if eat st "=" then Ast.Eq
+  else if eat st "<" then Ast.Lt
+  else if eat st ">" then Ast.Gt
+  else if eat_keyword st "contains" then Ast.Contains
+  else fail st "expected a comparison operator"
+
+let rec read_pred st = read_or st
+
+and read_or st =
+  let left = read_and st in
+  if eat_keyword st "or" then Ast.Or (left, read_or st) else left
+
+and read_and st =
+  let left = read_unary st in
+  if eat_keyword st "and" then Ast.And (left, read_and st) else left
+
+and read_unary st =
+  skip_ws st;
+  if eat_keyword st "not" then Ast.Not (read_unary st)
+  else if eat_keyword st "true" then Ast.True
+  else if eat_keyword st "exists" then begin
+    skip_ws st;
+    expect st "(";
+    let v = read_var st in
+    let p = read_path st in
+    skip_ws st;
+    expect st ")";
+    Ast.Exists (v, p)
+  end
+  else if peek st = '(' then begin
+    advance st;
+    let p = read_pred st in
+    skip_ws st;
+    expect st ")";
+    p
+  end
+  else
+    let a = read_operand st in
+    let op = read_cmp_op st in
+    let b = read_operand st in
+    Ast.Cmp (a, op, b)
+
+let rec read_construct st =
+  skip_ws st;
+  if peek st = '"' then Ast.Text (read_string_lit st)
+  else if peek st = '{' then begin
+    advance st;
+    skip_ws st;
+    let c =
+      if eat_keyword st "text" then begin
+        skip_ws st;
+        expect st "(";
+        let v = read_var st in
+        skip_ws st;
+        expect st ")";
+        Ast.Content_of v
+      end
+      else if eat_keyword st "attr" then begin
+        skip_ws st;
+        expect st "(";
+        let v = read_var st in
+        skip_ws st;
+        expect st ",";
+        let a = read_string_lit st in
+        skip_ws st;
+        expect st ")";
+        Ast.Attr_content (v, a)
+      end
+      else Ast.Copy_of (read_var st)
+    in
+    skip_ws st;
+    expect st "}";
+    c
+  end
+  else if peek st = '<' then read_element st
+  else fail st "expected a construct"
+
+and read_element st =
+  expect st "<";
+  let name = read_ident st in
+  let label = Label.of_string name in
+  let rec read_attrs acc =
+    skip_ws st;
+    if peek st = '/' || peek st = '>' then List.rev acc
+    else begin
+      let k = read_ident st in
+      skip_ws st;
+      expect st "=";
+      let v = read_string_lit st in
+      read_attrs ((k, v) :: acc)
+    end
+  in
+  let attrs = read_attrs [] in
+  skip_ws st;
+  if eat st "/>" then Ast.Elem { label; attrs; children = [] }
+  else begin
+    expect st ">";
+    let rec read_children acc =
+      skip_ws st;
+      if looking_at st "</" then List.rev acc
+      else read_children (read_construct st :: acc)
+    in
+    let children = read_children [] in
+    expect st "</";
+    let close = read_ident st in
+    if close <> name then
+      fail st (Printf.sprintf "mismatched </%s>, expected </%s>" close name);
+    skip_ws st;
+    expect st ">";
+    Ast.Elem { label; attrs; children }
+  end
+
+let read_binding st =
+  let var = read_var st in
+  expect_keyword st "in";
+  let source = read_source st in
+  let path = read_path st in
+  { Ast.var; source; path }
+
+let read_flwr st =
+  expect_keyword st "query";
+  skip_ws st;
+  expect st "(";
+  skip_ws st;
+  let arity = int_of_float (read_number st) in
+  skip_ws st;
+  expect st ")";
+  let bindings =
+    if eat_keyword st "for" then begin
+      let rec go acc =
+        let b = read_binding st in
+        skip_ws st;
+        if eat st "," then go (b :: acc) else List.rev (b :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let where = if eat_keyword st "where" then read_pred st else Ast.True in
+  expect_keyword st "return";
+  let return_ = read_construct st in
+  { Ast.arity; bindings; where; return_ }
+
+let rec read_query st =
+  skip_ws st;
+  if eat_keyword st "compose" then begin
+    skip_ws st;
+    expect st "{";
+    let head = read_flwr st in
+    skip_ws st;
+    expect st "}";
+    skip_ws st;
+    expect st "(";
+    let rec read_subs acc =
+      skip_ws st;
+      expect st "{";
+      let q = read_query st in
+      skip_ws st;
+      expect st "}";
+      skip_ws st;
+      if eat st ";" then read_subs (q :: acc) else List.rev (q :: acc)
+    in
+    let subs = if (skip_ws st; peek st = ')') then [] else read_subs [] in
+    skip_ws st;
+    expect st ")";
+    Ast.Compose (head, subs)
+  end
+  else Ast.Flwr (read_flwr st)
+
+let run f =
+  match f () with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+  | exception Invalid_argument msg -> Error { position = -1; message = msg }
+
+let parse s =
+  run (fun () ->
+      let st = { src = s; pos = 0 } in
+      let q = read_query st in
+      skip_ws st;
+      if not (eof st) then fail st "trailing input after query";
+      match Ast.check q with
+      | Ok () -> q
+      | Error message -> raise (Parse_error { position = st.pos; message }))
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error e -> raise (Parse_error e)
+
+let parse_path s =
+  run (fun () ->
+      let st = { src = s; pos = 0 } in
+      let p = read_path st in
+      skip_ws st;
+      if not (eof st) then fail st "trailing input after path";
+      p)

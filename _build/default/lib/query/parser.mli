@@ -1,0 +1,30 @@
+(** Concrete syntax parser for queries.
+
+    The syntax is the one produced by {!Ast.to_string}:
+
+    {v
+    query(1) for $x in $0//item, $n in $x/name
+             where text($n) contains "xml" and attr($x, "id") != "0"
+             return <hit>{$x}</hit>
+    v}
+
+    Composed queries (rule (11)) read:
+
+    {v
+    compose { query(1) ... } ({ query(1) ... }; { query(1) ... })
+    v}
+
+    Queries being shippable values of the algebra, this module is the
+    wire decoder matching {!Ast.to_string}'s encoder. *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+val parse : string -> (Ast.t, error) result
+val parse_exn : string -> Ast.t
+
+val parse_path : string -> (Ast.path, error) result
+(** Parse a bare path such as ["//item/name"]. *)

@@ -1,0 +1,87 @@
+module Label = Axml_xml.Label
+
+(* NFA states over a path s1…sn: the integer i means "about to match
+   step i"; i = n is accepting.  On a label l:
+     Child t:      i -> i+1              if t matches l
+     Descendant t: i -> i (skip a level) and i -> i+1 if t matches l *)
+let test_matches test l =
+  match test with Ast.Any_elt -> true | Ast.Name n -> Label.equal n l
+
+let step_on steps l states =
+  let n = Array.length steps in
+  List.sort_uniq compare
+    (List.concat_map
+       (fun i ->
+         if i >= n then []
+         else
+           match steps.(i) with
+           | { Ast.axis = Ast.Child; test } ->
+               if test_matches test l then [ i + 1 ] else []
+           | { Ast.axis = Ast.Descendant; test } ->
+               i :: (if test_matches test l then [ i + 1 ] else []))
+       states)
+
+let path_may_enter (path : Ast.path) ~prefix =
+  let steps = Array.of_list path in
+  let n = Array.length steps in
+  let rec go states = function
+    | [] ->
+        (* Exhausted π with live states: the query can still descend
+           into the subtree (or already accepted an ancestor). *)
+        states <> []
+    | l :: rest ->
+        if List.mem n states then true (* bound an ancestor of π *)
+        else
+          let next = step_on steps l states in
+          next <> [] && go next rest
+  in
+  go [ 0 ] prefix
+
+(* Absolute binding paths w.r.t. one input: chase Var chains and
+   append Exists predicate paths. *)
+let flwr_paths (q : Ast.flwr) ~input =
+  let absolute = Hashtbl.create 8 in
+  let bound = ref [] in
+  List.iter
+    (fun (b : Ast.binding) ->
+      match b.source with
+      | Ast.Input i when i = input ->
+          Hashtbl.replace absolute b.var b.path;
+          bound := b.var :: !bound
+      | Ast.Input _ -> ()
+      | Ast.Var v -> (
+          match Hashtbl.find_opt absolute v with
+          | Some base ->
+              Hashtbl.replace absolute b.var (base @ b.path);
+              bound := b.var :: !bound
+          | None -> ()))
+    q.bindings;
+  let binding_paths =
+    List.filter_map (Hashtbl.find_opt absolute) (List.rev !bound)
+  in
+  let exists_paths =
+    List.filter_map
+      (function
+        | Ast.Exists (v, p) ->
+            Option.map (fun base -> base @ p) (Hashtbl.find_opt absolute v)
+        | _ -> None)
+      ((* Collect atoms through conjunction, disjunction and negation:
+          all of them inspect their paths. *)
+       let rec atoms acc = function
+         | Ast.And (a, b) | Ast.Or (a, b) -> atoms (atoms acc a) b
+         | Ast.Not p -> atoms acc p
+         | (Ast.Exists _ | Ast.Cmp _ | Ast.True) as p -> p :: acc
+       in
+       atoms [] q.where)
+  in
+  binding_paths @ exists_paths
+
+let rec query_paths (q : Ast.t) ~input =
+  match q with
+  | Ast.Flwr f -> flwr_paths f ~input
+  | Ast.Compose (_, subs) ->
+      List.concat_map (fun sub -> query_paths sub ~input) subs
+
+let relevant q ~input ~prefix =
+  prefix = []
+  || List.exists (fun p -> path_may_enter p ~prefix) (query_paths q ~input)

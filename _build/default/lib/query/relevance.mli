@@ -1,0 +1,36 @@
+(** Call-relevance analysis for lazy evaluation.
+
+    AXML supports activating a call "only when the call result is
+    needed to evaluate some query over the enclosing document"
+    (Section 2.2, citing the lazy-evaluation work).  Deciding
+    need exactly is as hard as query evaluation; this module implements
+    the standard sound approximation: a service call is {e relevant} to
+    a query unless the query provably never inspects the region of the
+    document where the call's results will accumulate.
+
+    The test is a path-automaton reachability check: every query
+    binding (with [Var] chains concatenated and [Exists] paths
+    appended) denotes a regular language of label paths from the input
+    root; results of a call accumulate under its [sc] node's parent,
+    reachable by a concrete label path π.  The call may matter iff some
+    query path language either (a) can consume π and continue (the
+    query descends into the accumulation region), or (b) accepts a
+    proper prefix of π (the query binds an ancestor and copies or
+    inspects its whole subtree). *)
+
+val path_may_enter : Ast.path -> prefix:Axml_xml.Label.t list -> bool
+(** [path_may_enter p ~prefix] — can the path language of [p] reach
+    into (or bind an ancestor of) a node whose label path from the
+    root is [prefix]?  The empty prefix is always reachable. *)
+
+val query_paths : Ast.t -> input:int -> Ast.path list
+(** The absolute path of every binding rooted (transitively) at the
+    given input, with [Exists] predicate paths appended to their
+    variable's path.  Compositions contribute the paths of every
+    sub-query on that input (the head runs over intermediate results,
+    which are derived data). *)
+
+val relevant : Ast.t -> input:int -> prefix:Axml_xml.Label.t list -> bool
+(** Is a call whose results accumulate under the node at [prefix]
+    (labels from the input root, root's own label excluded) possibly
+    relevant to the query? *)

@@ -1,0 +1,150 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+module Forest = Axml_xml.Forest
+
+type estimate = { cardinality : int; bytes : int }
+
+let oracle ~gen q inputs =
+  let out = Eval.eval ~gen q inputs in
+  { cardinality = List.length out; bytes = Forest.byte_size out }
+
+module Stats = struct
+  module Lmap = Map.Make (Label)
+
+  type t = {
+    counts : int Lmap.t;
+    bytes : int Lmap.t;  (** Total subtree bytes per label. *)
+    total_nodes : int;
+    total_bytes : int;
+  }
+
+  let of_forest f =
+    let counts = ref Lmap.empty and bytes = ref Lmap.empty in
+    let nodes = ref 0 in
+    let visit t =
+      incr nodes;
+      match t with
+      | Tree.Element e ->
+          let add m k v =
+            m := Lmap.update k (fun x -> Some (v + Option.value ~default:0 x)) !m
+          in
+          add counts e.label 1;
+          add bytes e.label (Tree.byte_size t)
+      | Tree.Text _ -> ()
+    in
+    List.iter (fun t -> Tree.iter visit t) f;
+    {
+      counts = !counts;
+      bytes = !bytes;
+      total_nodes = !nodes;
+      total_bytes = Forest.byte_size f;
+    }
+
+  let label_count t l = Option.value ~default:0 (Lmap.find_opt l t.counts)
+
+  let avg_bytes t l =
+    let n = label_count t l in
+    if n = 0 then 0 else Option.value ~default:0 (Lmap.find_opt l t.bytes) / n
+
+  let total_nodes t = t.total_nodes
+  let total_bytes t = t.total_bytes
+end
+
+let eq_selectivity = 0.1
+let range_selectivity = 0.33
+
+let pred_factor pred =
+  let rec factor = function
+    | Ast.True -> 1.0
+    | Ast.Cmp (_, (Ast.Eq | Ast.Neq), _) -> eq_selectivity
+    | Ast.Cmp (_, (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Contains), _) ->
+        range_selectivity
+    | Ast.Exists _ -> 0.5
+    | Ast.And (a, b) -> factor a *. factor b
+    | Ast.Or (a, b) -> min 1.0 (factor a +. factor b)
+    | Ast.Not p -> max 0.0 (1.0 -. factor p)
+  in
+  factor pred
+
+(* Estimated number of nodes a path step reaches, per source node, from
+   label statistics: a named step reaches (count of that label) spread
+   over the source cardinality; a wildcard reaches the average fanout. *)
+let path_estimate (stats : Stats.t) path start_card =
+  List.fold_left
+    (fun card (step : Ast.step) ->
+      match step.test with
+      | Ast.Name l -> min (float_of_int (Stats.label_count stats l)) (card *. float_of_int (max 1 (Stats.label_count stats l)))
+      | Ast.Any_elt ->
+          card *. (float_of_int (Stats.total_nodes stats) /. 10.0 |> max 1.0))
+    start_card path
+
+let rec last_label = function
+  | [] -> None
+  | [ (step : Ast.step) ] -> (
+      match step.test with Ast.Name l -> Some l | Ast.Any_elt -> None)
+  | _ :: rest -> last_label rest
+
+let sketch_flwr (q : Ast.flwr) (stats : Stats.t list) =
+  let stats = Array.of_list stats in
+  let stat_for (b : Ast.binding) =
+    match b.source with
+    | Ast.Input i when i < Array.length stats -> Some stats.(i)
+    | Ast.Input _ | Ast.Var _ -> None
+  in
+  let card =
+    List.fold_left
+      (fun acc b ->
+        match stat_for b with
+        | Some st -> acc *. max 1.0 (path_estimate st b.path 1.0)
+        | None ->
+            (* Variable-rooted bindings fan out modestly. *)
+            acc *. 2.0)
+      1.0 q.bindings
+  in
+  let card = card *. pred_factor q.where in
+  (* Output bytes: constructed literal shell plus, for each copied
+     variable, the average subtree size of the label its binding path
+     ends with. *)
+  let copied_bytes =
+    List.fold_left
+      (fun acc v ->
+        let binding =
+          List.find_opt (fun (b : Ast.binding) -> b.var = v) q.bindings
+        in
+        match binding with
+        | None -> acc
+        | Some b -> (
+            match (stat_for b, last_label b.path) with
+            | Some st, Some l -> acc + max 16 (Stats.avg_bytes st l)
+            | Some st, None -> acc + (Stats.total_bytes st / max 1 (Stats.total_nodes st))
+            | None, _ -> acc + 64))
+      0
+      (Ast.construct_vars q.return_)
+  in
+  let per_result = 32 + copied_bytes in
+  {
+    cardinality = int_of_float (Float.round card);
+    bytes = int_of_float (Float.round (card *. float_of_int per_result));
+  }
+
+let rec sketch (q : Ast.t) stats =
+  match q with
+  | Ast.Flwr f -> sketch_flwr f stats
+  | Ast.Compose (head, subs) ->
+      let intermediates = List.map (fun sub -> sketch sub stats) subs in
+      (* Build synthetic stats for intermediates: we only know their
+         size; approximate with a flat one-label forest. *)
+      let synth (e : estimate) =
+        let f =
+          if e.cardinality <= 0 then []
+          else
+            let gen = Axml_xml.Node_id.Gen.create ~namespace:"sketch" in
+            let payload =
+              String.make (max 1 (e.bytes / max 1 e.cardinality)) 'x'
+            in
+            List.init (min e.cardinality 64) (fun _ ->
+                Tree.element ~gen (Label.of_string "item") [ Tree.text payload ])
+        in
+        Stats.of_forest f
+      in
+      sketch_flwr head (List.map synth intermediates)

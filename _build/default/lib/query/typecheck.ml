@@ -1,0 +1,173 @@
+module Schema = Axml_schema.Schema
+module Cm = Axml_schema.Content_model
+module Label = Axml_xml.Label
+
+type error = string
+
+let any = Schema.any_type_name
+let all_types schema = any :: Schema.type_names schema
+
+let dedup l =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] l
+
+let child_types schema type_name =
+  if type_name = any then all_types schema
+  else
+    match Schema.find schema type_name with
+    | None -> []
+    | Some d ->
+        dedup
+          (List.concat_map
+             (fun atom ->
+               match atom with
+               | Cm.Ref n when n = any -> all_types schema
+               | Cm.Ref n -> [ n ]
+               | Cm.Wildcard -> all_types schema
+               | Cm.Text -> [])
+             (Cm.atoms d.Schema.content))
+
+let label_of schema type_name =
+  if type_name = any then None
+  else
+    Option.map
+      (fun (d : Schema.decl) -> d.elt_label)
+      (Schema.find schema type_name)
+
+let matches_test schema test type_name =
+  match test with
+  | Ast.Any_elt -> true
+  | Ast.Name l -> (
+      match label_of schema type_name with
+      | Some dl -> Label.equal dl l
+      | None -> type_name = any (* the universal type matches any label *))
+
+(* Transitive closure of child_types. *)
+let descendant_types schema froms =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | t :: rest ->
+        let kids =
+          List.filter (fun k -> not (List.mem k seen)) (child_types schema t)
+        in
+        go (seen @ kids) (rest @ kids)
+  in
+  go [] froms
+
+let step_types schema froms (step : Ast.step) =
+  let candidates =
+    match step.axis with
+    | Ast.Child -> dedup (List.concat_map (child_types schema) froms)
+    | Ast.Descendant -> descendant_types schema froms
+  in
+  List.filter (matches_test schema step.test) candidates
+
+let types_via_path schema ~from path =
+  List.fold_left (step_types schema) (dedup from) path
+
+let flwr_var_types schema ~input_types (q : Ast.flwr) =
+  let tbl = Hashtbl.create 8 in
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc (b : Ast.binding) ->
+        let* () = acc in
+        let* origin =
+          match b.source with
+          | Ast.Input i ->
+              if i < List.length input_types then Ok [ List.nth input_types i ]
+              else Error (Printf.sprintf "input $%d has no declared type" i)
+          | Ast.Var v -> (
+              match Hashtbl.find_opt tbl v with
+              | Some ts -> Ok ts
+              | None -> Error (Printf.sprintf "variable %s unbound" v))
+        in
+        Hashtbl.replace tbl b.var (types_via_path schema ~from:origin b.path);
+        Ok ())
+      (Ok ()) q.bindings
+  in
+  Ok
+    (List.map
+       (fun (b : Ast.binding) ->
+         (b.var, Option.value ~default:[] (Hashtbl.find_opt tbl b.var)))
+       q.bindings)
+
+let var_types schema ~inputs (q : Ast.t) =
+  match q with
+  | Ast.Flwr f -> flwr_var_types schema ~input_types:inputs f
+  | Ast.Compose (head, _) ->
+      (* The head consumes derived data whose precise types come from
+         infer_output on the subs; for variable typing purposes treat
+         them as universal. *)
+      flwr_var_types schema
+        ~input_types:(List.init head.arity (fun _ -> any))
+        head
+
+(* Synthesize content-model pieces and auxiliary declarations for a
+   construct.  Returns (model, produces_text, new_decls). *)
+let rec construct_model schema ~vtypes ~fresh (c : Ast.construct) =
+  match c with
+  | Ast.Text _ -> (Cm.Epsilon, true, [])
+  | Ast.Content_of _ -> (Cm.Epsilon, true, [])
+  | Ast.Attr_content _ -> (Cm.Epsilon, true, [])
+  | Ast.Copy_of v -> (
+      match List.assoc_opt v vtypes with
+      | None | Some [] -> (Cm.Empty, false, [])
+      | Some ts ->
+          let atom t = if t = any then Cm.wildcard else Cm.ref_ t in
+          (Cm.alt (List.map atom ts), false, []))
+  | Ast.Elem { label; attrs = _; children } ->
+      let models, texts, decls =
+        List.fold_left
+          (fun (ms, txt, ds) child ->
+            let m, t, d = construct_model schema ~vtypes ~fresh child in
+            (ms @ [ m ], txt || t, ds @ d))
+          ([], false, []) children
+      in
+      let name = fresh () in
+      let decl =
+        Schema.decl ~name ~label:(Label.to_string label) ~mixed:texts
+          ~content:(Cm.seq models) ()
+      in
+      (Cm.ref_ name, false, decls @ [ decl ])
+
+let infer_output schema ~inputs ~prefix (q : Ast.t) =
+  let ( let* ) = Result.bind in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "%s_%d" prefix !counter
+  in
+  let rec go schema q =
+    match q with
+    | Ast.Flwr f ->
+        let* vtypes = flwr_var_types schema ~input_types:inputs f in
+        (match f.return_ with
+        | Ast.Copy_of v ->
+            Ok (schema, Option.value ~default:[] (List.assoc_opt v vtypes))
+        | Ast.Text _ | Ast.Content_of _ | Ast.Attr_content _ ->
+            Error "the query returns bare text, which has no element type"
+        | Ast.Elem _ as c ->
+            let model, _texts, decls = construct_model schema ~vtypes ~fresh c in
+            let* root_name =
+              match model with
+              | Cm.Atom (Cm.Ref n) -> Ok n
+              | _ -> Error "internal: element construct must synthesize a type"
+            in
+            let* schema =
+              List.fold_left
+                (fun acc d ->
+                  let* s = acc in
+                  match Schema.add d s with
+                  | s -> Ok s
+                  | exception Invalid_argument msg -> Error msg)
+                (Ok schema) decls
+            in
+            Ok (schema, [ root_name ]))
+    | Ast.Compose (head, _) ->
+        (* Sub-query outputs are derived; type the head with universal
+           inputs — sound, loses precision. *)
+        go schema (Ast.Flwr { head with arity = List.length inputs })
+  in
+  go schema q
+

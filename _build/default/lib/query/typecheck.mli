@@ -1,0 +1,57 @@
+(** Static typing of queries against schemas.
+
+    Services carry signatures (τin, τout) (Section 2.1); when a
+    service is {e declarative}, its output type need not be declared
+    blindly — it can be inferred from the implementing query and the
+    input types.  This module implements the inference:
+
+    - {e path typing}: the set of declared types a path can reach from
+      a set of origin types, by evaluating the path over the grammar
+      instead of over data;
+    - {e variable typing}: each [for] variable gets the types its
+      binding path can produce (chasing [Var] chains);
+    - {e output synthesis}: the [return] construct is turned into
+      fresh type declarations over the variables' types, extending the
+      schema.
+
+    Soundness (property-tested): every tree the query emits on inputs
+    conforming to the input types validates against one of the
+    inferred output types. *)
+
+type error = string
+
+val child_types : Axml_schema.Schema.t -> string -> string list
+(** Types that may occur as element children of the given type
+    (atoms of its content model; [Wildcard] and references to
+    {!Axml_schema.Schema.any_type_name} yield every declared type plus
+    the universal type). *)
+
+val types_via_path :
+  Axml_schema.Schema.t -> from:string list -> Ast.path -> string list
+(** Grammar-level path evaluation.  The universal type propagates: a
+    step from [#any] can reach any declared type and [#any] itself. *)
+
+val var_types :
+  Axml_schema.Schema.t -> inputs:string list -> Ast.t ->
+  ((string * string list) list, error) result
+(** The possible types of every variable of a FLWR block (composed
+    queries: of the head, over the inferred outputs of the
+    sub-queries).  An empty list for a variable means its binding path
+    is unsatisfiable under the schema — the query returns nothing on
+    typed inputs. *)
+
+val infer_output :
+  Axml_schema.Schema.t ->
+  inputs:string list ->
+  prefix:string ->
+  Ast.t ->
+  (Axml_schema.Schema.t * string list, error) result
+(** Synthesize declarations for the query's output trees: returns the
+    extended schema and the possible output type names (fresh names
+    derived from [prefix]).  A [Copy_of] at the top of the [return]
+    clause yields the bound variable's types directly. *)
+
+val label_of :
+  Axml_schema.Schema.t -> string -> Axml_xml.Label.t option
+(** The element label a declared type requires ([None] for the
+    universal type and undeclared names). *)

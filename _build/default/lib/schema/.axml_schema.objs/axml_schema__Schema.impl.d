@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Axml_xml Content_model Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/schema/signature.ml: Format List Printf Schema String Validate

@@ -1,0 +1,1 @@
+lib/schema/signature.mli: Axml_xml Format Schema Validate

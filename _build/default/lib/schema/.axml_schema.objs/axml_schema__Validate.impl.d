@@ -1,0 +1,1 @@
+lib/schema/validate.ml: Axml_xml Content_model Format List Printf Result Schema String

@@ -1,0 +1,111 @@
+type t =
+  | Empty
+  | Epsilon
+  | Atom of atom
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+and atom = Ref of string | Text | Wildcard
+
+(* Smart constructors keep derivatives small by normalizing away
+   Empty/Epsilon units as they appear. *)
+
+let seq2 a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, x | x, Epsilon -> x
+  | a, b -> Seq (a, b)
+
+let alt2 a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | a, b -> if a = b then a else Alt (a, b)
+
+let seq list = List.fold_right seq2 list Epsilon
+let alt list = List.fold_right alt2 list Empty
+let ref_ name = Atom (Ref name)
+let text = Atom Text
+let wildcard = Atom Wildcard
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star _ as m -> m
+  | m -> Star m
+
+let plus = function Empty -> Empty | Epsilon -> Epsilon | m -> Plus m
+let opt = function Empty | Epsilon -> Epsilon | m -> Opt m
+
+let rec nullable = function
+  | Empty | Atom _ -> false
+  | Epsilon | Star _ | Opt _ -> true
+  | Plus m -> nullable m
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+
+let rec derivative ~matches item = function
+  | Empty | Epsilon -> Empty
+  | Atom a -> if matches a item then Epsilon else Empty
+  | Seq (x, y) ->
+      let dx = seq2 (derivative ~matches item x) y in
+      if nullable x then alt2 dx (derivative ~matches item y) else dx
+  | Alt (x, y) -> alt2 (derivative ~matches item x) (derivative ~matches item y)
+  | Star x as m -> seq2 (derivative ~matches item x) m
+  | Plus x -> seq2 (derivative ~matches item x) (star x)
+  | Opt x -> derivative ~matches item x
+
+let matches_seq ~matches items model =
+  let residual =
+    List.fold_left (fun m item -> derivative ~matches item m) model items
+  in
+  nullable residual
+
+(* Unordered acceptance: search for a permutation whose iterated
+   derivative is nullable.  At each step, each remaining item is tried
+   as the next consumed one; Empty residuals prune immediately, and
+   items with equal behaviour need not be retried at the same step
+   (symmetry breaking by the residual they produce). *)
+let matches_multiset ~matches items model =
+  let rec go model = function
+    | [] -> nullable model
+    | items ->
+        let rec try_each tried seen_residuals = function
+          | [] -> false
+          | item :: rest ->
+              let residual = derivative ~matches item model in
+              let rest_items = List.rev_append tried rest in
+              if residual <> Empty
+                 && (not (List.mem residual seen_residuals))
+                 && go residual rest_items
+              then true
+              else try_each (item :: tried) (residual :: seen_residuals) rest
+        in
+        try_each [] [] items
+  in
+  model <> Empty && go model items
+
+let atoms model =
+  let rec go acc = function
+    | Empty | Epsilon -> acc
+    | Atom a -> if List.mem a acc then acc else a :: acc
+    | Seq (x, y) | Alt (x, y) -> go (go acc x) y
+    | Star x | Plus x | Opt x -> go acc x
+  in
+  List.rev (go [] model)
+
+let rec pp fmt = function
+  | Empty -> Format.pp_print_string fmt "#empty"
+  | Epsilon -> Format.pp_print_string fmt "()"
+  | Atom (Ref n) -> Format.pp_print_string fmt n
+  | Atom Text -> Format.pp_print_string fmt "#text"
+  | Atom Wildcard -> Format.pp_print_string fmt "#any"
+  | Seq (a, b) -> Format.fprintf fmt "(%a, %a)" pp a pp b
+  | Alt (a, b) -> Format.fprintf fmt "(%a | %a)" pp a pp b
+  | Star m -> Format.fprintf fmt "%a*" pp m
+  | Plus m -> Format.fprintf fmt "%a+" pp m
+  | Opt m -> Format.fprintf fmt "%a?" pp m
+
+let to_string m = Format.asprintf "%a" pp m
+let equal = ( = )

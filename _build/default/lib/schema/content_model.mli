@@ -1,0 +1,64 @@
+(** Content models.
+
+    A content model constrains the child sequence of an element: a
+    regular expression whose atoms are references to declared types,
+    text nodes, or a wildcard.  Matching uses Brzozowski derivatives,
+    which keeps the implementation small and worst-case linear in the
+    input for the deterministic models used in practice. *)
+
+type t =
+  | Empty  (** Matches no sequence at all (the empty language). *)
+  | Epsilon  (** Matches exactly the empty sequence. *)
+  | Atom of atom
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Plus of t
+  | Opt of t
+
+and atom =
+  | Ref of string  (** A child element conforming to the named type. *)
+  | Text  (** A text node. *)
+  | Wildcard  (** Any single node, element or text. *)
+
+(** {1 Constructors} *)
+
+val seq : t list -> t
+(** Right-nested sequence; [seq []] is {!Epsilon}. *)
+
+val alt : t list -> t
+(** Alternation; [alt []] is {!Empty}. *)
+
+val ref_ : string -> t
+val text : t
+val wildcard : t
+val star : t -> t
+val plus : t -> t
+val opt : t -> t
+
+(** {1 Matching} *)
+
+val nullable : t -> bool
+(** Does the model accept the empty sequence? *)
+
+val derivative : matches:(atom -> 'item -> bool) -> 'item -> t -> t
+(** [derivative ~matches item m] is the residual model after consuming
+    [item]; [matches] decides whether an atom accepts the item. *)
+
+val matches_seq : matches:(atom -> 'item -> bool) -> 'item list -> t -> bool
+(** Accept a whole sequence by iterated derivatives. *)
+
+val matches_multiset : matches:(atom -> 'item -> bool) -> 'item list -> t -> bool
+(** Unordered acceptance: does {e some permutation} of the items match
+    the model?  This is the conformance notion for the paper's
+    unordered trees, where service results accumulate at arbitrary
+    positions among their siblings.  Backtracking over derivatives
+    with empty-residual pruning; exponential worst case, linear on the
+    deterministic models used in practice. *)
+
+val atoms : t -> atom list
+(** All atoms, left to right, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

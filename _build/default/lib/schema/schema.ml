@@ -1,0 +1,78 @@
+module Label = Axml_xml.Label
+
+type attr_rule = { attr_name : string; required : bool }
+
+type decl = {
+  type_name : string;
+  elt_label : Label.t;
+  attributes : attr_rule list;
+  content : Content_model.t;
+  mixed : bool;
+}
+
+module Smap = Map.Make (String)
+
+type t = decl Smap.t
+
+let empty = Smap.empty
+let any_type_name = "#any"
+
+let add d t =
+  if Smap.mem d.type_name t then
+    invalid_arg (Printf.sprintf "Schema.add: duplicate type %S" d.type_name)
+  else Smap.add d.type_name d t
+
+let of_decls decls = List.fold_left (fun t d -> add d t) empty decls
+let find t name = Smap.find_opt name t
+let mem t name = Smap.mem name t
+let type_names t = Smap.bindings t |> List.map fst
+
+let decl ?(attributes = []) ?(mixed = true)
+    ?(content = Content_model.star Content_model.wildcard) ~name ~label () =
+  {
+    type_name = name;
+    elt_label = Label.of_string label;
+    attributes;
+    content;
+    mixed;
+  }
+
+let check_closed t =
+  let dangling =
+    Smap.fold
+      (fun _ d acc ->
+        List.fold_left
+          (fun acc atom ->
+            match atom with
+            | Content_model.Ref name
+              when (not (Smap.mem name t)) && name <> any_type_name ->
+                if List.mem name acc then acc else name :: acc
+            | Content_model.Ref _ | Content_model.Text
+            | Content_model.Wildcard ->
+                acc)
+          acc
+          (Content_model.atoms d.content))
+      t []
+  in
+  match dangling with [] -> Ok () | missing -> Error (List.rev missing)
+
+let union a b =
+  let clash = ref None in
+  let merged =
+    Smap.union
+      (fun name _ _ ->
+        if !clash = None then clash := Some name;
+        None)
+      a b
+  in
+  match !clash with
+  | Some name -> Error (Printf.sprintf "Schema.union: type %S declared twice" name)
+  | None -> Ok merged
+
+let pp fmt t =
+  Smap.iter
+    (fun name d ->
+      Format.fprintf fmt "type %s = element %a { %a }%s@." name Label.pp
+        d.elt_label Content_model.pp d.content
+        (if d.mixed then " (mixed)" else ""))
+    t

@@ -1,0 +1,58 @@
+(** Schemas: regular tree grammars.
+
+    A schema is a finite set of named type declarations.  Each
+    declaration constrains an element's label, its attributes and its
+    content.  This realizes the set Θ of XML tree types of the paper
+    (Section 2.1) in a DTD-like fragment sufficient for service
+    signatures and type-membership checks. *)
+
+type attr_rule = { attr_name : string; required : bool }
+
+type decl = {
+  type_name : string;  (** The name by which other models refer to it. *)
+  elt_label : Axml_xml.Label.t;  (** Required element label. *)
+  attributes : attr_rule list;
+  content : Content_model.t;
+  mixed : bool;
+      (** If [true], text children are allowed anywhere and ignored by
+          the content model. *)
+}
+
+type t
+
+val empty : t
+
+val add : decl -> t -> t
+(** @raise Invalid_argument if a declaration with the same type name
+    exists. *)
+
+val of_decls : decl list -> t
+val find : t -> string -> decl option
+val mem : t -> string -> bool
+val type_names : t -> string list
+
+val decl :
+  ?attributes:attr_rule list ->
+  ?mixed:bool ->
+  ?content:Content_model.t ->
+  name:string ->
+  label:string ->
+  unit ->
+  decl
+(** Convenience constructor.  [content] defaults to
+    [Content_model.star Content_model.wildcard] (any children);
+    [mixed] defaults to [true]. *)
+
+val check_closed : t -> (unit, string list) result
+(** All type names referenced from content models are declared; the
+    error lists the dangling references. *)
+
+val union : t -> t -> (t, string) result
+(** Disjoint union; the error names the first clashing type. *)
+
+val any_type_name : string
+(** ["#any"] — the universal type, implicitly declared in every
+    schema: any single element tree belongs to it.  {!module:Validate}
+    special-cases it, and {!check_closed} accepts references to it. *)
+
+val pp : Format.formatter -> t -> unit

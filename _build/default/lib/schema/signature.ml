@@ -1,0 +1,34 @@
+type t = { schema : Schema.t; inputs : string list; output : string }
+
+let check_declared schema name =
+  if name <> Schema.any_type_name && not (Schema.mem schema name) then
+    invalid_arg (Printf.sprintf "Signature.make: type %S not declared" name)
+
+let make ~schema ~inputs ~output =
+  List.iter (check_declared schema) inputs;
+  check_declared schema output;
+  { schema; inputs; output }
+
+let untyped ~arity =
+  {
+    schema = Schema.empty;
+    inputs = List.init arity (fun _ -> Schema.any_type_name);
+    output = Schema.any_type_name;
+  }
+
+let schema s = s.schema
+let inputs s = s.inputs
+let output s = s.output
+let arity s = List.length s.inputs
+
+let check_inputs s trees =
+  Validate.forest ~schema:s.schema ~type_names:s.inputs trees
+
+let check_output s tree =
+  Validate.tree ~schema:s.schema ~type_name:s.output tree
+
+let compatible a b =
+  List.equal String.equal a.inputs b.inputs && String.equal a.output b.output
+
+let pp fmt s =
+  Format.fprintf fmt "(%s) -> %s" (String.concat ", " s.inputs) s.output

@@ -1,0 +1,29 @@
+(** Service type signatures.
+
+    A Web service s\@p has a unique signature (τin, τout) with
+    τin ∈ Θⁿ and τout ∈ Θ (Section 2.1).  A signature bundles the
+    schema its type names live in. *)
+
+type t
+
+val make : schema:Schema.t -> inputs:string list -> output:string -> t
+(** @raise Invalid_argument if a named type is neither declared nor the
+    universal type. *)
+
+val untyped : arity:int -> t
+(** The fully generic signature: [arity] universal inputs, universal
+    output.  Used for services whose types are unknown. *)
+
+val schema : t -> Schema.t
+val inputs : t -> string list
+val output : t -> string
+val arity : t -> int
+
+val check_inputs : t -> Axml_xml.Tree.t list -> (unit, Validate.error) result
+val check_output : t -> Axml_xml.Tree.t -> (unit, Validate.error) result
+
+val compatible : t -> t -> bool
+(** Same arity and syntactically equal type names — the notion used to
+    group generic services into equivalence classes. *)
+
+val pp : Format.formatter -> t -> unit

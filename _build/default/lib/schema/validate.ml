@@ -1,0 +1,109 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+
+type error = {
+  at : Axml_xml.Node_id.t option;
+  expected : string;
+  reason : string;
+}
+
+let pp_error fmt e =
+  Format.fprintf fmt "validation failed (expected type %s%a): %s" e.expected
+    (fun fmt -> function
+      | Some id -> Format.fprintf fmt " at node %a" Axml_xml.Node_id.pp id
+      | None -> ())
+    e.at e.reason
+
+exception Invalid of error
+
+let error ?at expected reason = raise_notrace (Invalid { at; expected; reason })
+
+(* Validation is top-down: check the label and attributes of the node,
+   then match the child sequence against the content model, recursing
+   into children as dictated by the atoms they are matched with.  With
+   derivative-based matching, an atom decides element membership by a
+   recursive conformance test; this realizes local tree grammar
+   validation. *)
+let rec check_type ~unordered schema type_name t =
+  if type_name = Schema.any_type_name then begin
+    match t with
+    | Tree.Element _ -> ()
+    | Tree.Text _ ->
+        error Schema.any_type_name "expected an element, found a text node"
+  end
+  else
+    match Schema.find schema type_name with
+    | None -> error type_name (Printf.sprintf "type %S not declared" type_name)
+    | Some d -> (
+        match t with
+        | Tree.Text _ ->
+            error type_name "expected an element, found a text node"
+        | Tree.Element e ->
+            if not (Label.equal e.label d.elt_label) then
+              error ~at:e.id type_name
+                (Printf.sprintf "label is %S, expected %S"
+                   (Label.to_string e.label)
+                   (Label.to_string d.elt_label));
+            check_attrs type_name d e;
+            check_content ~unordered schema type_name d e)
+
+and check_attrs type_name d e =
+  List.iter
+    (fun (rule : Schema.attr_rule) ->
+      if rule.required && not (List.mem_assoc rule.attr_name e.attrs) then
+        error ~at:e.id type_name
+          (Printf.sprintf "missing required attribute %S" rule.attr_name))
+    d.attributes
+
+and check_content ~unordered schema type_name d e =
+  let children =
+    if d.mixed then List.filter Tree.is_element e.children else e.children
+  in
+  let matches atom child =
+    match (atom, child) with
+    | Content_model.Text, Tree.Text _ -> true
+    | Content_model.Text, Tree.Element _ -> false
+    | Content_model.Wildcard, _ -> true
+    | Content_model.Ref name, _ -> (
+        match check_type ~unordered schema name child with
+        | () -> true
+        | exception Invalid _ -> false)
+  in
+  let accepted =
+    if unordered then Content_model.matches_multiset ~matches children d.content
+    else Content_model.matches_seq ~matches children d.content
+  in
+  if not accepted then
+    error ~at:e.id type_name
+      (Printf.sprintf "children do not match content model %s%s"
+         (Content_model.to_string d.content)
+         (if unordered then " (modulo sibling order)" else ""))
+
+let tree ?(unordered = false) ~schema ~type_name t =
+  match check_type ~unordered schema type_name t with
+  | () -> Ok ()
+  | exception Invalid e -> Error e
+
+let conforms ?unordered ~schema ~type_name t =
+  Result.is_ok (tree ?unordered ~schema ~type_name t)
+
+let forest ?unordered ~schema ~type_names trees =
+  if List.length type_names <> List.length trees then
+    Error
+      {
+        at = None;
+        expected = String.concat ", " type_names;
+        reason =
+          Printf.sprintf "arity mismatch: %d types, %d trees"
+            (List.length type_names) (List.length trees);
+      }
+  else
+    let rec go = function
+      | [], [] -> Ok ()
+      | ty :: tys, t :: ts -> (
+          match tree ?unordered ~schema ~type_name:ty t with
+          | Ok () -> go (tys, ts)
+          | Error _ as e -> e)
+      | _ -> assert false
+    in
+    go (type_names, trees)

@@ -1,0 +1,39 @@
+(** Tree validation against schema types.
+
+    Decides the type-membership judgement "tree [t] belongs to type τ"
+    used by service signatures: a service with signature (τin, τout)
+    accepts input forests of type τin and emits trees of type τout
+    (Section 2.1). *)
+
+type error = {
+  at : Axml_xml.Node_id.t option;  (** Node where validation failed. *)
+  expected : string;  (** Type name expected at that node. *)
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val tree :
+  ?unordered:bool ->
+  schema:Schema.t ->
+  type_name:string ->
+  Axml_xml.Tree.t ->
+  (unit, error) result
+(** Does the tree conform to the named type?  The universal type
+    {!Schema.any_type_name} accepts any element.  With
+    [unordered:true] (default [false]), content models are matched
+    modulo sibling permutation ({!Content_model.matches_multiset}) —
+    the right notion for the paper's unordered trees, where call
+    results accumulate at arbitrary sibling positions. *)
+
+val conforms :
+  ?unordered:bool -> schema:Schema.t -> type_name:string -> Axml_xml.Tree.t -> bool
+
+val forest :
+  ?unordered:bool ->
+  schema:Schema.t ->
+  type_names:string list ->
+  Axml_xml.Tree.t list ->
+  (unit, error) result
+(** Point-wise validation of a forest against a list of types (service
+    input validation; arities must agree). *)

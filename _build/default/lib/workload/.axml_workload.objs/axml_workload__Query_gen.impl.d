@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Axml_query Axml_xml Fun List Printf Rng

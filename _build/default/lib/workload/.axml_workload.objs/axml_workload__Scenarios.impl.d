@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Axml_doc Axml_net Axml_peer Axml_query Axml_xml Hashtbl List Option Printf Rng String

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Axml_net Axml_peer Axml_xml

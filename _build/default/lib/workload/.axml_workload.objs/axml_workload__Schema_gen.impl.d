@@ -1,0 +1,1 @@
+lib/workload/schema_gen.ml: Axml_schema Axml_xml Char List Rng String

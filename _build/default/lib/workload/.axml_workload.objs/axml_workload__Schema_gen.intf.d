@@ -1,0 +1,1 @@
+lib/workload/schema_gen.mli: Axml_schema Axml_xml Rng

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Axml_query Axml_xml Char List Printf Rng String

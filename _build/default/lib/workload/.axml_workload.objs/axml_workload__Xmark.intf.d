@@ -1,0 +1,1 @@
+lib/workload/xmark.mli: Axml_query Axml_xml Rng

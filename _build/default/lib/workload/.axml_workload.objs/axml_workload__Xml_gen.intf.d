@@ -1,0 +1,1 @@
+lib/workload/xml_gen.mli: Axml_query Axml_xml Rng

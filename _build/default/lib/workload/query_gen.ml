@@ -1,0 +1,115 @@
+module Ast = Axml_query.Ast
+
+type config = {
+  labels : string list;
+  max_bindings : int;
+  max_path_len : int;
+  max_preds : int;
+  arity : int;
+}
+
+let default_config =
+  {
+    labels = [ "a"; "b"; "c"; "item"; "name"; "value" ];
+    max_bindings = 3;
+    max_path_len = 3;
+    max_preds = 2;
+    arity = 1;
+  }
+
+let random_step ~rng config =
+  let axis = if Rng.bool rng then Ast.Child else Ast.Descendant in
+  let test =
+    if Rng.int rng 10 = 0 then Ast.Any_elt
+    else Ast.Name (Axml_xml.Label.of_string (Rng.pick rng config.labels))
+  in
+  { Ast.axis; test }
+
+let random_path ~rng config =
+  List.init (1 + Rng.int rng config.max_path_len) (fun _ ->
+      random_step ~rng config)
+
+let random_operand ~rng ~vars =
+  match Rng.int rng 4 with
+  | 0 -> Ast.Const (Rng.pick rng [ "foo"; "bar"; "xml"; "42" ])
+  | 1 -> Ast.Number (float_of_int (Rng.int rng 100))
+  | 2 -> Ast.Text_of (Rng.pick rng vars)
+  | _ -> Ast.Attr_of (Rng.pick rng vars, Rng.pick rng [ "id"; "category" ])
+
+let random_cmp ~rng =
+  Rng.pick rng [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Contains ]
+
+let rec random_pred ~rng ~vars config =
+  if vars = [] then Ast.True
+  else
+    match Rng.int rng 8 with
+    | 0 ->
+        Ast.And
+          (random_pred ~rng ~vars config, random_pred ~rng ~vars config)
+    | 1 ->
+        Ast.Or (random_pred ~rng ~vars config, random_pred ~rng ~vars config)
+    | 2 -> Ast.Not (random_pred ~rng ~vars config)
+    | 3 -> Ast.Exists (Rng.pick rng vars, random_path ~rng config)
+    | _ ->
+        Ast.Cmp
+          ( random_operand ~rng ~vars,
+            random_cmp ~rng,
+            random_operand ~rng ~vars )
+
+let random_construct ~rng ~vars config =
+  let label = Axml_xml.Label.of_string (Rng.pick rng config.labels) in
+  let children =
+    if vars = [] then [ Ast.Text "leaf" ]
+    else
+      List.init
+        (1 + Rng.int rng 2)
+        (fun _ ->
+          match Rng.int rng 3 with
+          | 0 -> Ast.Copy_of (Rng.pick rng vars)
+          | 1 -> Ast.Content_of (Rng.pick rng vars)
+          | _ -> Ast.Text (Rng.pick rng [ "x"; "y"; "z" ]))
+  in
+  Ast.Elem { label; attrs = []; children }
+
+let random_flwr_block ~rng config =
+  let n_bindings = 1 + Rng.int rng config.max_bindings in
+  let bindings, vars =
+    List.fold_left
+      (fun (bindings, vars) i ->
+        let var = Printf.sprintf "v%d" i in
+        let source =
+          if vars = [] || Rng.int rng 3 = 0 then
+            Ast.Input (Rng.int rng config.arity)
+          else Ast.Var (Rng.pick rng vars)
+        in
+        let b = { Ast.var; source; path = random_path ~rng config } in
+        (bindings @ [ b ], vars @ [ var ]))
+      ([], [])
+      (List.init n_bindings Fun.id)
+  in
+  let preds =
+    List.init (Rng.int rng (config.max_preds + 1)) (fun _ ->
+        random_pred ~rng ~vars config)
+  in
+  {
+    Ast.arity = config.arity;
+    bindings;
+    where = Ast.conj preds;
+    return_ = random_construct ~rng ~vars config;
+  }
+
+let random_flwr ~rng config =
+  let q = Ast.Flwr (random_flwr_block ~rng config) in
+  match Ast.check q with
+  | Ok () -> q
+  | Error msg -> invalid_arg ("Query_gen.random_flwr: " ^ msg)
+
+let random_composed ~rng config =
+  let n = 1 + Rng.int rng 2 in
+  let head_config = { config with arity = n } in
+  let head = random_flwr_block ~rng head_config in
+  let subs = List.init n (fun _ -> random_flwr ~rng config) in
+  let q = Ast.Compose (head, subs) in
+  match Ast.check q with
+  | Ok () -> q
+  | Error msg -> invalid_arg ("Query_gen.random_composed: " ^ msg)

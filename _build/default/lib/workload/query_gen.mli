@@ -1,0 +1,23 @@
+(** Random query generation.
+
+    Produces well-formed FLWR queries over a given label alphabet —
+    the fuzz fuel for the property suites (rule-preservation,
+    round-trips, incremental-vs-batch agreement). *)
+
+type config = {
+  labels : string list;  (** Alphabet for path steps. *)
+  max_bindings : int;
+  max_path_len : int;
+  max_preds : int;
+  arity : int;
+}
+
+val default_config : config
+
+val random_path : rng:Rng.t -> config -> Axml_query.Ast.path
+val random_pred : rng:Rng.t -> vars:string list -> config -> Axml_query.Ast.pred
+val random_flwr : rng:Rng.t -> config -> Axml_query.Ast.t
+(** Always passes {!Axml_query.Ast.check}. *)
+
+val random_composed : rng:Rng.t -> config -> Axml_query.Ast.t
+(** A 1-level composition of random FLWR blocks. *)

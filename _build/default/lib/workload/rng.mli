@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Workloads must be reproducible across runs and independent of any
+    global state, so generators carry their own streams. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** An independent stream derived from this one. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

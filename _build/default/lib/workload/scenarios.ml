@@ -1,0 +1,188 @@
+module Peer_id = Axml_net.Peer_id
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+module Names = Axml_doc.Names
+module System = Axml_peer.System
+
+type software_distribution = {
+  sd_system : System.t;
+  sd_client : Peer_id.t;
+  sd_mirrors : Peer_id.t list;
+  sd_resolve : string;
+  sd_catalog_class : string;
+  sd_packages : string list;
+}
+
+let l = Label.of_string
+
+let package_tree ~gen ~rng ~name ~payload_bytes ~candidates ~deps_per_package =
+  let deps =
+    List.init (Rng.int rng (deps_per_package + 1)) (fun _ ->
+        Rng.pick rng candidates)
+  in
+  let deps = List.sort_uniq String.compare deps in
+  Tree.element ~gen (l "package")
+    ~attrs:
+      [
+        ("name", name);
+        ("version", Printf.sprintf "%d.%d" (1 + Rng.int rng 3) (Rng.int rng 10));
+      ]
+    (List.map
+       (fun d -> Tree.element ~gen (l "dep") ~attrs:[ ("name", d) ] [])
+       deps
+    @ [
+        Tree.element ~gen (l "blob")
+          [ Tree.text (String.init payload_bytes (fun _ -> 'x')) ];
+      ])
+
+let resolver_query =
+  (* Arity 2: $0 = request (want elements), $1 = catalog.  Join on the
+     package name. *)
+  Axml_query.Parser.parse_exn
+    "query(2) for $w in $0//want, $p in $1//package where attr($w, \"name\") \
+     = attr($p, \"name\") return <resolved>{$p}</resolved>"
+
+let software_distribution ?(mirrors = 3) ?(packages = 60)
+    ?(deps_per_package = 3) ?(payload_bytes = 96) ~seed () =
+  let mirror_ids =
+    List.init mirrors (fun i -> Peer_id.of_string (Printf.sprintf "mirror%d" i))
+  in
+  let client = Peer_id.of_string "client" in
+  let topology =
+    Axml_net.Topology.full_mesh
+      ~link:(Axml_net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0)
+      (client :: mirror_ids)
+  in
+  let sys = System.create topology in
+  let package_names =
+    List.init packages (fun i -> Printf.sprintf "pkg%03d" i)
+  in
+  let catalog_class = "catalog" in
+  List.iter
+    (fun m ->
+      let gen = System.gen_of sys m in
+      let mirror_rng = Rng.create ~seed:(seed + Hashtbl.hash (Peer_id.to_string m)) in
+      let pkgs =
+        List.map
+          (fun name ->
+            package_tree ~gen ~rng:mirror_rng ~name ~payload_bytes
+              ~candidates:package_names ~deps_per_package)
+          package_names
+      in
+      System.add_document sys m ~name:"packages"
+        (Tree.element ~gen (l "packages") pkgs);
+      System.add_service sys m
+        (Axml_doc.Service.declarative ~name:"resolve" resolver_query);
+      (* Update feed: a continuous service over the local updates
+         document. *)
+      System.add_document sys m ~name:"updates"
+        (Tree.element ~gen (l "updates") []);
+      System.add_service sys m
+        (Axml_doc.Service.doc_feed ~name:"update_feed" ~doc:"updates");
+      System.register_doc_class sys ~class_name:catalog_class
+        (Names.Doc_ref.make
+           (Names.Doc_name.of_string "packages")
+           (Names.At m));
+      System.register_service_class sys ~class_name:"resolve_any"
+        (Names.Service_ref.make
+           (Names.Service_name.of_string "resolve")
+           (Names.At m)))
+    mirror_ids;
+  {
+    sd_system = sys;
+    sd_client = client;
+    sd_mirrors = mirror_ids;
+    sd_resolve = "resolve";
+    sd_catalog_class = catalog_class;
+    sd_packages = package_names;
+  }
+
+let resolution_request sd ~at ~wanted =
+  let gen = System.gen_of sd.sd_system at in
+  Tree.element ~gen (l "request")
+    (List.map
+       (fun name -> Tree.element ~gen (l "want") ~attrs:[ ("name", name) ] [])
+       wanted)
+
+type subscription = {
+  sub_system : System.t;
+  sub_aggregator : Peer_id.t;
+  sub_sources : Peer_id.t list;
+  sub_digest_doc : string;
+  sub_feed_service : string;
+  sub_news_doc : string;
+}
+
+let subscription ?(sources = 3) ~seed () =
+  let source_ids =
+    List.init sources (fun i -> Peer_id.of_string (Printf.sprintf "source%d" i))
+  in
+  let aggregator = Peer_id.of_string "aggregator" in
+  let topology =
+    Axml_net.Topology.star ~hub:aggregator
+      ~spoke_link:(Axml_net.Link.make ~latency_ms:5.0 ~bandwidth_bytes_per_ms:200.0)
+      (aggregator :: source_ids)
+  in
+  let sys = System.create topology in
+  let rng = Rng.create ~seed in
+  (* Sources: a news document and a continuous feed over it. *)
+  List.iter
+    (fun s ->
+      let gen = System.gen_of sys s in
+      let initial =
+        List.init (1 + Rng.int rng 2) (fun i ->
+            Tree.element ~gen (l "news")
+              ~attrs:[ ("source", Peer_id.to_string s) ]
+              [ Tree.text (Printf.sprintf "initial-%s-%d" (Peer_id.to_string s) i) ])
+      in
+      System.add_document sys s ~name:"news"
+        (Tree.element ~gen (l "newsfeed") initial);
+      System.add_service sys s
+        (Axml_doc.Service.doc_feed ~name:"feed" ~doc:"news"))
+    source_ids;
+  (* Aggregator: a digest document with one call per source, each
+     forwarding into the digest's items node. *)
+  let gen = System.gen_of sys aggregator in
+  let items = Tree.element ~gen (l "items") [] in
+  let items_id = Option.get (Tree.id items) in
+  let calls =
+    List.map
+      (fun s ->
+        Axml_doc.Sc.to_tree ~gen
+          (Axml_doc.Sc.make
+             ~forward:[ Names.Node_ref.make ~node:items_id ~peer:aggregator ]
+             ~provider:(Names.At s) ~service:"feed" []))
+      source_ids
+  in
+  System.add_document sys aggregator ~name:"digest"
+    (Tree.element ~gen (l "digest") (items :: calls));
+  ignore (System.activate_all sys ~peer:aggregator ());
+  {
+    sub_system = sys;
+    sub_aggregator = aggregator;
+    sub_sources = source_ids;
+    sub_digest_doc = "digest";
+    sub_feed_service = "feed";
+    sub_news_doc = "news";
+  }
+
+let publish sub ~source ~headline =
+  let sys = sub.sub_system in
+  let peer = System.peer sys source in
+  match Axml_doc.Store.find_by_string peer.Axml_peer.Peer.store sub.sub_news_doc with
+  | None -> invalid_arg "Scenarios.publish: unknown source document"
+  | Some doc -> (
+      let gen = System.gen_of sys source in
+      let item =
+        Tree.element ~gen (l "news")
+          ~attrs:[ ("source", Peer_id.to_string source) ]
+          [ Tree.text headline ]
+      in
+      let root = Axml_doc.Document.root doc in
+      match Tree.id root with
+      | None -> ()
+      | Some node ->
+          (* Route through the system's own Insert handling so the
+             feed's watchers fire. *)
+          System.send sys ~src:source ~dst:source
+            (Axml_peer.Message.Insert { node; forest = [ item ]; notify = None }))

@@ -1,0 +1,66 @@
+(** Ready-made multi-peer scenarios.
+
+    The paper motivates the framework with a real-life software
+    distribution application (Section 1; detailed only in the
+    unavailable extended report) and with continuous subscriptions.
+    These builders reconstruct both as synthetic but structurally
+    faithful workloads over the simulator. *)
+
+module Peer_id = Axml_net.Peer_id
+
+(** {1 Software distribution (the eDos-style application)}
+
+    [n] mirror peers each host a replicated package catalog (declared
+    as a generic document class), a declarative dependency-resolution
+    service, and an update feed.  A client peer issues resolution
+    requests. *)
+
+type software_distribution = {
+  sd_system : Axml_peer.System.t;
+  sd_client : Peer_id.t;
+  sd_mirrors : Peer_id.t list;
+  sd_resolve : string;  (** Service name of the resolver (on every mirror). *)
+  sd_catalog_class : string;  (** Generic-document class of the catalog. *)
+  sd_packages : string list;  (** All package names. *)
+}
+
+val software_distribution :
+  ?mirrors:int ->
+  ?packages:int ->
+  ?deps_per_package:int ->
+  ?payload_bytes:int ->
+  seed:int ->
+  unit ->
+  software_distribution
+(** Defaults: 3 mirrors, 60 packages, ≤3 deps each, 96-byte payloads.
+    The resolver service has arity 2: a request document of
+    [<want name="…"/>] elements, and a catalog; it returns the wanted
+    [<package>] subtrees. *)
+
+val resolution_request :
+  software_distribution -> at:Peer_id.t -> wanted:string list -> Axml_xml.Tree.t
+(** Build a request tree at the given peer. *)
+
+(** {1 News subscription}
+
+    [sources] peers each expose a continuous feed over their local
+    news document; an aggregator document holds one call per feed with
+    a forward list pointing into itself — the classic AXML
+    subscription pattern. *)
+
+type subscription = {
+  sub_system : Axml_peer.System.t;
+  sub_aggregator : Peer_id.t;
+  sub_sources : Peer_id.t list;
+  sub_digest_doc : string;  (** Aggregator document collecting items. *)
+  sub_feed_service : string;
+  sub_news_doc : string;  (** Source-local document each feed watches. *)
+}
+
+val subscription : ?sources:int -> seed:int -> unit -> subscription
+(** Builds the system and activates the calls; run the system, then
+    publish with {!publish} and run again to see propagation. *)
+
+val publish :
+  subscription -> source:Peer_id.t -> headline:string -> unit
+(** Insert a news item at a source (triggering its feed). *)

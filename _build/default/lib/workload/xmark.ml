@@ -1,0 +1,132 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+
+type scale = {
+  people : int;
+  items_per_region : int;
+  auctions : int;
+  max_bidders : int;
+  description_bytes : int;
+}
+
+let default_scale =
+  {
+    people = 50;
+    items_per_region = 40;
+    auctions = 60;
+    max_bidders = 5;
+    description_bytes = 120;
+  }
+
+let regions = [ "europe"; "namerica"; "asia" ]
+let categories = [ "c0"; "c1"; "c2"; "c3"; "c4"; "c5" ]
+
+let l = Label.of_string
+
+let words rng n =
+  String.concat " "
+    (List.init (max 1 (n / 6)) (fun _ ->
+         String.init (3 + Rng.int rng 6) (fun _ ->
+             Char.chr (Char.code 'a' + Rng.int rng 26))))
+
+let person ~gen ~rng i =
+  Tree.element ~gen (l "person")
+    ~attrs:[ ("id", Printf.sprintf "p%d" i) ]
+    ([
+       Tree.element ~gen (l "name") [ Tree.text (words rng 12) ];
+       Tree.element ~gen (l "emailaddress")
+         [ Tree.text (Printf.sprintf "p%d@example.net" i) ];
+     ]
+    @ List.init (Rng.int rng 3) (fun _ ->
+          Tree.element ~gen (l "interest")
+            ~attrs:[ ("category", Rng.pick rng categories) ]
+            []))
+
+let item ~gen ~rng ~scale id =
+  Tree.element ~gen (l "item")
+    ~attrs:
+      [ ("id", Printf.sprintf "i%d" id); ("category", Rng.pick rng categories) ]
+    [
+      Tree.element ~gen (l "name") [ Tree.text (words rng 18) ];
+      Tree.element ~gen (l "description")
+        [ Tree.text (words rng scale.description_bytes) ];
+    ]
+
+let auction ~gen ~rng ~scale ~total_items i =
+  let bidders =
+    List.init (Rng.int rng (scale.max_bidders + 1)) (fun _ ->
+        Tree.element ~gen (l "bidder")
+          ~attrs:[ ("person", Printf.sprintf "p%d" (Rng.int rng scale.people)) ]
+          [
+            Tree.element ~gen (l "increase")
+              [ Tree.text (string_of_int (1 + Rng.int rng 20)) ];
+          ])
+  in
+  Tree.element ~gen (l "auction")
+    ~attrs:
+      [
+        ("id", Printf.sprintf "a%d" i);
+        ("item", Printf.sprintf "i%d" (Rng.int rng total_items));
+      ]
+    ([
+       Tree.element ~gen (l "seller")
+         ~attrs:[ ("person", Printf.sprintf "p%d" (Rng.int rng scale.people)) ]
+         [];
+     ]
+    @ bidders
+    @ [
+        Tree.element ~gen (l "current")
+          [ Tree.text (string_of_int (10 + Rng.int rng 190)) ];
+      ])
+
+let site ?(scale = default_scale) ~gen ~rng () =
+  let people =
+    Tree.element ~gen (l "people")
+      (List.init scale.people (person ~gen ~rng))
+  in
+  let total_items = scale.items_per_region * List.length regions in
+  let region_elts =
+    List.mapi
+      (fun ri name ->
+        Tree.element ~gen (l name)
+          (List.init scale.items_per_region (fun k ->
+               item ~gen ~rng ~scale ((ri * scale.items_per_region) + k))))
+      regions
+  in
+  let auctions =
+    Tree.element ~gen (l "auctions")
+      (List.init scale.auctions (auction ~gen ~rng ~scale ~total_items))
+  in
+  Tree.element ~gen (l "site")
+    [ people; Tree.element ~gen (l "regions") region_elts; auctions ]
+
+let q_items_of_region region =
+  Axml_query.Parser.parse_exn
+    (Printf.sprintf
+       "query(1) for $i in $0/regions/%s/item, $n in $i/name return \
+        <listing>{$n}</listing>"
+       region)
+
+let q_auction_item_join =
+  Axml_query.Parser.parse_exn
+    {|query(1) for $a in $0/auctions/auction, $i in $0/regions//item, $n in $i/name, $c in $a/current
+      where attr($a, "item") = attr($i, "id")
+      return <sale>{$n}<price>{text($c)}</price></sale>|}
+
+let q_bidders_of_category category =
+  Axml_query.Parser.parse_exn
+    (Printf.sprintf
+       {|query(1) for $a in $0/auctions/auction, $i in $0/regions//item, $b in $a/bidder, $p in $0/people/person
+         where attr($a, "item") = attr($i, "id")
+           and attr($i, "category") = %S
+           and attr($b, "person") = attr($p, "id")
+         return <interested>{attr($p, "id")}</interested>|}
+       category)
+
+let q_expensive_auctions threshold =
+  Axml_query.Parser.parse_exn
+    (Printf.sprintf
+       {|query(1) for $a in $0/auctions/auction, $c in $a/current
+         where text($c) > %g
+         return <hot>{attr($a, "id")}</hot>|}
+       threshold)

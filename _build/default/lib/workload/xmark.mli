@@ -1,0 +1,59 @@
+(** An XMark-flavoured auction-site workload.
+
+    The de-facto standard XML benchmark shape: a site with people,
+    regional item listings and open auctions referencing items and
+    bidders.  Scaled-down and synthetic, but structurally faithful —
+    joins by reference attributes, region-partitioned data, skewed
+    text sizes — so distributed-plan experiments get realistic access
+    patterns instead of flat catalogs.
+
+    {v
+    <site>
+      <people>    <person id="p0"><name>…</name><interest category="c3"/>…</person>… </people>
+      <regions>   <europe><item id="i0" category="c1"><name>…</name><description>…</description></item>…</europe>
+                  <namerica>…</namerica><asia>…</asia> </regions>
+      <auctions>  <auction id="a0" item="i42"><seller person="p7"/>
+                    <bidder person="p3"><increase>12</increase></bidder>…
+                    <current>57</current></auction>… </auctions>
+    </site>
+    v} *)
+
+type scale = {
+  people : int;
+  items_per_region : int;
+  auctions : int;
+  max_bidders : int;
+  description_bytes : int;
+}
+
+val default_scale : scale
+(** 50 people, 40 items × 3 regions, 60 auctions, ≤5 bidders,
+    120-byte descriptions. *)
+
+val regions : string list
+(** [["europe"; "namerica"; "asia"]]. *)
+
+val categories : string list
+
+val site :
+  ?scale:scale ->
+  gen:Axml_xml.Node_id.Gen.t ->
+  rng:Rng.t ->
+  unit ->
+  Axml_xml.Tree.t
+
+(** {1 Canned queries over the site document (arity 1)} *)
+
+val q_items_of_region : string -> Axml_query.Ast.t
+(** Names of the items listed in one region. *)
+
+val q_auction_item_join : Axml_query.Ast.t
+(** Join auctions to the items they sell (reference attribute
+    equality): returns [<sale><name>…</name><current>…</current></sale>]. *)
+
+val q_bidders_of_category : string -> Axml_query.Ast.t
+(** People bidding on auctions for items of a category — a three-way
+    join (person ⋈ bidder ⋈ item). *)
+
+val q_expensive_auctions : float -> Axml_query.Ast.t
+(** Auctions whose current price exceeds the threshold. *)

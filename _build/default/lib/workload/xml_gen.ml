@@ -1,0 +1,71 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+
+type shape = {
+  depth : int;
+  fanout : int;
+  labels : string list;
+  text_length : int;
+}
+
+let default_shape =
+  {
+    depth = 4;
+    fanout = 4;
+    labels = [ "a"; "b"; "c"; "item"; "name"; "value" ];
+    text_length = 8;
+  }
+
+let random_text rng n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26))
+
+let rec random_tree ?(shape = default_shape) ~gen ~rng () =
+  if shape.depth <= 1 then Tree.text (random_text rng shape.text_length)
+  else begin
+    let label = Label.of_string (Rng.pick rng shape.labels) in
+    let kids = Rng.int rng (shape.fanout + 1) in
+    let children =
+      List.init kids (fun _ ->
+          random_tree ~shape:{ shape with depth = shape.depth - 1 } ~gen ~rng ())
+    in
+    Tree.element ~gen label children
+  end
+
+let random_forest ?shape ~gen ~rng ~trees () =
+  List.init trees (fun _ -> random_tree ?shape ~gen ~rng ())
+
+let decoy_categories = [ "misc"; "other"; "spare"; "bulk"; "legacy" ]
+
+let catalog ~gen ~rng ~items ~selectivity ?(payload_bytes = 64)
+    ?(target_category = "wanted") () =
+  let item i =
+    let matches = Rng.float rng 1.0 < selectivity in
+    let category =
+      if matches then target_category else Rng.pick rng decoy_categories
+    in
+    Tree.element ~gen (Label.of_string "item")
+      ~attrs:[ ("id", string_of_int i); ("category", category) ]
+      [
+        Tree.element ~gen (Label.of_string "name")
+          [ Tree.text (Printf.sprintf "item-%d" i) ];
+        Tree.element ~gen (Label.of_string "price")
+          [ Tree.text (string_of_int (1 + Rng.int rng 1000)) ];
+        Tree.element ~gen (Label.of_string "payload")
+          [ Tree.text (random_text rng payload_bytes) ];
+      ]
+  in
+  Tree.element ~gen (Label.of_string "catalog") (List.init items item)
+
+let selection_query ?(target_category = "wanted") () =
+  Axml_query.Parser.parse_exn
+    (Printf.sprintf
+       "query(1) for $i in $0//item, $n in $i/name where attr($i, \
+        \"category\") = %S return <hit>{$n}</hit>"
+       target_category)
+
+let selection_query_with_payload ?(target_category = "wanted") () =
+  Axml_query.Parser.parse_exn
+    (Printf.sprintf
+       "query(1) for $i in $0//item where attr($i, \"category\") = %S return \
+        <hit>{$i}</hit>"
+       target_category)

@@ -1,0 +1,63 @@
+(** Synthetic XML data.
+
+    Substitutes the data sets of the paper's (unavailable) testbed.
+    Two families:
+
+    - {!random_tree}: label-uniform trees with controlled size/shape,
+      for property tests and stress runs;
+    - {!catalog}: an item catalog with a controlled {e selectivity} —
+      the fraction of items matching a known predicate — the knob of
+      Example 1 / experiment E1. *)
+
+type shape = {
+  depth : int;  (** Maximum tree depth. *)
+  fanout : int;  (** Maximum children per element. *)
+  labels : string list;  (** Label alphabet. *)
+  text_length : int;  (** Length of generated text payloads. *)
+}
+
+val default_shape : shape
+
+val random_tree :
+  ?shape:shape -> gen:Axml_xml.Node_id.Gen.t -> rng:Rng.t -> unit -> Axml_xml.Tree.t
+
+val random_forest :
+  ?shape:shape ->
+  gen:Axml_xml.Node_id.Gen.t ->
+  rng:Rng.t ->
+  trees:int ->
+  unit ->
+  Axml_xml.Forest.t
+
+(** An item catalog:
+
+    {v
+    <catalog>
+      <item id="…" category="…">
+        <name>…</name> <price>…</price> <payload>…</payload>
+      </item> …
+    </catalog>
+    v} *)
+
+val catalog :
+  gen:Axml_xml.Node_id.Gen.t ->
+  rng:Rng.t ->
+  items:int ->
+  selectivity:float ->
+  ?payload_bytes:int ->
+  ?target_category:string ->
+  unit ->
+  Axml_xml.Tree.t
+(** Fraction [selectivity] of items carry [target_category] (default
+    ["wanted"]); the rest draw from decoy categories.  [payload_bytes]
+    (default 64) pads each item so result-size ratios translate into
+    byte ratios. *)
+
+val selection_query : ?target_category:string -> unit -> Axml_query.Ast.t
+(** The unary query returning the names of wanted items wrapped in
+    [<hit>] elements — selective, so pushing it to the data pays off. *)
+
+val selection_query_with_payload :
+  ?target_category:string -> unit -> Axml_query.Ast.t
+(** Like {!selection_query} but copying whole matching items — result
+    size scales with selectivity × payload. *)

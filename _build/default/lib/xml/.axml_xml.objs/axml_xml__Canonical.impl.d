@@ -1,0 +1,1 @@
+lib/xml/canonical.ml: Hashtbl Label List Printf String Tree

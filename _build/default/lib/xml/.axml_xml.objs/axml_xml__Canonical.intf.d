@@ -1,0 +1,1 @@
+lib/xml/canonical.mli: Tree

@@ -1,0 +1,1 @@
+lib/xml/forest.ml: Format List Tree

@@ -1,0 +1,1 @@
+lib/xml/forest.mli: Format Node_id Tree

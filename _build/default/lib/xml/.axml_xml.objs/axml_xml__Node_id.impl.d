@@ -1,0 +1,1 @@
+lib/xml/node_id.ml: Format Hashtbl Int Map Printf Set String

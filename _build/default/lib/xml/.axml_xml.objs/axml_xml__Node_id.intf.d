@@ -1,0 +1,1 @@
+lib/xml/node_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Format Label List Node_id Option Printf String Tree

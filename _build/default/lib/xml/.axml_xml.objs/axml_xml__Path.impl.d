@@ -1,0 +1,1 @@
+lib/xml/path.ml: Format Label List String Tree

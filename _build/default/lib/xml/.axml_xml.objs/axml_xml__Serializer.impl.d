@@ -1,0 +1,1 @@
+lib/xml/serializer.ml: Buffer Format Label List String Tree

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Format Label List Node_id Option String

@@ -1,0 +1,1 @@
+lib/xml/zipper.ml: Label List Node_id Tree

@@ -1,0 +1,1 @@
+lib/xml/zipper.mli: Node_id Tree

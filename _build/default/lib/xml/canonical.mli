@@ -1,0 +1,32 @@
+(** Canonical forms for unordered trees.
+
+    The paper's trees are unordered: two trees that differ only in the
+    relative order of siblings denote the same data.  This module
+    provides a canonical ordering (a deterministic total order on
+    subtrees), canonical equality, comparison and hashing — the basis
+    for document equivalence checking and for verifying that two
+    evaluation strategies produced the same system state. *)
+
+val canonicalize : Tree.t -> Tree.t
+(** Recursively sort sibling elements and attribute lists into a
+    canonical order, and concatenate sibling text nodes (in document
+    order) into one — the identification the serialized form makes,
+    since adjacent text nodes are indistinguishable on the wire.
+    Identifiers are preserved but ignored by the order. *)
+
+val equal : Tree.t -> Tree.t -> bool
+(** Unordered structural equality, ignoring node identifiers. *)
+
+val compare : Tree.t -> Tree.t -> int
+(** A total order compatible with {!equal}. *)
+
+val hash : Tree.t -> int
+(** [equal a b] implies [hash a = hash b]. *)
+
+val equal_forest : Tree.t list -> Tree.t list -> bool
+(** Unordered equality of forests: multiset equality of canonical
+    trees. *)
+
+val fingerprint : Tree.t -> string
+(** A stable textual digest of the canonical form (the canonical
+    serialization); equal iff {!equal}. *)

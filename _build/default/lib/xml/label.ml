@@ -1,0 +1,27 @@
+type t = string
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let is_valid s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && (let ok = ref true in
+      String.iter (fun c -> if not (is_name_char c) then ok := false) s;
+      !ok)
+
+let of_string_opt s = if is_valid s then Some s else None
+
+let of_string s =
+  match of_string_opt s with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Label.of_string: %S" s)
+
+let to_string l = l
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp fmt l = Format.pp_print_string fmt l

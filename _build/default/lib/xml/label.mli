@@ -1,0 +1,25 @@
+(** Element labels.
+
+    The paper models XML trees as unranked, unordered trees whose nodes
+    carry labels from an infinite alphabet [L].  We represent labels as
+    non-empty strings restricted to an NCName-like grammar so that every
+    label can be serialized as an XML element name. *)
+
+type t = private string
+
+val of_string : string -> t
+(** [of_string s] validates [s] as a label.
+    @raise Invalid_argument if [s] is empty or contains characters that
+    cannot appear in an XML element name. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+val is_valid : string -> bool
+(** [is_valid s] is [true] iff [of_string s] would succeed. *)

@@ -1,0 +1,52 @@
+type t = { ns : string; counter : int }
+
+let equal a b = a.counter = b.counter && String.equal a.ns b.ns
+
+let compare a b =
+  match String.compare a.ns b.ns with
+  | 0 -> Int.compare a.counter b.counter
+  | c -> c
+
+let hash = Hashtbl.hash
+let to_string { ns; counter } = Printf.sprintf "%s:%d" ns counter
+let pp fmt id = Format.pp_print_string fmt (to_string id)
+
+let of_string s =
+  match String.rindex_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let ns = String.sub s 0 i in
+      let num = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt num with
+      | Some counter when counter >= 0 && ns <> "" -> Some { ns; counter }
+      | Some _ | None -> None)
+
+module Gen = struct
+  type nonrec t = { gen_ns : string; mutable next : int }
+
+  let create ~namespace = { gen_ns = namespace; next = 0 }
+
+  let fresh g =
+    let id = { ns = g.gen_ns; counter = g.next } in
+    g.next <- g.next + 1;
+    id
+
+  let namespace g = g.gen_ns
+end
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Table = Hashtbl.Make (Hashed)

@@ -1,0 +1,33 @@
+(** Node identifiers.
+
+    Internal nodes of XML trees carry identifiers from the set [N] of
+    the paper.  Identifiers are allocated from generators; a generator
+    is typically owned by a peer, so that identifiers minted on
+    different peers never collide (each generator gets a distinct
+    namespace). *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parse the [pp] representation, ["<namespace>:<counter>"]. *)
+
+(** Identifier generators.  Two generators created with distinct
+    namespaces never produce equal identifiers. *)
+module Gen : sig
+  type id := t
+  type t
+
+  val create : namespace:string -> t
+  val fresh : t -> id
+  val namespace : t -> string
+end
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

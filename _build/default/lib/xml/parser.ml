@@ -1,0 +1,292 @@
+type error = { position : int; line : int; column : int; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "XML parse error at line %d, column %d: %s" e.line
+    e.column e.message
+
+exception Parse_error of error
+
+type state = { src : string; mutable pos : int; gen : Node_id.Gen.t }
+
+let line_col src pos =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min (pos - 1) (String.length src - 1) do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let fail st message =
+  let line, column = line_col st.src st.pos in
+  raise (Parse_error { position = st.pos; line; column; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st (Printf.sprintf "expected %S" prefix)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+let skip_ws st = while (not (eof st)) && is_ws (peek st) do advance st done
+
+let read_until st stop =
+  match
+    String.index_from_opt st.src st.pos stop.[0]
+    |> Option.map (fun _ ->
+           let rec search from =
+             match String.index_from_opt st.src from stop.[0] with
+             | None -> None
+             | Some i ->
+                 if
+                   i + String.length stop <= String.length st.src
+                   && String.sub st.src i (String.length stop) = stop
+                 then Some i
+                 else search (i + 1)
+           in
+           search st.pos)
+    |> Option.join
+  with
+  | None -> fail st (Printf.sprintf "unterminated construct, expected %S" stop)
+  | Some i ->
+      let s = String.sub st.src st.pos (i - st.pos) in
+      st.pos <- i + String.length stop;
+      s
+
+let read_name st =
+  let start = st.pos in
+  if eof st || not (Label.is_valid (String.make 1 (peek st))) then
+    fail st "expected a name";
+  while
+    (not (eof st))
+    &&
+    let c = peek st in
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let decode_entity st =
+  (* positioned just after '&' *)
+  let start = st.pos in
+  (match String.index_from_opt st.src st.pos ';' with
+  | None -> fail st "unterminated entity reference"
+  | Some i -> st.pos <- i + 1);
+  let name = String.sub st.src start (st.pos - 1 - start) in
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      let num =
+        if String.length name > 2 && name.[0] = '#' && name.[1] = 'x' then
+          int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+        else if String.length name > 1 && name.[0] = '#' then
+          int_of_string_opt (String.sub name 1 (String.length name - 1))
+        else None
+      in
+      (match num with
+      | Some code when code >= 0 && code < 128 -> String.make 1 (Char.chr code)
+      | Some code ->
+          (* Encode as UTF-8. *)
+          let b = Buffer.create 4 in
+          if code < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else if code < 0x10000 then begin
+            Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          Buffer.contents b
+      | None -> fail st (Printf.sprintf "unknown entity &%s;" name))
+
+let read_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      let c = peek st in
+      if c = quote then advance st
+      else if c = '&' then begin
+        advance st;
+        Buffer.add_string buf (decode_entity st);
+        go ()
+      end
+      else if c = '<' then fail st "'<' in attribute value"
+      else begin
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_attrs st =
+  let rec go acc =
+    skip_ws st;
+    let c = peek st in
+    if c = '>' || c = '/' || c = '?' || eof st then List.rev acc
+    else begin
+      let name = read_name st in
+      skip_ws st;
+      expect st "=";
+      skip_ws st;
+      let value = read_attr_value st in
+      go ((name, value) :: acc)
+    end
+  in
+  go []
+
+let rec skip_misc st =
+  skip_ws st;
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    ignore (read_until st "-->");
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    ignore (read_until st "?>");
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    ignore (read_until st ">");
+    skip_misc st
+  end
+
+let rec parse_element ~keep_ws st =
+  expect st "<";
+  let name = read_name st in
+  let label =
+    match Label.of_string_opt name with
+    | Some l -> l
+    | None -> fail st (Printf.sprintf "invalid element name %S" name)
+  in
+  let attrs = read_attrs st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    Tree.with_id (Node_id.Gen.fresh st.gen) ~attrs label []
+  end
+  else begin
+    expect st ">";
+    let children = parse_content ~keep_ws st in
+    expect st "</";
+    let close = read_name st in
+    if close <> name then
+      fail st (Printf.sprintf "mismatched closing tag </%s>, expected </%s>" close name);
+    skip_ws st;
+    expect st ">";
+    Tree.with_id (Node_id.Gen.fresh st.gen) ~attrs label children
+  end
+
+and parse_content ~keep_ws st =
+  let out = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_text () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if s <> "" then
+      let ws_only =
+        let w = ref true in
+        String.iter (fun c -> if not (is_ws c) then w := false) s;
+        !w
+      in
+      if keep_ws || not ws_only then out := Tree.Text s :: !out
+  in
+  let rec go () =
+    if eof st then fail st "unexpected end of input in element content"
+    else if looking_at st "</" then flush_text ()
+    else if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      ignore (read_until st "-->");
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      st.pos <- st.pos + 9;
+      Buffer.add_string buf (read_until st "]]>");
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      ignore (read_until st "?>");
+      go ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      let child = parse_element ~keep_ws st in
+      out := child :: !out;
+      go ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string buf (decode_entity st);
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  List.rev !out
+
+let run f =
+  match f () with
+  | v -> Ok v
+  | exception Parse_error e -> Error e
+
+let parse ?(keep_ws = false) ~gen s =
+  run (fun () ->
+      let st = { src = s; pos = 0; gen } in
+      skip_misc st;
+      if eof st then fail st "empty document";
+      if peek st <> '<' || peek2 st = '!' then fail st "expected root element";
+      let t = parse_element ~keep_ws st in
+      skip_misc st;
+      if not (eof st) then fail st "trailing content after root element";
+      t)
+
+let parse_exn ?keep_ws ~gen s =
+  match parse ?keep_ws ~gen s with Ok t -> t | Error e -> raise (Parse_error e)
+
+let parse_forest ?(keep_ws = false) ~gen s =
+  run (fun () ->
+      let st = { src = s; pos = 0; gen } in
+      let rec go acc =
+        skip_misc st;
+        if eof st then List.rev acc
+        else go (parse_element ~keep_ws st :: acc)
+      in
+      go [])

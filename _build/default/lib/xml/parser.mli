@@ -1,0 +1,32 @@
+(** XML parser.
+
+    A self-contained recursive-descent parser for the XML fragment the
+    framework manipulates: elements, attributes, character data, entity
+    and character references, comments, CDATA sections and processing
+    instructions (the latter two are accepted and, respectively,
+    inlined and skipped).  DTDs are not supported — types are handled
+    by {!module:Axml_schema} instead.
+
+    Node identifiers for parsed elements are minted from the generator
+    supplied by the caller, so a document parsed on a peer belongs to
+    that peer's identifier namespace. *)
+
+type error = { position : int; line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+val parse : ?keep_ws:bool -> gen:Node_id.Gen.t -> string -> (Tree.t, error) result
+(** [parse ~gen s] parses a single XML document (one root element,
+    optionally preceded by an XML declaration).  Whitespace-only text
+    nodes between elements are dropped unless [keep_ws] is [true]
+    (default [false]). *)
+
+val parse_exn : ?keep_ws:bool -> gen:Node_id.Gen.t -> string -> Tree.t
+(** @raise Parse_error *)
+
+val parse_forest :
+  ?keep_ws:bool -> gen:Node_id.Gen.t -> string -> (Tree.t list, error) result
+(** Parse a sequence of root elements (an XML forest, as exchanged in
+    service parameters). *)

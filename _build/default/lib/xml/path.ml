@@ -1,0 +1,76 @@
+type step = Child of Label.t | Descendant of Label.t
+type t = step list
+
+let of_string s =
+  if s = "" || s = "/" then []
+  else begin
+    let n = String.length s in
+    let steps = ref [] in
+    let i = ref 0 in
+    if s.[0] <> '/' then begin
+      (* Allow a leading bare label. *)
+      let j = match String.index_opt s '/' with None -> n | Some j -> j in
+      steps := [ Child (Label.of_string (String.sub s 0 j)) ];
+      i := j
+    end;
+    while !i < n do
+      if s.[!i] <> '/' then invalid_arg ("Path.of_string: " ^ s);
+      let descendant = !i + 1 < n && s.[!i + 1] = '/' in
+      let start = !i + if descendant then 2 else 1 in
+      if start >= n then invalid_arg ("Path.of_string: trailing slash in " ^ s);
+      let stop =
+        match String.index_from_opt s start '/' with None -> n | Some j -> j
+      in
+      let label = Label.of_string (String.sub s start (stop - start)) in
+      steps := (if descendant then Descendant label else Child label) :: !steps;
+      i := stop
+    done;
+    List.rev !steps
+  end
+
+let to_string p =
+  String.concat ""
+    (List.map
+       (function
+         | Child l -> "/" ^ Label.to_string l
+         | Descendant l -> "//" ^ Label.to_string l)
+       p)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let rec descendants_by_label l t =
+  let here =
+    match t with
+    | Tree.Element e when Label.equal e.label l -> [ t ]
+    | Tree.Element _ | Tree.Text _ -> []
+  in
+  here @ List.concat_map (descendants_by_label l) (Tree.children t)
+
+let step_select step nodes =
+  match step with
+  | Child l -> List.concat_map (fun n -> Tree.children_by_label n l) nodes
+  | Descendant l ->
+      List.concat_map
+        (fun n -> List.concat_map (descendants_by_label l) (Tree.children n))
+        nodes
+
+let select path t = List.fold_left (fun nodes s -> step_select s nodes) [ t ] path
+
+let select_forest path f =
+  match path with
+  | [] -> f
+  | first :: rest ->
+      (* The first step applies to each root of the forest as if the
+         forest were the child list of a virtual root. *)
+      let initial =
+        match first with
+        | Child l ->
+            List.filter
+              (function
+                | Tree.Element e -> Label.equal e.label l | Tree.Text _ -> false)
+              f
+        | Descendant l -> List.concat_map (descendants_by_label l) f
+      in
+      List.fold_left (fun nodes s -> step_select s nodes) initial rest
+
+let exists path t = select path t <> []

@@ -1,0 +1,26 @@
+(** Simple label paths into trees.
+
+    A path is a sequence of steps from the root; each step selects
+    children by label ({!Child}) or descendants by label
+    ({!Descendant}).  Paths are the addressing vocabulary shared by the
+    query language and by tests; they are not the full query language
+    (see {!module:Axml_query}). *)
+
+type step = Child of Label.t | Descendant of Label.t
+type t = step list
+
+val of_string : string -> t
+(** Parse ["/a/b//c"]-style syntax: [/l] is a child step, [//l] a
+    descendant step.  A leading [/] is optional.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val select : t -> Tree.t -> Tree.t list
+(** All nodes reached from the root of the given tree by the path.
+    The empty path selects the root itself. *)
+
+val select_forest : t -> Tree.t list -> Tree.t list
+
+val exists : t -> Tree.t -> bool

@@ -1,0 +1,99 @@
+let escape buf ~quot s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quot:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quot:true s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      escape buf ~quot:true v;
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_tree buf = function
+  | Tree.Text s -> escape buf ~quot:false s
+  | Tree.Element e ->
+      let name = Label.to_string e.label in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      add_attrs buf e.attrs;
+      if e.children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (add_tree buf) e.children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+      end
+
+let to_string ?(decl = false) t =
+  let buf = Buffer.create 256 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>";
+  add_tree buf t;
+  Buffer.contents buf
+
+let forest_to_string f =
+  let buf = Buffer.create 256 in
+  List.iter (add_tree buf) f;
+  Buffer.contents buf
+
+let is_ws s =
+  let ws = ref true in
+  String.iter (fun c -> if not (c = ' ' || c = '\t' || c = '\n' || c = '\r') then ws := false) s;
+  !ws
+
+let to_string_pretty ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let pad n = Buffer.add_string buf (String.make n ' ') in
+  let rec go level = function
+    | Tree.Text s ->
+        if not (is_ws s) then begin
+          pad level;
+          escape buf ~quot:false s;
+          Buffer.add_char buf '\n'
+        end
+    | Tree.Element e ->
+        let name = Label.to_string e.label in
+        pad level;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        add_attrs buf e.attrs;
+        (match e.children with
+        | [] -> Buffer.add_string buf "/>\n"
+        | [ Tree.Text s ] when String.length s <= 60 ->
+            Buffer.add_char buf '>';
+            escape buf ~quot:false s;
+            Buffer.add_string buf "</";
+            Buffer.add_string buf name;
+            Buffer.add_string buf ">\n"
+        | kids ->
+            Buffer.add_string buf ">\n";
+            List.iter (go (level + indent)) kids;
+            pad level;
+            Buffer.add_string buf "</";
+            Buffer.add_string buf name;
+            Buffer.add_string buf ">\n")
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string_pretty t)

@@ -1,0 +1,26 @@
+(** XML serialization.
+
+    Expressions of the algebra serialize as XML trees (Section 3.1:
+    "An expression can be viewed (serialized) as an XML tree"), and
+    trees travel between peers as text; this module renders trees to
+    standard XML syntax. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for text content. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quotes for
+    double-quoted attribute values. *)
+
+val to_string : ?decl:bool -> Tree.t -> string
+(** Compact rendering.  [decl] prepends an XML declaration
+    (default [false]). *)
+
+val to_string_pretty : ?indent:int -> Tree.t -> string
+(** Indented rendering; [indent] is the per-level indentation width
+    (default 2). *)
+
+val forest_to_string : Tree.t list -> string
+
+val pp : Format.formatter -> Tree.t -> unit
+(** Pretty rendering on a formatter. *)

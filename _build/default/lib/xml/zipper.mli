@@ -1,0 +1,49 @@
+(** Tree zipper.
+
+    A purely functional cursor into a {!Tree.t}, supporting navigation
+    and local edits in O(1) amortized per step.  The peer runtime uses
+    zippers to apply streams of insertions under designated nodes
+    without rebuilding whole documents on every event. *)
+
+type t
+
+val of_tree : Tree.t -> t
+(** Cursor focused on the root. *)
+
+val to_tree : t -> Tree.t
+(** Rebuild the full tree from any focus position. *)
+
+val focus : t -> Tree.t
+(** The subtree currently under the cursor. *)
+
+(** {1 Navigation} — [None] when the move is impossible. *)
+
+val up : t -> t option
+val down : t -> t option
+(** First child. *)
+
+val left : t -> t option
+val right : t -> t option
+val root : t -> t
+(** Move all the way up. *)
+
+val find_id : Node_id.t -> t -> t option
+(** Cursor on the element with the given identifier, searching the
+    whole tree from the root. *)
+
+(** {1 Edits} *)
+
+val replace : Tree.t -> t -> t
+(** Replace the focused subtree. *)
+
+val append_child : Tree.t -> t -> t
+(** Append a child to the focused element.
+    @raise Invalid_argument if the focus is a text node. *)
+
+val insert_right : Tree.t -> t -> t option
+(** Insert a sibling immediately to the right of the focus; [None] at
+    the root. *)
+
+val delete : t -> t option
+(** Delete the focused subtree; the cursor moves to the parent.
+    [None] at the root. *)

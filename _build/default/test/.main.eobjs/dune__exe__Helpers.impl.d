@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Axml Fmt List Net Query Result Xml

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Axml Doc Helpers List Net Printf Xml

@@ -1,0 +1,1 @@
+test/test_axml_doc.ml: Alcotest Axml Doc Helpers List Net Option Schema Xml

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Axml Helpers String Xml

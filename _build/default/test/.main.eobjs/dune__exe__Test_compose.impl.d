@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Axml Helpers List Printf Query Result Xml

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Algebra Axml Doc Helpers List Net Option Runtime Schema String Xml

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Algebra Axml Helpers List Net Query Runtime Workload Xml

@@ -1,0 +1,1 @@
+test/test_lazy.ml: Alcotest Axml Axml_doc Doc Helpers List Option Query Result Runtime Schema String Xml

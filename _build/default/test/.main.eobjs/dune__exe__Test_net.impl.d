@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Axml Float Helpers List Net Option

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Algebra Axml Helpers List Runtime Workload Xml

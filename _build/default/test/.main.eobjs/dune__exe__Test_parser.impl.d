@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Axml Helpers List Option Printf String Xml

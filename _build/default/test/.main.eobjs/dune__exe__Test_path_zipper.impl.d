@@ -1,0 +1,1 @@
+test/test_path_zipper.ml: Alcotest Axml Helpers List Option Xml

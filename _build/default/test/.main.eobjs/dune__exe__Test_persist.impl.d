@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Axml Doc Filename Helpers List Result Runtime Schema String Sys Xml

@@ -1,0 +1,1 @@
+test/test_props.ml: Algebra Axml Fun List Net Printf QCheck QCheck_alcotest Query Schema Workload Xml

@@ -1,0 +1,1 @@
+test/test_query_ast.ml: Alcotest Axml Helpers List Printf Query

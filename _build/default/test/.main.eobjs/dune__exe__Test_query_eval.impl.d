@@ -1,0 +1,1 @@
+test/test_query_eval.ml: Alcotest Axml Helpers Option Query Xml

@@ -1,0 +1,1 @@
+test/test_query_optimize.ml: Alcotest Axml Helpers List Printf QCheck QCheck_alcotest Query Workload Xml

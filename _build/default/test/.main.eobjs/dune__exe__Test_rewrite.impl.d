@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Axml Doc Helpers List Net Printf String Xml

@@ -1,0 +1,1 @@
+test/test_rules_exec.ml: Alcotest Algebra Axml Doc Helpers List Option Printf Runtime Xml

@@ -1,0 +1,1 @@
+test/test_rules_random.ml: Algebra Axml Doc Helpers List Printf QCheck QCheck_alcotest Runtime String Workload Xml

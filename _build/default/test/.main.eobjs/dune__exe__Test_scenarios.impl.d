@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Algebra Axml Doc Helpers List Option Runtime Workload Xml

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Axml Helpers List Result Schema String Xml

@@ -1,0 +1,1 @@
+test/test_schema_gen.ml: Alcotest Axml List Printf QCheck QCheck_alcotest Query Schema Workload Xml

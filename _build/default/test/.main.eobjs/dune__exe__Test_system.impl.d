@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Axml Doc Helpers List Option Runtime String Xml

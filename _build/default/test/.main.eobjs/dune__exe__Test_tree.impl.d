@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Axml Fun Helpers List Option String Xml

@@ -1,0 +1,1 @@
+test/test_type_driven.ml: Alcotest Axml Doc Helpers List Result Runtime Schema Xml

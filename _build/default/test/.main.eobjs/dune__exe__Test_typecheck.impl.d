@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Axml Doc Helpers List Query Result Schema String

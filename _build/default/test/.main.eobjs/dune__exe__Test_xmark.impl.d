@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Axml Helpers List Printf Query Workload Xml

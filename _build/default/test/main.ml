@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "axml"
+    [
+      ("xml.tree", Test_tree.suite);
+      ("xml.parser", Test_parser.suite);
+      ("xml.canonical", Test_canonical.suite);
+      ("xml.path-zipper", Test_path_zipper.suite);
+      ("schema", Test_schema.suite);
+      ("query.ast", Test_query_ast.suite);
+      ("query.eval", Test_query_eval.suite);
+      ("query.compose", Test_compose.suite);
+      ("query.incremental", Test_incremental.suite);
+      ("net", Test_net.suite);
+      ("axml.doc", Test_axml_doc.suite);
+      ("algebra.expr", Test_algebra.suite);
+      ("algebra.rewrite", Test_rewrite.suite);
+      ("runtime.exec", Test_exec.suite);
+      ("rules.preservation", Test_rules_exec.suite);
+      ("rules.preservation-random", Test_rules_random.suite);
+      ("properties", Test_props.suite);
+      ("runtime.system", Test_system.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("lazy-evaluation", Test_lazy.suite);
+      ("type-driven", Test_type_driven.suite);
+      ("extensions", Test_extensions.suite);
+      ("query.optimize", Test_query_optimize.suite);
+      ("query.typecheck", Test_typecheck.suite);
+      ("runtime.persist", Test_persist.suite);
+      ("workload.schema-gen", Test_schema_gen.suite);
+      ("workload.xmark", Test_xmark.suite);
+    ]

@@ -1,0 +1,282 @@
+open Axml
+open Helpers
+module Names = Doc.Names
+
+let test_names () =
+  let d = Names.Doc_ref.of_string "catalog@p1" in
+  Alcotest.(check string) "doc ref roundtrip" "catalog@p1"
+    (Names.Doc_ref.to_string d);
+  let any = Names.Doc_ref.of_string "catalog@any" in
+  Alcotest.(check bool) "any location" true (any.Names.Doc_ref.at = Names.Any);
+  (match Names.Doc_ref.of_string "no-at-sign" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing @");
+  let sr = Names.Service_ref.at_peer "resolve" ~peer:"m1" in
+  Alcotest.(check string) "service ref" "resolve@m1"
+    (Names.Service_ref.to_string sr)
+
+let test_node_ref () =
+  let g = Xml.Node_id.Gen.create ~namespace:"px" in
+  let node = Xml.Node_id.Gen.fresh g in
+  let r = Names.Node_ref.make ~node ~peer:(peer "px") in
+  let s = Names.Node_ref.to_string r in
+  match Names.Node_ref.of_string s with
+  | Some r2 -> Alcotest.(check bool) "roundtrip" true (Names.Node_ref.equal r r2)
+  | None -> Alcotest.failf "node ref parse: %s" s
+
+let mk_sc ?(forward = []) () =
+  Doc.Sc.make ~forward ~provider:(Names.At (peer "p1")) ~service:"svc"
+    [ [ parse "<arg1/>" ]; [ parse "<arg2a/>"; txt "x" ] ]
+
+let test_sc_roundtrip () =
+  let g = gen () in
+  let node = Xml.Node_id.Gen.fresh g in
+  let sc =
+    mk_sc ~forward:[ Names.Node_ref.make ~node ~peer:(peer "p9") ] ()
+  in
+  let tree = Doc.Sc.to_tree ~gen:g sc in
+  Alcotest.(check bool) "is_sc" true (Doc.Sc.is_sc tree);
+  match tree with
+  | Xml.Tree.Element e -> (
+      match Doc.Sc.of_element e with
+      | Ok sc2 ->
+          Alcotest.(check bool) "roundtrip" true (Doc.Sc.equal sc sc2);
+          Alcotest.(check int) "params" 2 (List.length sc2.Doc.Sc.params);
+          Alcotest.(check int) "forward" 1 (List.length sc2.Doc.Sc.forward)
+      | Error msg -> Alcotest.fail msg)
+  | Xml.Tree.Text _ -> Alcotest.fail "tree shape"
+
+let test_sc_via_xml_text () =
+  (* An sc element parsed from raw XML, the way documents ship it. *)
+  let xml =
+    {|<sc><peer>p1</peer><service>news</service><param1><q>x</q></param1></sc>|}
+  in
+  let t = parse xml in
+  match t with
+  | Xml.Tree.Element e -> (
+      match Doc.Sc.of_element e with
+      | Ok sc ->
+          Alcotest.(check string) "service" "news"
+            (Names.Service_name.to_string sc.Doc.Sc.service);
+          Alcotest.(check int) "one param" 1 (List.length sc.Doc.Sc.params)
+      | Error msg -> Alcotest.fail msg)
+  | _ -> Alcotest.fail "shape"
+
+let test_sc_any_provider () =
+  let t = parse "<sc><peer>any</peer><service>s</service></sc>" in
+  match t with
+  | Xml.Tree.Element e -> (
+      match Doc.Sc.of_element e with
+      | Ok sc -> Alcotest.(check bool) "any" true (sc.Doc.Sc.provider = Names.Any)
+      | Error m -> Alcotest.fail m)
+  | _ -> Alcotest.fail "shape"
+
+let test_sc_errors () =
+  let reject xml =
+    let t = parse xml in
+    match t with
+    | Xml.Tree.Element e -> (
+        match Doc.Sc.of_element e with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "should reject %s" xml)
+    | _ -> Alcotest.fail "shape"
+  in
+  reject "<sc><service>s</service></sc>" (* no peer *);
+  reject "<sc><peer>p</peer></sc>" (* no service *);
+  reject "<sc><peer>p</peer><service>s</service><param2/></sc>"
+    (* param numbering gap *);
+  reject "<notsc/>"
+
+let test_find_calls () =
+  let xml =
+    {|<doc>
+        <sc><peer>p1</peer><service>a</service></sc>
+        <nested><sc><peer>p2</peer><service>b</service></sc></nested>
+        <sc><peer>broken</peer></sc>
+      </doc>|}
+  in
+  let calls = Doc.Sc.find_calls (parse xml) in
+  Alcotest.(check int) "two well-formed calls" 2 (List.length calls);
+  let services =
+    List.map
+      (fun (_, sc) -> Names.Service_name.to_string sc.Doc.Sc.service)
+      calls
+  in
+  Alcotest.(check (list string)) "pre-order" [ "a"; "b" ] services
+
+let test_document_ops () =
+  let root = parse "<r><sc><peer>p</peer><service>s</service></sc></r>" in
+  let d = Doc.Document.make ~name:"d1" root in
+  Alcotest.(check bool) "has calls" true (Doc.Document.has_calls d);
+  let sc_node = fst (List.hd (Doc.Document.calls d)) in
+  (match Doc.Document.insert_after ~node:sc_node [ parse "<result/>" ] d with
+  | Some d' ->
+      Alcotest.(check int) "result is sibling" 2
+        (List.length (Xml.Tree.children (Doc.Document.root d')))
+  | None -> Alcotest.fail "insert_after");
+  let rid = Option.get (Xml.Tree.id root) in
+  match Doc.Document.insert_under ~node:rid [ parse "<x/>" ] d with
+  | Some d' ->
+      Alcotest.(check int) "child added" 2
+        (List.length (Xml.Tree.children (Doc.Document.root d')))
+  | None -> Alcotest.fail "insert_under"
+
+let test_store () =
+  let s = Doc.Store.create () in
+  Doc.Store.add s (Doc.Document.make ~name:"a" (parse "<a/>"));
+  (match Doc.Store.add s (Doc.Document.make ~name:"a" (parse "<a/>")) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate add");
+  let fresh = Doc.Store.install s ~name:"a" (parse "<other/>") in
+  Alcotest.(check bool) "renamed on conflict" false
+    (Names.Doc_name.to_string fresh = "a");
+  Alcotest.(check int) "two docs" 2 (List.length (Doc.Store.names s));
+  Alcotest.(check bool) "update_root" true
+    (Doc.Store.update_root s (Names.Doc_name.of_string "a") (fun _ ->
+         parse "<changed/>"));
+  (match Doc.Store.find_by_string s "a" with
+  | Some d ->
+      Alcotest.(check (option string)) "updated" (Some "changed")
+        (Option.map Xml.Label.to_string (Xml.Tree.label (Doc.Document.root d)))
+  | None -> Alcotest.fail "find");
+  Doc.Store.remove s (Names.Doc_name.of_string "a");
+  Alcotest.(check int) "one left" 1 (List.length (Doc.Store.names s))
+
+let test_registry () =
+  let r = Doc.Registry.create () in
+  let q = query "query(1) for $x in $0//a return {$x}" in
+  Doc.Registry.add r (Doc.Service.declarative ~name:"find_a" q);
+  Alcotest.(check bool) "query visible" true
+    (Doc.Registry.visible_query r (Names.Service_name.of_string "find_a")
+    <> None);
+  let extern =
+    Doc.Service.extern ~name:"opaque"
+      ~signature:(Schema.Signature.untyped ~arity:1)
+      (fun inputs -> List.concat inputs)
+  in
+  Doc.Registry.add r extern;
+  Alcotest.(check bool) "extern not visible" true
+    (Doc.Registry.visible_query r (Names.Service_name.of_string "opaque") = None);
+  let n1 = Doc.Registry.install_query r ~prefix:"_tmp_q" q in
+  let n2 = Doc.Registry.install_query r ~prefix:"_tmp_q" q in
+  Alcotest.(check bool) "fresh names" false (Names.Service_name.equal n1 n2);
+  Alcotest.(check int) "four services" 4 (List.length (Doc.Registry.names r))
+
+let test_service_apply () =
+  let g = gen () in
+  let q = query {|query(1) for $x in $0//a return <hit/>|} in
+  let svc = Doc.Service.declarative ~name:"s" q in
+  let out = Doc.Service.apply ~gen:g svc [ [ parse "<r><a/><a/></r>" ] ] in
+  Alcotest.(check int) "declarative apply" 2 (List.length out);
+  (match Doc.Service.apply ~gen:g svc [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch");
+  let feed = Doc.Service.doc_feed ~name:"f" ~doc:"news" in
+  match Doc.Service.apply ~gen:g feed [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "doc feed outside runtime"
+
+let test_generic_policies () =
+  let cat = Doc.Generic.create () in
+  let m1 = Names.Doc_ref.at_peer "d" ~peer:"p1" in
+  let m2 = Names.Doc_ref.at_peer "d" ~peer:"p2" in
+  Doc.Generic.register_doc cat ~class_name:"mirror" m1;
+  Doc.Generic.register_doc cat ~class_name:"mirror" m2;
+  Doc.Generic.register_doc cat ~class_name:"mirror" m2 (* dedup *);
+  Alcotest.(check int) "members" 2
+    (List.length (Doc.Generic.doc_members cat ~class_name:"mirror"));
+  (* First: deterministic smallest. *)
+  (match Doc.Generic.pick_doc cat ~policy:Doc.Generic.First ~class_name:"mirror" with
+  | Some r -> Alcotest.(check string) "first" "d@p1" (Names.Doc_ref.to_string r)
+  | None -> Alcotest.fail "pick");
+  (* Unknown class. *)
+  Alcotest.(check bool) "unknown class" true
+    (Doc.Generic.pick_doc cat ~policy:Doc.Generic.First ~class_name:"nope" = None);
+  (* Nearest picks the cheaper link. *)
+  let topo =
+    Net.Topology.of_links
+      ~default:(Net.Link.make ~latency_ms:100.0 ~bandwidth_bytes_per_ms:10.0)
+      [
+        ( peer "me",
+          peer "p2",
+          Net.Link.make ~latency_ms:1.0 ~bandwidth_bytes_per_ms:1000.0 );
+      ]
+      [ peer "me"; peer "p1"; peer "p2" ]
+  in
+  (match
+     Doc.Generic.pick_doc cat
+       ~policy:
+         (Doc.Generic.Nearest
+            { from = peer "me"; topology = topo; probe_bytes = 1000 })
+       ~class_name:"mirror"
+   with
+  | Some r -> Alcotest.(check string) "nearest" "d@p2" (Names.Doc_ref.to_string r)
+  | None -> Alcotest.fail "nearest pick");
+  (* Least loaded. *)
+  let gauge p = if Net.Peer_id.to_string p = "p1" then 0.5 else 3.0 in
+  (match
+     Doc.Generic.pick_doc cat ~policy:(Doc.Generic.Least_loaded gauge)
+       ~class_name:"mirror"
+   with
+  | Some r -> Alcotest.(check string) "least loaded" "d@p1" (Names.Doc_ref.to_string r)
+  | None -> Alcotest.fail "least loaded pick");
+  (* Random is deterministic per seed. *)
+  let p1 = Doc.Generic.pick_doc cat ~policy:(Doc.Generic.Random 7) ~class_name:"mirror" in
+  let p2 = Doc.Generic.pick_doc cat ~policy:(Doc.Generic.Random 7) ~class_name:"mirror" in
+  Alcotest.(check bool) "random deterministic" true (p1 = p2)
+
+let test_generic_rejects_any_member () =
+  let cat = Doc.Generic.create () in
+  match
+    Doc.Generic.register_doc cat ~class_name:"c" (Names.Doc_ref.any "d")
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Any member must be rejected"
+
+let test_equivalence () =
+  let eq = Doc.Equivalence.equivalent in
+  (* Permuted plain trees. *)
+  Alcotest.(check bool) "plain permutation" true
+    (eq (parse "<r><a/><b/></r>") (parse "<r><b/><a/></r>"));
+  (* Same call, different forw order and param ids. *)
+  let doc1 =
+    parse
+      {|<r><sc><peer>p</peer><service>s</service><param1><x/></param1><forw>a:1@p1</forw><forw>a:2@p2</forw></sc></r>|}
+  in
+  let doc2 =
+    parse
+      {|<r><sc><forw>a:2@p2</forw><peer>p</peer><forw>a:1@p1</forw><service>s</service><param1><x/></param1></sc></r>|}
+  in
+  Alcotest.(check bool) "same call modulo order" true (eq doc1 doc2);
+  (* Different service: not equivalent. *)
+  let doc3 =
+    parse {|<r><sc><peer>p</peer><service>other</service><param1><x/></param1><forw>a:1@p1</forw><forw>a:2@p2</forw></sc></r>|}
+  in
+  Alcotest.(check bool) "different call" false (eq doc1 doc3);
+  (* A call vs its absence. *)
+  Alcotest.(check bool) "call vs data" false (eq doc1 (parse "<r/>"))
+
+let test_equivalent_documents () =
+  let d1 = Doc.Document.make ~name:"x" (parse "<r><a/></r>") in
+  let d2 = Doc.Document.make ~name:"y" (parse "<r><a/></r>") in
+  Alcotest.(check bool) "names may differ" true
+    (Doc.Equivalence.equivalent_documents d1 d2)
+
+let suite =
+  [
+    ("names and refs", `Quick, test_names);
+    ("node refs", `Quick, test_node_ref);
+    ("sc tree round-trip", `Quick, test_sc_roundtrip);
+    ("sc from raw xml", `Quick, test_sc_via_xml_text);
+    ("sc generic provider", `Quick, test_sc_any_provider);
+    ("sc malformed", `Quick, test_sc_errors);
+    ("find calls", `Quick, test_find_calls);
+    ("document operations", `Quick, test_document_ops);
+    ("store", `Quick, test_store);
+    ("registry", `Quick, test_registry);
+    ("service application", `Quick, test_service_apply);
+    ("generic pick policies", `Quick, test_generic_policies);
+    ("generic member validation", `Quick, test_generic_rejects_any_member);
+    ("tree equivalence", `Quick, test_equivalence);
+    ("document equivalence", `Quick, test_equivalent_documents);
+  ]

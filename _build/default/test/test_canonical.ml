@@ -1,0 +1,88 @@
+open Axml
+open Helpers
+
+let test_sibling_order_ignored () =
+  let a = parse "<r><x/><y/></r>" in
+  let b = parse "<r><y/><x/></r>" in
+  Alcotest.(check bool) "unordered equal" true (Xml.Canonical.equal a b);
+  Alcotest.(check bool) "strict shape differs" false (Xml.Tree.equal_shape a b)
+
+let test_ids_ignored () =
+  let a = parse "<r><x/></r>" in
+  let b = parse "<r><x/></r>" in
+  Alcotest.(check bool) "fresh ids, still equal" true (Xml.Canonical.equal a b)
+
+let test_labels_matter () =
+  Alcotest.(check bool) "different labels" false
+    (Xml.Canonical.equal (parse "<r><x/></r>") (parse "<r><z/></r>"))
+
+let test_text_matters () =
+  Alcotest.(check bool) "different text" false
+    (Xml.Canonical.equal (parse "<r>a</r>") (parse "<r>b</r>"))
+
+let test_attr_order_ignored () =
+  let a = parse {|<r a="1" b="2"/>|} in
+  let b = parse {|<r b="2" a="1"/>|} in
+  Alcotest.(check bool) "attr order" true (Xml.Canonical.equal a b)
+
+let test_multiset_semantics () =
+  (* Duplicate children are a multiset, not a set. *)
+  let two = parse "<r><x/><x/></r>" in
+  let one = parse "<r><x/></r>" in
+  Alcotest.(check bool) "multiset" false (Xml.Canonical.equal two one)
+
+let test_deep_permutation () =
+  let a = parse "<r><g><x/><y>t</y></g><g><z/></g></r>" in
+  let b = parse "<r><g><z/></g><g><y>t</y><x/></g></r>" in
+  Alcotest.(check bool) "nested permutation" true (Xml.Canonical.equal a b)
+
+let test_compare_total_order () =
+  let a = parse "<r><x/></r>" and b = parse "<r><y/></r>" in
+  let cab = Xml.Canonical.compare a b and cba = Xml.Canonical.compare b a in
+  Alcotest.(check bool) "antisymmetric" true (cab = -cba && cab <> 0);
+  Alcotest.(check int) "reflexive" 0 (Xml.Canonical.compare a a)
+
+let test_hash_consistent () =
+  let a = parse "<r><x/><y/></r>" and b = parse "<r><y/><x/></r>" in
+  Alcotest.(check int) "equal implies same hash" (Xml.Canonical.hash a)
+    (Xml.Canonical.hash b)
+
+let test_fingerprint () =
+  let a = parse "<r><x/><y/></r>" and b = parse "<r><y/><x/></r>" in
+  Alcotest.(check string) "same fingerprint" (Xml.Canonical.fingerprint a)
+    (Xml.Canonical.fingerprint b);
+  Alcotest.(check bool) "differs for different trees" false
+    (String.equal
+       (Xml.Canonical.fingerprint a)
+       (Xml.Canonical.fingerprint (parse "<r><x/></r>")))
+
+let test_forest_equality () =
+  let g = gen () in
+  let f1 = [ elt g "a" []; elt g "b" [] ] in
+  let f2 = [ elt g "b" []; elt g "a" [] ] in
+  Alcotest.(check bool) "forest permutation" true
+    (Xml.Canonical.equal_forest f1 f2);
+  Alcotest.(check bool) "forest multiset" false
+    (Xml.Canonical.equal_forest f1 [ elt g "a" [] ])
+
+let test_canonicalize_idempotent () =
+  let t = parse "<r><b/><a><z/><y/></a></r>" in
+  let c1 = Xml.Canonical.canonicalize t in
+  let c2 = Xml.Canonical.canonicalize c1 in
+  Alcotest.(check bool) "idempotent" true (Xml.Tree.equal_strict c1 c2)
+
+let suite =
+  [
+    ("sibling order ignored", `Quick, test_sibling_order_ignored);
+    ("node ids ignored", `Quick, test_ids_ignored);
+    ("labels distinguish", `Quick, test_labels_matter);
+    ("text distinguishes", `Quick, test_text_matters);
+    ("attribute order ignored", `Quick, test_attr_order_ignored);
+    ("children form a multiset", `Quick, test_multiset_semantics);
+    ("deep permutation", `Quick, test_deep_permutation);
+    ("compare is a total order", `Quick, test_compare_total_order);
+    ("hash consistent with equal", `Quick, test_hash_consistent);
+    ("fingerprints", `Quick, test_fingerprint);
+    ("forest equality", `Quick, test_forest_equality);
+    ("canonicalize idempotent", `Quick, test_canonicalize_idempotent);
+  ]

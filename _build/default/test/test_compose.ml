@@ -1,0 +1,143 @@
+open Axml
+open Helpers
+module Ast = Query.Ast
+module Compose = Query.Compose
+
+let g2 () = gen ()
+
+let eval q inputs =
+  let g = g2 () in
+  Query.Eval.eval ~gen:g q inputs
+
+let test_identity_query () =
+  let f = Result.get_ok (Xml.Parser.parse_forest ~gen:(g2 ()) "<a/><b>x</b>") in
+  check_canonical_forests "identity" f (eval Compose.identity [ f ])
+
+let test_projection () =
+  let fa = [ parse "<a/>" ] and fb = [ parse "<b/>" ] in
+  let p1 = Compose.projection ~arity:2 ~input:1 in
+  check_canonical_forests "projects input 1" fb (eval p1 [ fa; fb ]);
+  match Compose.projection ~arity:2 ~input:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range projection"
+
+let test_compose_builder () =
+  let head = query "query(1) for $x in $0 return <w>{$x}</w>" in
+  let sub = query "query(1) for $x in $0//a return {$x}" in
+  let q = Compose.compose head [ sub ] in
+  Alcotest.(check bool) "checks" true (Result.is_ok (Ast.check q));
+  (* arity mismatch rejected *)
+  match Compose.compose head [ sub; sub ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch"
+
+let test_selection_builder () =
+  let sel =
+    Compose.selection ~arity:1
+      ~path:[ Ast.desc "item" ]
+      ~where:(Ast.Cmp (Ast.Attr_of ("x", "k"), Ast.Eq, Ast.Const "y"))
+  in
+  let input =
+    Result.get_ok
+      (Xml.Parser.parse_forest ~gen:(g2 ())
+         {|<c><item k="y">1</item><item k="n">2</item></c>|})
+  in
+  let out = eval sel [ input ] in
+  Alcotest.(check int) "one kept" 1 (List.length out);
+  (* predicates over other variables are rejected *)
+  match
+    Compose.selection ~arity:1 ~path:[]
+      ~where:(Ast.Cmp (Ast.Text_of "other", Ast.Eq, Ast.Const "v"))
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign variable"
+
+(* The contract of Example 1: eval q I == eval outer (eval pushed I :: tl I),
+   canonically. *)
+let check_split_equivalence q_str input_xml =
+  let q = query q_str in
+  match Compose.push_selection q with
+  | None -> Alcotest.failf "expected a split for %s" q_str
+  | Some { outer; pushed } ->
+      let g = g2 () in
+      let inputs =
+        [ Result.get_ok (Xml.Parser.parse_forest ~gen:g input_xml) ]
+      in
+      let direct = eval q inputs in
+      let staged = eval outer [ eval pushed inputs ] in
+      check_canonical_forests "split equivalence" direct staged;
+      (* And via the composed form. *)
+      let composed = Compose.apply_split { outer; pushed } in
+      check_canonical_forests "composed equivalence" direct
+        (eval composed inputs)
+
+let test_push_selection_basic () =
+  check_split_equivalence
+    {|query(1) for $x in $0//item where attr($x, "k") = "y" return <hit>{$x}</hit>|}
+    {|<c><item k="y"><p>a</p></item><item k="n"><p>b</p></item><item k="y"/></c>|}
+
+let test_push_selection_multi_binding () =
+  check_split_equivalence
+    {|query(1) for $x in $0//item, $n in $x/name where attr($x, "k") = "y" and text($n) contains "a" return <r>{$n}</r>|}
+    {|<c><item k="y"><name>abc</name></item><item k="n"><name>aaa</name></item><item k="y"><name>zzz</name></item></c>|}
+
+let test_push_selection_splits_conjuncts () =
+  let q =
+    query
+      {|query(1) for $x in $0//item, $n in $x/name where attr($x, "k") = "y" and text($n) = "a" return {$n}|}
+  in
+  match Compose.push_selection q with
+  | None -> Alcotest.fail "split expected"
+  | Some { pushed; outer } -> (
+      (match pushed with
+      | Ast.Flwr f ->
+          Alcotest.(check int) "pushed keeps local conjunct" 1
+            (List.length (Ast.conjuncts f.where))
+      | _ -> Alcotest.fail "pushed shape");
+      match outer with
+      | Ast.Flwr f ->
+          Alcotest.(check int) "outer keeps remote conjunct" 1
+            (List.length (Ast.conjuncts f.where))
+      | _ -> Alcotest.fail "outer shape")
+
+let test_push_selection_none_cases () =
+  let none s =
+    Alcotest.(check bool)
+      (Printf.sprintf "no split for %s" s)
+      true
+      (Compose.push_selection (query s) = None)
+  in
+  (* Nothing pushable: predicate involves the second variable. *)
+  none
+    {|query(1) for $x in $0//a, $y in $x/b where text($y) = "1" return {$x}|};
+  (* No predicate at all. *)
+  none "query(1) for $x in $0//a return {$x}";
+  (* First binding not on input 0. *)
+  none
+    {|query(2) for $x in $1//a where text($x) = "1" return {$x}|};
+  (* Composition is not split. *)
+  none
+    {|compose { query(1) for $x in $0 return {$x} } ({ query(1) for $x in $0//a where text($x) = "1" return {$x} })|}
+
+let test_push_selection_skips_shared_input () =
+  (* A second binding over input 0 would change meaning; must refuse. *)
+  Alcotest.(check bool) "shared input refused" true
+    (Compose.push_selection
+       (query
+          {|query(1) for $x in $0//a, $y in $0//b where text($x) = "1" return {$y}|})
+    = None)
+
+let suite =
+  [
+    ("identity query", `Quick, test_identity_query);
+    ("projection", `Quick, test_projection);
+    ("compose builder", `Quick, test_compose_builder);
+    ("selection builder", `Quick, test_selection_builder);
+    ("push selection: basic equivalence", `Quick, test_push_selection_basic);
+    ( "push selection: multi-binding equivalence",
+      `Quick,
+      test_push_selection_multi_binding );
+    ("push selection: conjunct split", `Quick, test_push_selection_splits_conjuncts);
+    ("push selection: inapplicable cases", `Quick, test_push_selection_none_cases);
+    ("push selection: shared input refused", `Quick, test_push_selection_skips_shared_input);
+  ]

@@ -1,0 +1,183 @@
+open Axml
+open Helpers
+module Relevance = Query.Relevance
+module Lazy_eval = Runtime.Lazy_eval
+module System = Runtime.System
+
+let lbls names = List.map Xml.Label.of_string names
+
+(* --- Relevance analysis (pure) ---------------------------------- *)
+
+let test_path_may_enter_child () =
+  let p = (Query.Parser.parse_path "/a/b" : (Query.Ast.path, _) result) in
+  let p = Result.get_ok p in
+  Alcotest.(check bool) "enters /a" true
+    (Relevance.path_may_enter p ~prefix:(lbls [ "a" ]));
+  Alcotest.(check bool) "enters /a/b" true
+    (Relevance.path_may_enter p ~prefix:(lbls [ "a"; "b" ]));
+  Alcotest.(check bool) "not /x" false
+    (Relevance.path_may_enter p ~prefix:(lbls [ "x" ]));
+  Alcotest.(check bool) "not beyond a full match + child" false
+    (Relevance.path_may_enter p ~prefix:(lbls [ "a"; "x" ]))
+
+let test_path_may_enter_descendant () =
+  let p = Result.get_ok (Query.Parser.parse_path "//b") in
+  Alcotest.(check bool) "descendant reaches anywhere" true
+    (Relevance.path_may_enter p ~prefix:(lbls [ "x"; "y"; "z" ]))
+
+let test_path_accept_prefix_means_relevant () =
+  (* /a binds the a node; anything under it is inspected (copy). *)
+  let p = Result.get_ok (Query.Parser.parse_path "/a") in
+  Alcotest.(check bool) "ancestor bound" true
+    (Relevance.path_may_enter p ~prefix:(lbls [ "a"; "deep"; "deeper" ]))
+
+let test_relevant_judgement () =
+  let q =
+    query {|query(1) for $x in $0/news//item where text($x) = "x" return {$x}|}
+  in
+  Alcotest.(check bool) "news region relevant" true
+    (Relevance.relevant q ~input:0 ~prefix:(lbls [ "news" ]));
+  Alcotest.(check bool) "ads region irrelevant" false
+    (Relevance.relevant q ~input:0 ~prefix:(lbls [ "ads" ]));
+  Alcotest.(check bool) "root always relevant" true
+    (Relevance.relevant q ~input:0 ~prefix:[])
+
+let test_relevance_via_var_chain () =
+  let q =
+    query
+      {|query(1) for $x in $0/a, $y in $x/b/c where exists($y/d) return <r/>|}
+  in
+  (* The chain reaches /a/b/c/d. *)
+  Alcotest.(check bool) "chained path region" true
+    (Relevance.relevant q ~input:0 ~prefix:(lbls [ "a"; "b"; "c"; "d" ]));
+  Alcotest.(check bool) "sibling region out" false
+    (Relevance.relevant q ~input:0 ~prefix:(lbls [ "z" ]))
+
+let test_relevance_other_input () =
+  let q = query "query(2) for $x in $1/only return {$x}" in
+  Alcotest.(check bool) "input 0 untouched" false
+    (Relevance.relevant q ~input:0 ~prefix:(lbls [ "only" ]));
+  Alcotest.(check bool) "input 1 touched" true
+    (Relevance.relevant q ~input:1 ~prefix:(lbls [ "only" ]))
+
+(* --- Lazy evaluation over a live system -------------------------- *)
+
+let p1 = peer "p1"
+let p2 = peer "p2"
+
+let build_doc_system () =
+  let sys = System.create (mesh ~latency:10.0 ~bandwidth:100.0 [ "p1"; "p2" ]) in
+  (* Two services at p2: a cheap one and an expensive one. *)
+  System.add_service sys p2
+    (Doc.Service.declarative ~name:"headlines"
+       (query {|query(0) return <item>"breaking"</item>|}));
+  System.add_service sys p2
+    (Doc.Service.extern ~name:"huge_dump"
+       ~signature:(Schema.Signature.untyped ~arity:0)
+       (fun _ ->
+         let g = Xml.Node_id.Gen.create ~namespace:"dump" in
+         [
+           Xml.Tree.element_of_string ~gen:g "blob"
+             [ Xml.Tree.text (String.make 50_000 'x') ];
+         ]));
+  (* The document: the query looks only under /news; the huge call
+     accumulates under /archive. *)
+  System.load_document sys p1 ~name:"portal"
+    ~xml:
+      {|<portal>
+          <news><sc><peer>p2</peer><service>headlines</service></sc></news>
+          <archive><sc><peer>p2</peer><service>huge_dump</service></sc></archive>
+        </portal>|};
+  sys
+
+let news_query =
+  query "query(1) for $i in $0/news//item return <got>{text($i)}</got>"
+
+let test_lazy_skips_irrelevant () =
+  let sys = build_doc_system () in
+  let out =
+    Lazy_eval.eval_over_document sys ~ctx:p1 ~mode:Lazy_eval.Lazy
+      ~query:news_query ~doc:"portal"
+  in
+  Alcotest.(check int) "one call activated" 1 out.activated;
+  Alcotest.(check int) "one call skipped" 1 out.skipped;
+  Alcotest.(check int) "answer found" 1 (List.length out.results);
+  Alcotest.(check bool) "cheap on the wire" true (out.stats.bytes < 5_000)
+
+let test_eager_activates_all () =
+  let sys = build_doc_system () in
+  let out =
+    Lazy_eval.eval_over_document sys ~ctx:p1 ~mode:Lazy_eval.Eager
+      ~query:news_query ~doc:"portal"
+  in
+  Alcotest.(check int) "both calls activated" 2 out.activated;
+  Alcotest.(check bool) "expensive on the wire" true (out.stats.bytes > 50_000)
+
+let test_lazy_eager_same_answers () =
+  let out_l =
+    Lazy_eval.eval_over_document (build_doc_system ()) ~ctx:p1
+      ~mode:Lazy_eval.Lazy ~query:news_query ~doc:"portal"
+  in
+  let out_e =
+    Lazy_eval.eval_over_document (build_doc_system ()) ~ctx:p1
+      ~mode:Lazy_eval.Eager ~query:news_query ~doc:"portal"
+  in
+  check_canonical_forests "lazy = eager answers" out_e.results out_l.results
+
+let test_forwarded_calls_are_irrelevant () =
+  let sys = build_doc_system () in
+  (* A call forwarding elsewhere can never feed a query over this
+     document. *)
+  let g = System.gen_of sys p1 in
+  let elsewhere = Xml.Tree.element_of_string ~gen:g "elsewhere" [] in
+  System.add_document sys p1 ~name:"other" elsewhere;
+  let target = Option.get (Xml.Tree.id elsewhere) in
+  let sc =
+    Doc.Sc.make
+      ~forward:[ Doc.Names.Node_ref.make ~node:target ~peer:p1 ]
+      ~provider:(Doc.Names.At p2) ~service:"headlines" []
+  in
+  let doc = Option.get (System.find_document sys p1 "portal") in
+  let root = Axml_doc.Document.root doc in
+  let news =
+    List.hd (Xml.Path.select (Xml.Path.of_string "/news") root)
+  in
+  let doc' =
+    Option.get
+      (Doc.Document.insert_under
+         ~node:(Option.get (Xml.Tree.id news))
+         [ Doc.Sc.to_tree ~gen:g sc ]
+         doc)
+  in
+  Doc.Store.update (System.peer sys p1).Runtime.Peer.store doc';
+  let relevant, irrelevant =
+    Lazy_eval.relevant_calls news_query
+      (Option.get (System.find_document sys p1 "portal"))
+  in
+  Alcotest.(check int) "still one relevant" 1 (List.length relevant);
+  Alcotest.(check int) "forwarded + archive skipped" 2 (List.length irrelevant)
+
+let test_unary_guard () =
+  let sys = build_doc_system () in
+  match
+    Lazy_eval.eval_over_document sys ~ctx:p1 ~mode:Lazy_eval.Lazy
+      ~query:(query "query(2) for $x in $0, $y in $1 return <r/>")
+      ~doc:"portal"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "binary query must be rejected"
+
+let suite =
+  [
+    ("path automaton: child steps", `Quick, test_path_may_enter_child);
+    ("path automaton: descendant steps", `Quick, test_path_may_enter_descendant);
+    ("path automaton: ancestor binding", `Quick, test_path_accept_prefix_means_relevant);
+    ("relevance judgement", `Quick, test_relevant_judgement);
+    ("relevance through var chains", `Quick, test_relevance_via_var_chain);
+    ("relevance per input", `Quick, test_relevance_other_input);
+    ("lazy skips irrelevant calls", `Quick, test_lazy_skips_irrelevant);
+    ("eager activates everything", `Quick, test_eager_activates_all);
+    ("lazy and eager agree", `Quick, test_lazy_eager_same_answers);
+    ("forwarded calls irrelevant", `Quick, test_forwarded_calls_are_irrelevant);
+    ("unary guard", `Quick, test_unary_guard);
+  ]

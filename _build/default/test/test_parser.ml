@@ -1,0 +1,132 @@
+open Axml
+open Helpers
+
+let roundtrip xml =
+  let t = parse xml in
+  let again = parse (Xml.Serializer.to_string t) in
+  Alcotest.check tree_eq ("roundtrip " ^ xml) t again
+
+let test_simple () =
+  let t = parse "<a><b>hi</b></a>" in
+  Alcotest.(check (option string)) "root" (Some "a")
+    (Option.map Xml.Label.to_string (Xml.Tree.label t));
+  Alcotest.(check string) "text" "hi" (Xml.Tree.text_content t)
+
+let test_attributes () =
+  let t = parse {|<item id="42" cat='x y'/>|} in
+  Alcotest.(check (option string)) "double-quoted" (Some "42")
+    (Xml.Tree.attr t "id");
+  Alcotest.(check (option string)) "single-quoted" (Some "x y")
+    (Xml.Tree.attr t "cat")
+
+let test_entities () =
+  let t = parse "<a>&lt;&amp;&gt;&quot;&apos;</a>" in
+  Alcotest.(check string) "predefined entities" "<&>\"'" (Xml.Tree.text_content t);
+  let t2 = parse "<a>&#65;&#x42;</a>" in
+  Alcotest.(check string) "numeric refs" "AB" (Xml.Tree.text_content t2)
+
+let test_unicode_refs () =
+  let t = parse "<a>&#233;</a>" in
+  Alcotest.(check string) "utf8 e-acute" "\xc3\xa9" (Xml.Tree.text_content t)
+
+let test_comments_and_pi () =
+  let t = parse "<?xml version=\"1.0\"?><!-- before --><a><!-- inside -->x<?pi data?></a><!-- after -->" in
+  Alcotest.(check string) "comments skipped" "x" (Xml.Tree.text_content t)
+
+let test_cdata () =
+  let t = parse "<a><![CDATA[<not><parsed>&amp;]]></a>" in
+  Alcotest.(check string) "cdata verbatim" "<not><parsed>&amp;"
+    (Xml.Tree.text_content t)
+
+let test_whitespace_handling () =
+  let g = gen () in
+  let dropped = Xml.Parser.parse_exn ~gen:g "<a>\n  <b/>\n</a>" in
+  Alcotest.(check int) "ws dropped" 1 (List.length (Xml.Tree.children dropped));
+  let kept = Xml.Parser.parse_exn ~keep_ws:true ~gen:g "<a>\n  <b/>\n</a>" in
+  Alcotest.(check int) "ws kept" 3 (List.length (Xml.Tree.children kept))
+
+let test_doctype_skipped () =
+  let t = parse "<!DOCTYPE html><a>x</a>" in
+  Alcotest.(check string) "doctype ignored" "x" (Xml.Tree.text_content t)
+
+let expect_error xml =
+  let g = gen () in
+  match Xml.Parser.parse ~gen:g xml with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail (Printf.sprintf "parse should fail: %s" xml)
+
+let test_errors () =
+  expect_error "";
+  expect_error "<a>";
+  expect_error "<a></b>";
+  expect_error "<a><b></a></b>";
+  expect_error "text only";
+  expect_error "<a>&unknown;</a>";
+  expect_error "<a attr=>x</a>";
+  expect_error "<a>x</a><b>y</b>" (* trailing root *);
+  expect_error "<1bad/>"
+
+let test_error_position () =
+  let g = gen () in
+  match Xml.Parser.parse ~gen:g "<a>\n<b>\n</c>\n</a>" with
+  | Error e ->
+      Alcotest.(check int) "error line" 3 e.line;
+      Alcotest.(check bool) "message mentions tag" true
+        (String.length e.message > 0)
+  | Ok _ -> Alcotest.fail "should fail"
+
+let test_parse_forest () =
+  let g = gen () in
+  match Xml.Parser.parse_forest ~gen:g "<a/><b/><c>x</c>" with
+  | Ok f -> Alcotest.(check int) "three roots" 3 (List.length f)
+  | Error e -> Alcotest.failf "forest: %a" Xml.Parser.pp_error e
+
+let test_parse_forest_empty () =
+  let g = gen () in
+  match Xml.Parser.parse_forest ~gen:g "  " with
+  | Ok f -> Alcotest.(check int) "empty forest" 0 (List.length f)
+  | Error _ -> Alcotest.fail "empty input is an empty forest"
+
+let test_roundtrips () =
+  List.iter roundtrip
+    [
+      "<a/>";
+      "<a><b/><c/></a>";
+      {|<a x="1" y="two"><b>text</b>tail</a>|};
+      "<a>&lt;escape&amp;me&gt;</a>";
+      {|<q v="quote&quot;inside"/>|};
+      "<deep><er><and><deeper>bottom</deeper></and></er></deep>";
+    ]
+
+let test_pretty_print_reparses () =
+  let t =
+    parse {|<catalog><item id="1"><name>x</name></item><item id="2"/></catalog>|}
+  in
+  let pretty = Xml.Serializer.to_string_pretty t in
+  let again = parse pretty in
+  Alcotest.check tree_eq "pretty output reparses" t again
+
+let test_escape_functions () =
+  Alcotest.(check string) "text escape" "a&amp;b&lt;c&gt;d"
+    (Xml.Serializer.escape_text "a&b<c>d");
+  Alcotest.(check string) "attr escape" "say &quot;hi&quot;"
+    (Xml.Serializer.escape_attr {|say "hi"|})
+
+let suite =
+  [
+    ("simple document", `Quick, test_simple);
+    ("attributes", `Quick, test_attributes);
+    ("entities", `Quick, test_entities);
+    ("unicode character refs", `Quick, test_unicode_refs);
+    ("comments and PIs", `Quick, test_comments_and_pi);
+    ("CDATA sections", `Quick, test_cdata);
+    ("whitespace handling", `Quick, test_whitespace_handling);
+    ("doctype skipped", `Quick, test_doctype_skipped);
+    ("malformed inputs rejected", `Quick, test_errors);
+    ("error positions", `Quick, test_error_position);
+    ("forest parsing", `Quick, test_parse_forest);
+    ("empty forest", `Quick, test_parse_forest_empty);
+    ("serializer round-trips", `Quick, test_roundtrips);
+    ("pretty printer reparses", `Quick, test_pretty_print_reparses);
+    ("escape functions", `Quick, test_escape_functions);
+  ]

@@ -1,0 +1,123 @@
+open Axml
+open Helpers
+module System = Runtime.System
+module Persist = Runtime.Persist
+
+let p1 = peer "p1"
+let p2 = peer "p2"
+
+let build ?(with_extern = true) () =
+  let sys = System.create (mesh [ "p1"; "p2" ]) in
+  System.load_document sys p1 ~name:"cat"
+    ~xml:{|<catalog><item k="y">a</item><item k="n">b</item></catalog>|};
+  System.load_document sys p2 ~name:"news" ~xml:"<feed><n>x</n></feed>";
+  System.add_service sys p1
+    (Doc.Service.declarative ~name:"find"
+       (query {|query(1) for $x in $0//item where attr($x, "k") = "y" return {$x}|}));
+  System.add_service sys p2 (Doc.Service.doc_feed ~name:"feed" ~doc:"news");
+  if with_extern then
+    System.add_service sys p2
+      (Doc.Service.extern ~name:"opaque"
+         ~signature:(Schema.Signature.untyped ~arity:0)
+         (fun _ -> []));
+  System.register_doc_class sys ~class_name:"mirror"
+    (Doc.Names.Doc_ref.at_peer "cat" ~peer:"p1");
+  System.register_service_class sys ~class_name:"finders"
+    (Doc.Names.Service_ref.at_peer "find" ~peer:"p1");
+  sys
+
+let test_peer_xml_roundtrip () =
+  let sys = build () in
+  let xml = Persist.peer_to_xml sys p1 in
+  let fresh = System.create (mesh [ "p1"; "p2" ]) in
+  (match Persist.load_peer_xml fresh p1 xml with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* Same documents... *)
+  let doc_fp s =
+    match System.find_document s p1 "cat" with
+    | Some d -> Doc.Equivalence.fingerprint (Doc.Document.root d)
+    | None -> "missing"
+  in
+  Alcotest.(check string) "document restored" (doc_fp sys) (doc_fp fresh);
+  (* ...same declarative service, still runnable. *)
+  let q =
+    Doc.Registry.visible_query (System.peer fresh p1).Runtime.Peer.registry
+      (Doc.Names.Service_name.of_string "find")
+  in
+  Alcotest.(check bool) "service restored" true (q <> None);
+  (* ...and catalog knowledge. *)
+  Alcotest.(check int) "doc class restored" 1
+    (List.length
+       (Doc.Generic.doc_members (System.peer fresh p1).Runtime.Peer.catalog
+          ~class_name:"mirror"))
+
+let test_save_load_directory () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "axml_persist_test" in
+  (* Clean slate. *)
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  (* Extern services cannot persist (opaque closures), so the
+     fingerprint comparison uses a Σ without them. *)
+  let sys = build ~with_extern:false () in
+  Persist.save sys ~dir;
+  let fresh = System.create (mesh [ "p1"; "p2" ]) in
+  (match Persist.load fresh ~dir with
+  | Ok n -> Alcotest.(check int) "two peers restored" 2 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "identical Σ fingerprints" (System.fingerprint sys)
+    (System.fingerprint fresh);
+  (* The restored system still runs: activate a feed subscription. *)
+  System.load_document fresh p1 ~name:"digest"
+    ~xml:{|<digest><sc><peer>p2</peer><service>feed</service></sc></digest>|};
+  ignore (System.activate_all fresh ~peer:p1 ());
+  System.run fresh;
+  match System.find_document fresh p1 "digest" with
+  | Some d ->
+      Alcotest.(check bool) "feed flowed after restore" true
+        (Xml.Tree.size (Doc.Document.root d) > 2)
+  | None -> Alcotest.fail "digest lost"
+
+let test_extern_skipped () =
+  let sys = build () in
+  let xml = Persist.peer_to_xml sys p2 in
+  Alcotest.(check bool) "extern recorded" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains xml "opaque");
+  let fresh = System.create (mesh [ "p1"; "p2" ]) in
+  (match Persist.load_peer_xml fresh p2 xml with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "extern not restored" true
+    (Doc.Registry.find_by_string (System.peer fresh p2).Runtime.Peer.registry
+       "opaque"
+    = None);
+  Alcotest.(check bool) "feed restored" true
+    (Doc.Registry.find_by_string (System.peer fresh p2).Runtime.Peer.registry
+       "feed"
+    <> None)
+
+let test_load_errors () =
+  let fresh = System.create (mesh [ "p1"; "p2" ]) in
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Persist.load_peer_xml fresh p1 "<notpeer/>"));
+  Alcotest.(check bool) "bad xml rejected" true
+    (Result.is_error (Persist.load_peer_xml fresh p1 "<peer"));
+  Alcotest.(check bool) "bad query rejected" true
+    (Result.is_error
+       (Persist.load_peer_xml fresh p1
+          {|<peer id="p1"><service name="s" kind="declarative">not a query</service></peer>|}))
+
+let suite =
+  [
+    ("peer xml round-trip", `Quick, test_peer_xml_roundtrip);
+    ("save/load directory", `Quick, test_save_load_directory);
+    ("extern services skipped", `Quick, test_extern_skipped);
+    ("load errors", `Quick, test_load_errors);
+  ]

@@ -1,0 +1,135 @@
+open Axml
+open Helpers
+module Ast = Query.Ast
+
+let roundtrip s =
+  let q = query s in
+  let printed = Ast.to_string q in
+  let again = Query.Parser.parse_exn printed in
+  Alcotest.(check bool)
+    (Printf.sprintf "roundtrip %s" s)
+    true (Ast.equal q again)
+
+let test_parse_simple () =
+  let q = query "query(1) for $x in $0//item return {$x}" in
+  Alcotest.(check int) "arity" 1 (Ast.arity q);
+  match q with
+  | Ast.Flwr f ->
+      Alcotest.(check int) "bindings" 1 (List.length f.bindings);
+      Alcotest.(check bool) "no where" true (f.where = Ast.True)
+  | Ast.Compose _ -> Alcotest.fail "expected flwr"
+
+let test_parse_full () =
+  let q =
+    query
+      {|query(2) for $x in $0//item, $n in $x/name, $y in $1/other
+        where text($n) contains "xml" and (attr($x, "id") != "0" or not exists($y/sub))
+        return <res kind="hit">{$n} {text($x)} "lit"</res>|}
+  in
+  match q with
+  | Ast.Flwr f ->
+      Alcotest.(check int) "bindings" 3 (List.length f.bindings);
+      Alcotest.(check int) "conjuncts" 2 (List.length (Ast.conjuncts f.where))
+  | Ast.Compose _ -> Alcotest.fail "expected flwr"
+
+let test_parse_compose () =
+  let q =
+    query
+      {|compose { query(2) for $a in $0/x, $b in $1/y return <pair>{$a}{$b}</pair> }
+        ({ query(1) for $v in $0//l return {$v} };
+         { query(1) for $w in $0//r return {$w} })|}
+  in
+  match q with
+  | Ast.Compose (head, subs) ->
+      Alcotest.(check int) "head arity" 2 head.arity;
+      Alcotest.(check int) "subs" 2 (List.length subs);
+      Alcotest.(check int) "composed arity is subs'" 1 (Ast.arity q)
+  | Ast.Flwr _ -> Alcotest.fail "expected compose"
+
+let test_roundtrips () =
+  List.iter roundtrip
+    [
+      "query(1) for $x in $0//item return {$x}";
+      "query(1) for $x in $0/a/b, $y in $x//c return <out>{$y}</out>";
+      {|query(1) for $x in $0//item where attr($x, "cat") = "y" return {text($x)}|};
+      {|query(1) for $x in $0//i where text($x) < 10 and text($x) >= 2 return <n>{text($x)}</n>|};
+      {|query(2) for $a in $0//x, $b in $1//y where exists($a/z) or not true return <p a="1">{$a}{$b}</p>|};
+      {|query(1) for $x in $0//* where text($x) contains "q" return {attr($x, "id")}|};
+      "query(0) return <constant/>";
+      {|compose { query(1) for $r in $0 return <w>{$r}</w> } ({ query(1) for $x in $0//a return {$x} })|};
+    ]
+
+let test_check_rejects () =
+  let reject s reason =
+    match Query.Parser.parse s with
+    | Error _ -> ()
+    | Ok q -> (
+        match Ast.check q with
+        | Error _ -> ()
+        | Ok () -> Alcotest.failf "should reject (%s): %s" reason s)
+  in
+  reject "query(1) for $x in $5//a return {$x}" "input out of range";
+  reject "query(1) for $x in $0/a return {$ghost}" "unbound in return";
+  reject {|query(1) for $x in $0/a where text($y) = "1" return {$x}|}
+    "unbound in where";
+  reject "query(1) for $x in $0/a, $x in $0/b return {$x}" "duplicate binding";
+  reject "query(1) for $x in $y/a return {$x}" "use before binding"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Query.Parser.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "should not parse: %s" s)
+    [
+      "";
+      "query(1) return";
+      "query(1) for $x in return {$x}";
+      "query(1) for $x in $0/a where return {$x}";
+      "query(1) for $x in $0/a return <a>{$x}</b>";
+      "query(1) for $x in $0/a return {$x} trailing";
+      "query(x) return <a/>";
+    ]
+
+let test_conj_conjuncts () =
+  let a = Ast.Cmp (Ast.Const "1", Ast.Eq, Ast.Const "1") in
+  let b = Ast.Exists ("x", []) in
+  let c = Ast.Not Ast.True in
+  Alcotest.(check int) "three conjuncts" 3
+    (List.length (Ast.conjuncts (Ast.conj [ a; b; c ])));
+  Alcotest.(check bool) "empty conj is true" true (Ast.conj [] = Ast.True);
+  Alcotest.(check int) "true vanishes" 1
+    (List.length (Ast.conjuncts (Ast.And (Ast.True, b))))
+
+let test_vars () =
+  let q =
+    query
+      {|query(1) for $x in $0//a, $y in $x/b where text($x) = "1" and exists($y/c) return <r>{$y}</r>|}
+  in
+  match q with
+  | Ast.Flwr f ->
+      Alcotest.(check (list string)) "pred vars" [ "x"; "y" ]
+        (Ast.pred_vars f.where);
+      Alcotest.(check (list string)) "construct vars" [ "y" ]
+        (Ast.construct_vars f.return_)
+  | Ast.Compose _ -> Alcotest.fail "flwr expected"
+
+let test_path_to_string () =
+  let q = query "query(1) for $x in $0//a/b return {$x}" in
+  match q with
+  | Ast.Flwr { bindings = [ b ]; _ } ->
+      Alcotest.(check string) "path" "//a/b" (Ast.path_to_string b.path)
+  | _ -> Alcotest.fail "shape"
+
+let suite =
+  [
+    ("parse simple", `Quick, test_parse_simple);
+    ("parse full syntax", `Quick, test_parse_full);
+    ("parse composition", `Quick, test_parse_compose);
+    ("print/parse round-trips", `Quick, test_roundtrips);
+    ("well-formedness rejections", `Quick, test_check_rejects);
+    ("syntax errors", `Quick, test_parse_errors);
+    ("conj/conjuncts", `Quick, test_conj_conjuncts);
+    ("variable analysis", `Quick, test_vars);
+    ("path printing", `Quick, test_path_to_string);
+  ]

@@ -1,0 +1,185 @@
+open Axml
+open Helpers
+
+let test_identity_copy () =
+  eval_query_on ~q:"query(1) for $x in $0 return {$x}"
+    ~inputs:[ "<a><b/></a>" ] ~expect:"<a><b/></a>"
+
+let test_child_binding () =
+  eval_query_on ~q:"query(1) for $x in $0/b return {$x}"
+    ~inputs:[ "<a><b>1</b><b>2</b><c/></a>" ] ~expect:"<b>1</b><b>2</b>"
+
+let test_descendant_binding () =
+  eval_query_on ~q:"query(1) for $x in $0//b return {$x}"
+    ~inputs:[ "<a><b>1</b><c><b>2</b></c></a>" ] ~expect:"<b>1</b><b>2</b>"
+
+let test_wildcard () =
+  eval_query_on ~q:"query(1) for $x in $0/* return <w>{text($x)}</w>"
+    ~inputs:[ "<a><b>1</b><c>2</c></a>" ] ~expect:"<w>1</w><w>2</w>"
+
+let test_construction () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//b return <out tag="v"><inner>{text($x)}</inner></out>|}
+    ~inputs:[ "<a><b>42</b></a>" ]
+    ~expect:{|<out tag="v"><inner>42</inner></out>|}
+
+let test_where_text_eq () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//b where text($x) = "keep" return {$x}|}
+    ~inputs:[ "<a><b>keep</b><b>drop</b></a>" ]
+    ~expect:"<b>keep</b>"
+
+let test_where_attr () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//i where attr($x, "k") = "y" return {$x}|}
+    ~inputs:[ {|<a><i k="y">1</i><i k="n">2</i><i>3</i></a>|} ]
+    ~expect:{|<i k="y">1</i>|}
+
+let test_numeric_comparison () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//n where text($x) < 10 return {$x}|}
+    ~inputs:[ "<a><n>9</n><n>10</n><n>2</n></a>" ]
+    ~expect:"<n>9</n><n>2</n>";
+  (* Numeric, not lexicographic: "9" < "10" numerically. *)
+  eval_query_on
+    ~q:{|query(1) for $x in $0//n where text($x) <= 10 return {$x}|}
+    ~inputs:[ "<a><n>9</n><n>10</n><n>11</n></a>" ]
+    ~expect:"<n>9</n><n>10</n>"
+
+let test_string_comparison () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//s where text($x) > "m" return {$x}|}
+    ~inputs:[ "<a><s>alpha</s><s>zulu</s></a>" ]
+    ~expect:"<s>zulu</s>"
+
+let test_contains () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//s where text($x) contains "ell" return {$x}|}
+    ~inputs:[ "<a><s>hello</s><s>world</s></a>" ]
+    ~expect:"<s>hello</s>"
+
+let test_exists () =
+  eval_query_on
+    ~q:"query(1) for $x in $0//i where exists($x/flag) return <got>{text($x)}</got>"
+    ~inputs:[ "<a><i><flag/>1</i><i>2</i></a>" ]
+    ~expect:"<got>1</got>"
+
+let test_not_and_or () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//i where not text($x) = "b" and (text($x) = "a" or text($x) = "c") return {$x}|}
+    ~inputs:[ "<r><i>a</i><i>b</i><i>c</i><i>d</i></r>" ]
+    ~expect:"<i>a</i><i>c</i>"
+
+let test_join_two_inputs () =
+  eval_query_on
+    ~q:{|query(2) for $x in $0//l, $y in $1//r where text($x) = text($y) return <m>{text($x)}</m>|}
+    ~inputs:
+      [ "<a><l>1</l><l>2</l></a>"; "<b><r>2</r><r>3</r><r>2</r></b>" ]
+    ~expect:"<m>2</m><m>2</m>"
+
+let test_dependent_binding () =
+  eval_query_on
+    ~q:"query(1) for $x in $0//item, $n in $x/name return {$n}"
+    ~inputs:
+      [ "<c><item><name>a</name></item><item><name>b</name><name>c</name></item></c>" ]
+    ~expect:"<name>a</name><name>b</name><name>c</name>"
+
+let test_cartesian_product () =
+  eval_query_on
+    ~q:"query(1) for $x in $0/a, $y in $0/b return <p>{text($x)}{text($y)}</p>"
+    ~inputs:[ "<r><a>1</a><a>2</a><b>x</b></r>" ]
+    ~expect:"<p>1x</p><p>2x</p>"
+
+let test_attr_content () =
+  eval_query_on
+    ~q:{|query(1) for $x in $0//i return <id>{attr($x, "k")}</id>|}
+    ~inputs:[ {|<a><i k="7"/></a>|} ]
+    ~expect:"<id>7</id>"
+
+let test_empty_result () =
+  eval_query_on ~q:"query(1) for $x in $0//missing return {$x}"
+    ~inputs:[ "<a><b/></a>" ] ~expect:""
+
+let test_arity_zero () =
+  eval_query_on ~q:"query(0) return <k/>" ~inputs:[] ~expect:"<k/>"
+
+let test_eval_guards () =
+  let g = gen () in
+  let q = query "query(1) for $x in $0 return {$x}" in
+  (match Query.Eval.eval ~gen:g q [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch should raise");
+  let bad =
+    Query.Ast.Flwr
+      {
+        arity = 1;
+        bindings = [];
+        where = Query.Ast.True;
+        return_ = Query.Ast.Copy_of "ghost";
+      }
+  in
+  match Query.Eval.eval ~gen:g bad [ [] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ill-formed query should raise"
+
+let test_compose_eval () =
+  (* The sub-query's outputs are the roots of the intermediate forest,
+     so the head binds them with an empty path (XQuery-style: a path
+     step moves to children, never to self). *)
+  eval_query_on
+    ~q:
+      {|compose { query(1) for $h in $0 return <final>{text($h)}</final> }
+        ({ query(1) for $x in $0//i where attr($x, "k") = "y" return <hit>{text($x)}</hit> })|}
+    ~inputs:[ {|<r><i k="y">a</i><i k="n">b</i><i k="y">c</i></r>|} ]
+    ~expect:"<final>a</final><final>c</final>"
+
+let test_copy_has_fresh_ids () =
+  let g = gen () in
+  let input =
+    Xml.Parser.parse_exn
+      ~gen:(Xml.Node_id.Gen.create ~namespace:"input")
+      "<a><b/></a>"
+  in
+  let out =
+    Query.Eval.eval ~gen:g (query "query(1) for $x in $0 return {$x}") [ [ input ] ]
+  in
+  match out with
+  | [ copy ] ->
+      let orig_id = Option.get (Xml.Tree.id input) in
+      Alcotest.(check bool) "no id shared" false (Xml.Tree.mem_id orig_id copy)
+  | _ -> Alcotest.fail "one result expected"
+
+let test_holds_direct () =
+  let g = gen () in
+  let t = parse ~g "<i>5</i>" in
+  let env = [ ("x", t) ] in
+  let check b p = Alcotest.(check bool) "holds" b (Query.Eval.holds p env) in
+  check true (Query.Ast.Cmp (Query.Ast.Text_of "x", Query.Ast.Eq, Query.Ast.Number 5.0));
+  check false (Query.Ast.Cmp (Query.Ast.Text_of "ghost", Query.Ast.Eq, Query.Ast.Const "5"));
+  check true Query.Ast.True
+
+let suite =
+  [
+    ("identity copy", `Quick, test_identity_copy);
+    ("child binding", `Quick, test_child_binding);
+    ("descendant binding", `Quick, test_descendant_binding);
+    ("wildcard step", `Quick, test_wildcard);
+    ("element construction", `Quick, test_construction);
+    ("where text equality", `Quick, test_where_text_eq);
+    ("where attribute", `Quick, test_where_attr);
+    ("numeric comparison", `Quick, test_numeric_comparison);
+    ("string comparison", `Quick, test_string_comparison);
+    ("contains", `Quick, test_contains);
+    ("exists predicate", `Quick, test_exists);
+    ("boolean connectives", `Quick, test_not_and_or);
+    ("join across inputs", `Quick, test_join_two_inputs);
+    ("dependent bindings", `Quick, test_dependent_binding);
+    ("cartesian product", `Quick, test_cartesian_product);
+    ("attribute projection", `Quick, test_attr_content);
+    ("empty result", `Quick, test_empty_result);
+    ("arity zero constant", `Quick, test_arity_zero);
+    ("evaluation guards", `Quick, test_eval_guards);
+    ("composed query evaluation", `Quick, test_compose_eval);
+    ("copies mint fresh ids", `Quick, test_copy_has_fresh_ids);
+    ("predicate evaluation", `Quick, test_holds_direct);
+  ]

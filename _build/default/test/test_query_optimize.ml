@@ -1,0 +1,132 @@
+open Axml
+open Helpers
+module Opt = Query.Optimize
+module Ast = Query.Ast
+
+(* --- Predicate simplification ------------------------------------- *)
+
+let p_true = Ast.True
+let p_false = Ast.Not Ast.True
+let cmp_xy = Ast.Cmp (Ast.Text_of "x", Ast.Eq, Ast.Const "y")
+
+let test_simplify_constants () =
+  let simp p = Opt.simplify_pred p in
+  Alcotest.(check bool) "const eq folds true" true
+    (simp (Ast.Cmp (Ast.Const "a", Ast.Eq, Ast.Const "a")) = p_true);
+  Alcotest.(check bool) "const neq folds false" true
+    (simp (Ast.Cmp (Ast.Const "a", Ast.Eq, Ast.Const "b")) = p_false);
+  Alcotest.(check bool) "numeric folds" true
+    (simp (Ast.Cmp (Ast.Number 2.0, Ast.Lt, Ast.Number 3.0)) = p_true)
+
+let test_simplify_connectives () =
+  let simp = Opt.simplify_pred in
+  Alcotest.(check bool) "p and true = p" true
+    (simp (Ast.And (cmp_xy, p_true)) = cmp_xy);
+  Alcotest.(check bool) "p or true = true" true
+    (simp (Ast.Or (cmp_xy, p_true)) = p_true);
+  Alcotest.(check bool) "p and false = false" true
+    (simp (Ast.And (cmp_xy, p_false)) = p_false);
+  Alcotest.(check bool) "p or false = p" true
+    (simp (Ast.Or (cmp_xy, p_false)) = cmp_xy);
+  Alcotest.(check bool) "double negation" true
+    (simp (Ast.Not (Ast.Not cmp_xy)) = cmp_xy);
+  Alcotest.(check bool) "nested fold" true
+    (simp
+       (Ast.And
+          ( Ast.Or (p_false, cmp_xy),
+            Ast.Not (Ast.Cmp (Ast.Const "q", Ast.Neq, Ast.Const "q")) ))
+    = cmp_xy)
+
+(* --- Binding reordering ------------------------------------------- *)
+
+let sample_inputs () =
+  let rng = Workload.Rng.create ~seed:31 in
+  let g = Xml.Node_id.Gen.create ~namespace:"opt" in
+  [ [ Workload.Xml_gen.catalog ~gen:g ~rng ~items:80 ~selectivity:0.05 () ] ]
+
+let unselective_first =
+  (* The filtered binding comes last: the unfiltered one fans out
+     first and the filter only prunes late. *)
+  query
+    {|query(1) for $all in $0//item, $sel in $0//item
+      where attr($sel, "category") = "wanted"
+      return <pair/>|}
+
+let test_reorder_preserves_results () =
+  let inputs = sample_inputs () in
+  let reordered = Opt.optimize unselective_first in
+  let g () = Xml.Node_id.Gen.create ~namespace:"opt2" in
+  let a = Query.Eval.eval ~gen:(g ()) unselective_first inputs in
+  let b = Query.Eval.eval ~gen:(g ()) reordered inputs in
+  check_canonical_forests "reordering preserves results" a b
+
+let test_reorder_reduces_enumeration () =
+  let inputs = sample_inputs () in
+  let before = Opt.enumeration_cost unselective_first inputs in
+  let after = Opt.enumeration_cost (Opt.optimize unselective_first) inputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer tuples (%d -> %d)" before after)
+    true (after < before)
+
+let test_reorder_respects_dependencies () =
+  let q =
+    query
+      {|query(1) for $a in $0/x, $b in $a/y, $c in $b/z where text($c) = "1" return {$c}|}
+  in
+  match Opt.reorder_bindings q with
+  | Ast.Flwr f ->
+      let order = List.map (fun (b : Ast.binding) -> b.var) f.bindings in
+      let pos v =
+        let rec go i = function
+          | [] -> -1
+          | x :: _ when x = v -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 order
+      in
+      Alcotest.(check bool) "a before b" true (pos "a" < pos "b");
+      Alcotest.(check bool) "b before c" true (pos "b" < pos "c")
+  | Ast.Compose _ -> Alcotest.fail "shape"
+
+let test_early_filtering_cuts_work () =
+  (* Even without reordering, a selective conjunct on the first
+     binding must prune before the second binding enumerates. *)
+  let selective_first =
+    query
+      {|query(1) for $sel in $0//item, $all in $0//item
+        where attr($sel, "category") = "wanted"
+        return <pair/>|}
+  in
+  let inputs = sample_inputs () in
+  let cost_sel_first = Opt.enumeration_cost selective_first inputs in
+  let cost_sel_last = Opt.enumeration_cost unselective_first inputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "early filter cheaper (%d < %d)" cost_sel_first cost_sel_last)
+    true
+    (cost_sel_first < cost_sel_last)
+
+(* Property: optimize never changes results. *)
+let prop_optimize_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"optimize preserves results"
+       (QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000))
+       (fun seed ->
+         let rng = Workload.Rng.create ~seed in
+         let q = Workload.Query_gen.random_flwr ~rng Workload.Query_gen.default_config in
+         let data_rng = Workload.Rng.create ~seed:(seed * 5) in
+         let g = Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "po%d" seed) in
+         let input = Workload.Xml_gen.random_forest ~gen:g ~rng:data_rng ~trees:2 () in
+         let a = Query.Eval.eval ~gen:g q [ input ] in
+         let b = Query.Eval.eval ~gen:g (Opt.optimize q) [ input ] in
+         Xml.Canonical.equal_forest a b))
+
+let suite =
+  [
+    ("constant folding", `Quick, test_simplify_constants);
+    ("connective simplification", `Quick, test_simplify_connectives);
+    ("reordering preserves results", `Quick, test_reorder_preserves_results);
+    ("reordering reduces enumeration", `Quick, test_reorder_reduces_enumeration);
+    ("dependencies respected", `Quick, test_reorder_respects_dependencies);
+    ("early filtering cuts work", `Quick, test_early_filtering_cuts_work);
+    prop_optimize_preserves;
+  ]

@@ -1,0 +1,127 @@
+open Axml
+open Helpers
+module Scenarios = Workload.Scenarios
+module System = Runtime.System
+module Expr = Algebra.Expr
+module Names = Doc.Names
+
+let test_software_distribution_build () =
+  let sd = Scenarios.software_distribution ~mirrors:3 ~packages:20 ~seed:1 () in
+  Alcotest.(check int) "mirrors" 3 (List.length sd.sd_mirrors);
+  List.iter
+    (fun m ->
+      match System.find_document sd.sd_system m "packages" with
+      | Some doc ->
+          Alcotest.(check int) "catalog size" 20
+            (List.length (Xml.Tree.children (Doc.Document.root doc)))
+      | None -> Alcotest.fail "mirror without catalog")
+    sd.sd_mirrors;
+  (* The catalog class is registered at every peer. *)
+  let client_peer = System.peer sd.sd_system sd.sd_client in
+  Alcotest.(check int) "class members" 3
+    (List.length
+       (Doc.Generic.doc_members client_peer.Runtime.Peer.catalog
+          ~class_name:sd.sd_catalog_class))
+
+let test_resolution_via_service_call () =
+  let sd = Scenarios.software_distribution ~mirrors:2 ~packages:30 ~seed:2 () in
+  let sys = sd.sd_system in
+  let wanted = [ List.nth sd.sd_packages 3; List.nth sd.sd_packages 17 ] in
+  let request = Scenarios.resolution_request sd ~at:sd.sd_client ~wanted in
+  let mirror = List.hd sd.sd_mirrors in
+  (* Call resolve@mirror with (request, catalog-as-param). *)
+  let catalog =
+    match System.find_document sys mirror "packages" with
+    | Some d -> Doc.Document.root d
+    | None -> Alcotest.fail "catalog"
+  in
+  let sc =
+    Doc.Sc.make ~provider:(Names.At mirror) ~service:sd.sd_resolve
+      [ [ request ]; [ catalog ] ]
+  in
+  let out =
+    Runtime.Exec.run_to_quiescence sys ~ctx:sd.sd_client
+      (Expr.sc sc ~at:sd.sd_client)
+  in
+  Alcotest.(check int) "both packages resolved" 2 (List.length out.results);
+  List.iter
+    (fun t ->
+      Alcotest.(check (option string)) "resolved wrapper" (Some "resolved")
+        (Option.map Xml.Label.to_string (Xml.Tree.label t)))
+    out.results
+
+let test_resolution_via_generic_catalog () =
+  let sd = Scenarios.software_distribution ~mirrors:3 ~packages:15 ~seed:3 () in
+  let sys = sd.sd_system in
+  let wanted = [ List.nth sd.sd_packages 0 ] in
+  let request = Scenarios.resolution_request sd ~at:sd.sd_client ~wanted in
+  (* Apply the resolver query at the client over the generic catalog:
+     pickDoc chooses a mirror (definition (9)). *)
+  let resolver =
+    query
+      {|query(2) for $w in $0//want, $p in $1//package where attr($w, "name") = attr($p, "name") return <resolved>{$p}</resolved>|}
+  in
+  let e =
+    Expr.query_at resolver ~at:sd.sd_client
+      ~args:
+        [
+          Expr.tree_at request ~at:sd.sd_client;
+          Expr.doc_any sd.sd_catalog_class;
+        ]
+  in
+  let out = Runtime.Exec.run_to_quiescence sys ~ctx:sd.sd_client e in
+  Alcotest.(check int) "resolved through pickDoc" 1 (List.length out.results)
+
+let test_subscription_initial_and_updates () =
+  let sub = Scenarios.subscription ~sources:3 ~seed:5 () in
+  let sys = sub.sub_system in
+  System.run sys;
+  let digest_count () =
+    match System.find_document sys sub.sub_aggregator sub.sub_digest_doc with
+    | Some doc ->
+        List.length
+          (Xml.Path.select
+             (Xml.Path.of_string "/items/news")
+             (Doc.Document.root doc))
+    | None -> -1
+  in
+  let initial = digest_count () in
+  Alcotest.(check bool) "initial items flowed" true (initial >= 3);
+  (* Publish on two sources; deltas propagate. *)
+  Scenarios.publish sub ~source:(List.hd sub.sub_sources) ~headline:"breaking";
+  Scenarios.publish sub
+    ~source:(List.nth sub.sub_sources 1)
+    ~headline:"more news";
+  System.run sys;
+  Alcotest.(check int) "two deltas arrived" (initial + 2) (digest_count ())
+
+let test_subscription_isolated_sources () =
+  let sub = Scenarios.subscription ~sources:2 ~seed:6 () in
+  let sys = sub.sub_system in
+  System.run sys;
+  (* A publish on source0 must not touch source1's news doc. *)
+  let source1 = List.nth sub.sub_sources 1 in
+  let before =
+    match System.find_document sys source1 sub.sub_news_doc with
+    | Some d -> Xml.Tree.size (Doc.Document.root d)
+    | None -> -1
+  in
+  Scenarios.publish sub ~source:(List.hd sub.sub_sources) ~headline:"x";
+  System.run sys;
+  let after =
+    match System.find_document sys source1 sub.sub_news_doc with
+    | Some d -> Xml.Tree.size (Doc.Document.root d)
+    | None -> -1
+  in
+  Alcotest.(check int) "source1 untouched" before after
+
+let suite =
+  [
+    ("software distribution: construction", `Quick, test_software_distribution_build);
+    ("software distribution: resolve call", `Quick, test_resolution_via_service_call);
+    ( "software distribution: generic catalog",
+      `Quick,
+      test_resolution_via_generic_catalog );
+    ("subscription: initial and deltas", `Quick, test_subscription_initial_and_updates);
+    ("subscription: source isolation", `Quick, test_subscription_isolated_sources);
+  ]

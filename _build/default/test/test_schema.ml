@@ -1,0 +1,235 @@
+open Axml
+open Helpers
+module Cm = Schema.Content_model
+
+let test_content_model_basics () =
+  let matches atom (c : char) =
+    match atom with
+    | Cm.Ref s -> s = String.make 1 c
+    | Cm.Text -> c = '#'
+    | Cm.Wildcard -> true
+  in
+  let accepts model s =
+    Cm.matches_seq ~matches (List.init (String.length s) (String.get s)) model
+  in
+  let ab = Cm.seq [ Cm.ref_ "a"; Cm.ref_ "b" ] in
+  Alcotest.(check bool) "seq ok" true (accepts ab "ab");
+  Alcotest.(check bool) "seq wrong order" false (accepts ab "ba");
+  Alcotest.(check bool) "seq too short" false (accepts ab "a");
+  let astar = Cm.star (Cm.ref_ "a") in
+  Alcotest.(check bool) "star empty" true (accepts astar "");
+  Alcotest.(check bool) "star many" true (accepts astar "aaaa");
+  Alcotest.(check bool) "star wrong" false (accepts astar "ab");
+  let aplus = Cm.plus (Cm.ref_ "a") in
+  Alcotest.(check bool) "plus empty rejected" false (accepts aplus "");
+  Alcotest.(check bool) "plus one" true (accepts aplus "a");
+  let aopt = Cm.opt (Cm.ref_ "a") in
+  Alcotest.(check bool) "opt empty" true (accepts aopt "");
+  Alcotest.(check bool) "opt two" false (accepts aopt "aa");
+  let alt = Cm.alt [ Cm.ref_ "a"; Cm.ref_ "b" ] in
+  Alcotest.(check bool) "alt left" true (accepts alt "a");
+  Alcotest.(check bool) "alt right" true (accepts alt "b");
+  Alcotest.(check bool) "alt both" false (accepts alt "ab");
+  let complex =
+    Cm.seq [ Cm.ref_ "a"; Cm.star (Cm.alt [ Cm.ref_ "b"; Cm.ref_ "c" ]); Cm.opt (Cm.ref_ "d") ]
+  in
+  Alcotest.(check bool) "complex 1" true (accepts complex "abcbd");
+  Alcotest.(check bool) "complex 2" true (accepts complex "a");
+  Alcotest.(check bool) "complex 3" false (accepts complex "ad d")
+
+let test_multiset_matching () =
+  let matches atom (c : char) =
+    match atom with
+    | Cm.Ref s -> s = String.make 1 c
+    | Cm.Text -> c = '#'
+    | Cm.Wildcard -> true
+  in
+  let accepts model s =
+    Cm.matches_multiset ~matches
+      (List.init (String.length s) (String.get s))
+      model
+  in
+  let abc = Cm.seq [ Cm.ref_ "a"; Cm.ref_ "b"; Cm.ref_ "c" ] in
+  Alcotest.(check bool) "in order" true (accepts abc "abc");
+  Alcotest.(check bool) "permuted" true (accepts abc "cab");
+  Alcotest.(check bool) "another permutation" true (accepts abc "bca");
+  Alcotest.(check bool) "missing element" false (accepts abc "ac");
+  Alcotest.(check bool) "extra element" false (accepts abc "abca");
+  let a_star_b = Cm.seq [ Cm.star (Cm.ref_ "a"); Cm.ref_ "b" ] in
+  Alcotest.(check bool) "star permuted" true (accepts a_star_b "aba");
+  Alcotest.(check bool) "star missing mandatory" false (accepts a_star_b "aaa");
+  let choice = Cm.alt [ Cm.ref_ "a"; Cm.seq [ Cm.ref_ "b"; Cm.ref_ "c" ] ] in
+  Alcotest.(check bool) "alt branch permuted" true (accepts choice "cb");
+  Alcotest.(check bool) "empty vs epsilon" true
+    (Cm.matches_multiset ~matches [] Cm.Epsilon);
+  Alcotest.(check bool) "empty language rejects" false
+    (Cm.matches_multiset ~matches [] Cm.Empty)
+
+let test_unordered_validation () =
+  let schema =
+    Schema.Schema.of_decls
+      [
+        Schema.Schema.decl ~name:"r" ~label:"r" ~mixed:false
+          ~content:(Cm.seq [ Cm.ref_ "a"; Cm.ref_ "b" ]) ();
+        Schema.Schema.decl ~name:"a" ~label:"a" ~mixed:true ~content:Cm.Epsilon ();
+        Schema.Schema.decl ~name:"b" ~label:"b" ~mixed:true ~content:Cm.Epsilon ();
+      ]
+  in
+  let swapped = parse "<r><b/><a/></r>" in
+  Alcotest.(check bool) "ordered rejects swap" false
+    (Schema.Validate.conforms ~schema ~type_name:"r" swapped);
+  Alcotest.(check bool) "unordered accepts swap" true
+    (Schema.Validate.conforms ~unordered:true ~schema ~type_name:"r" swapped);
+  Alcotest.(check bool) "unordered still rejects junk" false
+    (Schema.Validate.conforms ~unordered:true ~schema ~type_name:"r"
+       (parse "<r><b/><b/></r>"))
+
+let test_nullable () =
+  Alcotest.(check bool) "epsilon" true (Cm.nullable Cm.Epsilon);
+  Alcotest.(check bool) "empty" false (Cm.nullable Cm.Empty);
+  Alcotest.(check bool) "star" true (Cm.nullable (Cm.star (Cm.ref_ "a")));
+  Alcotest.(check bool) "plus of nullable" true
+    (Cm.nullable (Cm.plus (Cm.opt (Cm.ref_ "a"))));
+  Alcotest.(check bool) "plus of atom" false (Cm.nullable (Cm.plus (Cm.ref_ "a")))
+
+let test_atoms () =
+  let m = Cm.seq [ Cm.ref_ "a"; Cm.alt [ Cm.ref_ "b"; Cm.ref_ "a" ]; Cm.text ] in
+  Alcotest.(check int) "dedup atoms" 3 (List.length (Cm.atoms m))
+
+let library_schema () =
+  Schema.Schema.of_decls
+    [
+      Schema.Schema.decl ~name:"lib" ~label:"lib" ~mixed:false
+        ~content:(Cm.star (Cm.ref_ "book"))
+        ();
+      Schema.Schema.decl ~name:"book" ~label:"book" ~mixed:false
+        ~content:(Cm.seq [ Cm.ref_ "title"; Cm.opt (Cm.ref_ "year") ])
+        ~attributes:[ { Schema.Schema.attr_name = "isbn"; required = true } ]
+        ();
+      Schema.Schema.decl ~name:"title" ~label:"title" ~mixed:true
+        ~content:Cm.Epsilon ();
+      Schema.Schema.decl ~name:"year" ~label:"year" ~mixed:true
+        ~content:Cm.Epsilon ();
+    ]
+
+let ok = Alcotest.(check bool) "valid" true
+let bad = Alcotest.(check bool) "invalid" false
+
+let conforms xml ty =
+  Schema.Validate.conforms ~schema:(library_schema ()) ~type_name:ty (parse xml)
+
+let test_validate_accepts () =
+  ok (conforms {|<lib><book isbn="1"><title>ml</title></book></lib>|} "lib");
+  ok
+    (conforms
+       {|<lib><book isbn="1"><title>ml</title><year>2006</year></book><book isbn="2"><title>db</title></book></lib>|}
+       "lib");
+  ok (conforms "<lib/>" "lib");
+  ok (conforms "<title>anything at all</title>" "title")
+
+let test_validate_rejects () =
+  bad (conforms {|<lib><book><title>no isbn</title></book></lib>|} "lib");
+  bad (conforms {|<lib><book isbn="1"><year>2006</year></book></lib>|} "lib")
+    (* missing mandatory title *);
+  bad (conforms {|<lib><book isbn="1"><title>t</title><title>t2</title></book></lib>|} "lib");
+  bad (conforms {|<shelf/>|} "lib") (* wrong label *);
+  bad (conforms {|<lib><magazine/></lib>|} "lib")
+
+let test_any_type () =
+  ok
+    (Schema.Validate.conforms ~schema:Schema.Schema.empty
+       ~type_name:Schema.Schema.any_type_name (parse "<whatever/>"));
+  bad
+    (Schema.Validate.conforms ~schema:Schema.Schema.empty
+       ~type_name:Schema.Schema.any_type_name (Xml.Tree.text "bare text"))
+
+let test_mixed_content () =
+  let schema =
+    Schema.Schema.of_decls
+      [
+        Schema.Schema.decl ~name:"p" ~label:"p" ~mixed:true
+          ~content:(Cm.star (Cm.ref_ "b")) ();
+        Schema.Schema.decl ~name:"b" ~label:"b" ~mixed:true ~content:Cm.Epsilon ();
+      ]
+  in
+  ok (Schema.Validate.conforms ~schema ~type_name:"p" (parse "<p>text <b>bold</b> more</p>"))
+
+let test_check_closed () =
+  let dangling =
+    Schema.Schema.of_decls
+      [
+        Schema.Schema.decl ~name:"a" ~label:"a" ~mixed:false
+          ~content:(Cm.ref_ "ghost") ();
+      ]
+  in
+  (match Schema.Schema.check_closed dangling with
+  | Error [ "ghost" ] -> ()
+  | Error other -> Alcotest.failf "unexpected dangling set: %s" (String.concat "," other)
+  | Ok () -> Alcotest.fail "should report ghost");
+  Alcotest.(check bool) "library closed" true
+    (Result.is_ok (Schema.Schema.check_closed (library_schema ())));
+  let with_any =
+    Schema.Schema.of_decls
+      [
+        Schema.Schema.decl ~name:"a" ~label:"a" ~mixed:false
+          ~content:(Cm.ref_ Schema.Schema.any_type_name) ();
+      ]
+  in
+  Alcotest.(check bool) "#any is always declared" true
+    (Result.is_ok (Schema.Schema.check_closed with_any))
+
+let test_union () =
+  let s1 =
+    Schema.Schema.of_decls [ Schema.Schema.decl ~name:"a" ~label:"a" () ]
+  in
+  let s2 =
+    Schema.Schema.of_decls [ Schema.Schema.decl ~name:"b" ~label:"b" () ]
+  in
+  (match Schema.Schema.union s1 s2 with
+  | Ok u -> Alcotest.(check int) "merged" 2 (List.length (Schema.Schema.type_names u))
+  | Error e -> Alcotest.fail e);
+  match Schema.Schema.union s1 s1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "clash should fail"
+
+let test_signature () =
+  let schema = library_schema () in
+  let sg = Schema.Signature.make ~schema ~inputs:[ "book" ] ~output:"lib" in
+  Alcotest.(check int) "arity" 1 (Schema.Signature.arity sg);
+  Alcotest.(check bool) "good input" true
+    (Result.is_ok
+       (Schema.Signature.check_inputs sg
+          [ parse {|<book isbn="3"><title>x</title></book>|} ]));
+  Alcotest.(check bool) "bad input" false
+    (Result.is_ok (Schema.Signature.check_inputs sg [ parse "<lib/>" ]));
+  Alcotest.(check bool) "arity mismatch" false
+    (Result.is_ok (Schema.Signature.check_inputs sg []));
+  Alcotest.(check bool) "good output" true
+    (Result.is_ok (Schema.Signature.check_output sg (parse "<lib/>")));
+  (match Schema.Signature.make ~schema ~inputs:[ "ghost" ] ~output:"lib" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared type must be rejected");
+  let u = Schema.Signature.untyped ~arity:2 in
+  Alcotest.(check bool) "untyped accepts anything" true
+    (Result.is_ok
+       (Schema.Signature.check_inputs u [ parse "<a/>"; parse "<b/>" ]));
+  Alcotest.(check bool) "compatible" true
+    (Schema.Signature.compatible u (Schema.Signature.untyped ~arity:2));
+  Alcotest.(check bool) "incompatible arity" false
+    (Schema.Signature.compatible u (Schema.Signature.untyped ~arity:1))
+
+let suite =
+  [
+    ("content model matching", `Quick, test_content_model_basics);
+    ("multiset (unordered) matching", `Quick, test_multiset_matching);
+    ("unordered validation", `Quick, test_unordered_validation);
+    ("nullable", `Quick, test_nullable);
+    ("atoms", `Quick, test_atoms);
+    ("validation accepts", `Quick, test_validate_accepts);
+    ("validation rejects", `Quick, test_validate_rejects);
+    ("universal type", `Quick, test_any_type);
+    ("mixed content", `Quick, test_mixed_content);
+    ("closedness check", `Quick, test_check_closed);
+    ("schema union", `Quick, test_union);
+    ("service signatures", `Quick, test_signature);
+  ]

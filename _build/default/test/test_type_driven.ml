@@ -1,0 +1,139 @@
+open Axml
+open Helpers
+module Td = Runtime.Type_driven
+module System = Runtime.System
+module Cm = Schema.Content_model
+
+let p1 = peer "p1"
+let p2 = peer "p2"
+
+(* Target type: a report must contain a summary and at least one
+   entry. *)
+let report_schema =
+  Schema.Schema.of_decls
+    [
+      Schema.Schema.decl ~name:"report" ~label:"report" ~mixed:false
+        ~content:(Cm.seq [ Cm.ref_ "summary"; Cm.plus (Cm.ref_ "entry") ])
+        ();
+      Schema.Schema.decl ~name:"summary" ~label:"summary" ~mixed:true
+        ~content:Cm.Epsilon ();
+      Schema.Schema.decl ~name:"entry" ~label:"entry" ~mixed:true
+        ~content:Cm.Epsilon ();
+    ]
+
+let test_erase_calls () =
+  let t =
+    parse
+      {|<r><keep/><sc><peer>p</peer><service>s</service></sc><also><sc><peer>p</peer><service>s</service></sc></also></r>|}
+  in
+  let erased = Td.erase_calls t in
+  Alcotest.(check int) "no sc left" 0
+    (List.length (Doc.Sc.find_calls erased));
+  Alcotest.(check int) "keep and also remain" 2
+    (List.length (Xml.Tree.children erased))
+
+let test_conforms_modulo_calls () =
+  let ok =
+    parse
+      {|<report><summary>s</summary><entry>e</entry><sc><peer>p</peer><service>x</service></sc></report>|}
+  in
+  Alcotest.(check bool) "calls transparent" true
+    (Result.is_ok
+       (Td.conforms_modulo_calls ~schema:report_schema ~type_name:"report" ok));
+  let missing = parse {|<report><summary>s</summary></report>|} in
+  Alcotest.(check bool) "missing entry caught" false
+    (Result.is_ok
+       (Td.conforms_modulo_calls ~schema:report_schema ~type_name:"report"
+          missing))
+
+let build_system ~doc_xml =
+  let sys = System.create (mesh [ "p1"; "p2" ]) in
+  System.add_service sys p2
+    (Doc.Service.declarative ~name:"make_entries"
+       (query {|query(0) return <entry>"generated"</entry>|}));
+  System.add_service sys p2
+    (Doc.Service.declarative ~name:"make_summary"
+       (query {|query(0) return <summary>"auto"</summary>|}));
+  System.load_document sys p1 ~name:"rep" ~xml:doc_xml;
+  sys
+
+let test_activation_completes_type () =
+  (* The document lacks its mandatory entry, but owns a call that can
+     produce one. *)
+  let sys =
+    build_system
+      ~doc_xml:
+        {|<report><summary>s</summary><sc><peer>p2</peer><service>make_entries</service></sc></report>|}
+  in
+  let report =
+    Td.activate_until_valid sys ~owner:p1 ~doc:"rep" ~schema:report_schema
+      ~type_name:"report" ()
+  in
+  Alcotest.(check bool) "conforms after activation" true report.conforms;
+  Alcotest.(check int) "one call fired" 1 report.activated;
+  Alcotest.(check bool) "at least one round" true (report.rounds >= 1)
+
+let test_multiple_rounds () =
+  (* Both summary and entry are missing; two calls must fire.  The
+     loop may need several rounds since fixing one hole reveals the
+     next. *)
+  let sys =
+    build_system
+      ~doc_xml:
+        {|<report><sc><peer>p2</peer><service>make_summary</service></sc><sc><peer>p2</peer><service>make_entries</service></sc></report>|}
+  in
+  let report =
+    Td.activate_until_valid sys ~owner:p1 ~doc:"rep" ~schema:report_schema
+      ~type_name:"report" ()
+  in
+  Alcotest.(check bool) "conforms" true report.conforms;
+  Alcotest.(check int) "both calls fired" 2 report.activated
+
+let test_already_valid_no_activation () =
+  let sys =
+    build_system
+      ~doc_xml:
+        {|<report><summary>s</summary><entry>e</entry><sc><peer>p2</peer><service>make_entries</service></sc></report>|}
+  in
+  let report =
+    Td.activate_until_valid sys ~owner:p1 ~doc:"rep" ~schema:report_schema
+      ~type_name:"report" ()
+  in
+  Alcotest.(check bool) "already conforms" true report.conforms;
+  Alcotest.(check int) "nothing fired" 0 report.activated;
+  Alcotest.(check int) "zero rounds" 0 report.rounds
+
+let test_unreachable_type_reports_failure () =
+  (* The available call produces entries, never the missing summary. *)
+  let sys =
+    build_system
+      ~doc_xml:
+        {|<report><entry>e</entry><sc><peer>p2</peer><service>make_entries</service></sc></report>|}
+  in
+  let report =
+    Td.activate_until_valid sys ~owner:p1 ~doc:"rep" ~schema:report_schema
+      ~type_name:"report" ()
+  in
+  Alcotest.(check bool) "does not conform" false report.conforms;
+  Alcotest.(check bool) "error reported" true (report.last_error <> None);
+  Alcotest.(check bool) "tried the call" true (report.activated >= 1)
+
+let test_missing_document_guard () =
+  let sys = build_system ~doc_xml:"<report/>" in
+  match
+    Td.activate_until_valid sys ~owner:p1 ~doc:"ghost" ~schema:report_schema
+      ~type_name:"report" ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing document"
+
+let suite =
+  [
+    ("erase calls", `Quick, test_erase_calls);
+    ("conformance modulo calls", `Quick, test_conforms_modulo_calls);
+    ("activation completes the type", `Quick, test_activation_completes_type);
+    ("multiple rounds", `Quick, test_multiple_rounds);
+    ("already valid: no activation", `Quick, test_already_valid_no_activation);
+    ("unreachable type reported", `Quick, test_unreachable_type_reports_failure);
+    ("missing document guard", `Quick, test_missing_document_guard);
+  ]

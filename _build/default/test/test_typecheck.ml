@@ -1,0 +1,167 @@
+open Axml
+open Helpers
+module Tc = Query.Typecheck
+module Cm = Schema.Content_model
+
+(* A small library grammar. *)
+let schema =
+  Schema.Schema.of_decls
+    [
+      Schema.Schema.decl ~name:"lib" ~label:"lib" ~mixed:false
+        ~content:(Cm.star (Cm.ref_ "shelf")) ();
+      Schema.Schema.decl ~name:"shelf" ~label:"shelf" ~mixed:false
+        ~content:(Cm.star (Cm.ref_ "book")) ();
+      Schema.Schema.decl ~name:"book" ~label:"book" ~mixed:false
+        ~content:(Cm.seq [ Cm.ref_ "title"; Cm.opt (Cm.ref_ "year") ]) ();
+      Schema.Schema.decl ~name:"title" ~label:"title" ~mixed:true
+        ~content:Cm.Epsilon ();
+      Schema.Schema.decl ~name:"year" ~label:"year" ~mixed:true
+        ~content:Cm.Epsilon ();
+    ]
+
+let test_child_types () =
+  Alcotest.(check (list string)) "lib children" [ "shelf" ]
+    (Tc.child_types schema "lib");
+  Alcotest.(check (list string)) "book children" [ "title"; "year" ]
+    (Tc.child_types schema "book");
+  Alcotest.(check (list string)) "leaf" [] (Tc.child_types schema "title");
+  Alcotest.(check bool) "universal has all" true
+    (List.length (Tc.child_types schema Schema.Schema.any_type_name) >= 5)
+
+let path s = Result.get_ok (Query.Parser.parse_path s)
+
+let test_types_via_path () =
+  Alcotest.(check (list string)) "child chain" [ "book" ]
+    (Tc.types_via_path schema ~from:[ "lib" ] (path "/shelf/book"));
+  Alcotest.(check (list string)) "descendant" [ "title" ]
+    (Tc.types_via_path schema ~from:[ "lib" ] (path "//title"));
+  Alcotest.(check (list string)) "unsatisfiable" []
+    (Tc.types_via_path schema ~from:[ "lib" ] (path "/book"));
+  (* Wildcard step. *)
+  Alcotest.(check (list string)) "wildcard step" [ "shelf" ]
+    (Tc.types_via_path schema ~from:[ "lib" ] (path "/*"));
+  (* From the universal type everything is reachable. *)
+  Alcotest.(check bool) "from any" true
+    (List.mem "book"
+       (Tc.types_via_path schema
+          ~from:[ Schema.Schema.any_type_name ]
+          (path "//book")))
+
+let test_var_types () =
+  let q =
+    query
+      {|query(1) for $s in $0/shelf, $b in $s/book, $t in $b/title return {$t}|}
+  in
+  match Tc.var_types schema ~inputs:[ "lib" ] q with
+  | Ok vt ->
+      Alcotest.(check (list string)) "s" [ "shelf" ] (List.assoc "s" vt);
+      Alcotest.(check (list string)) "b" [ "book" ] (List.assoc "b" vt);
+      Alcotest.(check (list string)) "t" [ "title" ] (List.assoc "t" vt)
+  | Error e -> Alcotest.fail e
+
+let test_var_types_empty_when_unsatisfiable () =
+  let q = query "query(1) for $x in $0/nonexistent return {$x}" in
+  match Tc.var_types schema ~inputs:[ "lib" ] q with
+  | Ok [ ("x", types) ] -> Alcotest.(check (list string)) "empty" [] types
+  | Ok _ -> Alcotest.fail "one var expected"
+  | Error e -> Alcotest.fail e
+
+let test_infer_output_and_validate () =
+  let q =
+    query
+      {|query(1) for $b in $0//book where exists($b/year) return <hit><count>"1"</count>{$b}</hit>|}
+  in
+  match Tc.infer_output schema ~inputs:[ "lib" ] ~prefix:"out" q with
+  | Error e -> Alcotest.fail e
+  | Ok (extended, out_types) ->
+      Alcotest.(check int) "one output type" 1 (List.length out_types);
+      (* Evaluate on conforming data; every output validates against
+         the inferred type. *)
+      let data =
+        parse
+          {|<lib><shelf><book><title>a</title><year>2001</year></book><book><title>b</title></book></shelf></lib>|}
+      in
+      Alcotest.(check bool) "input conforms" true
+        (Schema.Validate.conforms ~schema ~type_name:"lib" data);
+      let out = Query.Eval.eval ~gen:(gen ()) q [ [ data ] ] in
+      Alcotest.(check int) "one hit" 1 (List.length out);
+      List.iter
+        (fun t ->
+          let ok =
+            List.exists
+              (fun ty ->
+                Schema.Validate.conforms ~schema:extended ~type_name:ty t)
+              out_types
+          in
+          Alcotest.(check bool) "output validates against inference" true ok)
+        out
+
+let test_infer_copy_passthrough () =
+  let q = query "query(1) for $b in $0//book return {$b}" in
+  match Tc.infer_output schema ~inputs:[ "lib" ] ~prefix:"o" q with
+  | Ok (_, [ "book" ]) -> ()
+  | Ok (_, other) ->
+      Alcotest.failf "expected [book], got [%s]" (String.concat ";" other)
+  | Error e -> Alcotest.fail e
+
+let test_infer_rejects_bare_text () =
+  let q = query "query(1) for $b in $0//book return {text($b)}" in
+  Alcotest.(check bool) "bare text rejected" true
+    (Result.is_error (Tc.infer_output schema ~inputs:[ "lib" ] ~prefix:"o" q))
+
+let test_signature_check () =
+  (* A service honestly declaring book output. *)
+  let sig_ok =
+    Schema.Signature.make ~schema ~inputs:[ "lib" ] ~output:"book"
+  in
+  let svc_ok =
+    Doc.Service.declarative ~signature:sig_ok ~name:"books"
+      (query "query(1) for $b in $0//book return {$b}")
+  in
+  Alcotest.(check bool) "honest signature accepted" true
+    (Result.is_ok (Doc.Signature_check.check schema svc_ok));
+  (* A service claiming to return shelves while producing books. *)
+  let sig_bad =
+    Schema.Signature.make ~schema ~inputs:[ "lib" ] ~output:"shelf"
+  in
+  let svc_bad =
+    Doc.Service.declarative ~signature:sig_bad ~name:"liar"
+      (query "query(1) for $b in $0//book return {$b}")
+  in
+  Alcotest.(check bool) "lying signature rejected" true
+    (Result.is_error (Doc.Signature_check.check schema svc_bad));
+  (* Untyped services always pass. *)
+  let svc_untyped =
+    Doc.Service.declarative ~name:"anything"
+      (query "query(1) for $b in $0//book return {$b}")
+  in
+  Alcotest.(check bool) "universal output accepted" true
+    (Result.is_ok (Doc.Signature_check.check schema svc_untyped))
+
+let test_check_registry () =
+  let reg = Doc.Registry.create () in
+  Doc.Registry.add reg
+    (Doc.Service.declarative ~name:"fine"
+       (query "query(1) for $b in $0//book return {$b}"));
+  Doc.Registry.add reg
+    (Doc.Service.declarative
+       ~signature:(Schema.Signature.make ~schema ~inputs:[ "lib" ] ~output:"shelf")
+       ~name:"broken"
+       (query "query(1) for $b in $0//book return {$b}"));
+  let failures = Doc.Signature_check.check_registry schema reg in
+  Alcotest.(check int) "one failure" 1 (List.length failures);
+  Alcotest.(check string) "the broken one" "broken"
+    (Doc.Names.Service_name.to_string (fst (List.hd failures)))
+
+let suite =
+  [
+    ("child types", `Quick, test_child_types);
+    ("path typing", `Quick, test_types_via_path);
+    ("variable typing", `Quick, test_var_types);
+    ("unsatisfiable path", `Quick, test_var_types_empty_when_unsatisfiable);
+    ("output inference validates", `Quick, test_infer_output_and_validate);
+    ("copy pass-through", `Quick, test_infer_copy_passthrough);
+    ("bare text rejected", `Quick, test_infer_rejects_bare_text);
+    ("signature check", `Quick, test_signature_check);
+    ("registry sweep", `Quick, test_check_registry);
+  ]

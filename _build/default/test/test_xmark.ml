@@ -1,0 +1,92 @@
+open Axml
+open Helpers
+module Xmark = Workload.Xmark
+
+let make_site ?scale seed =
+  let rng = Workload.Rng.create ~seed in
+  let g = Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "xm%d" seed) in
+  Xmark.site ?scale ~gen:g ~rng ()
+
+let eval q site =
+  Query.Eval.eval ~gen:(gen ()) q [ [ site ] ]
+
+let test_site_shape () =
+  let site = make_site 1 in
+  let count p = List.length (Xml.Path.select (Xml.Path.of_string p) site) in
+  Alcotest.(check int) "people" Xmark.default_scale.people
+    (count "/people/person");
+  let region_count =
+    match Xml.Path.select (Xml.Path.of_string "/regions") site with
+    | [ r ] -> List.length (List.filter Xml.Tree.is_element (Xml.Tree.children r))
+    | _ -> -1
+  in
+  Alcotest.(check int) "regions" (List.length Xmark.regions) region_count;
+  Alcotest.(check int) "items"
+    (Xmark.default_scale.items_per_region * List.length Xmark.regions)
+    (count "/regions//item");
+  Alcotest.(check int) "auctions" Xmark.default_scale.auctions
+    (count "/auctions/auction")
+
+let test_deterministic () =
+  Alcotest.(check bool) "same seed, same site" true
+    (Xml.Canonical.equal (make_site 7) (make_site 7));
+  Alcotest.(check bool) "different seed differs" false
+    (Xml.Canonical.equal (make_site 7) (make_site 8))
+
+let test_region_query () =
+  let site = make_site 2 in
+  let out = eval (Xmark.q_items_of_region "europe") site in
+  Alcotest.(check int) "one listing per item"
+    Xmark.default_scale.items_per_region (List.length out)
+
+let test_auction_join () =
+  let site = make_site 3 in
+  let out = eval Xmark.q_auction_item_join site in
+  (* Every auction references an existing item, so the join is total. *)
+  Alcotest.(check int) "join total" Xmark.default_scale.auctions
+    (List.length out);
+  List.iter
+    (fun sale ->
+      Alcotest.(check bool) "has price" true
+        (Xml.Path.exists (Xml.Path.of_string "/price") sale))
+    out
+
+let test_category_join_subset () =
+  let site = make_site 4 in
+  let per_cat =
+    List.map
+      (fun c -> List.length (eval (Xmark.q_bidders_of_category c) site))
+      Xmark.categories
+  in
+  let total_bidders =
+    List.length (Xml.Path.select (Xml.Path.of_string "/auctions/auction/bidder") site)
+  in
+  Alcotest.(check int) "categories partition the bidders" total_bidders
+    (List.fold_left ( + ) 0 per_cat)
+
+let test_price_threshold_monotone () =
+  let site = make_site 5 in
+  let count t = List.length (eval (Xmark.q_expensive_auctions t) site) in
+  Alcotest.(check bool) "higher threshold, fewer hits" true
+    (count 150.0 <= count 50.0);
+  Alcotest.(check int) "none above max" 0 (count 1000.0);
+  Alcotest.(check int) "all above min" Xmark.default_scale.auctions (count 0.0)
+
+let test_scaling () =
+  let scale =
+    { Xmark.default_scale with people = 5; items_per_region = 3; auctions = 4 }
+  in
+  let site = make_site ~scale 6 in
+  Alcotest.(check int) "scaled people" 5
+    (List.length (Xml.Path.select (Xml.Path.of_string "/people/person") site))
+
+let suite =
+  [
+    ("site shape", `Quick, test_site_shape);
+    ("deterministic generation", `Quick, test_deterministic);
+    ("region query", `Quick, test_region_query);
+    ("auction-item join", `Quick, test_auction_join);
+    ("category join partitions bidders", `Quick, test_category_join_subset);
+    ("price threshold monotone", `Quick, test_price_threshold_monotone);
+    ("custom scale", `Quick, test_scaling);
+  ]
