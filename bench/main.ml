@@ -136,6 +136,17 @@ let bench_e10 () =
        (Algebra.Optimizer.Greedy { max_steps = 4 })
        naive)
 
+let bench_e15 () =
+  let env =
+    Algebra.Cost.default_env ~doc_bytes:(fun _ -> 16_384)
+      (Net.Topology.full_mesh ~link:default_link [ p1; p2; p3 ])
+  in
+  let naive = Expr.query_at sel_query ~at:p1 ~args:[ Expr.doc "cat" ~at:"p2" ] in
+  ignore
+    (Algebra.Planner.plan ~env ~ctx:p1
+       (Algebra.Optimizer.Best_first { max_expansions = 16 })
+       naive)
+
 let micro_tests =
   let open Bechamel in
   let t name f = Test.make ~name (Staged.stage f) in
@@ -212,6 +223,11 @@ let micro_tests =
         ignore (run_plan sys (Expr.doc_any "m")));
     t "E9 incremental push x8" bench_e9;
     t "E10 greedy optimizer" bench_e10;
+    t "E15 best-first planner" bench_e15;
+    t "expr.fingerprint naive plan" (fun () ->
+        ignore
+          (Algebra.Expr.fingerprint
+             (Expr.query_at sel_query ~at:p1 ~args:[ Expr.doc "cat" ~at:"p2" ])));
   ]
 
 let run_micro () =

@@ -5,6 +5,7 @@
      query      run a query over XML documents
      rules      list the rewrites applicable to a serialized plan
      optimize   optimize a serialized plan under the cost model
+     explain    run the unified planner and print its explain record
      demo       run the Example-1 demonstration end to end *)
 
 open Cmdliner
@@ -133,43 +134,78 @@ let rules_cmd =
     (Cmd.info "rules" ~doc:"List rewrites applicable to a plan")
     Term.(const run $ plan_arg $ peers_arg)
 
-(* --- optimize ---------------------------------------------------- *)
+(* --- optimize / explain ------------------------------------------ *)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("greedy", "greedy");
+             ("exhaustive", "exhaustive");
+             ("best-first", "best-first");
+             ("beam", "beam");
+           ])
+        "greedy"
+    & info [ "strategy" ]
+        ~docv:"greedy|exhaustive|best-first|beam"
+        ~doc:"Search strategy")
+
+let depth_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "depth" ] ~doc:"Exhaustive/beam depth, greedy steps")
+
+let width_arg =
+  Arg.(value & opt int 4 & info [ "width" ] ~doc:"Beam width")
+
+let expansions_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "expansions" ] ~doc:"Best-first expansion budget")
+
+let latency_arg =
+  Arg.(value & opt float 10.0 & info [ "latency" ] ~doc:"Mesh latency (ms)")
+
+let bandwidth_arg =
+  Arg.(
+    value & opt float 100.0 & info [ "bandwidth" ] ~doc:"Mesh bandwidth (B/ms)")
+
+let doc_bytes_arg =
+  Arg.(
+    value & opt int 16384
+    & info [ "doc-bytes" ] ~doc:"Assumed size of referenced documents")
+
+let parse_strategy ~depth ~width ~expansions = function
+  | "exhaustive" -> Algebra.Optimizer.Exhaustive { depth }
+  | "best-first" -> Algebra.Optimizer.Best_first { max_expansions = expansions }
+  | "beam" -> Algebra.Optimizer.Beam { width; depth }
+  | _ -> Algebra.Optimizer.Greedy { max_steps = depth }
+
+(* The synthetic mesh always covers the peers the plan itself
+   mentions — a plan referencing a peer missing from --peers would
+   otherwise crash the cost model's link lookup. *)
+let mesh_env ~plan ~peers ~latency ~bandwidth ~doc_bytes =
+  let peer_ids =
+    List.fold_left
+      (fun acc p -> if List.exists (Net.Peer_id.equal p) acc then acc else acc @ [ p ])
+      (List.map Net.Peer_id.of_string peers)
+      (Algebra.Expr.peers plan)
+  in
+  let topo =
+    Net.Topology.full_mesh
+      ~link:(Net.Link.make ~latency_ms:latency ~bandwidth_bytes_per_ms:bandwidth)
+      peer_ids
+  in
+  Algebra.Cost.default_env ~doc_bytes:(fun _ -> doc_bytes) topo
 
 let optimize_cmd =
-  let strategy =
-    Arg.(
-      value & opt string "greedy"
-      & info [ "strategy" ] ~docv:"greedy|exhaustive" ~doc:"Search strategy")
-  in
-  let depth =
-    Arg.(value & opt int 3 & info [ "depth" ] ~doc:"Exhaustive depth / greedy steps")
-  in
-  let latency =
-    Arg.(value & opt float 10.0 & info [ "latency" ] ~doc:"Mesh latency (ms)")
-  in
-  let bandwidth =
-    Arg.(
-      value & opt float 100.0 & info [ "bandwidth" ] ~doc:"Mesh bandwidth (B/ms)")
-  in
-  let doc_bytes =
-    Arg.(
-      value & opt int 16384
-      & info [ "doc-bytes" ] ~doc:"Assumed size of referenced documents")
-  in
-  let run plan peers ctx strategy depth latency bandwidth doc_bytes =
+  let run plan peers ctx strategy depth width expansions latency bandwidth
+      doc_bytes =
     let e = load_plan plan in
-    let peer_ids = List.map Net.Peer_id.of_string peers in
-    let topo =
-      Net.Topology.full_mesh
-        ~link:(Net.Link.make ~latency_ms:latency ~bandwidth_bytes_per_ms:bandwidth)
-        peer_ids
-    in
-    let env = Algebra.Cost.default_env ~doc_bytes:(fun _ -> doc_bytes) topo in
-    let strategy =
-      match strategy with
-      | "exhaustive" -> Algebra.Optimizer.Exhaustive { depth }
-      | _ -> Algebra.Optimizer.Greedy { max_steps = depth }
-    in
+    let env = mesh_env ~plan:e ~peers:(ctx :: peers) ~latency ~bandwidth ~doc_bytes in
+    let strategy = parse_strategy ~depth ~width ~expansions strategy in
     let result =
       Algebra.Optimizer.optimize ~env ~ctx:(Net.Peer_id.of_string ctx) strategy e
     in
@@ -180,8 +216,35 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a serialized plan")
     Term.(
-      const run $ plan_arg $ peers_arg $ ctx_arg $ strategy $ depth $ latency
-      $ bandwidth $ doc_bytes)
+      const run $ plan_arg $ peers_arg $ ctx_arg $ strategy_arg $ depth_arg
+      $ width_arg $ expansions_arg $ latency_arg $ bandwidth_arg $ doc_bytes_arg)
+
+let explain_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the explain record as a JSON object")
+  in
+  let run plan peers ctx strategy depth width expansions latency bandwidth
+      doc_bytes json =
+    let e = load_plan plan in
+    let env = mesh_env ~plan:e ~peers:(ctx :: peers) ~latency ~bandwidth ~doc_bytes in
+    let strategy = parse_strategy ~depth ~width ~expansions strategy in
+    let result =
+      Algebra.Planner.plan ~env ~ctx:(Net.Peer_id.of_string ctx) strategy e
+    in
+    if json then print_endline (Algebra.Planner.explain_json result)
+    else Format.printf "%a@." Algebra.Planner.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run the unified planner (rewrite search + per-site query \
+          optimization) and print its explain record")
+    Term.(
+      const run $ plan_arg $ peers_arg $ ctx_arg $ strategy_arg $ depth_arg
+      $ width_arg $ expansions_arg $ latency_arg $ bandwidth_arg $ doc_bytes_arg
+      $ json)
 
 (* --- demo -------------------------------------------------------- *)
 
@@ -245,4 +308,7 @@ let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
   let info = Cmd.info "axmlctl" ~version:"1.0.0" ~doc:"Distributed AXML toolkit" in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; query_cmd; rules_cmd; optimize_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; query_cmd; rules_cmd; optimize_cmd; explain_cmd; demo_cmd ]))

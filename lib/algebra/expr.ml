@@ -73,7 +73,14 @@ let map_children f = function
   | Query_app q -> Query_app { q with args = List.map f q.args }
   | Send s -> Send { s with expr = f s.expr }
   | Eval_at e -> Eval_at { e with expr = f e.expr }
-  | Shared s -> Shared { s with value = f s.value; body = f s.body }
+  | Shared s ->
+      (* Forced left-to-right so [f] sees children in
+         [subexpressions] order — record fields evaluate
+         right-to-left, which silently swapped the two slots for any
+         stateful [f] (e.g. Rewrite.everywhere's positional rebuild). *)
+      let value = f s.value in
+      let body = f s.body in
+      Shared { s with value; body }
 
 let rec size e =
   1 + List.fold_left (fun acc c -> acc + size c) 0 (subexpressions e)
@@ -114,7 +121,7 @@ let rec peers_acc acc = function
 
 let peers e = peers_acc [] e
 
-let rec equal a b =
+let rec equal_expr a b =
   match (a, b) with
   | Data_at x, Data_at y ->
       (* Canonical comparison: node identifiers, sibling order and text
@@ -125,14 +132,14 @@ let rec equal a b =
   | Query_app x, Query_app y ->
       Peer_id.equal x.at y.at
       && query_equal x.query y.query
-      && List.equal equal x.args y.args
+      && List.equal equal_expr x.args y.args
   | Sc x, Sc y -> Peer_id.equal x.at y.at && Axml_doc.Sc.equal x.sc y.sc
-  | Send x, Send y -> dest_equal x.dest y.dest && equal x.expr y.expr
-  | Eval_at x, Eval_at y -> Peer_id.equal x.at y.at && equal x.expr y.expr
+  | Send x, Send y -> dest_equal x.dest y.dest && equal_expr x.expr y.expr
+  | Eval_at x, Eval_at y -> Peer_id.equal x.at y.at && equal_expr x.expr y.expr
   | Shared x, Shared y ->
       Names.Doc_name.equal x.name y.name
       && Peer_id.equal x.at y.at
-      && equal x.value y.value && equal x.body y.body
+      && equal_expr x.value y.value && equal_expr x.body y.body
   | (Data_at _ | Doc _ | Query_app _ | Sc _ | Send _ | Eval_at _ | Shared _), _
     ->
       false
@@ -151,6 +158,127 @@ and dest_equal a b =
   | To_doc (n1, p1), To_doc (n2, p2) ->
       Names.Doc_name.equal n1 n2 && Peer_id.equal p1 p2
   | (To_peer _ | To_nodes _ | To_doc _), _ -> false
+
+(* Full structural comparisons are the inner loop of plan search; the
+   counter lets the planner benchmarks report how many a strategy
+   actually paid for. *)
+let equal_counter = ref 0
+
+let equal a b =
+  incr equal_counter;
+  equal_expr a b
+
+let equal_calls () = !equal_counter
+
+(* {2 Fingerprints}
+
+   A fingerprint must be invariant under everything [equal] ignores:
+   node identifiers and sibling order inside embedded forests (hashed
+   through the canonical form, combined commutatively for multiset
+   equality) and the order of an sc's forward list (sorted before
+   hashing). *)
+
+module Fingerprint = struct
+  type t = { hash : int; size : int; depth : int }
+
+  let equal a b = a.hash = b.hash && a.size = b.size && a.depth = b.depth
+
+  let compare a b =
+    match Int.compare a.hash b.hash with
+    | 0 -> (
+        match Int.compare a.size b.size with
+        | 0 -> Int.compare a.depth b.depth
+        | c -> c)
+    | c -> c
+
+  let pp fmt f = Format.fprintf fmt "#%x[n=%d,d=%d]" f.hash f.size f.depth
+end
+
+let mix h x = ((h * 0x01000193) lxor x) land max_int
+let hash_string s = Hashtbl.hash (s : string)
+
+let hash_location = function
+  | Names.Any -> 0x9e3779b9 land max_int
+  | Names.At p -> mix 0x51ed (Peer_id.hash p)
+
+(* Multiset hash: commutative combination of canonical tree hashes. *)
+let hash_forest f =
+  List.fold_left
+    (fun acc t -> (acc + Axml_xml.Canonical.hash t) land max_int)
+    0x1505 f
+
+let hash_node_ref (r : Names.Node_ref.t) =
+  hash_string (Names.Node_ref.to_string r)
+
+let hash_sc (sc : Axml_doc.Sc.t) =
+  let h = mix 6 (hash_location sc.Axml_doc.Sc.provider) in
+  let h =
+    mix h (hash_string (Names.Service_name.to_string sc.Axml_doc.Sc.service))
+  in
+  let h =
+    List.fold_left (fun h f -> mix h (hash_forest f)) h sc.Axml_doc.Sc.params
+  in
+  List.fold_left
+    (fun h r -> mix h (hash_node_ref r))
+    h
+    (List.sort Names.Node_ref.compare sc.Axml_doc.Sc.forward)
+
+let rec hash_query = function
+  | Q_val { q; at } -> mix (mix 20 (Hashtbl.hash q)) (Peer_id.hash at)
+  | Q_service r ->
+      mix
+        (mix 21 (hash_string (Names.Service_name.to_string r.Names.Service_ref.name)))
+        (hash_location r.Names.Service_ref.at)
+  | Q_send { dest; q } -> mix (mix 22 (Peer_id.hash dest)) (hash_query q)
+
+let hash_dest = function
+  | To_peer p -> mix 30 (Peer_id.hash p)
+  | To_nodes targets ->
+      List.fold_left (fun h r -> mix h (hash_node_ref r)) 31 targets
+  | To_doc (d, p) ->
+      mix (mix 32 (hash_string (Names.Doc_name.to_string d))) (Peer_id.hash p)
+
+let rec fingerprint e : Fingerprint.t =
+  match e with
+  | Data_at { forest; at } ->
+      { hash = mix (mix 1 (Peer_id.hash at)) (hash_forest forest);
+        size = 1;
+        depth = 1;
+      }
+  | Doc r ->
+      {
+        hash =
+          mix
+            (mix 2 (hash_string (Names.Doc_name.to_string r.Names.Doc_ref.name)))
+            (hash_location r.Names.Doc_ref.at);
+        size = 1;
+        depth = 1;
+      }
+  | Sc { sc; at } ->
+      { hash = mix (hash_sc sc) (Peer_id.hash at); size = 1; depth = 1 }
+  | Query_app { query; args; at } ->
+      let h = mix (mix 3 (hash_query query)) (Peer_id.hash at) in
+      combine h args
+  | Send { dest; expr } -> combine (mix 4 (hash_dest dest)) [ expr ]
+  | Eval_at { at; expr } -> combine (mix 5 (Peer_id.hash at)) [ expr ]
+  | Shared { name; at; value; body } ->
+      let h =
+        mix (mix 7 (hash_string (Names.Doc_name.to_string name)))
+          (Peer_id.hash at)
+      in
+      combine h [ value; body ]
+
+and combine h children =
+  let h, size, depth =
+    List.fold_left
+      (fun (h, size, depth) child ->
+        let f = fingerprint child in
+        (mix h f.Fingerprint.hash, size + f.size, max depth f.depth))
+      (h, 1, 0) children
+  in
+  { hash = h; size; depth = depth + 1 }
+
+let depth e = (fingerprint e).Fingerprint.depth
 
 let rec pp fmt = function
   | Data_at { forest; at } ->

@@ -100,10 +100,47 @@ val size : t -> int
 (** Number of expression nodes. *)
 
 val map_children : (t -> t) -> t -> t
-(** Rebuild with rewritten direct children. *)
+(** Rebuild with rewritten direct children.  The function is applied
+    to the children in {!subexpressions} order, so a stateful argument
+    (e.g. a positional rebuild) may rely on the two traversals
+    agreeing. *)
 
 val equal : t -> t -> bool
 (** Structural, modulo node identifiers inside embedded trees. *)
+
+val equal_calls : unit -> int
+(** Number of {!equal} invocations since program start.  Structural
+    comparison is the inner loop of plan search; the planner
+    benchmarks difference this counter to report how many comparisons
+    a search strategy paid for. *)
+
+(** {1 Fingerprints}
+
+    A cheap structural summary used by the optimizer's visited set:
+    candidate plans are bucketed by fingerprint, and the full
+    {!equal} runs only against same-fingerprint bucket members
+    (hash-collision fallback). *)
+
+module Fingerprint : sig
+  type t = {
+    hash : int;  (** Structural hash, invariant under {!val:equal}. *)
+    size : int;  (** Expression-node count (same as {!val:size}). *)
+    depth : int;  (** Expression-tree depth. *)
+  }
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+val fingerprint : t -> Fingerprint.t
+(** One bottom-up pass; [equal a b] implies
+    [Fingerprint.equal (fingerprint a) (fingerprint b)] — the hash
+    looks through everything {!equal} ignores (node identifiers and
+    sibling order in embedded forests, the order of forward lists). *)
+
+val depth : t -> int
+(** Depth of the expression tree (via {!fingerprint}). *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-oriented notation close to the paper's, e.g.

@@ -75,6 +75,7 @@ module Algebra = struct
   module Cost = Axml_algebra.Cost
   module Rewrite = Axml_algebra.Rewrite
   module Optimizer = Axml_algebra.Optimizer
+  module Planner = Axml_algebra.Planner
 end
 
 module Runtime = struct

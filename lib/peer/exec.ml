@@ -349,4 +349,13 @@ let run_to_quiescence ?(reset_stats = true) sys ~ctx expr =
   let finish = max (System.now_ms sys) stats.Axml_net.Stats.completion_ms in
   { results = !acc; finished = !finished; stats; elapsed_ms = finish -. start }
 
+let run_optimized ?reset_stats
+    ?(strategy = Axml_algebra.Optimizer.Best_first { max_expansions = 32 })
+    ?objective ?visited ?stats sys ~ctx expr =
+  let env = System.cost_env sys in
+  let planned =
+    Axml_algebra.Planner.plan ~env ~ctx ?objective ?visited ?stats strategy expr
+  in
+  (planned, run_to_quiescence ?reset_stats sys ~ctx planned.Axml_algebra.Planner.plan)
+
 let () = System.set_eval_hook (fun sys ~ctx expr ~emit -> eval sys ~ctx expr ~emit)

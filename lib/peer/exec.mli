@@ -47,3 +47,20 @@ val run_to_quiescence :
     collect everything the expression emitted.  [reset_stats]
     (default [true]) zeroes the transfer counters first so the
     snapshot describes just this evaluation. *)
+
+val run_optimized :
+  ?reset_stats:bool ->
+  ?strategy:Axml_algebra.Optimizer.strategy ->
+  ?objective:(Axml_algebra.Cost.t -> float) ->
+  ?visited:Axml_algebra.Optimizer.visited_impl ->
+  ?stats:Axml_query.Selectivity.Stats.t list ->
+  System.t ->
+  ctx:Axml_net.Peer_id.t ->
+  Axml_algebra.Expr.t ->
+  Axml_algebra.Planner.result * outcome
+(** Optimize-before-evaluate: run the unified planner against the
+    live system's own cost oracles ({!System.cost_env}), then execute
+    the chosen plan under the simulator.  [strategy] defaults to
+    [Best_first { max_expansions = 32 }].  Returns the planner's
+    explainable result alongside the measured outcome, so scenarios
+    can compare estimated against observed cost. *)

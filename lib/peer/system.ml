@@ -435,6 +435,39 @@ let fingerprint t =
 let find_document t p name =
   Axml_doc.Store.find_by_string (peer t p).Peer.store name
 
+(* A cost environment whose oracles read the live Σ: document sizes
+   from the stores, service implementations from the registries, link
+   and CPU pricing from the simulator — so a plan optimized against it
+   is optimized against the very system about to run it. *)
+let cost_env t =
+  let topology = Sim.topology t.sim in
+  let all_peer_ids = Axml_net.Topology.peers topology in
+  let find_doc p (r : Names.Doc_ref.t) =
+    Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+        Axml_doc.Store.find peer.Peer.store r.Names.Doc_ref.name)
+  in
+  let doc_bytes (r : Names.Doc_ref.t) =
+    let doc =
+      match r.Names.Doc_ref.at with
+      | Names.At p -> find_doc p r
+      | Names.Any -> List.find_map (fun p -> find_doc p r) all_peer_ids
+    in
+    match doc with Some d -> Axml_doc.Document.byte_size d | None -> 4096
+  in
+  let service_query (r : Names.Service_ref.t) =
+    let visible p =
+      Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+          Axml_doc.Registry.visible_query peer.Peer.registry
+            r.Names.Service_ref.name)
+    in
+    match r.Names.Service_ref.at with
+    | Names.At p -> visible p
+    | Names.Any -> List.find_map visible all_peer_ids
+  in
+  Axml_algebra.Cost.default_env ~cpu_ms_per_kb:t.cpu_ms_per_kb
+    ~cpu_factor:(fun p -> Sim.cpu_factor t.sim p)
+    ~doc_bytes ~service_query topology
+
 let pp_state fmt t =
   List.iter
     (fun (p : Peer.t) ->

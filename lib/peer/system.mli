@@ -112,6 +112,13 @@ val fingerprint : t -> string
 
 val find_document : t -> Peer_id.t -> string -> Axml_doc.Document.t option
 
+val cost_env : t -> Axml_algebra.Cost.env
+(** A {!Axml_algebra.Cost.env} whose oracles read the live system:
+    document sizes from the peers' stores, declarative-service queries
+    from their registries, topology and CPU pricing from the
+    simulator.  The entry point of optimize-before-evaluate — see
+    {!Exec.run_optimized}. *)
+
 val pp_state : Format.formatter -> t -> unit
 
 (** {1 Exec hook} *)

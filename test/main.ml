@@ -21,6 +21,7 @@ let () =
       ("runtime.system", Test_system.suite);
       ("scenarios", Test_scenarios.suite);
       ("optimizer", Test_optimizer.suite);
+      ("planner", Test_planner.suite);
       ("lazy-evaluation", Test_lazy.suite);
       ("type-driven", Test_type_driven.suite);
       ("extensions", Test_extensions.suite);
