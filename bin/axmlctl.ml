@@ -6,7 +6,8 @@
      rules      list the rewrites applicable to a serialized plan
      optimize   optimize a serialized plan under the cost model
      explain    run the unified planner and print its explain record
-     demo       run the Example-1 demonstration end to end *)
+     demo       run the Example-1 demonstration end to end
+     trace      run the traced Example-1 and export spans + metrics *)
 
 open Cmdliner
 open Axml
@@ -277,7 +278,15 @@ let demo_cmd =
     let naive =
       Algebra.Expr.query_at q ~at:p1 ~args:[ Algebra.Expr.doc "cat" ~at:"p2" ]
     in
+    let warn_truncated label (out : Runtime.Exec.outcome) =
+      if out.termination = `Budget_exhausted then
+        Format.eprintf
+          "warning: %s run hit the event budget after %d events — results \
+           are truncated@."
+          label out.events
+    in
     let out1 = Runtime.Exec.run_to_quiescence (build ()) ~ctx:p1 naive in
+    warn_truncated "naive" out1;
     Format.printf "naive:  %6d bytes  %5.1f ms  %d results@." out1.stats.bytes
       out1.elapsed_ms (List.length out1.results);
     match Algebra.Rewrite.r11_push_selection naive with
@@ -286,6 +295,7 @@ let demo_cmd =
         if trace then
           Net.Stats.set_tracing (Net.Sim.stats (Runtime.System.sim sys2)) true;
         let out2 = Runtime.Exec.run_to_quiescence ~reset_stats:false sys2 ~ctx:p1 r.result in
+        warn_truncated "pushed" out2;
         Format.printf "pushed: %6d bytes  %5.1f ms  %d results@."
           out2.stats.bytes out2.elapsed_ms
           (List.length out2.results);
@@ -304,6 +314,131 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the Example-1 (pushing selections) demo")
     Term.(const run $ items $ selectivity $ trace)
 
+(* --- trace ------------------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let trace_cmd =
+  let items =
+    Arg.(value & opt int 200 & info [ "items" ] ~doc:"Catalog items")
+  in
+  let selectivity =
+    Arg.(value & opt float 0.05 & info [ "selectivity" ] ~doc:"Matching fraction")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output file")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~docv:"chrome|jsonl"
+          ~doc:
+            "Trace format: $(b,chrome) is the trace_event JSON loadable in \
+             Perfetto / chrome://tracing, $(b,jsonl) is one event object per \
+             line")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Also write the metrics registry as a JSON array")
+  in
+  let run items selectivity out format metrics_out =
+    (* Example-1 (pushing selections), instrumented: the naive plan and
+       the planner's plan run back to back under tracing + metrics, and
+       every span of one run carries that run's correlation id. *)
+    Obs.Trace.set_enabled true;
+    Obs.Trace.clear ();
+    Obs.Metrics.set_enabled Obs.Metrics.default true;
+    Obs.Metrics.reset Obs.Metrics.default;
+    let p1 = Net.Peer_id.of_string "p1" and p2 = Net.Peer_id.of_string "p2" in
+    let topo =
+      Net.Topology.full_mesh
+        ~link:(Net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0)
+        [ p1; p2 ]
+    in
+    let build () =
+      let sys = Runtime.System.create topo in
+      let rng = Workload.Rng.create ~seed:2026 in
+      let g = Runtime.System.gen_of sys p2 in
+      Runtime.System.add_document sys p2 ~name:"cat"
+        (Workload.Xml_gen.catalog ~gen:g ~rng ~items ~selectivity ());
+      sys
+    in
+    let q = Workload.Xml_gen.selection_query () in
+    let naive =
+      Algebra.Expr.query_at q ~at:p1 ~args:[ Algebra.Expr.doc "cat" ~at:"p2" ]
+    in
+    let out_naive = Runtime.Exec.run_to_quiescence (build ()) ~ctx:p1 naive in
+    let _planned, out_planned = Runtime.Exec.run_optimized (build ()) ~ctx:p1 naive in
+    Format.printf "naive:   %6d bytes  %5.1f ms  %d results@."
+      out_naive.stats.bytes out_naive.elapsed_ms
+      (List.length out_naive.results);
+    Format.printf "planned: %6d bytes  %5.1f ms  %d results@."
+      out_planned.stats.bytes out_planned.elapsed_ms
+      (List.length out_planned.results);
+    let events = Obs.Trace.events () in
+    write_file out
+      (match format with
+      | `Chrome -> Obs.Exporter.chrome_trace events
+      | `Jsonl -> Obs.Exporter.jsonl events);
+    Format.printf "wrote %d trace events to %s@." (List.length events) out;
+    Option.iter
+      (fun path ->
+        write_file path (Obs.Exporter.metrics_json Obs.Metrics.default);
+        Format.printf "wrote metrics to %s@." path)
+      metrics_out;
+    Format.printf "@.%a@." Obs.Metrics.pp_table Obs.Metrics.default;
+    (* Cross-checks: the metrics registry must agree byte-for-byte with
+       the simulator's own accounting, and at least one correlation id
+       must span several peers (a cross-peer causal chain). *)
+    let metric_bytes =
+      int_of_float (Obs.Metrics.total Obs.Metrics.default ~subsystem:"net" "bytes_sent")
+    in
+    let stats_bytes = out_naive.stats.bytes + out_planned.stats.bytes in
+    Format.printf "bytes: metrics %d, stats %d — %s@." metric_bytes stats_bytes
+      (if metric_bytes = stats_bytes then "agree" else "DISAGREE");
+    let cross_peer_corr =
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          if e.corr <> 0 then begin
+            let peers =
+              Option.value ~default:[] (Hashtbl.find_opt tbl e.corr)
+            in
+            if not (List.mem e.peer peers) then
+              Hashtbl.replace tbl e.corr (e.peer :: peers)
+          end)
+        events;
+      Hashtbl.fold
+        (fun corr peers acc ->
+          if List.length peers >= 2 then corr :: acc else acc)
+        tbl []
+    in
+    (match cross_peer_corr with
+    | [] ->
+        prerr_endline "error: no correlation id spans more than one peer";
+        exit 1
+    | corrs ->
+        Format.printf "%d correlation id(s) span >=2 peers@."
+          (List.length corrs));
+    if metric_bytes <> stats_bytes then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the traced Example-1 scenario (naive and planner-optimized) \
+          and export the causal trace plus per-peer metrics")
+    Term.(const run $ items $ selectivity $ out $ format $ metrics_out)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -311,4 +446,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; query_cmd; rules_cmd; optimize_cmd; explain_cmd; demo_cmd ]))
+          [
+            parse_cmd;
+            query_cmd;
+            rules_cmd;
+            optimize_cmd;
+            explain_cmd;
+            demo_cmd;
+            trace_cmd;
+          ]))

@@ -51,7 +51,7 @@ let () =
         </reading_list>|};
   let activated = Runtime.System.activate_all sys () in
   Format.printf "activated %d service call(s)@." activated;
-  Runtime.System.run sys;
+  ignore (Runtime.System.run sys);
 
   (match Runtime.System.find_document sys alice "reading_list" with
   | Some doc ->

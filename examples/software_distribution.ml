@@ -121,7 +121,7 @@ let () =
            ];
          notify = None;
        });
-  System.run sys;
+  ignore (System.run sys);
   (match System.find_document sys sd.sd_client "updates_inbox" with
   | Some doc ->
       Format.printf "client inbox after publish:@.%s@."

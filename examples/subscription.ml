@@ -42,7 +42,7 @@ let () =
        (List.map Net.Peer_id.to_string sub.sub_sources));
 
   (* The initial feed contents arrive when the calls activate. *)
-  System.run sys;
+  ignore (System.run sys);
   Format.printf "@.after activation:@.";
   show_digest sub;
 
@@ -57,7 +57,7 @@ let () =
   Scenarios.publish sub
     ~source:(List.nth sub.sub_sources 2)
     ~headline:"continuous services never sleep";
-  System.run sys;
+  ignore (System.run sys);
   Format.printf "@.after publications:@.";
   show_digest sub;
 

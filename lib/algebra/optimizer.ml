@@ -1,3 +1,6 @@
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+
 type strategy =
   | Exhaustive of { depth : int }
   | Greedy of { max_steps : int }
@@ -98,14 +101,42 @@ let optimize ~env ~ctx ?(objective = default_objective)
   (* Paths accumulate reversed (cons per step); reversed once when a
      result is built — the seed's [trace @ [step]] was quadratic. *)
   let finish (plan, cost, rev_trace) =
-    {
-      plan;
-      cost;
-      initial_cost;
-      explored = !explored;
-      expansions = !expansions;
-      trace = List.rev rev_trace;
-    }
+    let r =
+      {
+        plan;
+        cost;
+        initial_cost;
+        explored = !explored;
+        expansions = !expansions;
+        trace = List.rev rev_trace;
+      }
+    in
+    (* Observability: one instant per accepted rewrite step of the
+       winning plan, tagged with the rule that produced it (the
+       search's causal record, on the planner's wall clock), plus
+       search-volume counters. *)
+    (if Trace.enabled () then
+       let peer = Axml_net.Peer_id.to_string ctx in
+       List.iter
+         (fun (s : step) ->
+           Trace.instant
+             ~args:
+               [
+                 ("cost_bytes", string_of_int s.cost.Cost.bytes);
+                 ("cost_messages", string_of_int s.cost.Cost.messages);
+               ]
+             ~cat:"rewrite" ~peer ~ts:(Trace.wall_ms ()) s.rule)
+         r.trace);
+    if Metrics.is_on Metrics.default then begin
+      let peer = Axml_net.Peer_id.to_string ctx in
+      Metrics.incr Metrics.default ~peer ~by:r.explored ~subsystem:"plan"
+        "explored";
+      Metrics.incr Metrics.default ~peer ~by:r.expansions ~subsystem:"plan"
+        "expansions";
+      Metrics.incr Metrics.default ~peer ~by:(List.length r.trace)
+        ~subsystem:"plan" "rewrite_steps"
+    end;
+    r
   in
   match strategy with
   | Greedy { max_steps } ->

@@ -1,3 +1,6 @@
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+
 type result = {
   plan : Expr.t;
   cost : Cost.t;
@@ -35,10 +38,21 @@ let optimize_queries ?stats expr =
   (e', !changed)
 
 let plan ~env ~ctx ?objective ?visited ?peers ?stats strategy expr =
+  let metering = Metrics.is_on Metrics.default in
+  let t0 = if metering then Trace.wall_ms () else 0.0 in
   let equal_before = Expr.equal_calls () in
   let search = Optimizer.optimize ~env ~ctx ?objective ?visited ?peers strategy expr in
   let equal_calls = Expr.equal_calls () - equal_before in
   let plan, queries_optimized = optimize_queries ?stats search.Optimizer.plan in
+  if metering then begin
+    let peer = Axml_net.Peer_id.to_string ctx in
+    Metrics.incr Metrics.default ~peer ~by:equal_calls ~subsystem:"plan"
+      "equal_calls";
+    Metrics.incr Metrics.default ~peer ~by:queries_optimized ~subsystem:"plan"
+      "queries_optimized";
+    Metrics.observe Metrics.default ~peer ~subsystem:"plan" "search_ms"
+      (Trace.wall_ms () -. t0)
+  end;
   let cost =
     (* Query optimization cannot worsen evaluation, but it can shift
        the textual size the cost model charges for query shipping;

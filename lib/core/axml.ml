@@ -15,7 +15,9 @@
     {- {!Runtime}: the peer runtime executing expressions over the
        simulated network (Section 3.2).}
     {- {!Workload}: synthetic data, query fuzzers and the scenario
-       builders used by examples and benchmarks.}} *)
+       builders used by examples and benchmarks.}
+    {- {!Obs}: causal tracing, per-peer metrics and the Chrome-trace /
+       JSONL exporters (DESIGN.md §10).}} *)
 
 module Xml = struct
   module Label = Axml_xml.Label
@@ -86,6 +88,12 @@ module Runtime = struct
   module Lazy_eval = Axml_peer.Lazy_eval
   module Type_driven = Axml_peer.Type_driven
   module Persist = Axml_peer.Persist
+end
+
+module Obs = struct
+  module Trace = Axml_obs.Trace
+  module Metrics = Axml_obs.Metrics
+  module Exporter = Axml_obs.Exporter
 end
 
 module Workload = struct

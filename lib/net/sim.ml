@@ -1,3 +1,6 @@
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
+
 type 'a event =
   | Deliver of { src : Peer_id.t; dst : Peer_id.t; payload : 'a }
   | Timer of { peer : Peer_id.t; callback : unit -> unit }
@@ -11,6 +14,8 @@ type 'a t = {
   stats : Stats.t;
   mutable now : float;
 }
+
+type outcome = [ `Quiescent | `Budget_exhausted ]
 
 exception No_handler of Peer_id.t
 
@@ -42,8 +47,12 @@ let set_cpu_factor t peer factor =
 
 let consume_cpu t ~peer ~ms =
   if ms < 0.0 then invalid_arg "Sim.consume_cpu: negative duration";
-  let horizon = max t.now (busy_until t peer) +. (ms *. cpu_factor t peer) in
+  let virtual_ms = ms *. cpu_factor t peer in
+  let horizon = max t.now (busy_until t peer) +. virtual_ms in
   Peer_id.Table.replace t.busy peer horizon;
+  if Metrics.is_on Metrics.default then
+    Metrics.observe Metrics.default ~peer:(Peer_id.to_string peer)
+      ~subsystem:"peer" "cpu_ms" virtual_ms;
   (* Computation extends the run's completion time even when no
      further message departs from this peer. *)
   Stats.record_time t.stats horizon
@@ -53,6 +62,22 @@ let send ?note t ~src ~dst ~bytes payload =
   let departure = max t.now (busy_until t src) in
   let arrival = departure +. Link.transfer_ms link ~bytes in
   Stats.record_send ~at_ms:departure ?note t.stats ~src ~dst ~bytes;
+  (* The whole instrumentation block sits behind one boolean load so
+     that the disabled hot path allocates nothing (checked in the E16
+     bench). *)
+  if Trace.enabled () then begin
+    let args =
+      let base =
+        [ ("dst", Peer_id.to_string dst); ("bytes", string_of_int bytes) ]
+      in
+      match note with Some n -> ("note", n) :: base | None -> base
+    in
+    Trace.complete ~cat:"net"
+      ~peer:(Peer_id.to_string src)
+      ~ts:departure
+      ~dur_ms:(arrival -. departure)
+      ~args "xfer"
+  end;
   Pqueue.push t.queue ~time:arrival (Deliver { src; dst; payload })
 
 let after t ~peer ~delay_ms callback =
@@ -63,14 +88,13 @@ let pending t = Pqueue.length t.queue
 
 let run ?until_ms ?(max_events = 1_000_000) t =
   let processed = ref 0 in
-  let continue () =
-    !processed < max_events
-    &&
+  let more_events () =
     match (Pqueue.peek_time t.queue, until_ms) with
     | None, _ -> false
     | Some time, Some limit -> time <= limit
     | Some _, None -> true
   in
+  let continue () = !processed < max_events && more_events () in
   while continue () do
     match Pqueue.pop t.queue with
     | None -> ()
@@ -78,10 +102,45 @@ let run ?until_ms ?(max_events = 1_000_000) t =
         t.now <- max t.now time;
         Stats.record_time t.stats t.now;
         incr processed;
+        if Metrics.is_on Metrics.default then begin
+          Metrics.incr Metrics.default ~subsystem:"sim" "events";
+          Metrics.gauge_max Metrics.default ~subsystem:"sim" "queue_depth"
+            (float_of_int (Pqueue.length t.queue + 1))
+        end;
         (match event with
         | Deliver { src; dst; payload } -> (
             match Peer_id.Table.find_opt t.handlers dst with
             | None -> raise (No_handler dst)
-            | Some handler -> handler ~src payload)
-        | Timer { peer = _; callback } -> callback ())
-  done
+            | Some handler ->
+                if Trace.enabled () then begin
+                  let sid =
+                    Trace.begin_span ~cat:"sim"
+                      ~peer:(Peer_id.to_string dst)
+                      ~ts:t.now
+                      ~args:[ ("src", Peer_id.to_string src) ]
+                      "deliver"
+                  in
+                  handler ~src payload;
+                  (* The handler's virtual footprint: any CPU it
+                     consumed pushed the peer's busy horizon past
+                     [now]. *)
+                  Trace.end_span sid ~ts:(max t.now (busy_until t dst))
+                end
+                else handler ~src payload)
+        | Timer { peer; callback } ->
+            if Trace.enabled () then begin
+              let sid =
+                Trace.begin_span ~cat:"sim"
+                  ~peer:(Peer_id.to_string peer)
+                  ~ts:t.now "timer"
+              in
+              callback ();
+              Trace.end_span sid ~ts:(max t.now (busy_until t peer))
+            end
+            else callback ())
+  done;
+  let outcome : outcome =
+    if !processed >= max_events && more_events () then `Budget_exhausted
+    else `Quiescent
+  in
+  (outcome, !processed)

@@ -12,6 +12,12 @@
 
 type 'a t
 
+type outcome = [ `Quiescent | `Budget_exhausted ]
+(** How a {!run} ended: the queue drained (or nothing is left before
+    the time horizon), or the [max_events] divergence guard fired with
+    deliverable events still pending — indistinguishable outcomes
+    before this type existed, which silently truncated runs. *)
+
 val create : Topology.t -> 'a t
 val topology : 'a t -> Topology.t
 val now : 'a t -> float
@@ -50,11 +56,20 @@ val busy_until : 'a t -> Peer_id.t -> float
 
 exception No_handler of Peer_id.t
 
-val run : ?until_ms:float -> ?max_events:int -> 'a t -> unit
+val run : ?until_ms:float -> ?max_events:int -> 'a t -> outcome * int
 (** Process events in time order until the queue drains (quiescence),
     the clock passes [until_ms], or [max_events] deliveries have been
     processed (a divergence guard for continuous services;
-    default 1_000_000).
+    default 1_000_000).  Returns how the run ended together with the
+    number of events processed: [`Budget_exhausted] means the guard
+    cut the run with deliverable events still pending — callers should
+    surface it rather than mistake the truncation for quiescence.
+
+    When {!Axml_obs.Trace} is enabled, every delivery and timer is
+    recorded as a virtual-time span on the destination peer's track;
+    when {!Axml_obs.Metrics} is enabled, event counts and the queue's
+    high-water depth are recorded.  Both disabled paths cost one
+    boolean load per event.
     @raise No_handler on delivery to a handler-less peer. *)
 
 val pending : 'a t -> int

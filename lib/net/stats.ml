@@ -21,6 +21,7 @@ type t = {
   mutable completion_ms : float;
   per_link : (Peer_id.t * Peer_id.t, int * int) Hashtbl.t;
   mutable tracing : bool;
+  mutable trace_local : bool;
   mutable trace_rev : trace_entry list;
 }
 
@@ -32,11 +33,21 @@ let create () =
     completion_ms = 0.0;
     per_link = Hashtbl.create 16;
     tracing = false;
+    trace_local = false;
     trace_rev = [];
   }
 
 let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
-  if Peer_id.equal src dst then t.local_messages <- t.local_messages + 1
+  if Peer_id.equal src dst then begin
+    t.local_messages <- t.local_messages + 1;
+    (* Loopback deliveries are free on the wire but causally real:
+       rule (12) intermediary elimination turns remote hops into local
+       ones, and hiding them from the trace hides the rule's effect.
+       Opt-in so existing remote-only traces stay unchanged. *)
+    if t.tracing && t.trace_local then
+      t.trace_rev <-
+        { at_ms; src; dst; trace_bytes = bytes; note } :: t.trace_rev
+  end
   else begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + bytes;
@@ -51,6 +62,8 @@ let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
 
 let set_tracing t enabled = t.tracing <- enabled
 let tracing_enabled t = t.tracing
+let set_trace_local t enabled = t.trace_local <- enabled
+let trace_local_enabled t = t.trace_local
 let trace t = List.rev t.trace_rev
 
 let record_time t time = if time > t.completion_ms then t.completion_ms <- time

@@ -42,9 +42,18 @@ val reset : t -> unit
 
 val set_tracing : t -> bool -> unit
 (** Record a {!trace_entry} per remote message (off by default; local
-    messages are not traced). *)
+    messages are only traced when {!set_trace_local} is also on). *)
 
 val tracing_enabled : t -> bool
+
+val set_trace_local : t -> bool -> unit
+(** Also record loopback ([src = dst]) deliveries in the trace while
+    tracing is on (off by default).  Local messages never count toward
+    [bytes] — but making them visible is what lets rule-(12)
+    intermediary elimination show up in a trace instead of silently
+    disappearing. *)
+
+val trace_local_enabled : t -> bool
 
 val trace : t -> trace_entry list
 (** Recorded entries, oldest first. *)

@@ -1,0 +1,24 @@
+(** Trace and metrics exporters.
+
+    Two trace formats, both hand-rolled (the switch deliberately has
+    no JSON dependency — same style as [Planner.explain_json]):
+
+    - {b Chrome [trace_event]} ({!chrome_trace}): a
+      [{"traceEvents":[...]}] document loadable in [about:tracing] and
+      Perfetto.  Each distinct peer becomes one process row (metadata
+      [process_name] events); spans are ["X"] complete events with
+      microsecond timestamps, instants are ["i"] events; span id,
+      parent and correlation id travel in [args].
+    - {b JSONL} ({!jsonl}): one self-contained JSON object per event
+      per line — grep/jq-friendly, stream-appendable.
+
+    {!metrics_json} serializes a {!Metrics} snapshot. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)
+
+val chrome_trace : Trace.event list -> string
+val jsonl : Trace.event list -> string
+val metrics_json : Metrics.t -> string
+(** A JSON array of [{"peer","subsystem","name","kind",...}] objects,
+    in snapshot (deterministic) order. *)

@@ -1,0 +1,158 @@
+(* Log-scale histogram geometry: bucket [i] counts observations in
+   (2^(i-5), 2^(i-4)]; the last bucket overflows to infinity.  Spans
+   ~60 ns to ~70 min when observations are milliseconds. *)
+let hist_buckets = 28
+let bucket_bound i =
+  if i >= hist_buckets - 1 then infinity else Float.pow 2.0 (float_of_int (i - 4))
+
+let bucket_index v =
+  let rec find i =
+    if i >= hist_buckets - 1 then hist_buckets - 1
+    else if v <= bucket_bound i then i
+    else find (i + 1)
+  in
+  find 0
+
+type value =
+  | Vcounter of { mutable count : int }
+  | Vgauge of { mutable value : float; mutable max_value : float }
+  | Vhist of { mutable count : int; mutable sum : float; buckets : int array }
+
+type t = {
+  tbl : (string * string * string, value) Hashtbl.t;
+  mutable enabled : bool;
+}
+
+let create () = { tbl = Hashtbl.create 64; enabled = false }
+let default = create ()
+let set_enabled t b = t.enabled <- b
+let is_on t = t.enabled
+let reset t = Hashtbl.reset t.tbl
+
+let find_or_add t key make =
+  match Hashtbl.find_opt t.tbl key with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      Hashtbl.replace t.tbl key v;
+      v
+
+let incr t ?(peer = "") ?(by = 1) ~subsystem name =
+  if t.enabled then
+    match
+      find_or_add t (peer, subsystem, name) (fun () -> Vcounter { count = 0 })
+    with
+    | Vcounter c -> c.count <- c.count + by
+    | Vgauge _ | Vhist _ -> ()
+
+let gauge_set t ?(peer = "") ~subsystem name v =
+  if t.enabled then
+    match
+      find_or_add t (peer, subsystem, name) (fun () ->
+          Vgauge { value = 0.0; max_value = neg_infinity })
+    with
+    | Vgauge g ->
+        g.value <- v;
+        if v > g.max_value then g.max_value <- v
+    | Vcounter _ | Vhist _ -> ()
+
+let gauge_max t ?(peer = "") ~subsystem name v =
+  if t.enabled then
+    match
+      find_or_add t (peer, subsystem, name) (fun () ->
+          Vgauge { value = 0.0; max_value = neg_infinity })
+    with
+    | Vgauge g ->
+        if v > g.max_value then begin
+          g.max_value <- v;
+          g.value <- v
+        end
+    | Vcounter _ | Vhist _ -> ()
+
+let observe t ?(peer = "") ~subsystem name v =
+  if t.enabled then
+    match
+      find_or_add t (peer, subsystem, name) (fun () ->
+          Vhist { count = 0; sum = 0.0; buckets = Array.make hist_buckets 0 })
+    with
+    | Vhist h ->
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        let i = bucket_index v in
+        h.buckets.(i) <- h.buckets.(i) + 1
+    | Vcounter _ | Vgauge _ -> ()
+
+type sample =
+  | Count of int
+  | Value of { value : float; max_value : float }
+  | Dist of { count : int; sum : float; buckets : (float * int) list }
+
+type entry = { peer : string; subsystem : string; name : string; sample : sample }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun (peer, subsystem, name) v acc ->
+      let sample =
+        match v with
+        | Vcounter { count } -> Count count
+        | Vgauge { value; max_value } -> Value { value; max_value }
+        | Vhist { count; sum; buckets } ->
+            let filled = ref [] in
+            for i = hist_buckets - 1 downto 0 do
+              if buckets.(i) > 0 then
+                filled := (bucket_bound i, buckets.(i)) :: !filled
+            done;
+            Dist { count; sum; buckets = !filled }
+      in
+      { peer; subsystem; name; sample } :: acc)
+    t.tbl []
+  |> List.sort (fun a b ->
+         compare (a.peer, a.subsystem, a.name) (b.peer, b.subsystem, b.name))
+
+let counter_value t ?(peer = "") ~subsystem name =
+  match Hashtbl.find_opt t.tbl (peer, subsystem, name) with
+  | Some (Vcounter { count }) -> count
+  | Some (Vgauge _ | Vhist _) | None -> 0
+
+let total t ~subsystem name =
+  Hashtbl.fold
+    (fun (_, s, n) v acc ->
+      if String.equal s subsystem && String.equal n name then
+        acc
+        +.
+        match v with
+        | Vcounter { count } -> float_of_int count
+        | Vgauge { value; _ } -> value
+        | Vhist { sum; _ } -> sum
+      else acc)
+    t.tbl 0.0
+
+let pp_sample fmt = function
+  | Count n -> Format.fprintf fmt "%d" n
+  | Value { value; max_value } ->
+      if value = max_value then Format.fprintf fmt "%.2f" value
+      else Format.fprintf fmt "%.2f (max %.2f)" value max_value
+  | Dist { count; sum; _ } ->
+      Format.fprintf fmt "n=%d sum=%.2f mean=%.3f" count sum
+        (if count = 0 then 0.0 else sum /. float_of_int count)
+
+let pp_table fmt t =
+  let entries = snapshot t in
+  let rows =
+    List.map
+      (fun e ->
+        ( (if e.peer = "" then "-" else e.peer),
+          e.subsystem ^ "/" ^ e.name,
+          Format.asprintf "%a" pp_sample e.sample ))
+      entries
+  in
+  let w3 f = List.fold_left (fun acc r -> max acc (String.length (f r))) 0 rows in
+  let wp = max 4 (w3 (fun (p, _, _) -> p))
+  and wm = max 6 (w3 (fun (_, m, _) -> m)) in
+  Format.fprintf fmt "@[<v>%-*s  %-*s  %s@ " wp "peer" wm "metric" "value";
+  Format.fprintf fmt "%s  %s  %s@ " (String.make wp '-') (String.make wm '-')
+    "-----";
+  List.iter
+    (fun (p, m, v) -> Format.fprintf fmt "%-*s  %-*s  %s@ " wp p wm m v)
+    rows;
+  Format.fprintf fmt "@]"

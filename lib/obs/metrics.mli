@@ -1,0 +1,71 @@
+(** Per-peer metrics registry.
+
+    Named counters, gauges and log-scale histograms keyed by
+    [(peer, subsystem, name)].  The registry the runtime instruments is
+    {!default}; scenarios that want isolation can {!create} their own.
+
+    Collection is {b off by default}: every mutator returns immediately
+    on a disabled registry, and hot paths guard themselves with
+    {!is_on} so that the disabled path is one boolean load with no
+    allocation.
+
+    Metric names recorded by the runtime (see DESIGN.md §10):
+    - [net/messages_sent], [net/bytes_sent], [net/local_messages] —
+      per sending peer, mirroring {!Axml_net.Stats} exactly;
+    - [sim/events], [sim/queue_depth] (gauge, high-water mark);
+    - [peer/cpu_ms] (histogram per peer), [peer/activations],
+      [peer/routed_batches];
+    - [stream/batches] (histogram: batches per response stream);
+    - [plan/expansions], [plan/explored], [plan/rewrite_steps],
+      [plan/equal_calls], [plan/queries_optimized],
+      [plan/search_ms] (histogram). *)
+
+type t
+
+val create : unit -> t
+val default : t
+(** The registry the runtime's instrumentation writes to. *)
+
+val set_enabled : t -> bool -> unit
+val is_on : t -> bool
+val reset : t -> unit
+(** Drop every metric; the enabled flag is untouched. *)
+
+(** {1 Mutators}
+
+    [peer] defaults to [""] — a system-wide (per-subsystem) metric. *)
+
+val incr : t -> ?peer:string -> ?by:int -> subsystem:string -> string -> unit
+val gauge_set : t -> ?peer:string -> subsystem:string -> string -> float -> unit
+
+val gauge_max : t -> ?peer:string -> subsystem:string -> string -> float -> unit
+(** Keep the maximum of the observed values (high-water mark). *)
+
+val observe : t -> ?peer:string -> subsystem:string -> string -> float -> unit
+(** Add one observation to a log-scale histogram (powers-of-two
+    buckets). *)
+
+(** {1 Reading} *)
+
+type sample =
+  | Count of int
+  | Value of { value : float; max_value : float }
+  | Dist of { count : int; sum : float; buckets : (float * int) list }
+      (** [buckets]: (inclusive upper bound, observations) for
+          non-empty buckets only; the bound of the overflow bucket is
+          [infinity]. *)
+
+type entry = { peer : string; subsystem : string; name : string; sample : sample }
+
+val snapshot : t -> entry list
+(** Deterministic: sorted by (peer, subsystem, name). *)
+
+val counter_value : t -> ?peer:string -> subsystem:string -> string -> int
+(** [0] when absent or not a counter. *)
+
+val total : t -> subsystem:string -> string -> float
+(** Sum of a metric across all peers: counters contribute their count,
+    gauges their current value, histograms their sum. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Render the snapshot as an aligned per-peer table. *)

@@ -1,0 +1,135 @@
+type span_id = int
+
+let null = 0
+
+type kind = Span | Instant
+
+type event = {
+  id : span_id;
+  parent : span_id option;
+  corr : int;
+  name : string;
+  cat : string;
+  peer : string;
+  ts_ms : float;
+  mutable dur_ms : float;
+  kind : kind;
+  args : (string * string) list;
+}
+
+(* Global collector.  The runtime is single-threaded (discrete-event
+   simulation), so plain mutable state suffices. *)
+let enabled_flag = ref false
+let events_rev : event list ref = ref []
+let event_count = ref 0
+let open_stack : event list ref = ref []
+let next_id = ref 0
+let next_corr = ref 0
+let corr = ref 0
+
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let clear () =
+  events_rev := [];
+  event_count := 0;
+  open_stack := [];
+  corr := 0
+
+let fresh_corr () =
+  incr next_corr;
+  !next_corr
+
+let current_corr () = !corr
+
+let with_corr c f =
+  let saved = !corr in
+  corr := c;
+  Fun.protect ~finally:(fun () -> corr := saved) f
+
+let record e =
+  events_rev := e :: !events_rev;
+  incr event_count
+
+let parent_id () =
+  match !open_stack with [] -> None | e :: _ -> Some e.id
+
+let begin_span ?(args = []) ~cat ~peer ~ts name =
+  if not !enabled_flag then null
+  else begin
+    incr next_id;
+    let e =
+      {
+        id = !next_id;
+        parent = parent_id ();
+        corr = !corr;
+        name;
+        cat;
+        peer;
+        ts_ms = ts;
+        dur_ms = -1.0;
+        kind = Span;
+        args;
+      }
+    in
+    record e;
+    open_stack := e :: !open_stack;
+    e.id
+  end
+
+let end_span id ~ts =
+  if id <> null then begin
+    (* Close any forgotten inner spans at the same timestamp; stop at
+       the matching one.  An id not on the stack (double close) leaves
+       the stack untouched. *)
+    let rec close = function
+      | [] -> None
+      | e :: rest ->
+          e.dur_ms <- Float.max 0.0 (ts -. e.ts_ms);
+          if e.id = id then Some rest else close rest
+    in
+    if List.exists (fun e -> e.id = id) !open_stack then
+      match close !open_stack with
+      | Some rest -> open_stack := rest
+      | None -> ()
+  end
+
+let complete ?(args = []) ~cat ~peer ~ts ~dur_ms name =
+  if !enabled_flag then begin
+    incr next_id;
+    record
+      {
+        id = !next_id;
+        parent = parent_id ();
+        corr = !corr;
+        name;
+        cat;
+        peer;
+        ts_ms = ts;
+        dur_ms = Float.max 0.0 dur_ms;
+        kind = Span;
+        args;
+      }
+  end
+
+let instant ?(args = []) ~cat ~peer ~ts name =
+  if !enabled_flag then begin
+    incr next_id;
+    record
+      {
+        id = !next_id;
+        parent = parent_id ();
+        corr = !corr;
+        name;
+        cat;
+        peer;
+        ts_ms = ts;
+        dur_ms = 0.0;
+        kind = Instant;
+        args;
+      }
+  end
+
+let events () = List.rev !events_rev
+let count () = !event_count
+let wall_ms () = Sys.time () *. 1000.0

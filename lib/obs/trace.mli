@@ -1,0 +1,109 @@
+(** Causal spans.
+
+    A lightweight tracing facility for following one logical
+    computation across peers and hops.  Three ingredients:
+
+    - {b spans}: named intervals with parent links.  Nesting is
+      ambient — a span begun while another is open becomes its child —
+      which matches the runtime's event-driven shape: all spans of one
+      delivery open and close inside that delivery's handler.
+    - {b correlation ids}: minted once per logical computation
+      ({!Axml_peer.Exec.run_to_quiescence}, {!Axml_peer.System.activate_call})
+      and carried inside every {!Axml_peer.Message.t} the computation
+      causes, so spans recorded at different peers — connected only by
+      messages — share one id.
+    - {b timestamps}: supplied by the caller.  The simulator stamps
+      virtual milliseconds; the planner stamps wall-clock milliseconds
+      (see {!wall_ms}).  Exporters keep the two apart by category.
+
+    Collection is global and {b off by default}.  Every instrumentation
+    site in the runtime guards itself with {!enabled}, so the disabled
+    path costs one boolean load and allocates nothing. *)
+
+type span_id = int
+
+val null : span_id
+(** The id returned by {!begin_span} while tracing is disabled;
+    {!end_span} on it is a no-op. *)
+
+type kind = Span | Instant
+
+type event = {
+  id : span_id;
+  parent : span_id option;  (** Enclosing span at begin time. *)
+  corr : int;  (** Correlation id; [0] = uncorrelated. *)
+  name : string;
+  cat : string;  (** Subsystem: ["net"], ["sim"], ["peer"], ["exec"], ["plan"], ["rewrite"]. *)
+  peer : string;  (** Track the event belongs to (peer id or ["planner"]). *)
+  ts_ms : float;
+  mutable dur_ms : float;  (** [-1.0] while the span is open. *)
+  kind : kind;
+  args : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded events and open spans; the enabled flag and id
+    counters are untouched (ids stay unique across clears). *)
+
+(** {1 Correlation} *)
+
+val fresh_corr : unit -> int
+(** Mint a correlation id (always positive; works even when tracing is
+    disabled, so message envelopes are stable either way). *)
+
+val current_corr : unit -> int
+(** Ambient correlation id, [0] outside any {!with_corr}. *)
+
+val with_corr : int -> (unit -> 'a) -> 'a
+(** Run the thunk with the ambient correlation id set; restores the
+    previous id on exit (also on exceptions). *)
+
+(** {1 Recording} *)
+
+val begin_span :
+  ?args:(string * string) list ->
+  cat:string ->
+  peer:string ->
+  ts:float ->
+  string ->
+  span_id
+(** Open a span; its parent is the innermost open span.  Returns
+    {!null} when disabled. *)
+
+val end_span : span_id -> ts:float -> unit
+(** Close a span, recording [ts - start] as its duration.  Closing
+    {!null}, an unknown id, or out of order is tolerated (inner spans
+    still open are closed at the same timestamp). *)
+
+val complete :
+  ?args:(string * string) list ->
+  cat:string ->
+  peer:string ->
+  ts:float ->
+  dur_ms:float ->
+  string ->
+  unit
+(** Record an already-measured span (e.g. a link transfer whose
+    departure and arrival are both known at send time). *)
+
+val instant :
+  ?args:(string * string) list ->
+  cat:string ->
+  peer:string ->
+  ts:float ->
+  string ->
+  unit
+(** Record a point event. *)
+
+(** {1 Reading} *)
+
+val events : unit -> event list
+(** All recorded events in recording order. *)
+
+val count : unit -> int
+
+val wall_ms : unit -> float
+(** Wall-clock milliseconds ({!Sys.time}-based) — the planner's clock. *)

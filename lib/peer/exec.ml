@@ -332,30 +332,77 @@ type outcome = {
   finished : bool;
   stats : Axml_net.Stats.snapshot;
   elapsed_ms : float;
+  termination : Axml_net.Sim.outcome;
+  events : int;
 }
 
-let run_to_quiescence ?(reset_stats = true) sys ~ctx expr =
+module Trace = Axml_obs.Trace
+
+let run_to_quiescence ?(reset_stats = true) ?max_events sys ~ctx expr =
   if reset_stats then System.reset_stats sys;
   let start = System.now_ms sys in
   let acc = ref [] in
   let finished = ref false in
-  eval sys ~ctx expr ~emit:(fun forest ~final ->
-      acc := !acc @ forest;
-      if final then finished := true);
-  System.run sys;
-  let stats = System.stats sys in
-  (* Completion covers trailing local computation (busy horizons), not
-     just the last message delivery. *)
-  let finish = max (System.now_ms sys) stats.Axml_net.Stats.completion_ms in
-  { results = !acc; finished = !finished; stats; elapsed_ms = finish -. start }
+  (* One correlation id for the whole logical computation: the initial
+     sends below carry it, every peer's dispatch re-establishes it,
+     so each hop's spans — on any peer — share it. *)
+  let go () =
+    let sid =
+      if Trace.enabled () then
+        Trace.begin_span ~cat:"exec"
+          ~peer:(Axml_net.Peer_id.to_string ctx)
+          ~ts:start
+          ~args:[ ("expr", Format.asprintf "%a" Expr.pp expr) ]
+          "execute"
+      else Trace.null
+    in
+    eval sys ~ctx expr ~emit:(fun forest ~final ->
+        acc := !acc @ forest;
+        if final then finished := true);
+    let termination, events = System.run ?max_events sys in
+    let stats = System.stats sys in
+    (* Completion covers trailing local computation (busy horizons),
+       not just the last message delivery. *)
+    let finish = max (System.now_ms sys) stats.Axml_net.Stats.completion_ms in
+    Trace.end_span sid ~ts:finish;
+    {
+      results = !acc;
+      finished = !finished;
+      stats;
+      elapsed_ms = finish -. start;
+      termination;
+      events;
+    }
+  in
+  if Trace.enabled () then Trace.with_corr (Trace.fresh_corr ()) go else go ()
 
-let run_optimized ?reset_stats
+let run_optimized ?reset_stats ?max_events
     ?(strategy = Axml_algebra.Optimizer.Best_first { max_expansions = 32 })
     ?objective ?visited ?stats sys ~ctx expr =
   let env = System.cost_env sys in
+  let wall0 = Trace.wall_ms () in
   let planned =
     Axml_algebra.Planner.plan ~env ~ctx ?objective ?visited ?stats strategy expr
   in
-  (planned, run_to_quiescence ?reset_stats sys ~ctx planned.Axml_algebra.Planner.plan)
+  (* The optimize phase consumes no virtual time; its span sits at the
+     current virtual timestamp with the wall-clock planning duration,
+     so optimize-vs-execute shares show up side by side in the trace. *)
+  if Trace.enabled () then
+    Trace.complete ~cat:"plan"
+      ~peer:(Axml_net.Peer_id.to_string ctx)
+      ~ts:(System.now_ms sys)
+      ~dur_ms:(Trace.wall_ms () -. wall0)
+      ~args:
+        [
+          ("strategy", planned.Axml_algebra.Planner.strategy);
+          ( "explored",
+            string_of_int
+              planned.Axml_algebra.Planner.search.Axml_algebra.Optimizer.explored
+          );
+        ]
+      "optimize";
+  ( planned,
+    run_to_quiescence ?reset_stats ?max_events sys ~ctx
+      planned.Axml_algebra.Planner.plan )
 
 let () = System.set_eval_hook (fun sys ~ctx expr ~emit -> eval sys ~ctx expr ~emit)

@@ -35,10 +35,15 @@ type outcome = {
   finished : bool;  (** Whether the stream closed. *)
   stats : Axml_net.Stats.snapshot;  (** Network activity of the run. *)
   elapsed_ms : float;
+  termination : Axml_net.Sim.outcome;
+      (** [`Budget_exhausted] means the event guard cut the run short:
+          [results]/[stats] describe a truncated computation. *)
+  events : int;  (** Simulator events processed. *)
 }
 
 val run_to_quiescence :
   ?reset_stats:bool ->
+  ?max_events:int ->
   System.t ->
   ctx:Axml_net.Peer_id.t ->
   Axml_algebra.Expr.t ->
@@ -46,10 +51,16 @@ val run_to_quiescence :
 (** Evaluate, drive the simulator until no messages remain, and
     collect everything the expression emitted.  [reset_stats]
     (default [true]) zeroes the transfer counters first so the
-    snapshot describes just this evaluation. *)
+    snapshot describes just this evaluation.
+
+    When {!Axml_obs.Trace} is enabled, the run mints one correlation
+    id, records an ["execute"] span at [ctx], and every message the
+    computation causes carries the id — so its spans can be followed
+    across peers in the exported trace. *)
 
 val run_optimized :
   ?reset_stats:bool ->
+  ?max_events:int ->
   ?strategy:Axml_algebra.Optimizer.strategy ->
   ?objective:(Axml_algebra.Cost.t -> float) ->
   ?visited:Axml_algebra.Optimizer.visited_impl ->

@@ -79,7 +79,7 @@ let eval_over_document sys ~ctx ~mode ~query ~doc =
         else acc)
       0 to_activate
   in
-  System.run sys;
+  ignore (System.run sys);
   let final_doc =
     match System.find_document sys ctx doc with
     | Some d -> d

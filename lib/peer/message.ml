@@ -36,10 +36,14 @@ type payload =
     }
   | Query_shipped of { key : int; query : Axml_query.Ast.t }
 
-type t = payload
+type t = { payload : payload; corr : int }
+
+let make ?(corr = 0) payload = { payload; corr }
 
 let envelope = 64
-(* Headers, addressing, framing. *)
+(* Headers, addressing, framing.  The correlation id travels inside
+   this budget — it does not change the charged size, so traced and
+   untraced runs ship identical byte counts. *)
 
 let bytes = function
   | Stream { forest; _ } -> envelope + Forest.byte_size forest
@@ -56,6 +60,15 @@ let reply_peer = function
   | Cont { peer; _ } -> peer
   | Node r -> r.Names.Node_ref.peer
   | Install { peer; _ } -> peer
+
+let tag = function
+  | Stream _ -> "stream"
+  | Eval_request _ -> "eval-request"
+  | Invoke _ -> "invoke"
+  | Insert _ -> "insert"
+  | Install_doc _ -> "install-doc"
+  | Deploy _ -> "deploy"
+  | Query_shipped _ -> "query-shipped"
 
 let pp fmt = function
   | Stream { key; forest; final } ->

@@ -63,10 +63,25 @@ type payload =
       (** Transfer of a query value between peers; the receiving
           continuation captures what to do with it. *)
 
-type t = payload
+type t = { payload : payload; corr : int }
+(** The wire envelope: a payload plus the correlation id of the
+    logical computation that caused the send ([0] = uncorrelated).
+    Minted by {!Axml_obs.Trace.fresh_corr} at the computation's entry
+    point ({!Exec.run_to_quiescence}, {!System.activate_call}) and
+    re-established as the ambient correlation when the message is
+    dispatched — which is how one computation's spans connect across
+    peers and hops. *)
+
+val make : ?corr:int -> payload -> t
 
 val bytes : payload -> int
-(** Serialized size estimate charged to the link. *)
+(** Serialized size estimate charged to the link (the correlation id
+    rides inside the fixed envelope budget). *)
 
 val reply_peer : reply_dest -> Peer_id.t
+
+val tag : payload -> string
+(** Short kind label (["stream"], ["invoke"], …) for span names and
+    metric keys. *)
+
 val pp : Format.formatter -> payload -> unit

@@ -3,6 +3,8 @@ module Names = Axml_doc.Names
 module Sim = Axml_net.Sim
 module Tree = Axml_xml.Tree
 module Forest = Axml_xml.Forest
+module Trace = Axml_obs.Trace
+module Metrics = Axml_obs.Metrics
 
 let log = Logs.Src.create "axml.system" ~doc:"AXML peer system"
 
@@ -10,7 +12,11 @@ module Log = (val Logs.src_log log)
 
 type emit = Forest.t -> final:bool -> unit
 
-type cont_entry = { mutable remaining_finals : int; fn : emit }
+type cont_entry = {
+  mutable remaining_finals : int;
+  mutable batches : int;
+  fn : emit;
+}
 
 type t = {
   sim : Message.t Sim.t;
@@ -50,7 +56,8 @@ let fresh_key t =
   k
 
 let set_cont ?(expected_finals = 1) t key f =
-  Hashtbl.replace t.conts key { remaining_finals = expected_finals; fn = f }
+  Hashtbl.replace t.conts key
+    { remaining_finals = expected_finals; batches = 0; fn = f }
 
 let send t ~src ~dst payload =
   let note =
@@ -59,7 +66,21 @@ let send t ~src ~dst payload =
       Some (Format.asprintf "%a" Message.pp payload)
     else None
   in
-  Sim.send ?note t.sim ~src ~dst ~bytes:(Message.bytes payload) payload
+  let bytes = Message.bytes payload in
+  (* Per-peer send metrics mirror Stats exactly: bytes count remote
+     messages only, loopbacks are tallied separately — so the metrics
+     table and Stats.snapshot agree to the byte. *)
+  if Metrics.is_on Metrics.default then begin
+    let peer = Peer_id.to_string src in
+    if Peer_id.equal src dst then
+      Metrics.incr Metrics.default ~peer ~subsystem:"net" "local_messages"
+    else begin
+      Metrics.incr Metrics.default ~peer ~subsystem:"net" "messages_sent";
+      Metrics.incr Metrics.default ~peer ~by:bytes ~subsystem:"net" "bytes_sent"
+    end
+  end;
+  Sim.send ?note t.sim ~src ~dst ~bytes
+    (Message.make ~corr:(Trace.current_corr ()) payload)
 
 let consume_cpu t ~peer ~bytes =
   Sim.consume_cpu t.sim ~peer
@@ -69,6 +90,27 @@ let route ?notify t ~src dest forest ~final =
   (* [notify] rides on the message so the acknowledgement fires at the
      destination, after the side effect — a bare ack message would
      overtake the (larger, slower) data it acknowledges. *)
+  if Metrics.is_on Metrics.default then
+    Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
+      ~subsystem:"peer" "routed_batches";
+  if Trace.enabled () then
+    Trace.instant ~cat:"peer"
+      ~peer:(Peer_id.to_string src)
+      ~ts:(Sim.now t.sim)
+      ~args:
+        [
+          ( "dest",
+            match dest with
+            | Message.Cont { peer; key } ->
+                Printf.sprintf "cont[%d]@%s" key (Peer_id.to_string peer)
+            | Message.Node r ->
+                "node@" ^ Peer_id.to_string r.Names.Node_ref.peer
+            | Message.Install { peer; name } ->
+                Printf.sprintf "install %s@%s" name (Peer_id.to_string peer) );
+          ("bytes", string_of_int (Forest.byte_size forest));
+          ("final", string_of_bool final);
+        ]
+      "route";
   let notify = if final then notify else None in
   match dest with
   | Message.Cont { peer; key } ->
@@ -196,7 +238,7 @@ let handle_install t (self : Peer.t) name forest notify =
       ignore (Axml_doc.Store.install self.Peer.store ~name root));
   ping t self notify
 
-let dispatch t (self : Peer.t) ~src payload =
+let dispatch_payload t (self : Peer.t) ~src payload =
   ignore src;
   match payload with
   | Message.Stream { key; forest; final } -> (
@@ -206,9 +248,17 @@ let dispatch t (self : Peer.t) ~src payload =
               m "peer %a: stream for dead continuation %d" Peer_id.pp
                 self.Peer.id key)
       | Some entry ->
+          entry.batches <- entry.batches + 1;
           if final then begin
             entry.remaining_finals <- entry.remaining_finals - 1;
-            if entry.remaining_finals <= 0 then Hashtbl.remove t.conts key
+            if entry.remaining_finals <= 0 then begin
+              Hashtbl.remove t.conts key;
+              if Metrics.is_on Metrics.default then
+                Metrics.observe Metrics.default
+                  ~peer:(Peer_id.to_string self.Peer.id)
+                  ~subsystem:"stream" "batches"
+                  (float_of_int entry.batches)
+            end
           end;
           (* The consumer sees the stream close only when every
              expected source has finished. *)
@@ -261,6 +311,27 @@ let dispatch t (self : Peer.t) ~src payload =
           Hashtbl.remove t.conts key;
           entry.fn [] ~final:true)
 
+(* Delivery entry point: re-establish the sender's correlation id as
+   the ambient one, so spans recorded here — and any messages sent
+   from here — stay attached to the logical computation that caused
+   this delivery, across any number of hops. *)
+let dispatch t (self : Peer.t) ~src (msg : Message.t) =
+  if Trace.enabled () then
+    Trace.with_corr msg.Message.corr (fun () ->
+        let sid =
+          Trace.begin_span ~cat:"peer"
+            ~peer:(Peer_id.to_string self.Peer.id)
+            ~ts:(Sim.now t.sim)
+            ~args:[ ("src", Peer_id.to_string src) ]
+            ("handle " ^ Message.tag msg.Message.payload)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.end_span sid
+              ~ts:(max (Sim.now t.sim) (Sim.busy_until t.sim self.Peer.id)))
+          (fun () -> dispatch_payload t self ~src msg.Message.payload))
+  else dispatch_payload t self ~src msg.Message.payload
+
 let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01) topology =
   let sim = Sim.create topology in
   let t =
@@ -306,7 +377,7 @@ let register_service_class t ~class_name ref_ =
 (* Document-level call activation: steps 1-3 of Section 2.2.  The
    default forward target is the parent of the sc node — responses
    accumulate as siblings of the call. *)
-let activate_call t ~owner ~doc ~node =
+let activate_call_now t ~owner ~doc ~node =
   let self = peer t owner in
   match Axml_doc.Store.find self.Peer.store doc with
   | None -> false
@@ -371,6 +442,31 @@ let activate_call t ~owner ~doc ~node =
                             Peer_id.pp owner Names.Service_name.pp
                             sc.Axml_doc.Sc.service);
                       false))))
+
+(* Each document-level activation is its own logical computation: it
+   gets a fresh correlation id, which its Invoke message (and every
+   downstream response, insert and acknowledgement) then carries. *)
+let activate_call t ~owner ~doc ~node =
+  let activated =
+    if Trace.enabled () then
+      Trace.with_corr (Trace.fresh_corr ()) (fun () ->
+          let sid =
+            Trace.begin_span ~cat:"peer"
+              ~peer:(Peer_id.to_string owner)
+              ~ts:(Sim.now t.sim)
+              ~args:[ ("doc", Names.Doc_name.to_string doc) ]
+              "activate_call"
+          in
+          Fun.protect
+            ~finally:(fun () -> Trace.end_span sid ~ts:(Sim.now t.sim))
+            (fun () -> activate_call_now t ~owner ~doc ~node))
+    else activate_call_now t ~owner ~doc ~node
+  in
+  if activated && Metrics.is_on Metrics.default then
+    Metrics.incr Metrics.default
+      ~peer:(Peer_id.to_string owner)
+      ~subsystem:"peer" "activations";
+  activated
 
 let activate_all t ?peer:only () =
   let count = ref 0 in

@@ -62,7 +62,11 @@ val set_cont :
     [final = true] only on the last of them — how a driver joins
     acknowledgements from several destinations. *)
 
-val send : t -> src:Peer_id.t -> dst:Peer_id.t -> Message.t -> unit
+val send : t -> src:Peer_id.t -> dst:Peer_id.t -> Message.payload -> unit
+(** Wrap the payload in a {!Message.t} envelope carrying the ambient
+    correlation id ({!Axml_obs.Trace.current_corr}) and enqueue it on
+    the simulator.  Per-peer send metrics are recorded when
+    {!Axml_obs.Metrics.default} is enabled. *)
 
 val route :
   ?notify:Peer_id.t * int ->
@@ -95,8 +99,10 @@ val activate_all : t -> ?peer:Peer_id.t -> unit -> int
 
 (** {1 Running and observing} *)
 
-val run : ?max_events:int -> t -> unit
-(** Drive the simulator to quiescence. *)
+val run : ?max_events:int -> t -> Axml_net.Sim.outcome * int
+(** Drive the simulator until quiescence or the [max_events] guard;
+    the outcome says which (see {!Axml_net.Sim.run}) — check it, a
+    [`Budget_exhausted] run left deliverable messages unprocessed. *)
 
 val now_ms : t -> float
 val stats : t -> Axml_net.Stats.snapshot

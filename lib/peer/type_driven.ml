@@ -94,7 +94,7 @@ let activate_until_valid sys ~owner ~doc ~schema ~type_name ?(max_rounds = 8)
                   if System.activate_call sys ~owner ~doc:doc_name ~node then
                     incr activated)
                 candidates;
-              System.run sys;
+              ignore (System.run sys);
               loop (round + 1)
         end
   in

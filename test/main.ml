@@ -30,4 +30,5 @@ let () =
       ("runtime.persist", Test_persist.suite);
       ("workload.schema-gen", Test_schema_gen.suite);
       ("workload.xmark", Test_xmark.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -124,7 +124,7 @@ let test_sim_delivery_and_time () =
       got := (Net.Peer_id.to_string src, msg, Net.Sim.now sim) :: !got);
   Net.Sim.set_handler sim a (fun ~src:_ _ -> ());
   Net.Sim.send sim ~src:a ~dst:b ~bytes:1000 "hello";
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   match !got with
   | [ (src, msg, time) ] ->
       Alcotest.(check string) "src" "a" src;
@@ -142,7 +142,7 @@ let test_sim_chained_sends () =
   Net.Sim.set_handler sim c (fun ~src:_ msg ->
       arrived := Some (msg, Net.Sim.now sim));
   Net.Sim.send sim ~src:a ~dst:b ~bytes:0 "m";
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   (match !arrived with
   | Some (msg, time) ->
       Alcotest.(check string) "relayed" "m-relayed" msg;
@@ -159,7 +159,7 @@ let test_sim_cpu_busy_delays_sends () =
   Net.Sim.set_handler sim b (fun ~src:_ () -> time := Net.Sim.now sim);
   Net.Sim.consume_cpu sim ~peer:a ~ms:5.0;
   Net.Sim.send sim ~src:a ~dst:b ~bytes:0 ();
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   Alcotest.(check (float 0.001)) "departure delayed by busy peer" 15.0 !time
 
 let test_sim_timer () =
@@ -168,7 +168,7 @@ let test_sim_timer () =
   let fired = ref (-1.0) in
   Net.Sim.after sim ~peer:(peer "a") ~delay_ms:42.0 (fun () ->
       fired := Net.Sim.now sim);
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   Alcotest.(check (float 0.001)) "timer time" 42.0 !fired
 
 let test_sim_no_handler () =
@@ -177,7 +177,7 @@ let test_sim_no_handler () =
   Net.Sim.send sim ~src:(peer "a") ~dst:(peer "b") ~bytes:0 ();
   match Net.Sim.run sim with
   | exception Net.Sim.No_handler _ -> ()
-  | () -> Alcotest.fail "should raise No_handler"
+  | _ -> Alcotest.fail "should raise No_handler"
 
 let test_sim_max_events_guard () =
   let t = mesh [ "a" ] in
@@ -187,7 +187,9 @@ let test_sim_max_events_guard () =
   Net.Sim.set_handler sim a (fun ~src:_ () ->
       Net.Sim.send sim ~src:a ~dst:a ~bytes:0 ());
   Net.Sim.send sim ~src:a ~dst:a ~bytes:0 ();
-  Net.Sim.run ~max_events:100 sim;
+  let outcome, processed = Net.Sim.run ~max_events:100 sim in
+  Alcotest.(check bool) "budget exhausted" true (outcome = `Budget_exhausted);
+  Alcotest.(check int) "processed up to the guard" 100 processed;
   Alcotest.(check bool) "stopped" true (Net.Sim.pending sim > 0)
 
 let test_stats_per_link () =
@@ -199,7 +201,7 @@ let test_stats_per_link () =
   Net.Sim.send sim ~src:a ~dst:b ~bytes:100 ();
   Net.Sim.send sim ~src:a ~dst:b ~bytes:50 ();
   Net.Sim.send sim ~src:a ~dst:a ~bytes:999 ();
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   let snap = Net.Stats.snapshot (Net.Sim.stats sim) in
   Alcotest.(check int) "remote messages" 2 snap.messages;
   Alcotest.(check int) "bytes" 150 snap.bytes;
@@ -222,7 +224,7 @@ let test_fifo_per_link () =
   for i = 1 to 10 do
     Net.Sim.send sim ~src:a ~dst:b ~bytes:100 i
   done;
-  Net.Sim.run sim;
+  ignore (Net.Sim.run sim);
   Alcotest.(check (list int)) "in order" (List.init 10 (fun i -> i + 1))
     (List.rev !received)
 
@@ -243,7 +245,7 @@ let test_deterministic_runs () =
                 ~bytes:(50 * msg) (msg + 1)))
       [ "a"; "b"; "c" ];
     Net.Sim.send sim ~src:(peer "a") ~dst:(peer "b") ~bytes:10 1;
-    Net.Sim.run sim;
+    ignore (Net.Sim.run sim);
     List.rev !log
   in
   Alcotest.(check bool) "identical logs" true (run () = run ())

@@ -73,7 +73,7 @@ let test_save_load_directory () =
   System.load_document fresh p1 ~name:"digest"
     ~xml:{|<digest><sc><peer>p2</peer><service>feed</service></sc></digest>|};
   ignore (System.activate_all fresh ~peer:p1 ());
-  System.run fresh;
+  ignore (System.run fresh);
   match System.find_document fresh p1 "digest" with
   | Some d ->
       Alcotest.(check bool) "feed flowed after restore" true

@@ -75,7 +75,7 @@ let test_resolution_via_generic_catalog () =
 let test_subscription_initial_and_updates () =
   let sub = Scenarios.subscription ~sources:3 ~seed:5 () in
   let sys = sub.sub_system in
-  System.run sys;
+  ignore (System.run sys);
   let digest_count () =
     match System.find_document sys sub.sub_aggregator sub.sub_digest_doc with
     | Some doc ->
@@ -92,13 +92,13 @@ let test_subscription_initial_and_updates () =
   Scenarios.publish sub
     ~source:(List.nth sub.sub_sources 1)
     ~headline:"more news";
-  System.run sys;
+  ignore (System.run sys);
   Alcotest.(check int) "two deltas arrived" (initial + 2) (digest_count ())
 
 let test_subscription_isolated_sources () =
   let sub = Scenarios.subscription ~sources:2 ~seed:6 () in
   let sys = sub.sub_system in
-  System.run sys;
+  ignore (System.run sys);
   (* A publish on source0 must not touch source1's news doc. *)
   let source1 = List.nth sub.sub_sources 1 in
   let before =
@@ -107,7 +107,7 @@ let test_subscription_isolated_sources () =
     | None -> -1
   in
   Scenarios.publish sub ~source:(List.hd sub.sub_sources) ~headline:"x";
-  System.run sys;
+  ignore (System.run sys);
   let after =
     match System.find_document sys source1 sub.sub_news_doc with
     | Some d -> Xml.Tree.size (Doc.Document.root d)

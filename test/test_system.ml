@@ -20,7 +20,7 @@ let test_activate_call_default_forward () =
       {|<r><sc><peer>p2</peer><service>double</service><param1><q><n>1</n><n>2</n></q></param1></sc></r>|};
   let count = System.activate_all sys () in
   Alcotest.(check int) "one call activated" 1 count;
-  System.run sys;
+  ignore (System.run sys);
   match System.find_document sys p1 "d" with
   | Some doc ->
       let root = Doc.Document.root doc in
@@ -52,7 +52,7 @@ let test_activate_call_explicit_forward () =
   System.add_document sys p1 ~name:"caller"
     (Xml.Tree.element_of_string ~gen:g1 "r" [ sc_tree ]);
   ignore (System.activate_all sys ());
-  System.run sys;
+  ignore (System.run sys);
   (match System.find_document sys p2 "target" with
   | Some doc ->
       Alcotest.(check int) "result forwarded to p2" 1
@@ -76,7 +76,7 @@ let test_activate_generic_provider () =
     ~xml:
       {|<r><sc><peer>any</peer><service>cls</service><param1><x/></param1></sc></r>|};
   ignore (System.activate_all sys ());
-  System.run sys;
+  ignore (System.run sys);
   match System.find_document sys p1 "d" with
   | Some doc ->
       Alcotest.(check int) "resolved and answered" 2
@@ -91,7 +91,7 @@ let test_doc_feed_subscription () =
   System.load_document sys p1 ~name:"digest"
     ~xml:{|<digest><sc><peer>p2</peer><service>feed</service></sc></digest>|};
   ignore (System.activate_all sys ());
-  System.run sys;
+  ignore (System.run sys);
   let digest_items () =
     match System.find_document sys p1 "digest" with
     | Some doc ->
@@ -112,7 +112,7 @@ let test_doc_feed_subscription () =
          forest = [ Xml.Tree.element_of_string ~gen:g2 "n" [ txt "second" ] ];
          notify = None;
        });
-  System.run sys;
+  ignore (System.run sys);
   Alcotest.(check int) "delta pushed" 2 (digest_items ())
 
 let test_fingerprint_stability () =
@@ -157,7 +157,7 @@ let test_install_doc_accumulates () =
   System.send sys ~src:p1 ~dst:p2
     (Runtime.Message.Install_doc
        { name = "log"; forest = [ parse "<entry>2</entry>" ]; notify = None });
-  System.run sys;
+  ignore (System.run sys);
   match System.find_document sys p2 "log" with
   | Some doc ->
       (* The first batch's tree becomes the document root (its text
@@ -174,7 +174,7 @@ let test_unknown_service_degrades () =
   System.load_document sys p1 ~name:"d"
     ~xml:{|<r><sc><peer>p2</peer><service>ghost</service></sc></r>|};
   ignore (System.activate_all sys ());
-  System.run sys;
+  ignore (System.run sys);
   (* No response, but the system settles and the document survives. *)
   match System.find_document sys p1 "d" with
   | Some doc ->
