@@ -1212,5 +1212,410 @@ let e16 () =
      (the two disabled rows agree), enabled tracing pays ~a span record\n\
      per transfer\n"
 
+(* --- E17: indexed document stores vs naive evaluation ------------ *)
+
+(* Wall-clock milliseconds of the best of [n] runs (first-run noise —
+   allocation, lazy compilation — must not be charged to either
+   engine). *)
+let best_ms ?(n = 3) f =
+  let best = ref infinity in
+  let res = ref None in
+  for _ = 1 to n do
+    let t0 = Sys.time () in
+    let r = f () in
+    let ms = (Sys.time () -. t0) *. 1000.0 in
+    if ms < !best then best := ms;
+    res := Some r
+  done;
+  (!best, Option.get !res)
+
+(* A catalog whose descendant-step selectivity is controlled twice
+   over: a [sel] fraction of items carries the "wanted" category
+   attribute (candidate-bound selection: the predicate is checked per
+   item by both engines), and the same fraction carries a <promo>
+   child element (label-bound selection: the index answers //promo
+   from postings while the interpreter walks the whole document). *)
+let promo_catalog ~gen ~rng ~items ~sel =
+  let open Xml in
+  let item i =
+    let matches = Workload.Rng.float rng 1.0 < sel in
+    let category = if matches then "wanted" else "misc" in
+    let promo =
+      if matches then
+        [
+          Tree.element ~gen (Label.of_string "promo")
+            [ Tree.text (Printf.sprintf "deal-%d" i) ];
+        ]
+      else []
+    in
+    Tree.element ~gen (Label.of_string "item")
+      ~attrs:[ ("id", string_of_int i); ("category", category) ]
+      (promo
+      @ [
+          Tree.element ~gen (Label.of_string "name")
+            [ Tree.text (Printf.sprintf "item-%d" i) ];
+          Tree.element ~gen (Label.of_string "price")
+            [ Tree.text (string_of_int (1 + Workload.Rng.int rng 1000)) ];
+          Tree.element ~gen (Label.of_string "payload")
+            [ Tree.text (String.make 64 'x') ];
+        ])
+  in
+  Tree.element ~gen (Label.of_string "catalog") (List.init items item)
+
+let rare_label_query =
+  lazy (Query.Parser.parse_exn "query(1) for $p in $0//promo return <hit>{$p}</hit>")
+
+(* Minimal JSON rendering — every number this experiment emits is
+   finite by construction (ratios divide by a clamped denominator). *)
+let json_f x = Printf.sprintf "%.6g" x
+let json_b b = if b then "true" else "false"
+let json_s s = Printf.sprintf "%S" s
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> json_s k ^ ": " ^ v) fields) ^ "}"
+let json_arr items = "[" ^ String.concat ", " items ^ "]"
+
+let write_json path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let e17 ?(smoke = false) () =
+  section
+    (if smoke then "E17  indexed store vs naive evaluation (smoke)"
+     else "E17  indexed store vs naive evaluation");
+  Printf.printf
+    "part A — one query, two engines over the same document: the Naive\n\
+     engine is the seed interpreter (full traversal per descendant step),\n\
+     Indexed serves descendant steps from the store's structural index.\n\
+     \"rare-label\" binds //promo (matches only the selected fraction);\n\
+     \"attr-sel\" binds //item and filters on an attribute (candidate\n\
+     work dominates — the honest case where indexing helps less).\n\n";
+  Obs.Metrics.set_enabled Obs.Metrics.default true;
+  Obs.Metrics.reset Obs.Metrics.default;
+  let item_sizes = if smoke then [ 14; 143 ] else [ 14; 143; 1_430; 14_300 ] in
+  let sels = [ 0.01; 0.1; 0.5 ] in
+  let all_identical = ref true in
+  let eval_gen () = Xml.Node_id.Gen.create ~namespace:"e17out" in
+  let sweep =
+    List.concat_map
+      (fun items ->
+        List.concat_map
+          (fun sel ->
+            let rng = Workload.Rng.create ~seed:17 in
+            let g = Xml.Node_id.Gen.create ~namespace:"e17" in
+            let doc = promo_catalog ~gen:g ~rng ~items ~sel in
+            let nodes = Xml.Tree.size doc in
+            let build_ms, ix = best_ms (fun () -> Xml.Index.build doc) in
+            List.map
+              (fun (qname, q) ->
+                let naive_ms, out_n =
+                  best_ms (fun () ->
+                      Query.Compile.eval ~engine:Query.Compile.Naive
+                        ~gen:(eval_gen ()) q [ [ doc ] ])
+                in
+                let indexed_ms, out_i =
+                  best_ms (fun () ->
+                      Query.Compile.eval_over ~engine:Query.Compile.Indexed
+                        ~gen:(eval_gen ()) q
+                        [ ([ doc ], Some ix) ])
+                in
+                let identical =
+                  Xml.Serializer.forest_to_string out_n
+                  = Xml.Serializer.forest_to_string out_i
+                in
+                if not identical then begin
+                  all_identical := false;
+                  Printf.printf "  !! E17 %s items=%d sel=%.2f: outputs differ\n"
+                    qname items sel
+                end;
+                let speedup = naive_ms /. max indexed_ms 1e-4 in
+                (qname, items, nodes, sel, build_ms, naive_ms, indexed_ms,
+                 speedup, identical))
+              [
+                ("rare-label", Lazy.force rare_label_query);
+                ("attr-sel", Workload.Xml_gen.selection_query ());
+              ])
+          sels)
+      item_sizes
+  in
+  table
+    ~headers:
+      [ "query"; "items"; "nodes"; "sel"; "build ms"; "naive ms"; "indexed ms";
+        "speedup" ]
+    (List.map
+       (fun (qn, items, nodes, sel, b, n, i, s, _) ->
+         [
+           qn; string_of_int items; string_of_int nodes;
+           Printf.sprintf "%.2f" sel; Printf.sprintf "%.2f" b;
+           Printf.sprintf "%.3f" n; Printf.sprintf "%.4f" i;
+           fmt_ratio s;
+         ])
+       sweep);
+  let hits =
+    int_of_float (Obs.Metrics.total Obs.Metrics.default ~subsystem:"query" "index_hits")
+  in
+  let fallbacks =
+    int_of_float (Obs.Metrics.total Obs.Metrics.default ~subsystem:"query" "fallback")
+  in
+  Printf.printf
+    "\nmetrics: %d descendant steps served from postings, %d traversal fallbacks\n"
+    hits fallbacks;
+  Obs.Metrics.set_enabled Obs.Metrics.default false;
+  Obs.Metrics.reset Obs.Metrics.default;
+  Printf.printf
+    "\npart B — streaming appends: one small item appended per round at a\n\
+     random existing node; the index absorbs each append as a fresh\n\
+     segment (cost bounded by the appended subtree and the rebuilt\n\
+     spine), versus rebuilding the index from scratch each round\n\
+     (cost proportional to the whole document).\n\n";
+  let append_rounds = if smoke then 10 else 50 in
+  let maint_sizes = if smoke then [ 143 ] else [ 143; 1_430; 14_300 ] in
+  let maintenance =
+    List.map
+      (fun items ->
+        let rng = Workload.Rng.create ~seed:18 in
+        let g = Xml.Node_id.Gen.create ~namespace:"e17b" in
+        let doc = ref (promo_catalog ~gen:g ~rng ~items ~sel:0.1) in
+        let nodes0 = Xml.Tree.size !doc in
+        let targets =
+          let rec collect acc t =
+            match t with
+            | Xml.Tree.Text _ -> acc
+            | Xml.Tree.Element e -> List.fold_left collect (e.id :: acc) e.children
+          in
+          Array.of_list (collect [] !doc)
+        in
+        let ix = Xml.Index.build !doc in
+        let insert_ms = ref 0.0
+        and maintain_ms = ref 0.0
+        and rebuild_ms = ref 0.0
+        and rebuild_samples = ref 0 in
+        for i = 1 to append_rounds do
+          let under = targets.(Workload.Rng.int rng (Array.length targets)) in
+          let forest =
+            [
+              Xml.Tree.element ~gen:g (Xml.Label.of_string "item")
+                ~attrs:[ ("id", Printf.sprintf "new%d" i); ("category", "wanted") ]
+                [
+                  Xml.Tree.element ~gen:g (Xml.Label.of_string "name")
+                    [ Xml.Tree.text (Printf.sprintf "fresh-%d" i) ];
+                ];
+            ]
+          in
+          let t0 = Sys.time () in
+          let t' = Option.get (Xml.Tree.insert_children ~under forest !doc) in
+          insert_ms := !insert_ms +. ((Sys.time () -. t0) *. 1000.0);
+          let t0 = Sys.time () in
+          let ok = Xml.Index.append ix ~new_root:t' ~under forest in
+          maintain_ms := !maintain_ms +. ((Sys.time () -. t0) *. 1000.0);
+          if not ok then Printf.printf "  !! E17 append rejected (round %d)\n" i;
+          (* Sample the from-scratch alternative sparsely: at 1e5 nodes
+             a full rebuild costs ~100ms and would dominate the run. *)
+          if i mod 10 = 1 then begin
+            let t0 = Sys.time () in
+            ignore (Xml.Index.build t');
+            rebuild_ms := !rebuild_ms +. ((Sys.time () -. t0) *. 1000.0);
+            incr rebuild_samples
+          end;
+          doc := t'
+        done;
+        let per x = x /. float_of_int append_rounds in
+        let rebuild_per = !rebuild_ms /. float_of_int (max 1 !rebuild_samples) in
+        let q = Workload.Xml_gen.selection_query () in
+        let out_i =
+          Query.Compile.eval_over ~engine:Query.Compile.Indexed ~gen:(eval_gen ())
+            q [ ([ !doc ], Some ix) ]
+        in
+        let out_n =
+          Query.Compile.eval ~engine:Query.Compile.Naive ~gen:(eval_gen ()) q
+            [ [ !doc ] ]
+        in
+        let identical =
+          Xml.Serializer.forest_to_string out_i
+          = Xml.Serializer.forest_to_string out_n
+        in
+        if not identical then begin
+          all_identical := false;
+          Printf.printf "  !! E17 post-append results differ (%d items)\n" items
+        end;
+        (items, nodes0, per !insert_ms, per !maintain_ms, rebuild_per,
+         rebuild_per /. max (per !maintain_ms) 1e-4,
+         Xml.Index.segment_count ix, identical))
+      maint_sizes
+  in
+  table
+    ~headers:
+      [ "items"; "nodes"; "insert ms"; "maintain ms"; "rebuild ms"; "ratio";
+        "segments" ]
+    (List.map
+       (fun (items, nodes, ins, m, r, ratio, segs, _) ->
+         [
+           string_of_int items; string_of_int nodes; Printf.sprintf "%.4f" ins;
+           Printf.sprintf "%.4f" m; Printf.sprintf "%.3f" r; fmt_ratio ratio;
+           string_of_int segs;
+         ])
+       maintenance);
+  Printf.printf
+    "\npart C — planner output estimates for query(doc) with and without\n\
+     store statistics: \"before\" is the flat input/5 heuristic, \"after\"\n\
+     reads exact per-label counts off the document's index\n\
+     (Selectivity.sketch).  err = |estimate - actual| / actual.\n\n";
+  let items_c = if smoke then 143 else 1_430 in
+  let topo = Net.Topology.full_mesh ~link:default_link [ p1; p2 ] in
+  let cost_rows =
+    List.concat_map
+      (fun sel ->
+        let rng = Workload.Rng.create ~seed:19 in
+        let g = Xml.Node_id.Gen.create ~namespace:"e17c" in
+        let doc = promo_catalog ~gen:g ~rng ~items:items_c ~sel in
+        let store = Doc.Store.create () in
+        Doc.Store.add store (Doc.Document.make ~name:"cat" doc);
+        let stats =
+          Doc.Store.stats_of store (Doc.Names.Doc_name.of_string "cat")
+        in
+        let bytes = Xml.Tree.byte_size doc in
+        let env_before = Algebra.Cost.default_env ~doc_bytes:(fun _ -> bytes) topo in
+        let env_after =
+          Algebra.Cost.default_env ~doc_bytes:(fun _ -> bytes)
+            ~doc_stats:(fun _ -> stats) topo
+        in
+        List.map
+          (fun (qname, q) ->
+            let plan =
+              Expr.query_at q ~at:p1 ~args:[ Expr.doc "cat" ~at:"p2" ]
+            in
+            let est env =
+              (Algebra.Cost.of_expr env ~ctx:p1 plan).Algebra.Cost.result_bytes
+            in
+            let actual =
+              Xml.Forest.byte_size
+                (Query.Compile.eval ~gen:(eval_gen ()) q [ [ doc ] ])
+            in
+            let err est =
+              Float.abs (float_of_int (est - actual)) /. float_of_int (max 1 actual)
+            in
+            (qname, sel, actual, est env_before, est env_after,
+             err (est env_before), err (est env_after)))
+          [
+            ("rare-label", Lazy.force rare_label_query);
+            ("attr-sel", Workload.Xml_gen.selection_query ());
+          ])
+      sels
+  in
+  table
+    ~headers:
+      [ "query"; "sel"; "actual B"; "est before"; "est after"; "err before";
+        "err after" ]
+    (List.map
+       (fun (qn, sel, actual, eb, ea, errb, erra) ->
+         [
+           qn; Printf.sprintf "%.2f" sel; string_of_int actual;
+           string_of_int eb; string_of_int ea; Printf.sprintf "%.1fx" errb;
+           Printf.sprintf "%.1fx" erra;
+         ])
+       cost_rows);
+  (* --- machine-readable artifacts -------------------------------- *)
+  let sweep_json =
+    json_arr
+      (List.map
+         (fun (qn, items, nodes, sel, b, n, i, s, ident) ->
+           json_obj
+             [
+               ("query", json_s qn); ("items", string_of_int items);
+               ("nodes", string_of_int nodes); ("selectivity", json_f sel);
+               ("build_ms", json_f b); ("naive_ms", json_f n);
+               ("indexed_ms", json_f i); ("speedup", json_f s);
+               ("identical", json_b ident);
+             ])
+         sweep)
+  in
+  let maint_json =
+    json_arr
+      (List.map
+         (fun (items, nodes, ins, m, r, ratio, segs, ident) ->
+           json_obj
+             [
+               ("items", string_of_int items); ("nodes", string_of_int nodes);
+               ("appends", string_of_int append_rounds);
+               ("insert_ms_per_append", json_f ins);
+               ("maintain_ms_per_append", json_f m);
+               ("rebuild_ms_per_append", json_f r); ("ratio", json_f ratio);
+               ("segments", string_of_int segs); ("identical", json_b ident);
+             ])
+         maintenance)
+  in
+  let cost_json =
+    json_arr
+      (List.map
+         (fun (qn, sel, actual, eb, ea, errb, erra) ->
+           json_obj
+             [
+               ("query", json_s qn); ("selectivity", json_f sel);
+               ("actual_bytes", string_of_int actual);
+               ("est_before", string_of_int eb); ("est_after", string_of_int ea);
+               ("err_before", json_f errb); ("err_after", json_f erra);
+             ])
+         cost_rows)
+  in
+  write_json "BENCH_E17.json"
+    (json_obj
+       [
+         ("experiment", json_s "E17"); ("smoke", json_b smoke);
+         ("sweep", sweep_json); ("maintenance", maint_json);
+         ("cost_estimate", cost_json);
+       ]);
+  let max_nodes =
+    List.fold_left (fun acc (_, _, n, _, _, _, _, _, _) -> max acc n) 0 sweep
+  in
+  let max_items =
+    List.fold_left (fun acc (_, i, _, _, _, _, _, _, _) -> max acc i) 0 sweep
+  in
+  let speedup_at_max =
+    List.fold_left
+      (fun acc (qn, i, _, _, _, _, _, s, _) ->
+        if qn = "rare-label" && i = max_items then max acc s else acc)
+      0.0 sweep
+  in
+  let max_speedup =
+    List.fold_left (fun acc (_, _, _, _, _, _, _, s, _) -> max acc s) 0.0 sweep
+  in
+  let ratio_max =
+    List.fold_left (fun acc (_, _, _, _, _, r, _, _) -> max acc r) 0.0 maintenance
+  in
+  let mean f rows =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rows
+    /. float_of_int (max 1 (List.length rows))
+  in
+  write_json "BENCH_summary.json"
+    (json_obj
+       [
+         ("experiment", json_s "E17"); ("smoke", json_b smoke);
+         ("max_nodes", string_of_int max_nodes);
+         ("max_speedup", json_f max_speedup);
+         ("speedup_rare_label_at_max_size", json_f speedup_at_max);
+         ("all_outputs_identical", json_b !all_identical);
+         ("maintain_vs_rebuild_ratio_max", json_f ratio_max);
+         ("mean_cost_err_before",
+          json_f (mean (fun (_, _, _, _, _, e, _) -> e) cost_rows));
+         ("mean_cost_err_after",
+          json_f (mean (fun (_, _, _, _, _, _, e) -> e) cost_rows));
+         ("index_hits", string_of_int hits);
+         ("fallbacks", string_of_int fallbacks);
+       ]);
+  Printf.printf
+    "\nwrote BENCH_E17.json and BENCH_summary.json\n\
+     shape: the index pays off exactly where traversal dominated — the\n\
+     rare-label speedup grows with document size and scarcity while the\n\
+     candidate-bound query is flat; per-append maintenance stays roughly\n\
+     constant as rebuild cost grows with the document; statistics shrink\n\
+     the planner's output-size error by an order of magnitude on the\n\
+     label-bound query\n"
+
 let all =
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16 ]
+  [
+    e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
+    (fun () -> e17 ());
+  ]

@@ -9,7 +9,11 @@
 
    Run everything:        dune exec bench/main.exe
    Tables only:           dune exec bench/main.exe -- --tables
-   Micro-benchmarks only: dune exec bench/main.exe -- --micro *)
+   Micro-benchmarks only: dune exec bench/main.exe -- --micro
+   E17 only:              dune exec bench/main.exe -- --e17 [--smoke]
+
+   E17 additionally writes BENCH_E17.json and BENCH_summary.json to
+   the current directory; --smoke shrinks it to CI size. *)
 
 open Axml
 open Bench_util
@@ -269,9 +273,14 @@ let () =
   let args = Array.to_list Sys.argv in
   let tables_only = List.mem "--tables" args in
   let micro_only = List.mem "--micro" args in
-  if not micro_only then begin
-    print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";
-    List.iter (fun e -> e ()) Experiments.all
+  let e17_only = List.mem "--e17" args in
+  let smoke = List.mem "--smoke" args in
+  if e17_only then Experiments.e17 ~smoke ()
+  else begin
+    if not micro_only then begin
+      print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";
+      List.iter (fun e -> e ()) Experiments.all
+    end;
+    if not tables_only then run_micro ()
   end;
-  if not tables_only then run_micro ();
   print_newline ()

@@ -60,7 +60,22 @@ let query_cmd =
   let files =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"Input documents")
   in
-  let run qtext files =
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("indexed", Query.Compile.Indexed); ("naive", Query.Compile.Naive);
+             ])
+          Query.Compile.Indexed
+      & info [ "engine" ] ~docv:"naive|indexed"
+          ~doc:
+            "Evaluation engine: $(b,indexed) compiles the query and serves \
+             descendant steps from a structural index, $(b,naive) is the \
+             reference interpreter (ablation / cross-check)")
+  in
+  let run qtext engine files =
     let gen = Xml.Node_id.Gen.create ~namespace:"cli" in
     let q =
       match Query.Parser.parse qtext with
@@ -84,13 +99,13 @@ let query_cmd =
               exit 1)
         files
     in
-    let out = Query.Eval.eval ~gen q inputs in
+    let out = Query.Compile.eval ~engine ~gen q inputs in
     List.iter (fun t -> print_string (Xml.Serializer.to_string_pretty t)) out;
     Format.printf "; %d result(s)@." (List.length out)
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a query over XML documents")
-    Term.(const run $ qarg $ files)
+    Term.(const run $ qarg $ engine $ files)
 
 (* --- shared plan options --------------------------------------- *)
 

@@ -7,6 +7,7 @@ module Tree = Axml_xml.Tree
 type env = {
   topology : Topology.t;
   doc_bytes : Names.Doc_ref.t -> int;
+  doc_stats : Names.Doc_ref.t -> Axml_query.Selectivity.Stats.t option;
   service_query : Names.Service_ref.t -> Axml_query.Ast.t option;
   query_out_bytes : Axml_query.Ast.t -> int list -> int;
   cpu_ms_per_kb : float;
@@ -14,12 +15,14 @@ type env = {
 }
 
 let default_env ?(cpu_ms_per_kb = 0.01) ?(cpu_factor = fun _ -> 1.0)
-    ?(doc_bytes = fun _ -> 4096) ?(service_query = fun _ -> None)
+    ?(doc_bytes = fun _ -> 4096) ?(doc_stats = fun _ -> None)
+    ?(service_query = fun _ -> None)
     ?(query_out_bytes = fun _q inputs -> List.fold_left ( + ) 0 inputs / 5)
     topology =
   {
     topology;
     doc_bytes;
+    doc_stats;
     service_query;
     query_out_bytes;
     cpu_ms_per_kb;
@@ -132,10 +135,35 @@ let rec of_expr env ~ctx expr =
           zero args
       in
       let input_bytes = arg_cost.result_bytes in
-      let out_bytes =
+      (* When every argument is a named document whose statistics the
+         environment knows (index-backed label histograms), estimate
+         the output from the query's actual shape instead of a flat
+         input fraction. *)
+      let stats_estimate =
         match q_ast with
-        | Some q -> env.query_out_bytes q (List.map (fun _ -> input_bytes / max 1 (List.length args)) args)
-        | None -> input_bytes / 5
+        | None -> None
+        | Some q ->
+            if args = [] then None
+            else
+              let stats =
+                List.map
+                  (function Expr.Doc r -> env.doc_stats r | _ -> None)
+                  args
+              in
+              if List.for_all Option.is_some stats then
+                let (e : Axml_query.Selectivity.estimate) =
+                  Axml_query.Selectivity.sketch q (List.filter_map Fun.id stats)
+                in
+                Some e.Axml_query.Selectivity.bytes
+              else None
+      in
+      let out_bytes =
+        match (stats_estimate, q_ast) with
+        | Some b, _ -> b
+        | None, Some q ->
+            env.query_out_bytes q
+              (List.map (fun _ -> input_bytes / max 1 (List.length args)) args)
+        | None, None -> input_bytes / 5
       in
       let compute = cpu env ~peer:at ~bytes:input_bytes in
       {

@@ -17,6 +17,12 @@ type env = {
   doc_bytes : Axml_doc.Names.Doc_ref.t -> int;
       (** Size oracle for documents (statistics a peer would keep
           about the network's documents). *)
+  doc_stats :
+    Axml_doc.Names.Doc_ref.t -> Axml_query.Selectivity.Stats.t option;
+      (** Per-label statistics for documents whose store index is
+          visible; sharpens {!Axml_query.Selectivity.sketch}-based
+          output estimates for query applications over named
+          documents. *)
   service_query : Axml_doc.Names.Service_ref.t -> Axml_query.Ast.t option;
       (** Visible implementations of declarative services. *)
   query_out_bytes : Axml_query.Ast.t -> int list -> int;
@@ -32,6 +38,8 @@ val default_env :
   ?cpu_ms_per_kb:float ->
   ?cpu_factor:(Axml_net.Peer_id.t -> float) ->
   ?doc_bytes:(Axml_doc.Names.Doc_ref.t -> int) ->
+  ?doc_stats:
+    (Axml_doc.Names.Doc_ref.t -> Axml_query.Selectivity.Stats.t option) ->
   ?service_query:(Axml_doc.Names.Service_ref.t -> Axml_query.Ast.t option) ->
   ?query_out_bytes:(Axml_query.Ast.t -> int list -> int) ->
   Axml_net.Topology.t ->

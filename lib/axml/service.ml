@@ -70,7 +70,7 @@ let apply ~gen s inputs =
          (Names.Service_name.to_string s.name)
          (arity s) (List.length inputs));
   match s.impl with
-  | Declarative q -> Axml_query.Eval.eval ~gen q inputs
+  | Declarative q -> Axml_query.Compile.eval ~gen q inputs
   | Extern f -> f inputs
   | Doc_feed d ->
       invalid_arg

@@ -1,53 +1,106 @@
-type t = (Names.Doc_name.t, Document.t) Hashtbl.t
+module Index = Axml_xml.Index
 
-let create () : t = Hashtbl.create 16
+type t = {
+  docs : (Names.Doc_name.t, Document.t) Hashtbl.t;
+  indexes : (Names.Doc_name.t, Index.t) Hashtbl.t;
+      (* Lazily built, dropped on any mutation the index can't absorb
+         incrementally; [index_of] rebuilds on demand. *)
+}
+
+let create () = { docs = Hashtbl.create 16; indexes = Hashtbl.create 16 }
+let invalidate t name = Hashtbl.remove t.indexes name
 
 let add t doc =
   let name = Document.name doc in
-  if Hashtbl.mem t name then
+  if Hashtbl.mem t.docs name then
     invalid_arg
       (Printf.sprintf "Store.add: document %S already exists"
          (Names.Doc_name.to_string name))
-  else Hashtbl.replace t name doc
+  else Hashtbl.replace t.docs name doc
 
 let install t ~name root =
   let rec pick candidate i =
     let dn = Names.Doc_name.of_string candidate in
-    if Hashtbl.mem t dn then pick (Printf.sprintf "%s_%d" name i) (i + 1)
+    if Hashtbl.mem t.docs dn then pick (Printf.sprintf "%s_%d" name i) (i + 1)
     else dn
   in
   let dn = pick name 1 in
-  Hashtbl.replace t dn
+  Hashtbl.replace t.docs dn
     (Document.make ~name:(Names.Doc_name.to_string dn) root);
   dn
 
-let find t name = Hashtbl.find_opt t name
+let find t name = Hashtbl.find_opt t.docs name
 
 let find_by_string t s =
   match Names.Doc_name.of_string_opt s with
   | None -> None
   | Some n -> find t n
 
-let mem t name = Hashtbl.mem t name
-let remove t name = Hashtbl.remove t name
+let mem t name = Hashtbl.mem t.docs name
+
+let remove t name =
+  Hashtbl.remove t.docs name;
+  invalidate t name
 
 let update t doc =
   let name = Document.name doc in
-  if not (Hashtbl.mem t name) then raise Not_found;
-  Hashtbl.replace t name doc
+  if not (Hashtbl.mem t.docs name) then raise Not_found;
+  Hashtbl.replace t.docs name doc;
+  invalidate t name
 
 let names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t []
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.docs []
   |> List.sort Names.Doc_name.compare
 
 let documents t = List.filter_map (find t) (names t)
 
 let total_bytes t =
-  Hashtbl.fold (fun _ d acc -> acc + Document.byte_size d) t 0
+  Hashtbl.fold (fun _ d acc -> acc + Document.byte_size d) t.docs 0
 
 let update_root t name f =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.docs name with
   | None -> false
   | Some doc ->
-      Hashtbl.replace t name (Document.with_root doc (f (Document.root doc)));
+      Hashtbl.replace t.docs name (Document.with_root doc (f (Document.root doc)));
+      invalidate t name;
       true
+
+let index_of t name =
+  match Hashtbl.find_opt t.indexes name with
+  | Some ix -> Some ix
+  | None -> (
+      match Hashtbl.find_opt t.docs name with
+      | None -> None
+      | Some doc ->
+          let ix = Index.build (Document.root doc) in
+          Hashtbl.replace t.indexes name ix;
+          Some ix)
+
+let stats_of t name =
+  Option.map Axml_query.Selectivity.Stats.of_index (index_of t name)
+
+let insert_under t name ~node forest =
+  match Hashtbl.find_opt t.docs name with
+  | None -> None
+  | Some doc -> (
+      match Document.insert_under ~node forest doc with
+      | None -> None
+      | Some doc' ->
+          Hashtbl.replace t.docs name doc';
+          (match Hashtbl.find_opt t.indexes name with
+          | None -> ()
+          | Some ix ->
+              (* The appended forest is physically shared between the
+                 new root and [forest] (Tree.insert_children), so the
+                 index absorbs it as a segment in O(subtree).  When
+                 the append can't be taken (id reuse, unusable index)
+                 or the appended volume caught up with the base,
+                 drop the index — the next [index_of] rebuild is the
+                 geometric compaction step. *)
+              if
+                not
+                  (Index.append ix ~new_root:(Document.root doc') ~under:node
+                     forest)
+                || Index.needs_compaction ix
+              then invalidate t name);
+          Some doc')

@@ -29,6 +29,7 @@ module Xml = struct
   module Canonical = Axml_xml.Canonical
   module Path = Axml_xml.Path
   module Zipper = Axml_xml.Zipper
+  module Index = Axml_xml.Index
 end
 
 module Schema = struct
@@ -42,6 +43,7 @@ module Query = struct
   module Ast = Axml_query.Ast
   module Parser = Axml_query.Parser
   module Eval = Axml_query.Eval
+  module Compile = Axml_query.Compile
   module Compose = Axml_query.Compose
   module Incremental = Axml_query.Incremental
   module Selectivity = Axml_query.Selectivity

@@ -218,7 +218,7 @@ and eval_query_app sys ~ctx query args ~emit =
           end
           else if arity = 0 then begin
             let gen = System.gen_of sys ctx in
-            emit (Axml_query.Eval.eval ~gen q []) ~final:true
+            emit (Axml_query.Compile.eval ~gen q []) ~final:true
           end
           else begin
             (* Definition (2) with streams: each argument batch is

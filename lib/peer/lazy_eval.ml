@@ -89,7 +89,7 @@ let eval_over_document sys ~ctx ~mode ~query ~doc =
   let input_bytes = Axml_doc.Document.byte_size final_doc in
   System.consume_cpu sys ~peer:ctx ~bytes:input_bytes;
   let results =
-    Axml_query.Eval.eval ~gen query [ [ Axml_doc.Document.root final_doc ] ]
+    Axml_query.Compile.eval ~gen query [ [ Axml_doc.Document.root final_doc ] ]
   in
   {
     results;

@@ -148,7 +148,7 @@ let run_service t (self : Peer.t) service params replies =
           in
           consume_cpu t ~peer:self.Peer.id ~bytes:input_bytes;
           let out =
-            try Axml_query.Eval.eval ~gen:self.Peer.gen q params
+            try Axml_query.Compile.eval ~gen:self.Peer.gen q params
             with Invalid_argument msg ->
               Log.err (fun m ->
                   m "peer %a: service %a failed: %s" Peer_id.pp self.Peer.id
@@ -205,11 +205,11 @@ let handle_insert t (self : Peer.t) node forest notify =
             Axml_xml.Node_id.pp node)
   | Some doc -> (
       let name = Axml_doc.Document.name doc in
-      match Axml_doc.Document.insert_under ~node forest doc with
+      (* Store-level insert: keeps the document's structural index
+         maintained incrementally instead of invalidating it. *)
+      match Axml_doc.Store.insert_under self.Peer.store name ~node forest with
       | None -> ()
-      | Some doc' ->
-          Axml_doc.Store.update self.Peer.store doc';
-          notify_watchers t self name forest));
+      | Some _ -> notify_watchers t self name forest));
   ping t self notify
 
 let handle_install t (self : Peer.t) name forest notify =
@@ -220,10 +220,11 @@ let handle_install t (self : Peer.t) name forest notify =
       let root = Axml_doc.Document.root doc in
       (match Tree.id root with
       | Some node -> (
-          match Axml_doc.Document.insert_under ~node forest doc with
-          | Some doc' ->
-              Axml_doc.Store.update self.Peer.store doc';
-              notify_watchers t self (Axml_doc.Document.name doc) forest
+          match
+            Axml_doc.Store.insert_under self.Peer.store
+              (Axml_doc.Document.name doc) ~node forest
+          with
+          | Some _ -> notify_watchers t self (Axml_doc.Document.name doc) forest
           | None -> ())
       | None -> ())
   | None ->
@@ -550,6 +551,15 @@ let cost_env t =
     in
     match doc with Some d -> Axml_doc.Document.byte_size d | None -> 4096
   in
+  let doc_stats (r : Names.Doc_ref.t) =
+    let stats_at p =
+      Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+          Axml_doc.Store.stats_of peer.Peer.store r.Names.Doc_ref.name)
+    in
+    match r.Names.Doc_ref.at with
+    | Names.At p -> stats_at p
+    | Names.Any -> List.find_map stats_at all_peer_ids
+  in
   let service_query (r : Names.Service_ref.t) =
     let visible p =
       Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
@@ -562,7 +572,7 @@ let cost_env t =
   in
   Axml_algebra.Cost.default_env ~cpu_ms_per_kb:t.cpu_ms_per_kb
     ~cpu_factor:(fun p -> Sim.cpu_factor t.sim p)
-    ~doc_bytes ~service_query topology
+    ~doc_bytes ~doc_stats ~service_query topology
 
 let pp_state fmt t =
   List.iter

@@ -1,0 +1,411 @@
+module Tree = Axml_xml.Tree
+module Label = Axml_xml.Label
+module Forest = Axml_xml.Forest
+module Index = Axml_xml.Index
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+type engine = Naive | Indexed
+
+let default_engine = ref Indexed
+let set_engine e = default_engine := e
+let engine () = !default_engine
+
+let engine_of_string = function
+  | "naive" -> Some Naive
+  | "indexed" -> Some Indexed
+  | _ -> None
+
+let engine_to_string = function Naive -> "naive" | Indexed -> "indexed"
+
+let threshold = ref 128
+let set_index_threshold n = threshold := max 0 n
+let index_threshold () = !threshold
+
+(* --- compiled form ----------------------------------------------- *)
+
+type source = Input of int | Var of int
+
+type operand =
+  | Const of string  (** Numbers are pre-rendered at compile time. *)
+  | Text_of of int
+  | Attr_of of int * string
+
+type pred =
+  | True
+  | Cmp of operand * Ast.cmp * operand
+  | Exists of int * Ast.path
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type construct =
+  | Text of string
+  | Copy_of of int
+  | Content_of of int
+  | Attr_content of int * string
+  | Elem of {
+      label : Label.t;
+      attrs : (string * string) list;
+      children : construct list;
+    }
+
+type flwr = {
+  arity : int;
+  nvars : int;
+  bindings : (source * Ast.path) array;
+  schedule : pred list array;
+      (** [schedule.(k)]: conjuncts checked once the first [k]
+          bindings are set — same assignment as
+          [Eval.conjunct_schedule]. *)
+  wants_index : bool;
+  return_ : construct;
+}
+
+type t = Flwr of flwr | Compose of flwr * t list
+
+(* --- compilation ------------------------------------------------- *)
+
+let render_number f =
+  if Float.is_integer f then Printf.sprintf "%.0f" f else Printf.sprintf "%g" f
+
+let slot_of positions v =
+  match List.assoc_opt v positions with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Compile: unbound variable %s" v)
+
+let compile_operand positions = function
+  | Ast.Const s -> Const s
+  | Ast.Number f -> Const (render_number f)
+  | Ast.Text_of v -> Text_of (slot_of positions v)
+  | Ast.Attr_of (v, a) -> Attr_of (slot_of positions v, a)
+
+let rec compile_pred positions = function
+  | Ast.True -> True
+  | Ast.Cmp (a, op, b) ->
+      Cmp (compile_operand positions a, op, compile_operand positions b)
+  | Ast.Exists (v, path) -> Exists (slot_of positions v, path)
+  | Ast.And (a, b) -> And (compile_pred positions a, compile_pred positions b)
+  | Ast.Or (a, b) -> Or (compile_pred positions a, compile_pred positions b)
+  | Ast.Not p -> Not (compile_pred positions p)
+
+let rec compile_construct positions = function
+  | Ast.Text s -> Text s
+  | Ast.Copy_of v -> Copy_of (slot_of positions v)
+  | Ast.Content_of v -> Content_of (slot_of positions v)
+  | Ast.Attr_content (v, a) -> Attr_content (slot_of positions v, a)
+  | Ast.Elem { label; attrs; children } ->
+      Elem { label; attrs; children = List.map (compile_construct positions) children }
+
+let path_descends path =
+  List.exists (fun (s : Ast.step) -> s.axis = Ast.Descendant) path
+
+let rec pred_descends = function
+  | Ast.True | Ast.Cmp _ -> false
+  | Ast.Exists (_, path) -> path_descends path
+  | Ast.And (a, b) | Ast.Or (a, b) -> pred_descends a || pred_descends b
+  | Ast.Not p -> pred_descends p
+
+let compile_flwr (q : Ast.flwr) =
+  let positions =
+    List.mapi (fun i (b : Ast.binding) -> (b.var, i)) q.bindings
+  in
+  let bindings =
+    Array.of_list
+      (List.map
+         (fun (b : Ast.binding) ->
+           let src =
+             match b.source with
+             | Ast.Input i -> Input i
+             | Ast.Var v -> Var (slot_of positions v)
+           in
+           (src, b.path))
+         q.bindings)
+  in
+  (* Same slotting as Eval.conjunct_schedule: a conjunct runs at the
+     earliest position where all its variables are bound. *)
+  let slot conjunct =
+    List.fold_left
+      (fun acc v ->
+        match List.assoc_opt v positions with
+        | Some p -> max acc (p + 1)
+        | None -> acc)
+      0
+      (Ast.pred_vars conjunct)
+  in
+  let n = Array.length bindings in
+  let schedule = Array.make (n + 1) [] in
+  List.iter
+    (fun conjunct ->
+      let s = slot conjunct in
+      schedule.(s) <- compile_pred positions conjunct :: schedule.(s))
+    (Ast.conjuncts q.where);
+  let schedule = Array.map List.rev schedule in
+  let wants_index =
+    List.exists (fun (b : Ast.binding) -> path_descends b.path) q.bindings
+    || pred_descends q.where
+  in
+  {
+    arity = q.arity;
+    nvars = n;
+    bindings;
+    schedule;
+    wants_index;
+    return_ = compile_construct positions q.return_;
+  }
+
+let compile_checked q =
+  let rec go = function
+    | Ast.Flwr f -> Flwr (compile_flwr f)
+    | Ast.Compose (head, subs) -> Compose (compile_flwr head, List.map go subs)
+  in
+  go q
+
+let compile q =
+  (match Ast.check q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Compile.compile: " ^ msg));
+  compile_checked q
+
+(* Compile once per service: activations of the same query hit the
+   cache.  Bounded so fuzzers can't grow it without limit. *)
+let memo : (Ast.t, t) Hashtbl.t = Hashtbl.create 64
+
+let compiled q =
+  match Hashtbl.find_opt memo q with
+  | Some c -> c
+  | None ->
+      let t0 = Trace.wall_ms () in
+      let c = compile q in
+      if Metrics.is_on Metrics.default then
+        Metrics.observe Metrics.default ~subsystem:"query" "compile_ms"
+          (Trace.wall_ms () -. t0);
+      if Hashtbl.length memo >= 1024 then Hashtbl.reset memo;
+      Hashtbl.replace memo q c;
+      c
+
+(* --- evaluation -------------------------------------------------- *)
+
+(* A bound value: the node, plus its index entry when the node came
+   from an indexed forest — entries make descendant steps postings
+   lookups; bare nodes fall back to traversal. *)
+type v = { node : Tree.t; info : (Index.t * Index.entry) option }
+
+type counters = {
+  mutable hits : int;
+  mutable fallbacks : int;
+  mutable builds : int;
+}
+
+let test_matches test t =
+  match (test, t) with
+  | Ast.Any_elt, Tree.Element _ -> true
+  | Ast.Name l, Tree.Element e -> Label.equal e.label l
+  | _, Tree.Text _ -> false
+
+let value_in idx tree =
+  match idx with
+  | None -> { node = tree; info = None }
+  | Some ix -> (
+      match Index.entry_of ix tree with
+      | Some e -> { node = tree; info = Some (ix, e) }
+      | None -> { node = tree; info = None })
+
+(* Accumulator preorder collection — the traversal arm, used for
+   unindexed nodes (and by Eval itself for the whole axis). *)
+let descendants_matching_acc test t acc =
+  let rec go acc t =
+    let acc = if test_matches test t then t :: acc else acc in
+    List.fold_left go acc (Tree.children t)
+  in
+  go acc t
+
+let step_select cnt (step : Ast.step) values =
+  match step.axis with
+  | Ast.Child ->
+      List.concat_map
+        (fun v ->
+          List.filter_map
+            (fun c ->
+              if test_matches step.test c then
+                Some
+                  (match v.info with
+                  | Some (ix, _) -> value_in (Some ix) c
+                  | None -> { node = c; info = None })
+              else None)
+            (Tree.children v.node))
+        values
+  | Ast.Descendant ->
+      List.concat_map
+        (fun v ->
+          match v.info with
+          | Some (ix, e) ->
+              cnt.hits <- cnt.hits + 1;
+              let label =
+                match step.test with
+                | Ast.Name l -> Some l
+                | Ast.Any_elt -> None
+              in
+              List.map
+                (fun en -> { node = Index.node en; info = Some (ix, en) })
+                (Index.descendants ?label ix e)
+          | None ->
+              cnt.fallbacks <- cnt.fallbacks + 1;
+              List.rev
+                (List.fold_left
+                   (fun acc c -> descendants_matching_acc step.test c acc)
+                   [] (Tree.children v.node))
+              |> List.map (fun node -> { node; info = None }))
+        values
+
+let path_select cnt path values =
+  List.fold_left (fun vs s -> step_select cnt s vs) values path
+
+let operand_value env = function
+  | Const s -> Some s
+  | Text_of i -> Some (Tree.text_content env.(i).node)
+  | Attr_of (i, a) -> Tree.attr env.(i).node a
+
+let rec holds cnt env = function
+  | True -> true
+  | Cmp (a, op, b) -> (
+      match (operand_value env a, operand_value env b) with
+      | Some va, Some vb -> Eval.compare_values op va vb
+      | (Some _ | None), _ -> false)
+  | Exists (i, path) -> path_select cnt path [ env.(i) ] <> []
+  | And (a, b) -> holds cnt env a && holds cnt env b
+  | Or (a, b) -> holds cnt env a || holds cnt env b
+  | Not p -> not (holds cnt env p)
+
+let rec instantiate ~gen env = function
+  | Text s -> [ Tree.text s ]
+  | Copy_of i -> [ Tree.copy ~gen env.(i).node ]
+  | Content_of i -> [ Tree.text (Tree.text_content env.(i).node) ]
+  | Attr_content (i, a) -> (
+      match Tree.attr env.(i).node a with
+      | None -> []
+      | Some value -> [ Tree.text value ])
+  | Elem { label; attrs; children } ->
+      let kids = List.concat_map (instantiate ~gen env) children in
+      [ Tree.element ~attrs ~gen label kids ]
+
+let dummy = { node = Tree.text ""; info = None }
+
+let eval_flwr ~gen cnt (f : flwr) (inputs : (Forest.t * Index.t option) array) =
+  let tuples = ref 0 in
+  let env = Array.make (max 1 f.nvars) dummy in
+  let nb = Array.length f.bindings in
+  let rec bind position =
+    if position = nb then instantiate ~gen env f.return_
+    else begin
+      let src, path = f.bindings.(position) in
+      let roots =
+        match src with
+        | Input i ->
+            let forest, idx = inputs.(i) in
+            List.map (value_in idx) forest
+        | Var j -> [ env.(j) ]
+      in
+      let values = path_select cnt path roots in
+      List.concat_map
+        (fun v ->
+          incr tuples;
+          env.(position) <- v;
+          if List.for_all (holds cnt env) f.schedule.(position + 1) then
+            bind (position + 1)
+          else [])
+        values
+    end
+  in
+  let out =
+    if List.for_all (holds cnt env) f.schedule.(0) then bind 0 else []
+  in
+  (out, !tuples)
+
+(* Index an input on the fly when the query has descendant steps and
+   the forest is big enough to repay the build. *)
+let provision cnt wants_index (forest, idx) =
+  match idx with
+  | Some ix when Index.usable ix -> (forest, Some ix)
+  | Some _ ->
+      cnt.fallbacks <- cnt.fallbacks + 1;
+      (forest, None)
+  | None ->
+      if wants_index && Forest.size forest >= !threshold then begin
+        let ix = Index.build_forest forest in
+        cnt.builds <- cnt.builds + 1;
+        if Index.usable ix then (forest, Some ix)
+        else begin
+          cnt.fallbacks <- cnt.fallbacks + 1;
+          (forest, None)
+        end
+      end
+      else (forest, None)
+
+let rec eval_compiled ~gen cnt c (inputs : (Forest.t * Index.t option) list) =
+  match c with
+  | Flwr f ->
+      eval_flwr ~gen cnt f
+        (Array.of_list (List.map (provision cnt f.wants_index) inputs))
+  | Compose (head, subs) ->
+      let intermediates, counts =
+        List.split (List.map (fun s -> eval_compiled ~gen cnt s inputs) subs)
+      in
+      let head_inputs =
+        List.map
+          (fun forest -> provision cnt head.wants_index (forest, None))
+          intermediates
+      in
+      let out, head_count =
+        eval_flwr ~gen cnt head (Array.of_list head_inputs)
+      in
+      (out, head_count + List.fold_left ( + ) 0 counts)
+
+let flush cnt =
+  if Metrics.is_on Metrics.default then begin
+    if cnt.hits > 0 then
+      Metrics.incr Metrics.default ~by:cnt.hits ~subsystem:"query" "index_hits";
+    if cnt.fallbacks > 0 then
+      Metrics.incr Metrics.default ~by:cnt.fallbacks ~subsystem:"query"
+        "fallback";
+    if cnt.builds > 0 then
+      Metrics.incr Metrics.default ~by:cnt.builds ~subsystem:"query"
+        "index_builds"
+  end
+
+let check_arity q inputs =
+  (match Ast.check q with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Query.eval: " ^ msg));
+  if List.length inputs <> Ast.arity q then
+    invalid_arg
+      (Printf.sprintf "Query.eval: arity mismatch (query %d, inputs %d)"
+         (Ast.arity q) (List.length inputs))
+
+let eval_counted ?engine:e ~gen q inputs =
+  match Option.value ~default:!default_engine e with
+  | Naive -> Eval.eval_counted ~gen q inputs
+  | Indexed ->
+      check_arity q inputs;
+      let cnt = { hits = 0; fallbacks = 0; builds = 0 } in
+      let out =
+        eval_compiled ~gen cnt (compiled q)
+          (List.map (fun f -> (f, None)) inputs)
+      in
+      flush cnt;
+      out
+
+let eval ?engine:e ~gen q inputs =
+  match Option.value ~default:!default_engine e with
+  | Naive -> Eval.eval ~gen q inputs
+  | Indexed -> fst (eval_counted ?engine:e ~gen q inputs)
+
+let eval_over ?engine:e ~gen q inputs =
+  match Option.value ~default:!default_engine e with
+  | Naive -> Eval.eval ~gen q (List.map fst inputs)
+  | Indexed ->
+      check_arity q (List.map fst inputs);
+      let cnt = { hits = 0; fallbacks = 0; builds = 0 } in
+      let out, _ = eval_compiled ~gen cnt (compiled q) inputs in
+      flush cnt;
+      out

@@ -1,0 +1,76 @@
+(** Compiled queries: the index-aware evaluation fast path.
+
+    {!Eval} is the reference interpreter: assoc-list environments,
+    and a full subtree traversal per descendant step.  This module
+    compiles an {!Ast.t} once — variables become array slots, the
+    conjunct schedule is precomputed, numeric literals are
+    pre-rendered — and evaluates descendant steps against a
+    structural index ({!Axml_xml.Index}) when one is available, so
+    the cost of a step scales with its matches instead of the
+    document.  Results, enumeration order and tuple counts are
+    exactly those of {!Eval.eval} (property-tested); the interpreter
+    stays available as the [Naive] engine for ablation and as the
+    testing oracle.
+
+    Metrics (on {!Axml_obs.Metrics.default}, subsystem [query]):
+    [index_hits] (descendant steps served from postings),
+    [index_builds], [fallback] (steps that had to traverse),
+    [compile_ms] (histogram, compile-cache misses only). *)
+
+type engine = Naive | Indexed
+
+val set_engine : engine -> unit
+(** Select the process-wide default engine (default [Indexed]). *)
+
+val engine : unit -> engine
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
+
+val set_index_threshold : int -> unit
+(** Minimum node count ({!Axml_xml.Forest.size}) before an input
+    forest is worth indexing on the fly; default 128.  Set to [0] to
+    force indexing (the property suites do). *)
+
+val index_threshold : unit -> int
+
+type t
+(** A compiled query. *)
+
+val compile : Ast.t -> t
+(** Compile without caching.
+    @raise Invalid_argument if the query is ill-formed. *)
+
+val compiled : Ast.t -> t
+(** Memoized {!compile} — "once per service": repeated activations of
+    the same query hit the cache. *)
+
+val eval :
+  ?engine:engine ->
+  gen:Axml_xml.Node_id.Gen.t ->
+  Ast.t ->
+  Axml_xml.Forest.t list ->
+  Axml_xml.Forest.t
+(** Drop-in for {!Eval.eval}: same checks, same exceptions, same
+    results.  [Indexed] compiles (cached) and indexes large inputs on
+    the fly; [Naive] delegates to {!Eval.eval} unchanged. *)
+
+val eval_counted :
+  ?engine:engine ->
+  gen:Axml_xml.Node_id.Gen.t ->
+  Ast.t ->
+  Axml_xml.Forest.t list ->
+  Axml_xml.Forest.t * int
+(** Like {!Eval.eval_counted}: also returns the number of binding
+    extensions enumerated (identical to the interpreter's count). *)
+
+val eval_over :
+  ?engine:engine ->
+  gen:Axml_xml.Node_id.Gen.t ->
+  Ast.t ->
+  (Axml_xml.Forest.t * Axml_xml.Index.t option) list ->
+  Axml_xml.Forest.t
+(** Evaluate with caller-provided prebuilt indexes (a document
+    store's, or a continuous query's maintained input indexes).
+    [None] inputs are indexed on the fly under the usual threshold;
+    unusable indexes fall back to traversal. *)

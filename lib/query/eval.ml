@@ -7,9 +7,11 @@ let test_matches test t =
   | Ast.Name l, Tree.Element e -> Label.equal e.label l
   | _, Tree.Text _ -> false
 
-let rec descendants_matching test t =
-  let here = if test_matches test t then [ t ] else [] in
-  here @ List.concat_map (descendants_matching test) (Tree.children t)
+(* Preorder collection with an accumulator (prepend, reverse once at
+   the caller) — list append per node would be quadratic in depth. *)
+let rec descendants_matching_acc test acc t =
+  let acc = if test_matches test t then t :: acc else acc in
+  List.fold_left (descendants_matching_acc test) acc (Tree.children t)
 
 let step_select (step : Ast.step) nodes =
   match step.axis with
@@ -20,7 +22,10 @@ let step_select (step : Ast.step) nodes =
   | Ast.Descendant ->
       List.concat_map
         (fun n ->
-          List.concat_map (descendants_matching step.test) (Tree.children n))
+          List.rev
+            (List.fold_left
+               (descendants_matching_acc step.test)
+               [] (Tree.children n)))
         nodes
 
 let path_select path roots =
@@ -38,21 +43,23 @@ let operand_value env = function
       Option.bind (List.assoc_opt v env) (fun t -> Tree.attr t a)
 
 (* Comparison follows the weak-typing convention of XPath 1.0: if both
-   sides parse as numbers, compare numerically, otherwise as strings. *)
+   sides parse as numbers, compare numerically, otherwise as strings.
+   The numeric parse only happens for ordering operators — [Contains]
+   is a pure string operation and skips it. *)
 let compare_values op a b =
-  let num s = float_of_string_opt (String.trim s) in
-  let ord =
+  let ord () =
+    let num s = float_of_string_opt (String.trim s) in
     match (num a, num b) with
     | Some x, Some y -> Float.compare x y
     | (Some _ | None), _ -> String.compare a b
   in
   match op with
-  | Ast.Eq -> ord = 0
-  | Ast.Neq -> ord <> 0
-  | Ast.Lt -> ord < 0
-  | Ast.Le -> ord <= 0
-  | Ast.Gt -> ord > 0
-  | Ast.Ge -> ord >= 0
+  | Ast.Eq -> ord () = 0
+  | Ast.Neq -> ord () <> 0
+  | Ast.Lt -> ord () < 0
+  | Ast.Le -> ord () <= 0
+  | Ast.Gt -> ord () > 0
+  | Ast.Ge -> ord () >= 0
   | Ast.Contains ->
       let la = String.length a and lb = String.length b in
       let rec scan i = i + lb <= la && (String.sub a i lb = b || scan (i + 1)) in
@@ -114,9 +121,9 @@ let conjunct_schedule (q : Ast.flwr) =
   List.iter
     (fun conjunct ->
       let s = slot conjunct in
-      schedule.(s) <- schedule.(s) @ [ conjunct ])
+      schedule.(s) <- conjunct :: schedule.(s))
     (Ast.conjuncts q.where);
-  schedule
+  Array.map List.rev schedule
 
 let eval_flwr_counted ~gen (q : Ast.flwr) (inputs : Axml_xml.Forest.t list) =
   let inputs = Array.of_list inputs in

@@ -23,6 +23,12 @@ val eval_tree :
   gen:Axml_xml.Node_id.Gen.t -> Ast.t -> Axml_xml.Tree.t -> Axml_xml.Forest.t
 (** Unary convenience: [eval ~gen q [[t]]]. *)
 
+val compare_values : Ast.cmp -> string -> string -> bool
+(** XPath-1.0-style weak-typed comparison: ordering operators compare
+    numerically when both sides parse as numbers, as strings
+    otherwise; [Contains] is pure substring search.  Shared with the
+    compiled engine ({!Compile}) so both arms agree exactly. *)
+
 val holds : Ast.pred -> (string * Axml_xml.Tree.t) list -> bool
 (** Predicate evaluation under an environment binding variables to
     nodes.  Exposed for tests and for the optimizer's selectivity

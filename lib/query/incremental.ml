@@ -1,16 +1,24 @@
-type t = { query : Ast.t; seen : Axml_xml.Forest.t array }
+module Index = Axml_xml.Index
+module Forest = Axml_xml.Forest
+
+type t = {
+  query : Ast.t;
+  seen : Axml_xml.Forest.t array;
+  indexes : Index.t option array;
+      (* Cached per-input structural indexes, grown by [append_roots]
+         as trees arrive — so a long-lived continuous query pays
+         O(subtree) per arrival, not O(everything seen) per arrival. *)
+}
 
 let create q =
   (match Ast.check q with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Incremental.create: " ^ msg));
-  { query = q; seen = Array.make (max 1 (Ast.arity q)) [] }
+  let n = max 1 (Ast.arity q) in
+  { query = q; seen = Array.make n []; indexes = Array.make n None }
 
 let query t = t.query
 let seen t i = t.seen.(i)
-
-let with_input forests i value =
-  List.mapi (fun j f -> if j = i then value else f) forests
 
 (* Multiset difference [full − old] by canonical fingerprints. *)
 let multiset_diff full old =
@@ -31,6 +39,29 @@ let multiset_diff full old =
       | Some _ | None -> true)
     full
 
+let inputs_with_indexes t =
+  List.init (Ast.arity t.query) (fun j -> (t.seen.(j), t.indexes.(j)))
+
+(* Record the arrival: grow the seen forest and keep the input's index
+   current.  An append the index can't absorb (or one that tips the
+   appended volume past the base) drops it; the next [extend] rebuild
+   from scratch is the geometric compaction step, so maintenance stays
+   amortized O(subtree). *)
+let extend t ~input delta =
+  t.seen.(input) <- t.seen.(input) @ delta;
+  match t.indexes.(input) with
+  | Some ix ->
+      if (not (Index.append_roots ix delta)) || Index.needs_compaction ix then
+        t.indexes.(input) <- None
+  | None ->
+      if
+        Compile.engine () = Compile.Indexed
+        && Forest.size t.seen.(input) >= Compile.index_threshold ()
+      then begin
+        let ix = Index.build_forest t.seen.(input) in
+        t.indexes.(input) <- (if Index.usable ix then Some ix else None)
+      end
+
 (* The delta of one arriving tree.  When the query is a single FLWR
    block in which exactly one binding draws from the touched input, the
    new output tuples are exactly those whose pinned binding root lies
@@ -38,11 +69,12 @@ let multiset_diff full old =
    delta.  Otherwise (several bindings on the same input, or a
    composition) we fall back to the reference semantics
    eval(after) − eval(before), a canonical multiset difference. *)
-let eval_delta ~gen (q : Ast.t) seen ~input ~(delta : Axml_xml.Forest.t) =
-  let arity = Ast.arity q in
-  let before = Array.to_list (Array.sub seen 0 arity) in
+let push ~gen t ~input tree =
+  if input < 0 || input >= Array.length t.seen then
+    invalid_arg "Incremental.push: input out of range";
+  let delta = [ tree ] in
   let single_occurrence =
-    match q with
+    match t.query with
     | Ast.Flwr f ->
         List.length
           (List.filter
@@ -51,23 +83,24 @@ let eval_delta ~gen (q : Ast.t) seen ~input ~(delta : Axml_xml.Forest.t) =
         = 1
     | Ast.Compose _ -> false
   in
-  if single_occurrence then Eval.eval ~gen q (with_input before input delta)
-  else begin
-    let after = with_input before input (seen.(input) @ delta) in
-    multiset_diff (Eval.eval ~gen q after) (Eval.eval ~gen q before)
+  if single_occurrence then begin
+    let inputs =
+      List.init (Ast.arity t.query) (fun j ->
+          if j = input then (delta, None) else (t.seen.(j), t.indexes.(j)))
+    in
+    let out = Compile.eval_over ~gen t.query inputs in
+    extend t ~input delta;
+    out
   end
-
-let push ~gen t ~input tree =
-  if input < 0 || input >= Array.length t.seen then
-    invalid_arg "Incremental.push: input out of range";
-  let delta = [ tree ] in
-  let out = eval_delta ~gen t.query t.seen ~input ~delta in
-  t.seen.(input) <- t.seen.(input) @ delta;
-  out
+  else begin
+    let before = Compile.eval_over ~gen t.query (inputs_with_indexes t) in
+    extend t ~input delta;
+    let after = Compile.eval_over ~gen t.query (inputs_with_indexes t) in
+    multiset_diff after before
+  end
 
 let push_forest ~gen t ~input forest =
   List.concat_map (fun tree -> push ~gen t ~input tree) forest
 
 let total_output ~gen t =
-  Eval.eval ~gen t.query
-    (Array.to_list (Array.sub t.seen 0 (Ast.arity t.query)))
+  Compile.eval_over ~gen t.query (inputs_with_indexes t)

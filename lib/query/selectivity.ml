@@ -40,6 +40,23 @@ module Stats = struct
       total_bytes = Forest.byte_size f;
     }
 
+  (* Same shape as [of_forest], but read off a structural index's
+     build-pass statistics — exact, and O(labels) instead of a
+     document walk. *)
+  let of_index ix =
+    let counts, bytes =
+      List.fold_left
+        (fun (c, b) (l, n, sub) -> (Lmap.add l n c, Lmap.add l sub b))
+        (Lmap.empty, Lmap.empty)
+        (Axml_xml.Index.label_stats ix)
+    in
+    {
+      counts;
+      bytes;
+      total_nodes = Axml_xml.Index.total_nodes ix;
+      total_bytes = Axml_xml.Index.total_bytes ix;
+    }
+
   let label_count t l = Option.value ~default:0 (Lmap.find_opt l t.counts)
 
   let avg_bytes t l =

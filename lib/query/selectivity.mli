@@ -26,6 +26,10 @@ module Stats : sig
   type t
 
   val of_forest : Axml_xml.Forest.t -> t
+
+  (** Exact statistics read off a structural index (accumulated during
+      its build pass) — no document walk. *)
+  val of_index : Axml_xml.Index.t -> t
   val label_count : t -> Axml_xml.Label.t -> int
   val avg_bytes : t -> Axml_xml.Label.t -> int
   val total_nodes : t -> int

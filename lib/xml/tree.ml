@@ -103,15 +103,29 @@ let rec map_elements f = function
       Element (f { e with children })
 
 (* Functional update of a single identified node.  [changed] tracks
-   whether the target was found so callers can distinguish a no-op. *)
+   whether the target was found so callers can distinguish a no-op.
+   Path-copying: only the root-to-target spine is rebuilt; every
+   untouched subtree is returned physically unchanged, so consumers
+   keyed on pointer identity (the structural index) can repair in
+   O(spine) instead of O(document). *)
 let update_node nid f t =
   let changed = ref false in
-  let rec go = function
-    | Text s -> Text s
+  let rec map_shared l =
+    match l with
+    | [] -> l
+    | x :: tl ->
+        let x' = go x in
+        let tl' = map_shared tl in
+        if x' == x && tl' == tl then l else x' :: tl'
+  and go t =
+    match t with
+    | Text _ -> t
     | Element e when Node_id.equal e.id nid ->
         changed := true;
         Element (f e)
-    | Element e -> Element { e with children = List.map go e.children }
+    | Element e ->
+        let children = map_shared e.children in
+        if children == e.children then t else Element { e with children }
   in
   let t' = go t in
   if !changed then Some t' else None

@@ -18,6 +18,7 @@ let () =
       ("rules.preservation", Test_rules_exec.suite);
       ("rules.preservation-random", Test_rules_random.suite);
       ("properties", Test_props.suite);
+      ("query.engine", Test_engine.suite);
       ("runtime.system", Test_system.suite);
       ("scenarios", Test_scenarios.suite);
       ("optimizer", Test_optimizer.suite);

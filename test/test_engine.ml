@@ -1,0 +1,267 @@
+(* Engine equivalence: the compiled/indexed fast path must be
+   indistinguishable from the seed interpreter — same results, same
+   order (byte-identical serialization), same tuple counts — and a
+   structural index must stay consistent under randomized continuous
+   appends.  All properties are seed-parameterized (see
+   test_props.ml). *)
+
+open Axml
+module Rng = Workload.Rng
+module Xml_gen = Workload.Xml_gen
+module Query_gen = Workload.Query_gen
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let qtest ?(count = 80) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name seed_arb prop)
+
+let fresh_gen =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Xml.Node_id.Gen.create ~namespace:(Printf.sprintf "engine%d" !n)
+
+let with_threshold n f =
+  let old = Query.Compile.index_threshold () in
+  Query.Compile.set_index_threshold n;
+  Fun.protect ~finally:(fun () -> Query.Compile.set_index_threshold old) f
+
+let bytes_of = Xml.Serializer.forest_to_string
+
+let random_query ~rng ~arity =
+  let config = { Query_gen.default_config with Query_gen.arity } in
+  if arity = 1 && Rng.bool rng then Query_gen.random_composed ~rng config
+  else Query_gen.random_flwr ~rng config
+
+(* Both engines on the same inputs: byte-identical output, identical
+   tuple count. *)
+let engines_agree ~threshold seed =
+  let rng = Rng.create ~seed in
+  let arity = 1 + Rng.int rng 2 in
+  let q = random_query ~rng ~arity in
+  let data_rng = Rng.create ~seed:(seed * 5) in
+  let inputs =
+    List.init arity (fun _ ->
+        Xml_gen.random_forest ~gen:(fresh_gen ()) ~rng:data_rng
+          ~trees:(1 + Rng.int rng 3) ())
+  in
+  with_threshold threshold (fun () ->
+      let naive, n_count =
+        Query.Compile.eval_counted ~engine:Query.Compile.Naive
+          ~gen:(fresh_gen ()) q inputs
+      in
+      let indexed, i_count =
+        Query.Compile.eval_counted ~engine:Query.Compile.Indexed
+          ~gen:(fresh_gen ()) q inputs
+      in
+      bytes_of naive = bytes_of indexed && n_count = i_count)
+
+let engines_agree_forced seed = engines_agree ~threshold:0 seed
+let engines_agree_default seed = engines_agree ~threshold:128 seed
+
+(* The compiled path raises exactly the interpreter's errors. *)
+let errors_agree seed =
+  let bad_queries =
+    [
+      (* unbound variable in where *)
+      Query.Ast.flwr ~arity:1
+        ~where:(Query.Ast.Exists ("ghost", []))
+        [ { Query.Ast.var = "x"; source = Query.Ast.Input 0; path = [] } ]
+        (Query.Ast.Copy_of "x");
+      (* variable bound twice *)
+      Query.Ast.flwr ~arity:1
+        [
+          { Query.Ast.var = "x"; source = Query.Ast.Input 0; path = [] };
+          { Query.Ast.var = "x"; source = Query.Ast.Input 0; path = [] };
+        ]
+        (Query.Ast.Copy_of "x");
+    ]
+  in
+  let arity_mismatch =
+    Query.Ast.flwr ~arity:2
+      [ { Query.Ast.var = "x"; source = Query.Ast.Input 0; path = [] } ]
+      (Query.Ast.Copy_of "x")
+  in
+  let message engine q inputs =
+    match Query.Compile.eval ~engine ~gen:(fresh_gen ()) q inputs with
+    | _ -> None
+    | exception Invalid_argument m -> Some m
+  in
+  ignore seed;
+  List.for_all
+    (fun (q, inputs) ->
+      let a = message Query.Compile.Naive q inputs in
+      let b = message Query.Compile.Indexed q inputs in
+      a <> None && a = b)
+    ((arity_mismatch, [ [] ])
+    :: List.map (fun q -> (q, [ [] ])) bad_queries)
+
+(* --- index maintenance ------------------------------------------- *)
+
+let elements_of tree =
+  let rec go acc t =
+    match t with
+    | Xml.Tree.Text _ -> acc
+    | Xml.Tree.Element e -> List.fold_left go (e :: acc) e.children
+  in
+  List.rev (go [] tree)
+
+(* Strict descendants of the root matching a label, in document order
+   — the oracle for Index.descendants.  Collects the child values
+   themselves (no rewrapping) so physical equality with the index's
+   nodes is meaningful. *)
+let naive_descendants ?label tree =
+  let matches t =
+    match (t, label) with
+    | Xml.Tree.Element _, None -> true
+    | Xml.Tree.Element e, Some l -> Xml.Label.equal e.label l
+    | Xml.Tree.Text _, _ -> false
+  in
+  let rec go acc t =
+    let acc = if matches t then t :: acc else acc in
+    List.fold_left go acc (Xml.Tree.children t)
+  in
+  List.rev (List.fold_left go [] (Xml.Tree.children tree))
+
+let index_consistent_after_appends seed =
+  let rng = Rng.create ~seed in
+  let g = fresh_gen () in
+  let tree =
+    ref
+      (Xml.Tree.element ~gen:g
+         (Xml.Label.of_string "root")
+         [ Xml_gen.random_tree ~gen:g ~rng () ])
+  in
+  let ix = Xml.Index.build !tree in
+  if not (Xml.Index.usable ix) then false
+  else begin
+    let rounds = 1 + Rng.int rng 6 in
+    let ok = ref true in
+    for _ = 1 to rounds do
+      let targets = elements_of !tree in
+      let target = (Rng.pick rng targets).Xml.Tree.id in
+      let forest =
+        Xml_gen.random_forest ~gen:g ~rng ~trees:(1 + Rng.int rng 2) ()
+      in
+      match Xml.Tree.insert_children ~under:target forest !tree with
+      | None -> ok := false
+      | Some tree' ->
+          if not (Xml.Index.append ix ~new_root:tree' ~under:target forest)
+          then ok := false
+          else begin
+            tree := tree';
+            (* Every label (and the wildcard): postings agree with a
+               fresh traversal, nodewise physically equal. *)
+            let labels =
+              None
+              :: List.map
+                   (fun l -> Some (Xml.Label.of_string l))
+                   [ "a"; "b"; "c"; "item"; "name"; "value" ]
+            in
+            match Xml.Index.entry_of ix !tree with
+            | None -> ok := false
+            | Some root_entry ->
+                List.iter
+                  (fun label ->
+                    let via_index =
+                      List.map Xml.Index.node
+                        (Xml.Index.descendants ?label ix root_entry)
+                    in
+                    let via_walk = naive_descendants ?label !tree in
+                    if
+                      List.length via_index <> List.length via_walk
+                      || not (List.for_all2 ( == ) via_index via_walk)
+                    then ok := false)
+                  labels
+          end
+    done;
+    !ok
+  end
+
+(* Incremental streaming with forced indexing: deltas still
+   concatenate to the batch answer, and the cached input index keeps
+   the same results as a from-scratch naive evaluation. *)
+let incremental_indexed_equals_naive seed =
+  let rng = Rng.create ~seed in
+  let q = Query_gen.random_flwr ~rng Query_gen.default_config in
+  let data_rng = Rng.create ~seed:(seed * 11) in
+  let stream =
+    Xml_gen.random_forest ~gen:(fresh_gen ()) ~rng:data_rng ~trees:6 ()
+  in
+  with_threshold 0 (fun () ->
+      let g = fresh_gen () in
+      let state = Query.Incremental.create q in
+      let deltas =
+        List.concat_map
+          (fun t -> Query.Incremental.push ~gen:g state ~input:0 t)
+          stream
+      in
+      let total = Query.Incremental.total_output ~gen:g state in
+      let naive =
+        Query.Compile.eval ~engine:Query.Compile.Naive ~gen:(fresh_gen ()) q
+          [ stream ]
+      in
+      Xml.Canonical.equal_forest deltas total
+      && bytes_of total = bytes_of naive)
+
+(* Store-level inserts maintain the index rather than rebuilding: the
+   indexed document keeps answering queries byte-identically. *)
+let store_insert_maintains_index seed =
+  let rng = Rng.create ~seed in
+  let g = fresh_gen () in
+  let store = Doc.Store.create () in
+  let root =
+    Xml.Tree.element ~gen:g
+      (Xml.Label.of_string "root")
+      [ Xml_gen.random_tree ~gen:g ~rng () ]
+  in
+  Doc.Store.add store (Doc.Document.make ~name:"d" root);
+  let name = Doc.Names.Doc_name.of_string "d" in
+  ignore (Doc.Store.index_of store name);
+  let q =
+    Query.Parser.parse_exn
+      "query(1) for $x in $0//item return <out>{$x}</out>"
+  in
+  with_threshold 0 (fun () ->
+      let ok = ref true in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let doc = Option.get (Doc.Store.find store name) in
+        let targets = elements_of (Doc.Document.root doc) in
+        let target = (Rng.pick rng targets).Xml.Tree.id in
+        let forest = Xml_gen.random_forest ~gen:g ~rng ~trees:1 () in
+        match Doc.Store.insert_under store name ~node:target forest with
+        | None -> ok := false
+        | Some doc' ->
+            let inputs = [ [ Doc.Document.root doc' ] ] in
+            let indexed =
+              match Doc.Store.index_of store name with
+              | Some ix when Xml.Index.usable ix ->
+                  Query.Compile.eval_over ~engine:Query.Compile.Indexed
+                    ~gen:(fresh_gen ()) q
+                    [ ([ Doc.Document.root doc' ], Some ix) ]
+              | _ ->
+                  Query.Compile.eval ~engine:Query.Compile.Indexed
+                    ~gen:(fresh_gen ()) q inputs
+            in
+            let naive =
+              Query.Compile.eval ~engine:Query.Compile.Naive
+                ~gen:(fresh_gen ()) q inputs
+            in
+            if bytes_of indexed <> bytes_of naive then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    qtest ~count:200 "indexed ≡ naive (forced indexing)" engines_agree_forced;
+    qtest ~count:120 "indexed ≡ naive (default threshold)"
+      engines_agree_default;
+    qtest ~count:1 "error messages agree" errors_agree;
+    qtest ~count:120 "index consistent under appends"
+      index_consistent_after_appends;
+    qtest ~count:80 "incremental indexed ≡ naive batch"
+      incremental_indexed_equals_naive;
+    qtest ~count:60 "store insert maintains index"
+      store_insert_maintains_index;
+  ]
