@@ -11,9 +11,11 @@
    Tables only:           dune exec bench/main.exe -- --tables
    Micro-benchmarks only: dune exec bench/main.exe -- --micro
    E17 only:              dune exec bench/main.exe -- --e17 [--smoke]
+   E18 only:              dune exec bench/main.exe -- --e18 [--smoke]
 
-   E17 additionally writes BENCH_E17.json and BENCH_summary.json to
-   the current directory; --smoke shrinks it to CI size. *)
+   E17 additionally writes BENCH_E17.json and BENCH_summary.json, and
+   E18 writes BENCH_E18.json, to the current directory; --smoke
+   shrinks them to CI size. *)
 
 open Axml
 open Bench_util
@@ -274,8 +276,10 @@ let () =
   let tables_only = List.mem "--tables" args in
   let micro_only = List.mem "--micro" args in
   let e17_only = List.mem "--e17" args in
+  let e18_only = List.mem "--e18" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
+  else if e18_only then Experiments.e18 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

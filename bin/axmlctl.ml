@@ -454,6 +454,130 @@ let trace_cmd =
           and export the causal trace plus per-peer metrics")
     Term.(const run $ items $ selectivity $ out $ format $ metrics_out)
 
+(* --- chaos ------------------------------------------------------- *)
+
+let chaos_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault plan seed") in
+  let drop =
+    Arg.(
+      value & opt float 0.2
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Use the Raw transport under the same faults (ablation; \
+             divergence is expected and does not fail the command)")
+  in
+  let run seed drop raw =
+    (* Three-peer reference Σ (the V-series shape): catalog at p2,
+       orders at p3, a declarative service at p2, a collector inbox at
+       p3 for the forwarded stream. *)
+    let p1 = Net.Peer_id.of_string "p1"
+    and p2 = Net.Peer_id.of_string "p2"
+    and p3 = Net.Peer_id.of_string "p3" in
+    let topo =
+      Net.Topology.full_mesh
+        ~link:(Net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0)
+        [ p1; p2; p3 ]
+    in
+    let catalog_xml =
+      {|<catalog><item k="y"><name>alpha</name></item><item k="n"><name>beta</name></item><item k="y"><name>gamma</name></item></catalog>|}
+    in
+    let orders_xml =
+      {|<orders><order item="alpha"/><order item="gamma"/><order item="zeta"/></orders>|}
+    in
+    let build transport =
+      let sys = Runtime.System.create ~transport topo in
+      Runtime.System.load_document sys p2 ~name:"cat" ~xml:catalog_xml;
+      Runtime.System.load_document sys p3 ~name:"orders" ~xml:orders_xml;
+      Runtime.System.add_service sys p2
+        (Doc.Service.declarative ~name:"find_wanted"
+           (Query.Parser.parse_exn
+              {|query(1) for $x in $0//item where attr($x, "k") = "y" return <found>{$x}</found>|}));
+      let inbox_gen = Xml.Node_id.Gen.create ~namespace:"chaos-inbox" in
+      let inbox = Xml.Tree.element_of_string ~gen:inbox_gen "inbox" [] in
+      let inbox_id = Option.get (Xml.Tree.id inbox) in
+      Runtime.System.add_document sys p3 ~name:"collector" inbox;
+      (sys, inbox_id)
+    in
+    let plans inbox_id =
+      [
+        ( "two-site-join",
+          Algebra.Expr.query_at
+            (Query.Parser.parse_exn
+               {|query(2) for $o in $0//order, $i in $1//item, $n in $i/name where attr($o, "item") = text($n) return <match>{$n}</match>|})
+            ~at:p1
+            ~args:
+              [
+                Algebra.Expr.doc "orders" ~at:"p3";
+                Algebra.Expr.doc "cat" ~at:"p2";
+              ] );
+        ( "sc-with-forward",
+          Algebra.Expr.sc
+            (Doc.Sc.make
+               ~forward:[ Doc.Names.Node_ref.make ~node:inbox_id ~peer:p3 ]
+               ~provider:(Doc.Names.At p2) ~service:"find_wanted"
+               [ [ Xml.Parser.parse_exn ~gen:(Xml.Node_id.Gen.create ~namespace:"arg") catalog_xml ] ])
+            ~at:p1 );
+        ("plain-transfer", Algebra.Expr.send_to_peer p1 (Algebra.Expr.doc "cat" ~at:"p2"));
+      ]
+    in
+    let fault =
+      Net.Fault.make
+        ~profile:
+          { Net.Fault.drop; duplicate = drop /. 4.0; jitter_ms = 2.0 }
+        ~quiet_after_ms:600.0 ~seed ()
+    in
+    let transport = if raw then Runtime.System.Raw else Runtime.System.Reliable in
+    Format.printf "fault plan: seed=%d drop=%.2f duplicate=%.2f transport=%s@.@."
+      seed drop (drop /. 4.0) (if raw then "raw" else "reliable");
+    let divergent = ref 0 in
+    Format.printf "  %-16s %-8s %6s %6s %6s %6s %9s %9s@." "plan" "answer"
+      "drops" "retx" "dups" "aband" "ref ms" "fault ms";
+    List.iter
+      (fun (name, plan) ->
+        let ref_sys, _ = build Runtime.System.Reliable in
+        let ref_out = Runtime.Exec.run_to_quiescence ref_sys ~ctx:p1 plan in
+        let ref_fp = Runtime.System.fingerprint ref_sys in
+        let sys, _ = build transport in
+        Runtime.System.inject_faults sys fault;
+        let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
+        let rc = Runtime.System.reliability_counters sys in
+        let ok =
+          out.finished
+          && Xml.Canonical.equal_forest ref_out.results out.results
+          && String.equal ref_fp (Runtime.System.fingerprint sys)
+        in
+        if not ok then incr divergent;
+        Format.printf "  %-16s %-8s %6d %6d %6d %6d %9.1f %9.1f@." name
+          (if ok then "same" else "DIFFERS")
+          out.stats.drops rc.Runtime.System.retransmits
+          rc.Runtime.System.dup_suppressed rc.Runtime.System.abandoned
+          ref_out.elapsed_ms out.elapsed_ms)
+      (let _, inbox_id = build transport in
+       plans inbox_id);
+    if raw then
+      Format.printf
+        "@.%d/3 plan(s) diverged under the raw transport (ablation)@."
+        !divergent
+    else if !divergent > 0 then begin
+      Format.eprintf
+        "@.error: %d plan(s) diverged under the reliable transport@."
+        !divergent;
+      exit 1
+    end
+    else Format.printf "@.all plans match the fault-free runs@."
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the reference plans under a seeded fault plan and check the \
+          reliable transport reproduces the fault-free answers")
+    Term.(const run $ seed $ drop $ raw)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -469,4 +593,5 @@ let () =
             explain_cmd;
             demo_cmd;
             trace_cmd;
+            chaos_cmd;
           ]))

@@ -96,17 +96,30 @@ let choose ~policy ~location ~compare_ref members =
           in
           Option.map fst best)
 
-let pick_doc t ~policy ~class_name =
-  choose ~policy
-    ~location:(fun (r : Names.Doc_ref.t) -> r.at)
-    ~compare_ref:Names.Doc_ref.compare
-    (doc_members t ~class_name)
+(* Members on crashed or partitioned peers are filtered out before the
+   policy chooses — this is what lets d@any / s@any degrade gracefully
+   under faults instead of routing calls into a black hole.  With no
+   [available] oracle every member qualifies. *)
+let usable ~available ~location members =
+  match available with
+  | None -> members
+  | Some live ->
+      List.filter
+        (fun r ->
+          match peer_of_location (location r) with
+          | Some p -> live p
+          | None -> true)
+        members
 
-let pick_service t ~policy ~class_name =
-  choose ~policy
-    ~location:(fun (r : Names.Service_ref.t) -> r.at)
-    ~compare_ref:Names.Service_ref.compare
-    (service_members t ~class_name)
+let pick_doc ?available t ~policy ~class_name =
+  let location (r : Names.Doc_ref.t) = r.at in
+  choose ~policy ~location ~compare_ref:Names.Doc_ref.compare
+    (usable ~available ~location (doc_members t ~class_name))
+
+let pick_service ?available t ~policy ~class_name =
+  let location (r : Names.Service_ref.t) = r.at in
+  choose ~policy ~location ~compare_ref:Names.Service_ref.compare
+    (usable ~available ~location (service_members t ~class_name))
 
 let classes t =
   let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in

@@ -35,11 +35,23 @@ val register_service : t -> class_name:string -> Names.Service_ref.t -> unit
 val doc_members : t -> class_name:string -> Names.Doc_ref.t list
 val service_members : t -> class_name:string -> Names.Service_ref.t list
 
-val pick_doc : t -> policy:policy -> class_name:string -> Names.Doc_ref.t option
+val pick_doc :
+  ?available:(Axml_net.Peer_id.t -> bool) ->
+  t ->
+  policy:policy ->
+  class_name:string ->
+  Names.Doc_ref.t option
 (** Resolve d\@any to a concrete d\@p, [None] for unknown or empty
-    classes. *)
+    classes.  [available] filters members before the policy chooses:
+    a member whose peer is crashed or partitioned away is skipped, so
+    generic calls degrade gracefully instead of hanging (the class's
+    availability story, Section 2.2). *)
 
 val pick_service :
-  t -> policy:policy -> class_name:string -> Names.Service_ref.t option
+  ?available:(Axml_net.Peer_id.t -> bool) ->
+  t ->
+  policy:policy ->
+  class_name:string ->
+  Names.Service_ref.t option
 
 val classes : t -> string list

@@ -59,6 +59,8 @@ module Net = struct
   module Sim = Axml_net.Sim
   module Stats = Axml_net.Stats
   module Pqueue = Axml_net.Pqueue
+  module Rng = Axml_net.Rng
+  module Fault = Axml_net.Fault
 end
 
 module Doc = struct
@@ -90,6 +92,7 @@ module Runtime = struct
   module Lazy_eval = Axml_peer.Lazy_eval
   module Type_driven = Axml_peer.Type_driven
   module Persist = Axml_peer.Persist
+  module Failover = Axml_peer.Failover
 end
 
 module Obs = struct

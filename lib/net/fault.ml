@@ -1,0 +1,166 @@
+(* Deterministic fault injection.
+
+   A fault plan is pure data: probabilistic link behaviour (drop /
+   duplicate / jitter), scheduled link outages and partitions, and
+   peer crash/restart events. A plan is attached to a simulator with
+   [Sim.inject]; every probabilistic decision is drawn from a
+   SplitMix64 stream seeded by the plan, and consulted in event
+   order, so a (plan, workload) pair replays bit-identically. *)
+
+type link_profile = { drop : float; duplicate : float; jitter_ms : float }
+
+let perfect = { drop = 0.0; duplicate = 0.0; jitter_ms = 0.0 }
+
+type window = { from_ms : float; until_ms : float }
+
+let window ~from_ms ~until_ms =
+  if until_ms < from_ms then invalid_arg "Fault.window: until < from";
+  { from_ms; until_ms }
+
+let in_window w now = now >= w.from_ms && now < w.until_ms
+
+type event =
+  | Link_down of { src : Peer_id.t; dst : Peer_id.t; window : window }
+  | Partition of { island : Peer_id.t list; window : window }
+  | Crash of { peer : Peer_id.t; at_ms : float; restart_ms : float option }
+
+type plan = {
+  seed : int;
+  profile : link_profile;
+  overrides : ((Peer_id.t * Peer_id.t) * link_profile) list;
+  events : event list;
+  quiet_after_ms : float;
+}
+
+let check_profile p =
+  if p.drop < 0.0 || p.drop > 1.0 then invalid_arg "Fault: drop not in [0,1]";
+  if p.duplicate < 0.0 || p.duplicate > 1.0 then
+    invalid_arg "Fault: duplicate not in [0,1]";
+  if p.jitter_ms < 0.0 then invalid_arg "Fault: negative jitter"
+
+let make ?(profile = perfect) ?(overrides = []) ?(events = [])
+    ?(quiet_after_ms = infinity) ~seed () =
+  check_profile profile;
+  List.iter (fun (_, p) -> check_profile p) overrides;
+  { seed; profile; overrides; events; quiet_after_ms }
+
+let seed p = p.seed
+let events p = p.events
+let quiet_after_ms p = p.quiet_after_ms
+
+(* --- random plans ------------------------------------------------ *)
+
+(* Crashes are deliberately absent from random plans: a crash wipes
+   volatile continuations, so result-equality with the fault-free run
+   is not a theorem under random crashes. Crash recovery is covered
+   by directed tests instead (test/test_fault.ml). *)
+let random ?(max_drop = 0.3) ?(max_duplicate = 0.15) ?(max_jitter_ms = 8.0)
+    ?(max_outages = 3) ?(horizon_ms = 400.0) ~seed peers =
+  if peers = [] then invalid_arg "Fault.random: no peers";
+  let rng = Rng.create ~seed in
+  let profile =
+    {
+      drop = Rng.float rng max_drop;
+      duplicate = Rng.float rng max_duplicate;
+      jitter_ms = Rng.float rng max_jitter_ms;
+    }
+  in
+  let outage () =
+    let from_ms = Rng.float rng horizon_ms in
+    let until_ms =
+      min horizon_ms (from_ms +. Rng.float rng (horizon_ms /. 2.0))
+    in
+    let w = window ~from_ms ~until_ms in
+    if List.length peers >= 2 && Rng.bool rng then
+      let src = Rng.pick rng peers in
+      let dst = Rng.pick rng (List.filter (fun p -> p <> src) peers) in
+      Link_down { src; dst; window = w }
+    else
+      let island =
+        List.filter (fun _ -> Rng.bool rng) peers |> function
+        | [] -> [ List.hd peers ]
+        | l -> l
+      in
+      Partition { island; window = w }
+  in
+  let events = List.init (Rng.int rng (max_outages + 1)) (fun _ -> outage ()) in
+  (* Probabilistic faults cease after the horizon, and every outage
+     window closes by then: connectivity is eventually restored, so a
+     reliable transport can always finish the job. *)
+  make ~profile ~events ~quiet_after_ms:horizon_ms ~seed ()
+
+(* --- attached state ---------------------------------------------- *)
+
+type state = { plan : plan; rng : Rng.t }
+
+let attach plan = { plan; rng = Rng.create ~seed:plan.seed }
+
+let profile_for st ~src ~dst =
+  match
+    List.find_opt
+      (fun ((s, d), _) -> Peer_id.equal s src && Peer_id.equal d dst)
+      st.plan.overrides
+  with
+  | Some (_, p) -> p
+  | None -> st.plan.profile
+
+let cut st ~now ~src ~dst =
+  List.exists
+    (function
+      | Link_down { src = s; dst = d; window } ->
+          in_window window now
+          && ((Peer_id.equal s src && Peer_id.equal d dst)
+             || (Peer_id.equal s dst && Peer_id.equal d src))
+      | Partition { island; window } ->
+          in_window window now
+          && List.exists (Peer_id.equal src) island
+             <> List.exists (Peer_id.equal dst) island
+      | Crash _ -> false)
+    st.plan.events
+
+type verdict = Dropped | Deliver of { jitters_ms : float list }
+
+(* One verdict per send attempt. Note the RNG is consulted only while
+   probabilistic faults are live ([now < quiet_after_ms]): skipping
+   the draws entirely afterwards keeps the stream aligned no matter
+   how many extra retransmissions a lossy prefix provoked. *)
+let on_send st ~now ~src ~dst =
+  if cut st ~now ~src ~dst then Dropped
+  else if now >= st.plan.quiet_after_ms then
+    Deliver { jitters_ms = [ 0.0 ] }
+  else
+    let p = profile_for st ~src ~dst in
+    if p.drop > 0.0 && Rng.float st.rng 1.0 < p.drop then Dropped
+    else
+      let jitter () =
+        if p.jitter_ms > 0.0 then Rng.float st.rng p.jitter_ms else 0.0
+      in
+      let first = jitter () in
+      if p.duplicate > 0.0 && Rng.float st.rng 1.0 < p.duplicate then
+        Deliver { jitters_ms = [ first; jitter () ] }
+      else Deliver { jitters_ms = [ first ] }
+
+let pp_event ppf = function
+  | Link_down { src; dst; window } ->
+      Format.fprintf ppf "link-down %a->%a [%g,%g)ms" Peer_id.pp src Peer_id.pp
+        dst window.from_ms window.until_ms
+  | Partition { island; window } ->
+      Format.fprintf ppf "partition {%a} [%g,%g)ms"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Peer_id.pp)
+        island window.from_ms window.until_ms
+  | Crash { peer; at_ms; restart_ms } ->
+      Format.fprintf ppf "crash %a at %gms%a" Peer_id.pp peer at_ms
+        (fun ppf -> function
+          | None -> ()
+          | Some r -> Format.fprintf ppf " restart %gms" r)
+        restart_ms
+
+let pp ppf plan =
+  Format.fprintf ppf
+    "@[<v>fault plan seed=%d drop=%.3f dup=%.3f jitter=%.2fms quiet-after=%gms"
+    plan.seed plan.profile.drop plan.profile.duplicate plan.profile.jitter_ms
+    plan.quiet_after_ms;
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) plan.events;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,86 @@
+(** Deterministic, seeded fault injection for {!Sim}.
+
+    A fault plan describes a hostile network as pure data:
+    probabilistic per-link behaviour (message drop, duplication,
+    delivery jitter), scheduled link outages and network partitions,
+    and peer crash/restart events. Attach a plan to a simulator with
+    {!Sim.inject}; every probabilistic choice is drawn from a
+    {!Rng} stream seeded by the plan and consumed in event order, so
+    runs are bit-reproducible per seed (FoundationDB-style simulation
+    testing). *)
+
+type link_profile = {
+  drop : float;  (** probability a message vanishes in flight *)
+  duplicate : float;  (** probability a second copy is delivered *)
+  jitter_ms : float;  (** extra delivery delay, uniform in [0, jitter) *)
+}
+
+val perfect : link_profile
+
+type window = { from_ms : float; until_ms : float }
+
+val window : from_ms:float -> until_ms:float -> window
+(** @raise Invalid_argument if [until_ms < from_ms]. *)
+
+type event =
+  | Link_down of { src : Peer_id.t; dst : Peer_id.t; window : window }
+      (** Both directions of the link are cut during [window]. *)
+  | Partition of { island : Peer_id.t list; window : window }
+      (** Messages crossing the island boundary are cut during
+          [window]. *)
+  | Crash of { peer : Peer_id.t; at_ms : float; restart_ms : float option }
+      (** The peer loses its handler and volatile state at [at_ms];
+          with [restart_ms] it comes back (empty) at that time and
+          the runtime may reload it from a checkpoint. *)
+
+type plan
+
+val make :
+  ?profile:link_profile ->
+  ?overrides:((Peer_id.t * Peer_id.t) * link_profile) list ->
+  ?events:event list ->
+  ?quiet_after_ms:float ->
+  seed:int ->
+  unit ->
+  plan
+(** [overrides] replace [profile] for specific directed links.
+    Probabilistic faults cease at [quiet_after_ms] (default
+    [infinity]); set it to guarantee eventual connectivity. *)
+
+val random :
+  ?max_drop:float ->
+  ?max_duplicate:float ->
+  ?max_jitter_ms:float ->
+  ?max_outages:int ->
+  ?horizon_ms:float ->
+  seed:int ->
+  Peer_id.t list ->
+  plan
+(** A deterministic plan derived from [seed]: a random link profile
+    plus up to [max_outages] outages/partitions, all confined to
+    [horizon_ms], after which the network is quiet — eventual
+    connectivity holds. Random plans never contain crashes (crash
+    recovery is covered by directed tests). *)
+
+val seed : plan -> int
+val events : plan -> event list
+val quiet_after_ms : plan -> float
+
+(** Mutable per-run state: the plan plus its RNG stream. *)
+type state
+
+val attach : plan -> state
+
+val cut : state -> now:float -> src:Peer_id.t -> dst:Peer_id.t -> bool
+(** Is the link severed at [now] by an outage or partition? *)
+
+type verdict =
+  | Dropped
+  | Deliver of { jitters_ms : float list }
+      (** One delivery per element; two elements = a duplicate. *)
+
+val on_send : state -> now:float -> src:Peer_id.t -> dst:Peer_id.t -> verdict
+(** Consult (and advance) the probabilistic stream for one send. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (x /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | list -> List.nth list (int t (List.length list))
+
+let shuffle t list =
+  list
+  |> List.map (fun x -> (next t, x))
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+  |> List.map snd

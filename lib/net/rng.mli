@@ -1,7 +1,9 @@
 (** Deterministic pseudo-random numbers (SplitMix64).
 
-    Workloads must be reproducible across runs and independent of any
-    global state, so generators carry their own streams. *)
+    Workload generation and fault injection must be reproducible
+    across runs and independent of any global state, so generators
+    carry their own streams. Lives in the net layer so {!Fault} can
+    draw from it; [Axml_workload.Rng] re-exports this module. *)
 
 type t
 

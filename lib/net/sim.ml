@@ -3,7 +3,12 @@ module Metrics = Axml_obs.Metrics
 
 type 'a event =
   | Deliver of { src : Peer_id.t; dst : Peer_id.t; payload : 'a }
-  | Timer of { peer : Peer_id.t; callback : unit -> unit }
+  | Timer of { peer : Peer_id.t; callback : unit -> unit; cancelled : bool ref }
+  | Control of { callback : unit -> unit }
+      (* Fault-plan machinery (crashes, restarts). Runs regardless of
+         peer liveness and does not count toward completion time: a
+         scheduled restart at t=500ms must not stretch a run that went
+         quiescent at t=80ms. *)
 
 type 'a t = {
   topology : Topology.t;
@@ -13,11 +18,13 @@ type 'a t = {
   cpu_factors : float Peer_id.Table.t;
   stats : Stats.t;
   mutable now : float;
+  mutable fault : Fault.state option;
+  crashed : float Peer_id.Table.t;  (* peer -> crash time *)
+  mutable on_crash : Peer_id.t -> unit;
+  mutable on_restart : Peer_id.t -> unit;
 }
 
 type outcome = [ `Quiescent | `Budget_exhausted ]
-
-exception No_handler of Peer_id.t
 
 let create topology =
   {
@@ -28,6 +35,10 @@ let create topology =
     cpu_factors = Peer_id.Table.create 16;
     stats = Stats.create ();
     now = 0.0;
+    fault = None;
+    crashed = Peer_id.Table.create 4;
+    on_crash = ignore;
+    on_restart = ignore;
   }
 
 let topology t = t.topology
@@ -57,11 +68,99 @@ let consume_cpu t ~peer ~ms =
      further message departs from this peer. *)
   Stats.record_time t.stats horizon
 
-let send ?note t ~src ~dst ~bytes payload =
-  let link = Topology.link t.topology ~src ~dst in
-  let departure = max t.now (busy_until t src) in
-  let arrival = departure +. Link.transfer_ms link ~bytes in
+(* --- faults ------------------------------------------------------ *)
+
+let is_crashed t peer = Peer_id.Table.mem t.crashed peer
+
+let set_crash_hooks t ~on_crash ~on_restart =
+  t.on_crash <- on_crash;
+  t.on_restart <- on_restart
+
+let crash t peer =
+  if not (is_crashed t peer) then begin
+    Peer_id.Table.replace t.crashed peer t.now;
+    if Metrics.is_on Metrics.default then
+      Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
+        ~subsystem:"fault" "crashes";
+    if Trace.enabled () then
+      Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
+        "crash";
+    t.on_crash peer
+  end
+
+let restart t peer =
+  match Peer_id.Table.find_opt t.crashed peer with
+  | None -> ()
+  | Some since ->
+      Peer_id.Table.remove t.crashed peer;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
+          ~subsystem:"fault" "restarts";
+      if Trace.enabled () then begin
+        (* One retrospective span covering the whole outage. *)
+        Trace.complete ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:since
+          ~dur_ms:(t.now -. since) "crashed";
+        Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
+          "restart"
+      end;
+      t.on_restart peer
+
+let reachable t ~src ~dst =
+  (not (is_crashed t dst))
+  &&
+  match t.fault with
+  | None -> true
+  | Some f -> not (Fault.cut f ~now:t.now ~src ~dst)
+
+let record_drop t ~peer ~reason =
+  Stats.record_drop t.stats;
+  if Metrics.is_on Metrics.default then
+    Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
+      ~subsystem:"net" "drops";
+  if Trace.enabled () then
+    Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
+      ~args:[ ("reason", reason) ]
+      "drop"
+
+let at t ~time callback =
+  Pqueue.push t.queue ~time:(max t.now time) (Control { callback })
+
+let inject t plan =
+  t.fault <- Some (Fault.attach plan);
+  List.iter
+    (function
+      | Fault.Crash { peer; at_ms; restart_ms } ->
+          at t ~time:at_ms (fun () -> crash t peer);
+          Option.iter
+            (fun r -> at t ~time:r (fun () -> restart t peer))
+            restart_ms
+      | Fault.Link_down _ | Fault.Partition _ ->
+          (* Pure windows, consulted at send time. *)
+          ())
+    (Fault.events plan)
+
+(* --- sending ----------------------------------------------------- *)
+
+(* Per-peer send metrics mirror Stats exactly — per transmission that
+   actually leaves the sender, including retransmissions and
+   fault-injected duplicates; bytes count remote messages only,
+   loopbacks are tallied separately — so the metrics table and
+   Stats.snapshot agree to the byte. *)
+let count_send_metrics ~src ~dst ~bytes =
+  if Metrics.is_on Metrics.default then begin
+    let peer = Peer_id.to_string src in
+    if Peer_id.equal src dst then
+      Metrics.incr Metrics.default ~peer ~subsystem:"net" "local_messages"
+    else begin
+      Metrics.incr Metrics.default ~peer ~subsystem:"net" "messages_sent";
+      Metrics.incr Metrics.default ~peer ~by:bytes ~subsystem:"net" "bytes_sent"
+    end
+  end
+
+let transmit ?note t ~link ~departure ~jitter_ms ~src ~dst ~bytes payload =
+  let arrival = departure +. Link.transfer_ms link ~bytes +. jitter_ms in
   Stats.record_send ~at_ms:departure ?note t.stats ~src ~dst ~bytes;
+  count_send_metrics ~src ~dst ~bytes;
   (* The whole instrumentation block sits behind one boolean load so
      that the disabled hot path allocates nothing (checked in the E16
      bench). *)
@@ -80,9 +179,36 @@ let send ?note t ~src ~dst ~bytes payload =
   end;
   Pqueue.push t.queue ~time:arrival (Deliver { src; dst; payload })
 
-let after t ~peer ~delay_ms callback =
+let send ?note t ~src ~dst ~bytes payload =
+  let link = Topology.link t.topology ~src ~dst in
+  let departure = max t.now (busy_until t src) in
+  match t.fault with
+  | None ->
+      transmit ?note t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes payload
+  | Some _ when Peer_id.equal src dst ->
+      (* Loopback never traverses the network; faults don't apply. *)
+      transmit ?note t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes payload
+  | Some f -> (
+      match Fault.on_send f ~now:departure ~src ~dst with
+      | Fault.Dropped -> record_drop t ~peer:src ~reason:"link"
+      | Fault.Deliver { jitters_ms } ->
+          List.iter
+            (fun jitter_ms ->
+              transmit ?note t ~link ~departure ~jitter_ms ~src ~dst ~bytes
+                payload)
+            jitters_ms)
+
+let after_cancellable t ~peer ~delay_ms callback =
   if delay_ms < 0.0 then invalid_arg "Sim.after: negative delay";
-  Pqueue.push t.queue ~time:(t.now +. delay_ms) (Timer { peer; callback })
+  let cancelled = ref false in
+  Pqueue.push t.queue
+    ~time:(t.now +. delay_ms)
+    (Timer { peer; callback; cancelled });
+  fun () -> cancelled := true
+
+let after t ~peer ~delay_ms callback =
+  let (_cancel : unit -> unit) = after_cancellable t ~peer ~delay_ms callback in
+  ()
 
 let pending t = Pqueue.length t.queue
 
@@ -98,9 +224,14 @@ let run ?until_ms ?(max_events = 1_000_000) t =
   while continue () do
     match Pqueue.pop t.queue with
     | None -> ()
+    | Some (_, Timer { cancelled; _ }) when !cancelled ->
+        (* A cancelled timer (e.g. a retransmission pre-empted by its
+           ack) is discarded before the clock advances: it must not
+           stretch the run's completion time past the last real
+           event. *)
+        ()
     | Some (time, event) ->
         t.now <- max t.now time;
-        Stats.record_time t.stats t.now;
         incr processed;
         if Metrics.is_on Metrics.default then begin
           Metrics.incr Metrics.default ~subsystem:"sim" "events";
@@ -109,35 +240,47 @@ let run ?until_ms ?(max_events = 1_000_000) t =
         end;
         (match event with
         | Deliver { src; dst; payload } -> (
-            match Peer_id.Table.find_opt t.handlers dst with
-            | None -> raise (No_handler dst)
-            | Some handler ->
-                if Trace.enabled () then begin
-                  let sid =
-                    Trace.begin_span ~cat:"sim"
-                      ~peer:(Peer_id.to_string dst)
-                      ~ts:t.now
-                      ~args:[ ("src", Peer_id.to_string src) ]
-                      "deliver"
-                  in
-                  handler ~src payload;
-                  (* The handler's virtual footprint: any CPU it
-                     consumed pushed the peer's busy horizon past
-                     [now]. *)
-                  Trace.end_span sid ~ts:(max t.now (busy_until t dst))
-                end
-                else handler ~src payload)
-        | Timer { peer; callback } ->
-            if Trace.enabled () then begin
-              let sid =
-                Trace.begin_span ~cat:"sim"
-                  ~peer:(Peer_id.to_string peer)
-                  ~ts:t.now "timer"
-              in
-              callback ();
-              Trace.end_span sid ~ts:(max t.now (busy_until t peer))
-            end
-            else callback ())
+            Stats.record_time t.stats t.now;
+            (* A message arriving at a dead (or never-installed)
+               destination is a routable fault, not an abort: the
+               bytes were spent, the payload is gone, the run goes
+               on.  Counted in net/drops. *)
+            if is_crashed t dst then record_drop t ~peer:dst ~reason:"crashed"
+            else
+              match Peer_id.Table.find_opt t.handlers dst with
+              | None -> record_drop t ~peer:dst ~reason:"no-handler"
+              | Some handler ->
+                  if Trace.enabled () then begin
+                    let sid =
+                      Trace.begin_span ~cat:"sim"
+                        ~peer:(Peer_id.to_string dst)
+                        ~ts:t.now
+                        ~args:[ ("src", Peer_id.to_string src) ]
+                        "deliver"
+                    in
+                    handler ~src payload;
+                    (* The handler's virtual footprint: any CPU it
+                       consumed pushed the peer's busy horizon past
+                       [now]. *)
+                    Trace.end_span sid ~ts:(max t.now (busy_until t dst))
+                  end
+                  else handler ~src payload)
+        | Timer { peer; callback; cancelled = _ } ->
+            Stats.record_time t.stats t.now;
+            (* Timers model volatile local state; a crashed peer's
+               timers fire into the void. *)
+            if not (is_crashed t peer) then
+              if Trace.enabled () then begin
+                let sid =
+                  Trace.begin_span ~cat:"sim"
+                    ~peer:(Peer_id.to_string peer)
+                    ~ts:t.now "timer"
+                in
+                callback ();
+                Trace.end_span sid ~ts:(max t.now (busy_until t peer))
+              end
+              else callback ()
+        | Control { callback } -> callback ())
   done;
   let outcome : outcome =
     if !processed >= max_events && more_events () then `Budget_exhausted

@@ -4,7 +4,10 @@
     advances from delivery to delivery.  Handlers run at delivery time
     and may send further messages, schedule timers or consume local
     CPU time.  The simulator is deterministic: equal-time events fire
-    in scheduling order.
+    in scheduling order.  An attached {!Fault} plan ({!inject}) makes
+    the network hostile — drops, duplicates, jitter, outages,
+    partitions, crashes — while keeping runs bit-reproducible per
+    seed.
 
     The payload type is a parameter — the simulator knows nothing
     about AXML; {!module:Axml_peer} instantiates it with algebra
@@ -27,18 +30,29 @@ val stats : 'a t -> Stats.t
 
 val set_handler : 'a t -> Peer_id.t -> (src:Peer_id.t -> 'a -> unit) -> unit
 (** Install the message handler of a peer, replacing any previous one.
-    Messages delivered to a peer without a handler raise during
-    {!run}. *)
+    Messages delivered to a peer without a handler are counted as
+    drops (see {!Stats.snapshot}[.drops]), not raised. *)
 
 val send :
   ?note:string -> 'a t -> src:Peer_id.t -> dst:Peer_id.t -> bytes:int -> 'a -> unit
 (** Enqueue a message.  It departs no earlier than the sender's busy
-    horizon and arrives after the link's transfer time.  [note] labels
-    the message in the statistics trace (see {!Stats.set_tracing}).
+    horizon and arrives after the link's transfer time (plus any
+    fault-injected jitter; an injected fault plan may also drop or
+    duplicate it).  [note] labels the message in the statistics trace
+    (see {!Stats.set_tracing}).
     @raise Not_found if either peer is outside the topology. *)
 
 val after : 'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit
-(** Schedule a local callback on [peer] at [now + delay_ms]. *)
+(** Schedule a local callback on [peer] at [now + delay_ms].  Timers
+    model volatile state: one firing while its peer is crashed is
+    silently discarded. *)
+
+val after_cancellable :
+  'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit -> unit
+(** Like {!after}, but returns a cancel thunk.  A cancelled timer is
+    inert: it neither runs nor extends the run's completion time —
+    retransmission timers pre-empted by their ack must not stretch
+    [completion_ms] past the last real event. *)
 
 val consume_cpu : 'a t -> peer:Peer_id.t -> ms:float -> unit
 (** Model local computation: pushes the peer's busy horizon forward so
@@ -54,7 +68,34 @@ val cpu_factor : 'a t -> Peer_id.t -> float
 
 val busy_until : 'a t -> Peer_id.t -> float
 
-exception No_handler of Peer_id.t
+(** {2 Faults} *)
+
+val inject : 'a t -> Fault.plan -> unit
+(** Attach a fault plan: probabilistic per-link faults take effect on
+    subsequent sends, and the plan's crash/restart events are
+    scheduled as control events (which always run and do not count
+    toward completion time). *)
+
+val crash : 'a t -> Peer_id.t -> unit
+(** Take a peer down now: its pending timers die, messages addressed
+    to it are dropped, and the [on_crash] hook runs (the runtime uses
+    it to discard the peer's volatile state).  Idempotent. *)
+
+val restart : 'a t -> Peer_id.t -> unit
+(** Bring a crashed peer back (empty); the [on_restart] hook runs
+    (the runtime uses it to reload a checkpoint).  No-op if the peer
+    is not crashed. *)
+
+val is_crashed : 'a t -> Peer_id.t -> bool
+
+val set_crash_hooks :
+  'a t -> on_crash:(Peer_id.t -> unit) -> on_restart:(Peer_id.t -> unit) -> unit
+
+val reachable : 'a t -> src:Peer_id.t -> dst:Peer_id.t -> bool
+(** Best-effort liveness oracle at current virtual time: [dst] is not
+    crashed and no scheduled outage/partition currently cuts the
+    link.  This is the membership filter generic ([d\@any]/[s\@any])
+    resolution uses to degrade gracefully. *)
 
 val run : ?until_ms:float -> ?max_events:int -> 'a t -> outcome * int
 (** Process events in time order until the queue drains (quiescence),
@@ -65,12 +106,15 @@ val run : ?until_ms:float -> ?max_events:int -> 'a t -> outcome * int
     cut the run with deliverable events still pending — callers should
     surface it rather than mistake the truncation for quiescence.
 
+    A delivery to a crashed or handler-less peer is a routable fault:
+    it is counted ({!Stats} drops, [net/drops] metric, a trace
+    instant) and the run continues.
+
     When {!Axml_obs.Trace} is enabled, every delivery and timer is
     recorded as a virtual-time span on the destination peer's track;
     when {!Axml_obs.Metrics} is enabled, event counts and the queue's
     high-water depth are recorded.  Both disabled paths cost one
-    boolean load per event.
-    @raise No_handler on delivery to a handler-less peer. *)
+    boolean load per event. *)
 
 val pending : 'a t -> int
 (** Number of queued events. *)

@@ -2,6 +2,7 @@ type snapshot = {
   messages : int;
   bytes : int;
   local_messages : int;
+  drops : int;
   completion_ms : float;
   per_link : ((Peer_id.t * Peer_id.t) * (int * int)) list;
 }
@@ -18,6 +19,7 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable local_messages : int;
+  mutable drops : int;
   mutable completion_ms : float;
   per_link : (Peer_id.t * Peer_id.t, int * int) Hashtbl.t;
   mutable tracing : bool;
@@ -30,6 +32,7 @@ let create () =
     messages = 0;
     bytes = 0;
     local_messages = 0;
+    drops = 0;
     completion_ms = 0.0;
     per_link = Hashtbl.create 16;
     tracing = false;
@@ -60,6 +63,8 @@ let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
         { at_ms; src; dst; trace_bytes = bytes; note } :: t.trace_rev
   end
 
+let record_drop t = t.drops <- t.drops + 1
+
 let set_tracing t enabled = t.tracing <- enabled
 let tracing_enabled t = t.tracing
 let set_trace_local t enabled = t.trace_local <- enabled
@@ -73,6 +78,7 @@ let snapshot t : snapshot =
     messages = t.messages;
     bytes = t.bytes;
     local_messages = t.local_messages;
+    drops = t.drops;
     completion_ms = t.completion_ms;
     per_link =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_link []
@@ -83,6 +89,7 @@ let reset t =
   t.messages <- 0;
   t.bytes <- 0;
   t.local_messages <- 0;
+  t.drops <- 0;
   t.completion_ms <- 0.0;
   Hashtbl.reset t.per_link;
   t.trace_rev <- []
@@ -93,8 +100,8 @@ let pp_trace_entry fmt e =
 
 let pp_snapshot fmt (s : snapshot) =
   Format.fprintf fmt
-    "@[<v>messages: %d (+%d local)@ bytes: %d@ completion: %.2f ms@ " s.messages
-    s.local_messages s.bytes s.completion_ms;
+    "@[<v>messages: %d (+%d local)@ bytes: %d@ drops: %d@ completion: %.2f ms@ "
+    s.messages s.local_messages s.bytes s.drops s.completion_ms;
   List.iter
     (fun ((src, dst), (m, b)) ->
       Format.fprintf fmt "%a -> %a: %d msg, %d B@ " Peer_id.pp src Peer_id.pp

@@ -10,6 +10,11 @@ type snapshot = {
   messages : int;
   bytes : int;
   local_messages : int;  (** Loopback deliveries, not counted in [bytes]. *)
+  drops : int;
+      (** Messages lost to injected faults: dropped in flight by a
+          lossy/cut link, or discarded on arrival at a crashed (or
+          handler-less) peer. Not counted in [messages]/[bytes] when
+          dropped at send time. *)
   completion_ms : float;  (** Time of the last processed event. *)
   per_link : ((Peer_id.t * Peer_id.t) * (int * int)) list;
       (** (src, dst) -> (messages, bytes), remote links only. *)
@@ -34,6 +39,7 @@ val record_send :
   bytes:int ->
   unit
 
+val record_drop : t -> unit
 val record_time : t -> float -> unit
 val snapshot : t -> snapshot
 val reset : t -> unit

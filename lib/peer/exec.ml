@@ -106,7 +106,9 @@ and eval_doc sys ~ctx (r : Names.Doc_ref.t) ~emit =
       (* Definition (9): resolve through the local pick function. *)
       let self = System.peer sys ctx in
       match
-        Axml_doc.Generic.pick_doc self.Peer.catalog ~policy:self.Peer.policy
+        Axml_doc.Generic.pick_doc
+          ~available:(System.availability sys ~from:ctx)
+          self.Peer.catalog ~policy:self.Peer.policy
           ~class_name:(Names.Doc_name.to_string r.name)
       with
       | Some resolved -> eval_doc sys ~ctx resolved ~emit
@@ -147,8 +149,9 @@ and resolve_query sys ~ctx (q : Expr.query_expr) (k : Axml_query.Ast.t option ->
       | Names.Any -> (
           let self = System.peer sys ctx in
           match
-            Axml_doc.Generic.pick_service self.Peer.catalog
-              ~policy:self.Peer.policy
+            Axml_doc.Generic.pick_service
+              ~available:(System.availability sys ~from:ctx)
+              self.Peer.catalog ~policy:self.Peer.policy
               ~class_name:(Names.Service_name.to_string r.name)
           with
           | Some resolved -> resolve_query sys ~ctx (Expr.Q_service resolved) k
@@ -264,7 +267,9 @@ and eval_sc sys ~ctx (sc : Axml_doc.Sc.t) ~emit =
   | Names.At provider -> invoke provider sc.service
   | Names.Any -> (
       match
-        Axml_doc.Generic.pick_service self.Peer.catalog ~policy:self.Peer.policy
+        Axml_doc.Generic.pick_service
+          ~available:(System.availability sys ~from:ctx)
+          self.Peer.catalog ~policy:self.Peer.policy
           ~class_name:(Names.Service_name.to_string sc.service)
       with
       | Some { Names.Service_ref.name; at = Names.At provider } ->

@@ -1,0 +1,55 @@
+(* Crash recovery via Persist checkpoints.
+
+   The save hook runs at crash time, which looks like cheating — a
+   really dead process cannot save anything.  It is not: the durable
+   state captured here (documents, services, catalog) is exactly the
+   state a continuously-persisted store would have on disk at the
+   moment of the crash, and snapshotting lazily at the instant it
+   becomes unreachable is equivalent to having written it through all
+   along.  Volatile state (watchers, in-flight transport buffers,
+   continuations) is *not* in the checkpoint — losing it is the point
+   of the exercise. *)
+
+module Peer_id = Axml_net.Peer_id
+
+type t = { checkpoints : (string, string) Hashtbl.t; dir : string option }
+
+let snapshot t p =
+  Option.bind
+    (Hashtbl.find_opt t.checkpoints (Peer_id.to_string p))
+    Option.some
+
+let enable ?dir sys =
+  let t = { checkpoints = Hashtbl.create 8; dir } in
+  let path p =
+    Option.map
+      (fun d -> Filename.concat d (Peer_id.to_string p ^ ".checkpoint.xml"))
+      t.dir
+  in
+  let save p =
+    let xml = Persist.checkpoint_xml sys p in
+    Hashtbl.replace t.checkpoints (Peer_id.to_string p) xml;
+    Option.iter
+      (fun file ->
+        if not (Sys.file_exists (Filename.dirname file)) then
+          Sys.mkdir (Filename.dirname file) 0o755;
+        let oc = open_out_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc xml))
+      (path p)
+  in
+  let load p =
+    match snapshot t p with
+    | Some xml -> (
+        match Persist.restore_checkpoint sys p xml with
+        | Ok () -> ()
+        | Error e ->
+            Logs.err (fun m ->
+                m "failover: restoring %a failed: %s" Peer_id.pp p e))
+    | None ->
+        Logs.warn (fun m ->
+            m "failover: no checkpoint for %a; restarting empty" Peer_id.pp p)
+  in
+  System.set_failover sys ~save ~load;
+  t

@@ -1,0 +1,20 @@
+(** Crash recovery: wires {!System.set_failover} to {!Persist}
+    checkpoints.
+
+    With failover enabled, a {!System.crash} snapshots the peer's
+    durable state (documents, services, catalog — modeling a
+    continuously-persisted store) and {!System.restart} reloads it
+    with node identities intact, so reply destinations captured
+    before the crash keep working.  Volatile state — watchers,
+    in-flight transport buffers, continuations — is deliberately
+    lost. *)
+
+type t
+
+val enable : ?dir:string -> System.t -> t
+(** Install the save/load hooks.  Checkpoints are kept in memory;
+    with [dir] they are additionally written to
+    [<dir>/<peer>.checkpoint.xml] for inspection. *)
+
+val snapshot : t -> Axml_net.Peer_id.t -> string option
+(** The latest checkpoint taken for a peer, if any. *)

@@ -35,10 +35,11 @@ type payload =
       reply : reply_dest;
     }
   | Query_shipped of { key : int; query : Axml_query.Ast.t }
+  | Ack of { seq : int }
 
-type t = { payload : payload; corr : int }
+type t = { payload : payload; corr : int; seq : int }
 
-let make ?(corr = 0) payload = { payload; corr }
+let make ?(corr = 0) ?(seq = 0) payload = { payload; corr; seq }
 
 let envelope = 64
 (* Headers, addressing, framing.  The correlation id travels inside
@@ -55,6 +56,7 @@ let bytes = function
       envelope + Forest.byte_size forest
   | Deploy { query; _ } | Query_shipped { query; _ } ->
       envelope + String.length (Axml_query.Ast.to_string query)
+  | Ack _ -> envelope
 
 let reply_peer = function
   | Cont { peer; _ } -> peer
@@ -69,6 +71,7 @@ let tag = function
   | Install_doc _ -> "install-doc"
   | Deploy _ -> "deploy"
   | Query_shipped _ -> "query-shipped"
+  | Ack _ -> "ack"
 
 let pp fmt = function
   | Stream { key; forest; final } ->
@@ -86,3 +89,4 @@ let pp fmt = function
       Format.fprintf fmt "install %s (%dB)" name (Forest.byte_size forest)
   | Deploy { prefix; _ } -> Format.fprintf fmt "deploy %s_*" prefix
   | Query_shipped { key; _ } -> Format.fprintf fmt "query-shipped[%d]" key
+  | Ack { seq } -> Format.fprintf fmt "ack[%d]" seq

@@ -62,17 +62,24 @@ type payload =
   | Query_shipped of { key : int; query : Axml_query.Ast.t }
       (** Transfer of a query value between peers; the receiving
           continuation captures what to do with it. *)
+  | Ack of { seq : int }
+      (** Reliable-transport acknowledgement of the sender's sequence
+          number (see {!System}); acks themselves are unsequenced. *)
 
-type t = { payload : payload; corr : int }
+type t = { payload : payload; corr : int; seq : int }
 (** The wire envelope: a payload plus the correlation id of the
     logical computation that caused the send ([0] = uncorrelated).
     Minted by {!Axml_obs.Trace.fresh_corr} at the computation's entry
     point ({!Exec.run_to_quiescence}, {!System.activate_call}) and
     re-established as the ambient correlation when the message is
     dispatched — which is how one computation's spans connect across
-    peers and hops. *)
+    peers and hops.
 
-val make : ?corr:int -> payload -> t
+    [seq] is the reliable transport's per-(src,dst) sequence number;
+    [0] means unsequenced (raw transport, loopback, acks).  Like the
+    correlation id it rides inside the fixed envelope budget. *)
+
+val make : ?corr:int -> ?seq:int -> payload -> t
 
 val bytes : payload -> int
 (** Serialized size estimate charged to the link (the correlation id

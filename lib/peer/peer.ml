@@ -11,10 +11,13 @@ type t = {
   watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
 }
 
-let create ?(policy = Axml_doc.Generic.First) id =
+let create ?gen ?(policy = Axml_doc.Generic.First) id =
   {
     id;
-    gen = Axml_xml.Node_id.Gen.create ~namespace:(Peer_id.to_string id);
+    gen =
+      (match gen with
+      | Some g -> g
+      | None -> Axml_xml.Node_id.Gen.create ~namespace:(Peer_id.to_string id));
     store = Axml_doc.Store.create ();
     registry = Axml_doc.Registry.create ();
     catalog = Axml_doc.Generic.create ();

@@ -24,7 +24,11 @@ type t = {
           document grows. *)
 }
 
-val create : ?policy:Axml_doc.Generic.policy -> Peer_id.t -> t
+val create :
+  ?gen:Axml_xml.Node_id.Gen.t -> ?policy:Axml_doc.Generic.policy -> Peer_id.t -> t
+(** [gen] lets a restarted peer carry its id generator across the
+    crash (the counter is durable): fresh nodes minted after recovery
+    must not collide with pre-crash ids in the same namespace. *)
 
 val find_doc_with_node : t -> Axml_xml.Node_id.t -> Axml_doc.Document.t option
 (** The stored document containing the identified node, if any. *)

@@ -31,7 +31,7 @@ let service_to_tree ~gen svc =
         ~attrs:[ ("name", name); ("kind", "extern") ]
         []
 
-let peer_to_xml sys pid =
+let peer_to_xml_gen ?(pretty = true) ~tree_of sys pid =
   let peer = System.peer sys pid in
   let gen = Axml_xml.Node_id.Gen.create ~namespace:"persist" in
   let documents =
@@ -39,7 +39,7 @@ let peer_to_xml sys pid =
       (fun doc ->
         Tree.element ~gen (l "document")
           ~attrs:[ ("name", Names.Doc_name.to_string (Axml_doc.Document.name doc)) ]
-          [ Tree.copy ~gen (Axml_doc.Document.root doc) ])
+          [ tree_of ~gen (Axml_doc.Document.root doc) ])
       (Axml_doc.Store.documents peer.Peer.store)
   in
   let services =
@@ -76,7 +76,49 @@ let peer_to_xml sys pid =
       ~attrs:[ ("id", Peer_id.to_string pid) ]
       (documents @ services @ classes)
   in
-  Axml_xml.Serializer.to_string_pretty root
+  if pretty then Axml_xml.Serializer.to_string_pretty root
+  else Axml_xml.Serializer.to_string ~decl:false root
+
+let peer_to_xml sys pid =
+  peer_to_xml_gen ~tree_of:(fun ~gen tree -> Tree.copy ~gen tree) sys pid
+
+(* --- id-preserving checkpoints ----------------------------------- *)
+
+(* [peer_to_xml] re-mints node ids on load, which is right for moving
+   a Σ between processes but wrong for crash recovery: reply
+   destinations captured before the crash ({!Message.reply_dest}
+   [Node] refs) point at the original ids, and a restored document
+   must keep answering to them.  A checkpoint therefore rides each
+   element's identity along as an [axml-id] attribute and rebuilds
+   the exact same nodes on restore. *)
+
+let id_attr = "axml-id"
+
+let rec annotate tree =
+  match tree with
+  | Tree.Text _ -> tree
+  | Tree.Element e ->
+      Tree.with_id e.Tree.id
+        ~attrs:((id_attr, Axml_xml.Node_id.to_string e.Tree.id) :: e.Tree.attrs)
+        e.Tree.label
+        (List.map annotate e.Tree.children)
+
+let rec deannotate tree =
+  match tree with
+  | Tree.Text _ -> tree
+  | Tree.Element e ->
+      let id =
+        match List.assoc_opt id_attr e.Tree.attrs with
+        | Some s -> (
+            match Axml_xml.Node_id.of_string s with
+            | Some id -> id
+            | None -> e.Tree.id)
+        | None -> e.Tree.id
+      in
+      Tree.with_id id
+        ~attrs:(List.remove_assoc id_attr e.Tree.attrs)
+        e.Tree.label
+        (List.map deannotate e.Tree.children)
 
 let ( let* ) = Result.bind
 
@@ -139,7 +181,7 @@ let load_class sys pid (e : Tree.element) =
       | Tree.Element _ | Tree.Text _ -> Ok ())
     (Ok ()) e.children
 
-let load_peer_xml sys pid xml =
+let load_peer_xml_gen ~tree_of sys pid xml =
   let gen = System.gen_of sys pid in
   match Axml_xml.Parser.parse ~gen xml with
   | Error e -> Error (Format.asprintf "%a" Axml_xml.Parser.pp_error e)
@@ -160,7 +202,7 @@ let load_peer_xml sys pid xml =
                   | Some name -> (
                       match List.filter Tree.is_element e.children with
                       | [ tree ] -> (
-                          match System.add_document sys pid ~name tree with
+                          match System.add_document sys pid ~name (tree_of tree) with
                           | () -> Ok ()
                           | exception Invalid_argument msg -> Error msg)
                       | _ -> Error (Printf.sprintf "document %s must hold one tree" name))
@@ -170,6 +212,19 @@ let load_peer_xml sys pid xml =
                 else if Label.equal e.label (l "class") then load_class sys pid e
                 else Ok () (* forward compatibility: ignore unknown *))
           (Ok ()) root.children
+
+let load_peer_xml sys pid xml = load_peer_xml_gen ~tree_of:Fun.id sys pid xml
+
+(* Checkpoints serialize compactly: pretty-printed indentation would
+   come back as whitespace text nodes inside mixed-content documents,
+   and a recovery round-trip must be exact. *)
+let checkpoint_xml sys pid =
+  peer_to_xml_gen ~pretty:false
+    ~tree_of:(fun ~gen:_ tree -> annotate tree)
+    sys pid
+
+let restore_checkpoint sys pid xml =
+  load_peer_xml_gen ~tree_of:deannotate sys pid xml
 
 let save sys ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

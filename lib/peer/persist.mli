@@ -29,6 +29,20 @@ val load_peer_xml :
     peer state into the given peer (which should be empty; name
     clashes are errors). *)
 
+val checkpoint_xml : System.t -> Axml_net.Peer_id.t -> string
+(** Like {!peer_to_xml}, but each element additionally carries its
+    node identity as an [axml-id] attribute.  Crash recovery needs
+    identity-preserving round-trips: reply destinations captured
+    before a crash hold {!Axml_doc.Names.Node_ref.t}s into the
+    peer's documents, and a restored document must keep answering to
+    them. *)
+
+val restore_checkpoint :
+  System.t -> Axml_net.Peer_id.t -> string -> (unit, string) result
+(** Install a {!checkpoint_xml} snapshot into the (empty, freshly
+    restarted) peer, rebuilding documents with their original node
+    ids ([axml-id] attributes are stripped from the trees). *)
+
 val save : System.t -> dir:string -> unit
 (** Write [<peer-id>.peer.xml] files for every peer (creates [dir] if
     needed). *)

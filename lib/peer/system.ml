@@ -18,6 +18,36 @@ type cont_entry = {
   fn : emit;
 }
 
+type transport = Raw | Reliable
+
+(* Reliable-transport state. Sequence cursors ([next_seq],
+   [next_expected]) model WAL-backed durable state: they survive a
+   crash, so a restarted peer neither reuses sequence numbers (which
+   would be mistaken for duplicates) nor re-accepts old ones.  The
+   in-flight tables ([pending] at the sender, [buffer] at the
+   receiver) are volatile and wiped by a crash — the protocol is
+   designed so that is safe: a buffered message is never acked, so
+   losing the buffer just means the sender retransmits. *)
+type pending_send = {
+  msg : Message.t;
+  mutable attempt : int;
+  mutable cancel_retry : unit -> unit;
+      (* Cancels the scheduled retransmission timer; invoked when the
+         ack lands (or the sender crashes) so the dead timer cannot
+         stretch the run's completion time. *)
+}
+
+type rel = {
+  next_seq : (Peer_id.t * Peer_id.t, int) Hashtbl.t;
+  pending : (Peer_id.t * Peer_id.t * int, pending_send) Hashtbl.t;
+  next_expected : (Peer_id.t * Peer_id.t, int) Hashtbl.t;  (* (dst, src) *)
+  buffer : (Peer_id.t * Peer_id.t * int, Message.t) Hashtbl.t;  (* (dst, src, seq) *)
+  mutable retransmits : int;
+  mutable dup_suppressed : int;
+  mutable abandoned : int;
+  mutable acks_sent : int;
+}
+
 type t = {
   sim : Message.t Sim.t;
   peers : Peer.t Peer_id.Table.t;
@@ -25,6 +55,12 @@ type t = {
   mutable next_key : int;
   response_delay_ms : float;
   cpu_ms_per_kb : float;
+  transport : transport;
+  rto_ms : float;
+  max_retries : int;
+  rel : rel;
+  mutable failover_save : Peer_id.t -> unit;
+  mutable failover_load : Peer_id.t -> unit;
 }
 
 type eval_hook = t -> ctx:Peer_id.t -> Axml_algebra.Expr.t -> emit:emit -> unit
@@ -39,6 +75,22 @@ let set_eval_hook f = eval_hook := f
 let sim t = t.sim
 let response_delay_ms t = t.response_delay_ms
 let cpu_ms_per_kb t = t.cpu_ms_per_kb
+let transport t = t.transport
+
+type reliability_counters = {
+  retransmits : int;
+  dup_suppressed : int;
+  abandoned : int;
+  acks_sent : int;
+}
+
+let reliability_counters t =
+  {
+    retransmits = t.rel.retransmits;
+    dup_suppressed = t.rel.dup_suppressed;
+    abandoned = t.rel.abandoned;
+    acks_sent = t.rel.acks_sent;
+  }
 
 let peer t p =
   match Peer_id.Table.find_opt t.peers p with
@@ -59,28 +111,90 @@ let set_cont ?(expected_finals = 1) t key f =
   Hashtbl.replace t.conts key
     { remaining_finals = expected_finals; batches = 0; fn = f }
 
+let note_of t payload =
+  (* Rendering the note costs; only pay when someone listens.
+     (Per-peer net metrics live in Sim.send, next to Stats, so they
+     mirror each actual transmission — including retransmissions and
+     fault-injected duplicates.) *)
+  if Axml_net.Stats.tracing_enabled (Sim.stats t.sim) then
+    Some (Format.asprintf "%a" Message.pp payload)
+  else None
+
+let raw_send t ~src ~dst (msg : Message.t) =
+  Sim.send
+    ?note:(note_of t msg.Message.payload)
+    t.sim ~src ~dst
+    ~bytes:(Message.bytes msg.Message.payload)
+    msg
+
+(* Exponential backoff, capped: attempt 0 waits rto, attempt n waits
+   min(rto * 2^n, rto * 32). *)
+let retry_delay t attempt = t.rto_ms *. (2.0 ** float_of_int (min attempt 5))
+
+(* One physical transmission of a sequenced message plus the timer
+   that guards it.  The timer outlives acks on purpose: when it fires
+   it checks whether the send is still pending and retransmits with
+   backoff, giving up (and counting the abandonment) after
+   [max_retries] so a permanently dead destination cannot keep the
+   simulation alive forever. *)
+let rec transmit t ~src ~dst (msg : Message.t) =
+  raw_send t ~src ~dst msg;
+  match Hashtbl.find_opt t.rel.pending (src, dst, msg.Message.seq) with
+  | None -> ()
+  | Some p ->
+      p.cancel_retry <-
+        Sim.after_cancellable t.sim ~peer:src
+          ~delay_ms:(retry_delay t p.attempt) (fun () ->
+            retry t ~src ~dst msg)
+
+and retry t ~src ~dst (msg : Message.t) =
+  let seq = msg.Message.seq in
+  match Hashtbl.find_opt t.rel.pending (src, dst, seq) with
+  | None -> () (* acked in the meantime *)
+  | Some p when p.attempt >= t.max_retries ->
+      Hashtbl.remove t.rel.pending (src, dst, seq);
+      t.rel.abandoned <- t.rel.abandoned + 1;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
+          ~subsystem:"net" "abandoned";
+      Log.warn (fun m ->
+          m "peer %a: abandoning seq %d to %a after %d retries" Peer_id.pp src
+            seq Peer_id.pp dst t.max_retries)
+  | Some p ->
+      p.attempt <- p.attempt + 1;
+      t.rel.retransmits <- t.rel.retransmits + 1;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
+          ~subsystem:"net" "retransmits";
+      transmit t ~src ~dst msg
+
 let send t ~src ~dst payload =
-  let note =
-    (* Rendering the note costs; only pay when someone listens. *)
-    if Axml_net.Stats.tracing_enabled (Sim.stats t.sim) then
-      Some (Format.asprintf "%a" Message.pp payload)
-    else None
+  let corr = Trace.current_corr () in
+  let sequenced =
+    match (t.transport, payload) with
+    | Raw, _ -> false
+    | Reliable, Message.Ack _ -> false
+    | Reliable, _ -> not (Peer_id.equal src dst)
+    (* Loopback delivery cannot be lost; acks are themselves the
+       protocol's feedback and must stay unsequenced or every ack
+       would need an ack. *)
   in
-  let bytes = Message.bytes payload in
-  (* Per-peer send metrics mirror Stats exactly: bytes count remote
-     messages only, loopbacks are tallied separately — so the metrics
-     table and Stats.snapshot agree to the byte. *)
-  if Metrics.is_on Metrics.default then begin
-    let peer = Peer_id.to_string src in
-    if Peer_id.equal src dst then
-      Metrics.incr Metrics.default ~peer ~subsystem:"net" "local_messages"
-    else begin
-      Metrics.incr Metrics.default ~peer ~subsystem:"net" "messages_sent";
-      Metrics.incr Metrics.default ~peer ~by:bytes ~subsystem:"net" "bytes_sent"
-    end
-  end;
-  Sim.send ?note t.sim ~src ~dst ~bytes
-    (Message.make ~corr:(Trace.current_corr ()) payload)
+  if not sequenced then raw_send t ~src ~dst (Message.make ~corr payload)
+  else begin
+    let key = (src, dst) in
+    let seq =
+      1 + Option.value ~default:0 (Hashtbl.find_opt t.rel.next_seq key)
+    in
+    Hashtbl.replace t.rel.next_seq key seq;
+    let msg = Message.make ~corr ~seq payload in
+    Hashtbl.replace t.rel.pending (src, dst, seq)
+      { msg; attempt = 0; cancel_retry = ignore };
+    transmit t ~src ~dst msg
+  end
+
+let send_ack t ~src ~dst ~corr seq =
+  t.rel.acks_sent <- t.rel.acks_sent + 1;
+  raw_send t ~src ~dst (Message.make ~corr (Message.Ack { seq }))
 
 let consume_cpu t ~peer ~bytes =
   Sim.consume_cpu t.sim ~peer
@@ -311,6 +425,9 @@ let dispatch_payload t (self : Peer.t) ~src payload =
       | Some entry ->
           Hashtbl.remove t.conts key;
           entry.fn [] ~final:true)
+  | Message.Ack _ ->
+      (* Consumed by the transport layer (on_message) before dispatch. *)
+      ()
 
 (* Delivery entry point: re-establish the sender's correlation id as
    the ambient one, so spans recorded here — and any messages sent
@@ -333,7 +450,79 @@ let dispatch t (self : Peer.t) ~src (msg : Message.t) =
           (fun () -> dispatch_payload t self ~src msg.Message.payload))
   else dispatch_payload t self ~src msg.Message.payload
 
-let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01) topology =
+(* Receiver-side transport stage, run before dispatch.  Sequenced
+   messages are delivered to the application exactly once and in send
+   order: early arrivals wait in a (volatile) buffer, duplicates are
+   suppressed, and an ack is emitted only when a message is actually
+   delivered — never for a merely buffered one, so a crash that wipes
+   the buffer cannot lose anything the sender believes delivered. *)
+let count_dup t p =
+  t.rel.dup_suppressed <- t.rel.dup_suppressed + 1;
+  if Metrics.is_on Metrics.default then
+    Metrics.incr Metrics.default ~peer:(Peer_id.to_string p) ~subsystem:"net"
+      "dup_suppressed"
+
+let rec deliver_in_order t p ~src (msg : Message.t) =
+  let seq = msg.Message.seq in
+  Hashtbl.replace t.rel.next_expected (p, src) (seq + 1);
+  send_ack t ~src:p ~dst:src ~corr:msg.Message.corr seq;
+  dispatch t (peer t p) ~src msg;
+  match Hashtbl.find_opt t.rel.buffer (p, src, seq + 1) with
+  | Some next ->
+      Hashtbl.remove t.rel.buffer (p, src, seq + 1);
+      deliver_in_order t p ~src next
+  | None -> ()
+
+let on_message t p ~src (msg : Message.t) =
+  match msg.Message.payload with
+  | Message.Ack { seq } -> (
+      match Hashtbl.find_opt t.rel.pending (p, src, seq) with
+      | None -> ()
+      | Some ps ->
+          ps.cancel_retry ();
+          Hashtbl.remove t.rel.pending (p, src, seq))
+  | _ when msg.Message.seq = 0 -> dispatch t (peer t p) ~src msg
+  | _ ->
+      let seq = msg.Message.seq in
+      let expected =
+        Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (p, src))
+      in
+      if seq < expected then begin
+        (* Already delivered — the ack must have been lost.  Re-ack so
+           the sender stops retransmitting. *)
+        count_dup t p;
+        send_ack t ~src:p ~dst:src ~corr:msg.Message.corr seq
+      end
+      else if seq > expected then begin
+        if Hashtbl.mem t.rel.buffer (p, src, seq) then count_dup t p
+        else Hashtbl.replace t.rel.buffer (p, src, seq) msg
+      end
+      else deliver_in_order t p ~src msg
+
+(* A crash wipes everything volatile the peer holds: its store,
+   registry, catalog, watchers — and the transport's in-flight state
+   on both sides of every conversation it participates in as the
+   crashed party.  The id generator and the sequence cursors are
+   durable (see [rel]); [failover_save] snapshots Σ members for a
+   later [failover_load] (wired up by {!Failover.enable} — without it
+   a restarted peer comes back empty). *)
+let handle_crash t p =
+  t.failover_save p;
+  let wipe tbl choose =
+    let doomed = Hashtbl.fold (fun k _ acc -> if choose k then k :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  Hashtbl.iter
+    (fun (src, _, _) ps -> if Peer_id.equal src p then ps.cancel_retry ())
+    t.rel.pending;
+  wipe t.rel.pending (fun (src, _, _) -> Peer_id.equal src p);
+  wipe t.rel.buffer (fun (dst, _, _) -> Peer_id.equal dst p);
+  let old = peer t p in
+  Peer_id.Table.replace t.peers p
+    (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
+
+let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
+    ?(transport = Raw) ?(rto_ms = 40.0) ?(max_retries = 30) topology =
   let sim = Sim.create topology in
   let t =
     {
@@ -343,15 +532,51 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01) topology =
       next_key = 0;
       response_delay_ms;
       cpu_ms_per_kb;
+      transport;
+      rto_ms;
+      max_retries;
+      rel =
+        {
+          next_seq = Hashtbl.create 16;
+          pending = Hashtbl.create 64;
+          next_expected = Hashtbl.create 16;
+          buffer = Hashtbl.create 64;
+          retransmits = 0;
+          dup_suppressed = 0;
+          abandoned = 0;
+          acks_sent = 0;
+        };
+      failover_save = ignore;
+      failover_load = ignore;
     }
   in
   List.iter
     (fun p ->
-      let peer = Peer.create p in
-      Peer_id.Table.replace t.peers p peer;
-      Sim.set_handler sim p (fun ~src payload -> dispatch t peer ~src payload))
+      Peer_id.Table.replace t.peers p (Peer.create p);
+      (* The handler resolves the Peer.t at dispatch time: a crash
+         replaces the record behind [p], and a stale capture here
+         would resurrect pre-crash state. *)
+      Sim.set_handler sim p (fun ~src msg -> on_message t p ~src msg))
     (Axml_net.Topology.peers topology);
+  Sim.set_crash_hooks sim
+    ~on_crash:(fun p -> handle_crash t p)
+    ~on_restart:(fun p -> t.failover_load p);
   t
+
+let set_failover t ~save ~load =
+  t.failover_save <- save;
+  t.failover_load <- load
+
+let inject_faults t plan = Sim.inject t.sim plan
+let crash t p = Sim.crash t.sim p
+let restart t p = Sim.restart t.sim p
+
+(* The membership filter for generic (d@any / s@any) resolution:
+   skip members on peers that are currently crashed or cut off from
+   [from], so generic calls degrade onto surviving members instead of
+   routing into a black hole. *)
+let availability t ~from p =
+  Peer_id.equal from p || Sim.reachable t.sim ~src:from ~dst:p
 
 let add_document t p ~name tree =
   Axml_doc.Store.add (peer t p).Peer.store (Axml_doc.Document.make ~name tree)
@@ -419,8 +644,9 @@ let activate_call_now t ~owner ~doc ~node =
                   true
               | Names.Any -> (
                   let picked =
-                    Axml_doc.Generic.pick_service self.Peer.catalog
-                      ~policy:self.Peer.policy
+                    Axml_doc.Generic.pick_service
+                      ~available:(availability t ~from:owner)
+                      self.Peer.catalog ~policy:self.Peer.policy
                       ~class_name:
                         (Names.Service_name.to_string sc.Axml_doc.Sc.service)
                   in

@@ -19,12 +19,32 @@ type emit = Axml_xml.Forest.t -> final:bool -> unit
 
 (** {1 Construction} *)
 
+type transport =
+  | Raw  (** Messages ride the simulator as-is; a lost message is lost. *)
+  | Reliable
+      (** Per-(src,dst) sequence numbers, acks, exponential-backoff
+          retransmission and receiver-side in-order dedup: effectively
+          exactly-once, in-order delivery over a lossy network. *)
+
 val create :
-  ?response_delay_ms:float -> ?cpu_ms_per_kb:float -> Axml_net.Topology.t -> t
+  ?response_delay_ms:float ->
+  ?cpu_ms_per_kb:float ->
+  ?transport:transport ->
+  ?rto_ms:float ->
+  ?max_retries:int ->
+  Axml_net.Topology.t ->
+  t
 (** One peer is created per topology member.  [response_delay_ms]
     spaces the successive responses of a continuous service (default
     1.0); [cpu_ms_per_kb] prices local query evaluation (default
-    0.01). *)
+    0.01).  [transport] defaults to [Raw] (the fault-free simulator
+    needs no protocol; the knob exists for ablation); under
+    [Reliable], [rto_ms] is the initial retransmission timeout
+    (default 40.0, doubling per retry up to 32x) and [max_retries]
+    bounds retransmissions per message (default 30) so a permanently
+    unreachable destination cannot keep the run alive forever. *)
+
+val transport : t -> transport
 
 val sim : t -> Message.t Axml_net.Sim.t
 val peer : t -> Peer_id.t -> Peer.t
@@ -65,7 +85,9 @@ val set_cont :
 val send : t -> src:Peer_id.t -> dst:Peer_id.t -> Message.payload -> unit
 (** Wrap the payload in a {!Message.t} envelope carrying the ambient
     correlation id ({!Axml_obs.Trace.current_corr}) and enqueue it on
-    the simulator.  Per-peer send metrics are recorded when
+    the simulator.  Under the [Reliable] transport the message is
+    also sequenced, tracked and retransmitted until acked (loopbacks
+    and acks stay raw).  Per-peer send metrics are recorded when
     {!Axml_obs.Metrics.default} is enabled. *)
 
 val route :
@@ -96,6 +118,46 @@ val activate_call :
 val activate_all : t -> ?peer:Peer_id.t -> unit -> int
 (** Activate every call in every (or one peer's) stored document;
     returns the number of calls activated. *)
+
+(** {1 Running and observing} *)
+
+(** {1 Faults and failover} *)
+
+val inject_faults : t -> Axml_net.Fault.plan -> unit
+(** See {!Axml_net.Sim.inject}. *)
+
+val crash : t -> Peer_id.t -> unit
+(** Crash a peer now: its volatile state — store, registry, catalog,
+    watchers, in-flight transport buffers — is discarded and a fresh
+    empty {!Peer.t} (with the {e durable} id generator carried over)
+    takes its place; messages addressed to it are dropped until
+    {!restart}.  The failover [save] hook (see {!set_failover}) runs
+    first, modeling continuously persisted durable state. *)
+
+val restart : t -> Peer_id.t -> unit
+(** Bring a crashed peer back; the failover [load] hook reloads its
+    checkpoint (without one the peer restarts empty). *)
+
+val set_failover :
+  t -> save:(Peer_id.t -> unit) -> load:(Peer_id.t -> unit) -> unit
+(** Install the checkpoint hooks used by {!crash} / {!restart}.
+    {!Failover.enable} wires these to {!Persist} checkpoints. *)
+
+val availability : t -> from:Peer_id.t -> Peer_id.t -> bool
+(** The membership filter generic resolution uses: [true] iff the
+    peer is [from] itself or currently reachable from it
+    ({!Axml_net.Sim.reachable}). *)
+
+type reliability_counters = {
+  retransmits : int;
+  dup_suppressed : int;
+  abandoned : int;  (** sends given up after [max_retries] *)
+  acks_sent : int;
+}
+
+val reliability_counters : t -> reliability_counters
+(** Always-on transport counters (also exported as [net/*] metrics
+    when {!Axml_obs.Metrics.default} is enabled). *)
 
 (** {1 Running and observing} *)
 

@@ -32,4 +32,5 @@ let () =
       ("workload.schema-gen", Test_schema_gen.suite);
       ("workload.xmark", Test_xmark.suite);
       ("obs", Test_obs.suite);
+      ("chaos", Test_fault.suite);
     ]

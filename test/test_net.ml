@@ -172,12 +172,98 @@ let test_sim_timer () =
   Alcotest.(check (float 0.001)) "timer time" 42.0 !fired
 
 let test_sim_no_handler () =
+  (* A message to a handler-less peer is a routable fault, counted as
+     a drop — not an abort. *)
   let t = mesh [ "a"; "b" ] in
   let sim = Net.Sim.create t in
   Net.Sim.send sim ~src:(peer "a") ~dst:(peer "b") ~bytes:0 ();
-  match Net.Sim.run sim with
-  | exception Net.Sim.No_handler _ -> ()
-  | _ -> Alcotest.fail "should raise No_handler"
+  let outcome, _ = Net.Sim.run sim in
+  Alcotest.(check bool) "quiescent" true (outcome = `Quiescent);
+  let snap = Net.Stats.snapshot (Net.Sim.stats sim) in
+  Alcotest.(check int) "counted as drop" 1 snap.drops;
+  Alcotest.(check int) "still counted as sent" 1 snap.messages
+
+let test_sim_crash_drops_and_restart_delivers () =
+  let t = mesh [ "a"; "b" ] in
+  let sim = Net.Sim.create t in
+  let a = peer "a" and b = peer "b" in
+  let got = ref 0 in
+  Net.Sim.set_handler sim b (fun ~src:_ () -> incr got);
+  Net.Sim.set_handler sim a (fun ~src:_ () -> ());
+  Net.Sim.crash sim b;
+  Alcotest.(check bool) "unreachable while down" false
+    (Net.Sim.reachable sim ~src:a ~dst:b);
+  Net.Sim.send sim ~src:a ~dst:b ~bytes:8 ();
+  ignore (Net.Sim.run sim);
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "drop counted" 1
+    (Net.Stats.snapshot (Net.Sim.stats sim)).drops;
+  Net.Sim.restart sim b;
+  Alcotest.(check bool) "reachable again" true
+    (Net.Sim.reachable sim ~src:a ~dst:b);
+  Net.Sim.send sim ~src:a ~dst:b ~bytes:8 ();
+  ignore (Net.Sim.run sim);
+  Alcotest.(check int) "delivered after restart" 1 !got
+
+let test_sim_crashed_timer_discarded () =
+  let t = mesh [ "a" ] in
+  let sim = Net.Sim.create t in
+  let a = peer "a" in
+  let fired = ref false in
+  Net.Sim.after sim ~peer:a ~delay_ms:5.0 (fun () -> fired := true);
+  Net.Sim.crash sim a;
+  ignore (Net.Sim.run sim);
+  Alcotest.(check bool) "timer died with the peer" false !fired
+
+let test_fault_outage_window () =
+  let t = mesh ~latency:1.0 ~bandwidth:1000.0 [ "a"; "b" ] in
+  let sim = Net.Sim.create t in
+  let a = peer "a" and b = peer "b" in
+  let got = ref 0 in
+  Net.Sim.set_handler sim b (fun ~src:_ () -> incr got);
+  Net.Sim.set_handler sim a (fun ~src:_ () -> ());
+  Net.Sim.inject sim
+    (Net.Fault.make ~seed:1
+       ~events:
+         [
+           Net.Fault.Link_down
+             {
+               src = a;
+               dst = b;
+               window = Net.Fault.window ~from_ms:0.0 ~until_ms:10.0;
+             };
+         ]
+       ());
+  Net.Sim.send sim ~src:a ~dst:b ~bytes:0 ();
+  (* Inside the window: cut. *)
+  ignore (Net.Sim.run sim);
+  Alcotest.(check int) "cut during outage" 0 !got;
+  Net.Sim.after sim ~peer:a ~delay_ms:20.0 (fun () ->
+      Net.Sim.send sim ~src:a ~dst:b ~bytes:0 ());
+  ignore (Net.Sim.run sim);
+  Alcotest.(check int) "delivered after outage" 1 !got
+
+let test_fault_deterministic_verdicts () =
+  let peers = [ peer "a"; peer "b"; peer "c" ] in
+  let run () =
+    let plan = Net.Fault.random ~seed:77 peers in
+    let st = Net.Fault.attach plan in
+    List.init 200 (fun i ->
+        match
+          Net.Fault.on_send st
+            ~now:(float_of_int i *. 2.0)
+            ~src:(peer "a") ~dst:(peer "b")
+        with
+        | Net.Fault.Dropped -> "drop"
+        | Net.Fault.Deliver { jitters_ms } ->
+            String.concat ","
+              (List.map (Printf.sprintf "%.6f") jitters_ms))
+  in
+  Alcotest.(check bool) "same seed, same verdicts" true (run () = run ());
+  let differs =
+    Net.Fault.random ~seed:77 peers <> Net.Fault.random ~seed:78 peers
+  in
+  Alcotest.(check bool) "different seeds differ" true differs
 
 let test_sim_max_events_guard () =
   let t = mesh [ "a" ] in
@@ -268,7 +354,11 @@ let suite =
     ("sim chained sends", `Quick, test_sim_chained_sends);
     ("sim cpu busy time", `Quick, test_sim_cpu_busy_delays_sends);
     ("sim timers", `Quick, test_sim_timer);
-    ("sim missing handler", `Quick, test_sim_no_handler);
+    ("sim missing handler drops", `Quick, test_sim_no_handler);
+    ("sim crash and restart", `Quick, test_sim_crash_drops_and_restart_delivers);
+    ("sim crashed timer discarded", `Quick, test_sim_crashed_timer_discarded);
+    ("fault outage window", `Quick, test_fault_outage_window);
+    ("fault deterministic verdicts", `Quick, test_fault_deterministic_verdicts);
     ("sim runaway guard", `Quick, test_sim_max_events_guard);
     ("per-link statistics", `Quick, test_stats_per_link);
   ]
