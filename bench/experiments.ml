@@ -1780,9 +1780,264 @@ let e18 ?(smoke = false) () =
      latency and retransmitted bytes; the raw ablation loses the answer\n\
      at the same rates\n"
 
+(* --- E19: batched transport ablation ----------------------------- *)
+
+(* Coalescing ablation (DESIGN.md §13): the same chatty workloads run
+   with the per-message Reliable protocol and with batching on, and
+   the delta prices what per-message envelopes and per-message acks
+   cost.  Three traffic shapes: a continuous service streaming many
+   tiny responses (envelope-dominated), repeated two-site joins
+   (request/response traffic, where acks can ride reverse batches),
+   and a double catalog fetch (identical in-flight transfers, so
+   within-frame sharing — rule (13) at the transport layer — fires).
+   Correctness bar: every batched run must reproduce its unbatched
+   twin's answer and final Σ fingerprint. *)
+
+let e19 ?(smoke = false) () =
+  section
+    (if smoke then "E19  batched transport ablation (smoke)"
+     else "E19  batched transport ablation");
+  Printf.printf
+    "workloads: stream (chatty continuous service), join (request/response\n\
+     rounds), dup (identical concurrent transfers); each runs with the\n\
+     per-message Reliable protocol (flush 0/ack 0) and with batching on\n\n";
+  let link = Net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0 in
+  (* stream: a continuous service at p2 pushing [stream_k] one-element
+     responses, spaced 1ms apart, into a collector document at p1 — the
+     envelope-per-message worst case the flush window exists for. *)
+  let stream_k = if smoke then 15 else 40 in
+  let run_stream ~flush_ms ~ack_delay_ms =
+    let sys =
+      System.create ~transport:System.Reliable ~response_delay_ms:1.0 ~flush_ms
+        ~ack_delay_ms
+        (Net.Topology.full_mesh ~link [ p1; p2 ])
+    in
+    System.add_service sys p2
+      (Doc.Service.extern ~name:"streamer"
+         ~signature:(Schema.Signature.untyped ~arity:0)
+         (fun _ ->
+           let g = Xml.Node_id.Gen.create ~namespace:"e19-stream" in
+           List.init stream_k (fun i ->
+               Xml.Tree.element_of_string ~gen:g "s"
+                 [ Xml.Tree.text (string_of_int i) ])));
+    let inbox =
+      Xml.Tree.element_of_string
+        ~gen:(Xml.Node_id.Gen.create ~namespace:"e19-inbox")
+        "inbox" []
+    in
+    let inbox_id = Option.get (Xml.Tree.id inbox) in
+    System.add_document sys p1 ~name:"collector" inbox;
+    let plan =
+      Expr.sc
+        (Doc.Sc.make
+           ~forward:[ Names.Node_ref.make ~node:inbox_id ~peer:p1 ]
+           ~provider:(Names.At p2) ~service:"streamer" [])
+        ~at:p1
+    in
+    let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
+    (* The stream's answer lives in the collector document; compare the
+       final Σ rather than the (empty) plan results. *)
+    ( out.Runtime.Exec.results, out.Runtime.Exec.finished,
+      out.Runtime.Exec.stats, System.fingerprint sys,
+      System.reliability_counters sys )
+  in
+  let join =
+    Query.Parser.parse_exn
+      {|query(2) for $x in $0//item, $y in $1//item where attr($x, "category") = "wanted" and attr($y, "category") = "wanted" return <pair>{attr($x, "id")}{attr($y, "id")}</pair>|}
+  in
+  let items = if smoke then 15 else 30 in
+  let catalog_at sys ~seed p =
+    let rng = Workload.Rng.create ~seed in
+    System.add_document sys p ~name:"cat"
+      (Workload.Xml_gen.catalog ~gen:(System.gen_of sys p) ~rng ~items
+         ~selectivity:0.2 ())
+  in
+  (* join: repeated two-site joins at p1 over catalogs at p2/p3 — the
+     request/response shape where delayed acks piggyback. *)
+  let join_rounds = if smoke then 2 else 3 in
+  let run_join ~flush_ms ~ack_delay_ms =
+    let sys =
+      System.create ~transport:System.Reliable ~rto_ms:150.0 ~flush_ms
+        ~ack_delay_ms
+        (Net.Topology.full_mesh ~link [ p1; p2; p3 ])
+    in
+    List.iteri (fun i p -> catalog_at sys ~seed:(190 + i) p) [ p2; p3 ];
+    let plan =
+      Expr.query_at join ~at:p1
+        ~args:[ Expr.doc "cat" ~at:"p2"; Expr.doc "cat" ~at:"p3" ]
+    in
+    let outs =
+      List.init join_rounds (fun i ->
+          Runtime.Exec.run_to_quiescence ~reset_stats:(i = 0) sys ~ctx:p1 plan)
+    in
+    let last = List.nth outs (join_rounds - 1) in
+    ( (List.hd outs).Runtime.Exec.results,
+      List.for_all (fun (o : Runtime.Exec.outcome) -> o.finished) outs,
+      last.Runtime.Exec.stats, System.fingerprint sys,
+      System.reliability_counters sys )
+  in
+  (* dup: both join inputs fetch the same catalog from p2, so two
+     identical transfers are in flight in the same flush window. *)
+  let run_dup ~flush_ms ~ack_delay_ms =
+    let sys =
+      System.create ~transport:System.Reliable ~rto_ms:150.0 ~flush_ms
+        ~ack_delay_ms
+        (Net.Topology.full_mesh ~link [ p1; p2 ])
+    in
+    catalog_at sys ~seed:191 p2;
+    let fetch = Expr.send_to_peer p1 (Expr.doc "cat" ~at:"p2") in
+    let plan = Expr.query_at join ~at:p1 ~args:[ fetch; fetch ] in
+    let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
+    ( out.Runtime.Exec.results, out.Runtime.Exec.finished,
+      out.Runtime.Exec.stats, System.fingerprint sys,
+      System.reliability_counters sys )
+  in
+  let configs = [ (0.5, 2.0); (2.0, 8.0); (5.0, 20.0) ] in
+  let headline_flush, headline_ack = (2.0, 8.0) in
+  let per_workload =
+    List.map
+      (fun (name, run) ->
+        let res0, fin0, st0, fp0, rc0 = run ~flush_ms:0.0 ~ack_delay_ms:0.0 in
+        if not fin0 then Printf.printf "  !! E19 %s baseline did not finish\n" name;
+        let runs =
+          List.map
+            (fun (flush_ms, ack_delay_ms) ->
+              let res, fin, st, fp, rc = run ~flush_ms ~ack_delay_ms in
+              let correct =
+                fin && fin0
+                && Xml.Canonical.equal_forest res0 res
+                && String.equal fp0 fp
+              in
+              (flush_ms, ack_delay_ms, st, rc, correct))
+            configs
+        in
+        (name, st0, rc0, runs))
+      [ ("stream", run_stream); ("join", run_join); ("dup", run_dup) ]
+  in
+  let reduction base v =
+    1.0 -. (float_of_int v /. float_of_int (max 1 base))
+  in
+  let pct x = Printf.sprintf "%.0f%%" (x *. 100.0) in
+  table
+    ~headers:
+      [ "workload"; "flush/ack ms"; "frames"; "logical"; "bytes"; "acks";
+        "pb+del"; "dedup B"; "msg red"; "byte red"; "ok" ]
+    (List.concat_map
+       (fun (name, (st0 : Net.Stats.snapshot), rc0, runs) ->
+         let base_row =
+           [
+             name; "off"; string_of_int st0.messages;
+             string_of_int st0.payload_messages; string_of_int st0.bytes;
+             string_of_int rc0.System.acks_sent; "-"; "-"; "-"; "-"; "yes";
+           ]
+         in
+         base_row
+         :: List.map
+              (fun (f, a, (st : Net.Stats.snapshot), rc, correct) ->
+                [
+                  name; Printf.sprintf "%g/%g" f a; string_of_int st.messages;
+                  string_of_int st.payload_messages; string_of_int st.bytes;
+                  string_of_int rc.System.acks_sent;
+                  string_of_int
+                    (rc.System.piggybacked_acks + rc.System.delayed_acks);
+                  string_of_int rc.System.dedup_shared_bytes;
+                  pct (reduction st0.messages st.messages);
+                  pct (reduction st0.bytes st.bytes);
+                  (if correct then "yes" else "NO");
+                ])
+              runs)
+       per_workload);
+  let all_correct =
+    List.for_all
+      (fun (_, _, _, runs) ->
+        List.for_all (fun (_, _, _, _, ok) -> ok) runs)
+      per_workload
+  in
+  if not all_correct then
+    Printf.printf "  !! E19 a batched run diverged from its unbatched twin\n";
+  (* Headline: aggregate frame/byte reduction across the three
+     workloads at the default-recommended knobs. *)
+  let sum f =
+    List.fold_left
+      (fun (base, on_) (_, (st0 : Net.Stats.snapshot), _, runs) ->
+        let _, _, (st : Net.Stats.snapshot), _, _ =
+          List.find (fun (fl, a, _, _, _) -> fl = headline_flush && a = headline_ack) runs
+        in
+        (base + f st0, on_ + f st))
+      (0, 0) per_workload
+  in
+  let base_msgs, on_msgs = sum (fun st -> st.Net.Stats.messages) in
+  let base_bytes, on_bytes = sum (fun st -> st.Net.Stats.bytes) in
+  let msg_red = reduction base_msgs on_msgs in
+  let byte_red = reduction base_bytes on_bytes in
+  Printf.printf
+    "\nheadline (flush %g / ack delay %g): %d -> %d frames (%s), %d -> %d \
+     bytes (%s)\n"
+    headline_flush headline_ack base_msgs on_msgs (pct msg_red) base_bytes
+    on_bytes (pct byte_red);
+  if msg_red < 0.30 then
+    Printf.printf "  !! E19 headline message reduction below the 30%% bar\n";
+  write_json "BENCH_E19.json"
+    (json_obj
+       [
+         ("experiment", json_s "E19"); ("smoke", json_b smoke);
+         ("headline_flush_ms", json_f headline_flush);
+         ("headline_ack_delay_ms", json_f headline_ack);
+         ("headline_message_reduction", json_f msg_red);
+         ("headline_byte_reduction", json_f byte_red);
+         ("meets_30pct_message_reduction", json_b (msg_red >= 0.30));
+         ("all_correct", json_b all_correct);
+         ( "rows",
+           json_arr
+             (List.concat_map
+                (fun (name, (st0 : Net.Stats.snapshot), rc0, runs) ->
+                  let row ~flush ~ack (st : Net.Stats.snapshot)
+                      (rc : System.reliability_counters) ~msg_red ~byte_red
+                      ~correct =
+                    json_obj
+                      [
+                        ("workload", json_s name); ("flush_ms", json_f flush);
+                        ("ack_delay_ms", json_f ack);
+                        ("messages", string_of_int st.messages);
+                        ("payload_messages", string_of_int st.payload_messages);
+                        ("bytes", string_of_int st.bytes);
+                        ("acks_sent", string_of_int rc.System.acks_sent);
+                        ("batches_sent", string_of_int rc.System.batches_sent);
+                        ("batched_messages",
+                         string_of_int rc.System.batched_messages);
+                        ("piggybacked_acks",
+                         string_of_int rc.System.piggybacked_acks);
+                        ("delayed_acks", string_of_int rc.System.delayed_acks);
+                        ("dedup_shared_bytes",
+                         string_of_int rc.System.dedup_shared_bytes);
+                        ("message_reduction", json_f msg_red);
+                        ("byte_reduction", json_f byte_red);
+                        ("correct", json_b correct);
+                      ]
+                  in
+                  row ~flush:0.0 ~ack:0.0 st0 rc0 ~msg_red:0.0 ~byte_red:0.0
+                    ~correct:true
+                  :: List.map
+                       (fun (f, a, st, rc, correct) ->
+                         row ~flush:f ~ack:a st rc
+                           ~msg_red:(reduction st0.messages st.Net.Stats.messages)
+                           ~byte_red:(reduction st0.bytes st.Net.Stats.bytes)
+                           ~correct)
+                       runs)
+                per_workload) );
+       ]);
+  Printf.printf
+    "\nwrote BENCH_E19.json\n\
+     shape: the chatty stream collapses into a handful of frames — the\n\
+     flush window removes envelopes and the ack delay removes standalone\n\
+     acks (piggybacked on reverse batches where traffic flows both ways);\n\
+     the dup workload additionally ships its second identical transfer\n\
+     as a back-reference\n"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
     (fun () -> e17 ());
     (fun () -> e18 ());
+    (fun () -> e19 ());
   ]

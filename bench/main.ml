@@ -12,10 +12,11 @@
    Micro-benchmarks only: dune exec bench/main.exe -- --micro
    E17 only:              dune exec bench/main.exe -- --e17 [--smoke]
    E18 only:              dune exec bench/main.exe -- --e18 [--smoke]
+   E19 only:              dune exec bench/main.exe -- --e19 [--smoke]
 
-   E17 additionally writes BENCH_E17.json and BENCH_summary.json, and
-   E18 writes BENCH_E18.json, to the current directory; --smoke
-   shrinks them to CI size. *)
+   E17 additionally writes BENCH_E17.json and BENCH_summary.json, E18
+   writes BENCH_E18.json, and E19 writes BENCH_E19.json, to the
+   current directory; --smoke shrinks them to CI size. *)
 
 open Axml
 open Bench_util
@@ -277,9 +278,11 @@ let () =
   let micro_only = List.mem "--micro" args in
   let e17_only = List.mem "--e17" args in
   let e18_only = List.mem "--e18" args in
+  let e19_only = List.mem "--e19" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
   else if e18_only then Experiments.e18 ~smoke ()
+  else if e19_only then Experiments.e19 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

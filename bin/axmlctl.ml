@@ -366,7 +366,23 @@ let trace_cmd =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:"Also write the metrics registry as a JSON array")
   in
-  let run items selectivity out format metrics_out =
+  let flush_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "flush-ms" ] ~docv:"MS"
+          ~doc:
+            "Batch flush window; a positive value switches on the batched \
+             Reliable transport")
+  in
+  let ack_delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "ack-delay" ] ~docv:"MS"
+          ~doc:
+            "Standalone-ack deferral; a positive value switches on the \
+             batched Reliable transport")
+  in
+  let run items selectivity out format metrics_out flush_ms ack_delay =
     (* Example-1 (pushing selections), instrumented: the naive plan and
        the planner's plan run back to back under tracing + metrics, and
        every span of one run carries that run's correlation id. *)
@@ -381,7 +397,14 @@ let trace_cmd =
         [ p1; p2 ]
     in
     let build () =
-      let sys = Runtime.System.create topo in
+      (* The batching knobs imply the Reliable transport: batch frames
+         and delayed acks only exist in the sequenced protocol. *)
+      let sys =
+        if flush_ms > 0.0 || ack_delay > 0.0 then
+          Runtime.System.create ~transport:Runtime.System.Reliable ~flush_ms
+            ~ack_delay_ms:ack_delay topo
+        else Runtime.System.create topo
+      in
       let rng = Workload.Rng.create ~seed:2026 in
       let g = Runtime.System.gen_of sys p2 in
       Runtime.System.add_document sys p2 ~name:"cat"
@@ -452,7 +475,9 @@ let trace_cmd =
        ~doc:
          "Run the traced Example-1 scenario (naive and planner-optimized) \
           and export the causal trace plus per-peer metrics")
-    Term.(const run $ items $ selectivity $ out $ format $ metrics_out)
+    Term.(
+      const run $ items $ selectivity $ out $ format $ metrics_out $ flush_ms
+      $ ack_delay)
 
 (* --- chaos ------------------------------------------------------- *)
 
@@ -471,7 +496,25 @@ let chaos_cmd =
             "Use the Raw transport under the same faults (ablation; \
              divergence is expected and does not fail the command)")
   in
-  let run seed drop raw =
+  let flush_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "flush-ms" ] ~docv:"MS"
+          ~doc:
+            "Batch flush window for the system under test; a positive value \
+             switches the Reliable transport into batched mode (ignored \
+             with $(b,--raw))")
+  in
+  let ack_delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "ack-delay" ] ~docv:"MS"
+          ~doc:
+            "Standalone-ack deferral for the system under test; a positive \
+             value switches the Reliable transport into batched mode \
+             (ignored with $(b,--raw))")
+  in
+  let run seed drop raw flush_ms ack_delay =
     (* Three-peer reference Σ (the V-series shape): catalog at p2,
        orders at p3, a declarative service at p2, a collector inbox at
        p3 for the forwarded stream. *)
@@ -489,8 +532,13 @@ let chaos_cmd =
     let orders_xml =
       {|<orders><order item="alpha"/><order item="gamma"/><order item="zeta"/></orders>|}
     in
-    let build transport =
-      let sys = Runtime.System.create ~transport topo in
+    (* The reference runs stay on the unbatched per-message protocol:
+       the check is that a batched faulty run still reproduces the
+       plain fault-free answer, not a batched twin of itself. *)
+    let build ?(flush_ms = 0.0) ?(ack_delay_ms = 0.0) transport =
+      let sys =
+        Runtime.System.create ~transport ~flush_ms ~ack_delay_ms topo
+      in
       Runtime.System.load_document sys p2 ~name:"cat" ~xml:catalog_xml;
       Runtime.System.load_document sys p3 ~name:"orders" ~xml:orders_xml;
       Runtime.System.add_service sys p2
@@ -532,8 +580,14 @@ let chaos_cmd =
         ~quiet_after_ms:600.0 ~seed ()
     in
     let transport = if raw then Runtime.System.Raw else Runtime.System.Reliable in
-    Format.printf "fault plan: seed=%d drop=%.2f duplicate=%.2f transport=%s@.@."
-      seed drop (drop /. 4.0) (if raw then "raw" else "reliable");
+    Format.printf
+      "fault plan: seed=%d drop=%.2f duplicate=%.2f transport=%s%s@.@." seed
+      drop (drop /. 4.0)
+      (if raw then "raw" else "reliable")
+      (if (not raw) && (flush_ms > 0.0 || ack_delay > 0.0) then
+         Printf.sprintf " (batched: flush %g ms, ack delay %g ms)" flush_ms
+           ack_delay
+       else "");
     let divergent = ref 0 in
     Format.printf "  %-16s %-8s %6s %6s %6s %6s %9s %9s@." "plan" "answer"
       "drops" "retx" "dups" "aband" "ref ms" "fault ms";
@@ -542,7 +596,7 @@ let chaos_cmd =
         let ref_sys, _ = build Runtime.System.Reliable in
         let ref_out = Runtime.Exec.run_to_quiescence ref_sys ~ctx:p1 plan in
         let ref_fp = Runtime.System.fingerprint ref_sys in
-        let sys, _ = build transport in
+        let sys, _ = build ~flush_ms ~ack_delay_ms:ack_delay transport in
         Runtime.System.inject_faults sys fault;
         let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
         let rc = Runtime.System.reliability_counters sys in
@@ -576,7 +630,7 @@ let chaos_cmd =
        ~doc:
          "Run the reference plans under a seeded fault plan and check the \
           reliable transport reproduces the fault-free answers")
-    Term.(const run $ seed $ drop $ raw)
+    Term.(const run $ seed $ drop $ raw $ flush_ms $ ack_delay)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -146,21 +146,24 @@ let inject t plan =
    fault-injected duplicates; bytes count remote messages only,
    loopbacks are tallied separately — so the metrics table and
    Stats.snapshot agree to the byte. *)
-let count_send_metrics ~src ~dst ~bytes =
+let count_send_metrics ~src ~dst ~bytes ~msgs =
   if Metrics.is_on Metrics.default then begin
     let peer = Peer_id.to_string src in
     if Peer_id.equal src dst then
       Metrics.incr Metrics.default ~peer ~subsystem:"net" "local_messages"
     else begin
       Metrics.incr Metrics.default ~peer ~subsystem:"net" "messages_sent";
+      Metrics.incr Metrics.default ~peer ~by:msgs ~subsystem:"net"
+        "payload_messages";
       Metrics.incr Metrics.default ~peer ~by:bytes ~subsystem:"net" "bytes_sent"
     end
   end
 
-let transmit ?note t ~link ~departure ~jitter_ms ~src ~dst ~bytes payload =
+let transmit ?note ?(msgs = 1) t ~link ~departure ~jitter_ms ~src ~dst ~bytes
+    payload =
   let arrival = departure +. Link.transfer_ms link ~bytes +. jitter_ms in
-  Stats.record_send ~at_ms:departure ?note t.stats ~src ~dst ~bytes;
-  count_send_metrics ~src ~dst ~bytes;
+  Stats.record_send ~at_ms:departure ?note ~msgs t.stats ~src ~dst ~bytes;
+  count_send_metrics ~src ~dst ~bytes ~msgs;
   (* The whole instrumentation block sits behind one boolean load so
      that the disabled hot path allocates nothing (checked in the E16
      bench). *)
@@ -179,23 +182,25 @@ let transmit ?note t ~link ~departure ~jitter_ms ~src ~dst ~bytes payload =
   end;
   Pqueue.push t.queue ~time:arrival (Deliver { src; dst; payload })
 
-let send ?note t ~src ~dst ~bytes payload =
+let send ?note ?msgs t ~src ~dst ~bytes payload =
   let link = Topology.link t.topology ~src ~dst in
   let departure = max t.now (busy_until t src) in
   match t.fault with
   | None ->
-      transmit ?note t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes payload
+      transmit ?note ?msgs t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes
+        payload
   | Some _ when Peer_id.equal src dst ->
       (* Loopback never traverses the network; faults don't apply. *)
-      transmit ?note t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes payload
+      transmit ?note ?msgs t ~link ~departure ~jitter_ms:0.0 ~src ~dst ~bytes
+        payload
   | Some f -> (
       match Fault.on_send f ~now:departure ~src ~dst with
       | Fault.Dropped -> record_drop t ~peer:src ~reason:"link"
       | Fault.Deliver { jitters_ms } ->
           List.iter
             (fun jitter_ms ->
-              transmit ?note t ~link ~departure ~jitter_ms ~src ~dst ~bytes
-                payload)
+              transmit ?note ?msgs t ~link ~departure ~jitter_ms ~src ~dst
+                ~bytes payload)
             jitters_ms)
 
 let after_cancellable t ~peer ~delay_ms callback =

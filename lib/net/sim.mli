@@ -34,12 +34,22 @@ val set_handler : 'a t -> Peer_id.t -> (src:Peer_id.t -> 'a -> unit) -> unit
     drops (see {!Stats.snapshot}[.drops]), not raised. *)
 
 val send :
-  ?note:string -> 'a t -> src:Peer_id.t -> dst:Peer_id.t -> bytes:int -> 'a -> unit
+  ?note:string ->
+  ?msgs:int ->
+  'a t ->
+  src:Peer_id.t ->
+  dst:Peer_id.t ->
+  bytes:int ->
+  'a ->
+  unit
 (** Enqueue a message.  It departs no earlier than the sender's busy
     horizon and arrives after the link's transfer time (plus any
     fault-injected jitter; an injected fault plan may also drop or
     duplicate it).  [note] labels the message in the statistics trace
-    (see {!Stats.set_tracing}).
+    (see {!Stats.set_tracing}); [msgs] (default [1]) is the number of
+    logical messages the frame carries — a batching transport passes
+    the item count so {!Stats.snapshot}[.payload_messages] stays a
+    physical-independent measure of traffic.
     @raise Not_found if either peer is outside the topology. *)
 
 val after : 'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit

@@ -1,5 +1,6 @@
 type snapshot = {
   messages : int;
+  payload_messages : int;
   bytes : int;
   local_messages : int;
   drops : int;
@@ -17,6 +18,7 @@ type trace_entry = {
 
 type t = {
   mutable messages : int;
+  mutable payload_messages : int;
   mutable bytes : int;
   mutable local_messages : int;
   mutable drops : int;
@@ -30,6 +32,7 @@ type t = {
 let create () =
   {
     messages = 0;
+    payload_messages = 0;
     bytes = 0;
     local_messages = 0;
     drops = 0;
@@ -40,7 +43,7 @@ let create () =
     trace_rev = [];
   }
 
-let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
+let record_send ?(at_ms = 0.0) ?(note = "") ?(msgs = 1) t ~src ~dst ~bytes =
   if Peer_id.equal src dst then begin
     t.local_messages <- t.local_messages + 1;
     (* Loopback deliveries are free on the wire but causally real:
@@ -53,6 +56,7 @@ let record_send ?(at_ms = 0.0) ?(note = "") t ~src ~dst ~bytes =
   end
   else begin
     t.messages <- t.messages + 1;
+    t.payload_messages <- t.payload_messages + msgs;
     t.bytes <- t.bytes + bytes;
     let m, b =
       Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_link (src, dst))
@@ -76,6 +80,7 @@ let record_time t time = if time > t.completion_ms then t.completion_ms <- time
 let snapshot t : snapshot =
   {
     messages = t.messages;
+    payload_messages = t.payload_messages;
     bytes = t.bytes;
     local_messages = t.local_messages;
     drops = t.drops;
@@ -87,6 +92,7 @@ let snapshot t : snapshot =
 
 let reset t =
   t.messages <- 0;
+  t.payload_messages <- 0;
   t.bytes <- 0;
   t.local_messages <- 0;
   t.drops <- 0;
@@ -102,6 +108,8 @@ let pp_snapshot fmt (s : snapshot) =
   Format.fprintf fmt
     "@[<v>messages: %d (+%d local)@ bytes: %d@ drops: %d@ completion: %.2f ms@ "
     s.messages s.local_messages s.bytes s.drops s.completion_ms;
+  if s.payload_messages <> s.messages then
+    Format.fprintf fmt "payload messages: %d@ " s.payload_messages;
   List.iter
     (fun ((src, dst), (m, b)) ->
       Format.fprintf fmt "%a -> %a: %d msg, %d B@ " Peer_id.pp src Peer_id.pp

@@ -7,7 +7,12 @@
 type t
 
 type snapshot = {
-  messages : int;
+  messages : int;  (** Physical frames on the wire. *)
+  payload_messages : int;
+      (** Logical messages carried: a batched frame (see
+          {!Axml_peer.Message.Batch}) counts once in [messages] but
+          its item count here.  Equal to [messages] when no transport
+          batches. *)
   bytes : int;
   local_messages : int;  (** Loopback deliveries, not counted in [bytes]. *)
   drops : int;
@@ -33,11 +38,14 @@ val create : unit -> t
 val record_send :
   ?at_ms:float ->
   ?note:string ->
+  ?msgs:int ->
   t ->
   src:Peer_id.t ->
   dst:Peer_id.t ->
   bytes:int ->
   unit
+(** [msgs] (default [1]) is the number of logical messages the frame
+    carries; it only feeds [payload_messages]. *)
 
 val record_drop : t -> unit
 val record_time : t -> float -> unit

@@ -36,8 +36,13 @@ type payload =
     }
   | Query_shipped of { key : int; query : Axml_query.Ast.t }
   | Ack of { seq : int }
+  | Batch of { items : batch_item list; ack : int }
 
-type t = { payload : payload; corr : int; seq : int }
+and batch_item =
+  | Full of t
+  | Shared of { msg : t; of_seq : int; saved : int }
+
+and t = { payload : payload; corr : int; seq : int }
 
 let make ?(corr = 0) ?(seq = 0) payload = { payload; corr; seq }
 
@@ -46,7 +51,15 @@ let envelope = 64
    this budget — it does not change the charged size, so traced and
    untraced runs ship identical byte counts. *)
 
-let bytes = function
+let item_header = 16
+(* Per-item framing inside a batch: sequence number, payload kind and
+   length prefix — much smaller than a full envelope, which is where
+   batching's fixed-cost saving comes from. *)
+
+let backref_bytes = 4
+(* A dedup back-reference: "same forest as item #n of this batch". *)
+
+let rec bytes = function
   | Stream { forest; _ } -> envelope + Forest.byte_size forest
   | Eval_request { expr; _ } -> envelope + Axml_algebra.Expr_xml.byte_size expr
   | Invoke { params; _ } ->
@@ -57,6 +70,55 @@ let bytes = function
   | Deploy { query; _ } | Query_shipped { query; _ } ->
       envelope + String.length (Axml_query.Ast.to_string query)
   | Ack _ -> envelope
+  | Batch { items; _ } ->
+      List.fold_left
+        (fun acc -> function
+          | Full m -> acc + item_header + (bytes m.payload - envelope)
+          | Shared { msg; saved; _ } ->
+              acc + item_header + (bytes msg.payload - envelope) - saved
+              + backref_bytes)
+        envelope items
+
+(* The forest a payload materializes at the destination — the only
+   part of a message bulky enough to be worth sharing inside a batch
+   (rule (13), transfer sharing, applied at the transport layer). *)
+let shareable_forest = function
+  | Stream { forest; _ } | Insert { forest; _ } | Install_doc { forest; _ } ->
+      if forest = [] then None else Some forest
+  | Eval_request _ | Invoke _ | Deploy _ | Query_shipped _ | Ack _ | Batch _ ->
+      None
+
+let batch ~ack msgs =
+  let seen = Hashtbl.create 8 in
+  let items =
+    List.map
+      (fun (m : t) ->
+        match shareable_forest m.payload with
+        | None -> Full m
+        | Some forest -> (
+            let key = Axml_xml.Serializer.forest_to_string forest in
+            match Hashtbl.find_opt seen key with
+            | Some of_seq ->
+                Shared { msg = m; of_seq; saved = Forest.byte_size forest }
+            | None ->
+                Hashtbl.add seen key m.seq;
+                Full m))
+      msgs
+  in
+  Batch { items; ack }
+
+let item_message = function Full m -> m | Shared { msg; _ } -> msg
+
+let batch_saved = function
+  | Batch { items; _ } ->
+      List.fold_left
+        (fun acc -> function Full _ -> acc | Shared { saved; _ } -> acc + saved)
+        0 items
+  | _ -> 0
+
+let batch_size = function
+  | Batch { items; _ } -> List.length items
+  | _ -> 1
 
 let reply_peer = function
   | Cont { peer; _ } -> peer
@@ -72,8 +134,9 @@ let tag = function
   | Deploy _ -> "deploy"
   | Query_shipped _ -> "query-shipped"
   | Ack _ -> "ack"
+  | Batch _ -> "batch"
 
-let pp fmt = function
+let rec pp fmt = function
   | Stream { key; forest; final } ->
       Format.fprintf fmt "stream[%d] %dB%s" key (Forest.byte_size forest)
         (if final then " (final)" else "")
@@ -90,3 +153,17 @@ let pp fmt = function
   | Deploy { prefix; _ } -> Format.fprintf fmt "deploy %s_*" prefix
   | Query_shipped { key; _ } -> Format.fprintf fmt "query-shipped[%d]" key
   | Ack { seq } -> Format.fprintf fmt "ack[%d]" seq
+  | Batch { items; ack } as b ->
+      Format.fprintf fmt "batch(%d item%s, ack %d, %dB" (List.length items)
+        (if List.length items = 1 then "" else "s")
+        ack (bytes b);
+      (match batch_saved b with
+      | 0 -> ()
+      | saved -> Format.fprintf fmt ", %dB shared" saved);
+      Format.fprintf fmt "): ";
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+        (fun fmt item ->
+          let m = item_message item in
+          Format.fprintf fmt "#%d %a" m.seq pp m.payload)
+        fmt items

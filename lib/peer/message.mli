@@ -64,9 +64,29 @@ type payload =
           continuation captures what to do with it. *)
   | Ack of { seq : int }
       (** Reliable-transport acknowledgement of the sender's sequence
-          number (see {!System}); acks themselves are unsequenced. *)
+          number (see {!System}); acks themselves are unsequenced.
+          Under batching, acknowledgements are {e cumulative}: [seq]
+          acknowledges every sequence number up to and including it. *)
+  | Batch of { items : batch_item list; ack : int }
+      (** A coalesced frame of sequenced messages for one (src, dst)
+          pair, in ascending sequence order, plus the sender's {e
+          cumulative} acknowledgement of the reverse direction
+          ([0] = nothing to acknowledge).  Built by {!batch}, which
+          also applies within-frame transfer sharing (rule (13) at the
+          transport layer): an item whose serialized forest already
+          appears earlier in the same frame is carried as a
+          back-reference and charged {!backref_bytes} instead of the
+          forest's size. *)
 
-type t = { payload : payload; corr : int; seq : int }
+and batch_item =
+  | Full of t
+  | Shared of { msg : t; of_seq : int; saved : int }
+      (** [msg]'s forest is byte-identical to the one item [of_seq]
+          carries; only a back-reference crosses the wire, saving
+          [saved] bytes.  The full payload is retained so delivery
+          needs no reassembly step. *)
+
+and t = { payload : payload; corr : int; seq : int }
 (** The wire envelope: a payload plus the correlation id of the
     logical computation that caused the send ([0] = uncorrelated).
     Minted by {!Axml_obs.Trace.fresh_corr} at the computation's entry
@@ -83,7 +103,35 @@ val make : ?corr:int -> ?seq:int -> payload -> t
 
 val bytes : payload -> int
 (** Serialized size estimate charged to the link (the correlation id
-    rides inside the fixed envelope budget). *)
+    rides inside the fixed envelope budget).  A [Batch] charges one
+    envelope for the frame plus a small per-item header — coalescing
+    n messages saves [(n-1) * (envelope - item_header)] bytes of fixed
+    cost before any dedup sharing. *)
+
+val envelope : int
+(** Fixed per-message framing cost in bytes. *)
+
+val item_header : int
+(** Per-item framing cost inside a [Batch] frame. *)
+
+val backref_bytes : int
+(** Wire cost of a dedup back-reference inside a [Batch]. *)
+
+val batch : ack:int -> t list -> payload
+(** Build a [Batch] frame from sequenced messages (given in send
+    order) with the cumulative reverse-direction acknowledgement
+    [ack].  Items whose serialized forest duplicates an earlier item
+    of the same frame become [Shared] back-references. *)
+
+val item_message : batch_item -> t
+(** The enclosed message (back-references carry their full payload). *)
+
+val batch_saved : payload -> int
+(** Total bytes saved by dedup back-references ([0] for non-batches). *)
+
+val batch_size : payload -> int
+(** Number of logical messages a payload carries: the item count of a
+    [Batch], [1] otherwise. *)
 
 val reply_peer : reply_dest -> Peer_id.t
 

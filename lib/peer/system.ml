@@ -37,15 +37,36 @@ type pending_send = {
          stretch the run's completion time. *)
 }
 
+(* Per-direction batching state, keyed (a, b).  The record bundles two
+   independent roles of peer [a] in its conversation with [b]: as the
+   {e sender} of a→b traffic ([queue], [unacked], the retry timer) and
+   as the {e receiver} of b→a traffic (the delayed standalone ack).
+   Both roles are volatile — a crash of [a] wipes the record. *)
+type dir = {
+  mutable queue : Message.t list;  (* awaiting flush, newest first *)
+  mutable flush_pending : bool;
+  mutable unacked : Message.t list;  (* sent, ascending seq *)
+  mutable attempt : int;
+  mutable cancel_retry : unit -> unit;
+  mutable ack_due : bool;  (* a standalone ack timer is armed *)
+  mutable cancel_ack : unit -> unit;
+}
+
 type rel = {
   next_seq : (Peer_id.t * Peer_id.t, int) Hashtbl.t;
   pending : (Peer_id.t * Peer_id.t * int, pending_send) Hashtbl.t;
   next_expected : (Peer_id.t * Peer_id.t, int) Hashtbl.t;  (* (dst, src) *)
   buffer : (Peer_id.t * Peer_id.t * int, Message.t) Hashtbl.t;  (* (dst, src, seq) *)
+  dirs : (Peer_id.t * Peer_id.t, dir) Hashtbl.t;  (* batching only *)
   mutable retransmits : int;
   mutable dup_suppressed : int;
   mutable abandoned : int;
   mutable acks_sent : int;
+  mutable batches_sent : int;
+  mutable batched_messages : int;
+  mutable piggybacked_acks : int;
+  mutable delayed_acks : int;
+  mutable dedup_shared_bytes : int;
 }
 
 type t = {
@@ -58,6 +79,8 @@ type t = {
   transport : transport;
   rto_ms : float;
   max_retries : int;
+  flush_ms : float;
+  ack_delay_ms : float;
   rel : rel;
   mutable failover_save : Peer_id.t -> unit;
   mutable failover_load : Peer_id.t -> unit;
@@ -76,12 +99,19 @@ let sim t = t.sim
 let response_delay_ms t = t.response_delay_ms
 let cpu_ms_per_kb t = t.cpu_ms_per_kb
 let transport t = t.transport
+let flush_ms t = t.flush_ms
+let ack_delay_ms t = t.ack_delay_ms
 
 type reliability_counters = {
   retransmits : int;
   dup_suppressed : int;
   abandoned : int;
   acks_sent : int;
+  batches_sent : int;
+  batched_messages : int;
+  piggybacked_acks : int;
+  delayed_acks : int;
+  dedup_shared_bytes : int;
 }
 
 let reliability_counters t =
@@ -90,6 +120,11 @@ let reliability_counters t =
     dup_suppressed = t.rel.dup_suppressed;
     abandoned = t.rel.abandoned;
     acks_sent = t.rel.acks_sent;
+    batches_sent = t.rel.batches_sent;
+    batched_messages = t.rel.batched_messages;
+    piggybacked_acks = t.rel.piggybacked_acks;
+    delayed_acks = t.rel.delayed_acks;
+    dedup_shared_bytes = t.rel.dedup_shared_bytes;
   }
 
 let peer t p =
@@ -123,6 +158,7 @@ let note_of t payload =
 let raw_send t ~src ~dst (msg : Message.t) =
   Sim.send
     ?note:(note_of t msg.Message.payload)
+    ~msgs:(Message.batch_size msg.Message.payload)
     t.sim ~src ~dst
     ~bytes:(Message.bytes msg.Message.payload)
     msg
@@ -168,6 +204,142 @@ and retry t ~src ~dst (msg : Message.t) =
           ~subsystem:"net" "retransmits";
       transmit t ~src ~dst msg
 
+(* --- batched reliable transport (sender side) -------------------- *)
+
+(* Batching is an opt-in layer over the Reliable transport: with a
+   positive [flush_ms] (a Nagle-style coalescing window) and/or
+   [ack_delay_ms] (delayed standalone acks), sequenced messages to the
+   same destination ride one [Message.Batch] frame carrying a
+   piggybacked cumulative ack of the reverse direction.  With both
+   knobs at 0 — the default — the per-message path above runs
+   unchanged, byte for byte. *)
+let batched t =
+  t.transport = Reliable && (t.flush_ms > 0.0 || t.ack_delay_ms > 0.0)
+
+let dir_of t key =
+  match Hashtbl.find_opt t.rel.dirs key with
+  | Some d -> d
+  | None ->
+      let d =
+        {
+          queue = [];
+          flush_pending = false;
+          unacked = [];
+          attempt = 0;
+          cancel_retry = ignore;
+          ack_due = false;
+          cancel_ack = ignore;
+        }
+      in
+      Hashtbl.replace t.rel.dirs key d;
+      d
+
+(* Highest sequence number peer [at] has delivered from [from] — what
+   a cumulative ack acknowledges ([0] = nothing yet). *)
+let cum_ack t ~at ~from =
+  Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (at, from)) - 1
+
+(* Ship one frame.  A regular flush carries only the window's fresh
+   messages; a retransmission timeout re-ships the whole unacked
+   window (go-back-N on loss only — re-shipping on every flush would
+   go quadratic when the flush window is shorter than the RTT).  One
+   retry timer per direction guards the window, replacing the
+   per-message timers of the unbatched path. *)
+let rec send_batch t ~src ~dst (d : dir) msgs =
+  if d.ack_due then begin
+    (* The pending standalone ack is subsumed by this frame's
+       piggybacked cumulative ack. *)
+    d.cancel_ack ();
+    d.ack_due <- false;
+    t.rel.piggybacked_acks <- t.rel.piggybacked_acks + 1;
+    if Metrics.is_on Metrics.default then
+      Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
+        ~subsystem:"net" "piggybacked_acks"
+  end;
+  let payload = Message.batch ~ack:(cum_ack t ~at:src ~from:dst) msgs in
+  let items = Message.batch_size payload in
+  let saved = Message.batch_saved payload in
+  t.rel.batches_sent <- t.rel.batches_sent + 1;
+  t.rel.batched_messages <- t.rel.batched_messages + items;
+  t.rel.dedup_shared_bytes <- t.rel.dedup_shared_bytes + saved;
+  if Metrics.is_on Metrics.default then begin
+    let peer = Peer_id.to_string src in
+    Metrics.incr Metrics.default ~peer ~subsystem:"net" "batches_sent";
+    Metrics.incr Metrics.default ~peer ~by:items ~subsystem:"net" "batch_items";
+    if saved > 0 then
+      Metrics.incr Metrics.default ~peer ~by:saved ~subsystem:"net"
+        "batch_shared_bytes"
+  end;
+  if Trace.enabled () then
+    Trace.instant ~cat:"net"
+      ~peer:(Peer_id.to_string src)
+      ~ts:(Sim.now t.sim)
+      ~args:
+        [
+          ("dst", Peer_id.to_string dst);
+          ("items", string_of_int items);
+          ("ack", string_of_int (cum_ack t ~at:src ~from:dst));
+          ("shared_bytes", string_of_int saved);
+        ]
+      "batch";
+  raw_send t ~src ~dst (Message.make payload);
+  d.cancel_retry ();
+  d.cancel_retry <-
+    Sim.after_cancellable t.sim ~peer:src ~delay_ms:(retry_delay t d.attempt)
+      (fun () -> retry_batch t ~src ~dst)
+
+and retry_batch t ~src ~dst =
+  match Hashtbl.find_opt t.rel.dirs (src, dst) with
+  | None -> ()
+  | Some d when d.unacked = [] -> ()
+  | Some d when d.attempt >= t.max_retries ->
+      let n = List.length d.unacked in
+      d.unacked <- [];
+      d.attempt <- 0;
+      t.rel.abandoned <- t.rel.abandoned + n;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string src) ~by:n
+          ~subsystem:"net" "abandoned";
+      Log.warn (fun m ->
+          m "peer %a: abandoning %d batched message(s) to %a after %d retries"
+            Peer_id.pp src n Peer_id.pp dst t.max_retries)
+  | Some d ->
+      d.attempt <- d.attempt + 1;
+      t.rel.retransmits <- t.rel.retransmits + 1;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
+          ~subsystem:"net" "retransmits";
+      send_batch t ~src ~dst d d.unacked
+
+let flush_dir t ~src ~dst =
+  match Hashtbl.find_opt t.rel.dirs (src, dst) with
+  | None -> ()
+  | Some d -> (
+      d.flush_pending <- false;
+      match List.rev d.queue with
+      | [] -> ()  (* stale timer, e.g. surviving a crash+restart *)
+      | fresh ->
+          d.queue <- [];
+          d.unacked <- d.unacked @ fresh;
+          send_batch t ~src ~dst d fresh)
+
+(* Everything up to [upto] is delivered at the far side.  Progress
+   resets the backoff; an emptied window parks the retry timer. *)
+let handle_cum_ack t ~at ~from upto =
+  match Hashtbl.find_opt t.rel.dirs (at, from) with
+  | None -> ()
+  | Some d ->
+      let before = List.length d.unacked in
+      d.unacked <-
+        List.filter (fun (m : Message.t) -> m.Message.seq > upto) d.unacked;
+      if List.length d.unacked < before then begin
+        d.attempt <- 0;
+        if d.unacked = [] then begin
+          d.cancel_retry ();
+          d.cancel_retry <- ignore
+        end
+      end
+
 let send t ~src ~dst payload =
   let corr = Trace.current_corr () in
   let sequenced =
@@ -187,14 +359,58 @@ let send t ~src ~dst payload =
     in
     Hashtbl.replace t.rel.next_seq key seq;
     let msg = Message.make ~corr ~seq payload in
-    Hashtbl.replace t.rel.pending (src, dst, seq)
-      { msg; attempt = 0; cancel_retry = ignore };
-    transmit t ~src ~dst msg
+    if batched t then begin
+      let d = dir_of t key in
+      d.queue <- msg :: d.queue;
+      if not d.flush_pending then begin
+        d.flush_pending <- true;
+        (* [flush_ms = 0] still coalesces: the timer fires after every
+           send already scheduled at this instant. *)
+        Sim.after t.sim ~peer:src ~delay_ms:t.flush_ms (fun () ->
+            flush_dir t ~src ~dst)
+      end
+    end
+    else begin
+      Hashtbl.replace t.rel.pending (src, dst, seq)
+        { msg; attempt = 0; cancel_retry = ignore };
+      transmit t ~src ~dst msg
+    end
   end
 
 let send_ack t ~src ~dst ~corr seq =
   t.rel.acks_sent <- t.rel.acks_sent + 1;
   raw_send t ~src ~dst (Message.make ~corr (Message.Ack { seq }))
+
+(* --- batched reliable transport (receiver side, ack scheduling) --- *)
+
+let fire_delayed_ack t ~at ~from =
+  match Hashtbl.find_opt t.rel.dirs (at, from) with
+  | None -> ()
+  | Some d when not d.ack_due -> ()
+  | Some d ->
+      d.ack_due <- false;
+      t.rel.delayed_acks <- t.rel.delayed_acks + 1;
+      if Metrics.is_on Metrics.default then
+        Metrics.incr Metrics.default ~peer:(Peer_id.to_string at)
+          ~subsystem:"net" "delayed_acks";
+      send_ack t ~src:at ~dst:from ~corr:0 (cum_ack t ~at ~from)
+
+(* Owe the sender an acknowledgement.  With no delay configured a
+   standalone cumulative ack leaves immediately; otherwise a single
+   timer is armed (re-arming would starve the sender under a steady
+   stream) and cancelled if reverse traffic piggybacks first. *)
+let schedule_ack t ~at ~from =
+  if t.ack_delay_ms <= 0.0 then
+    send_ack t ~src:at ~dst:from ~corr:0 (cum_ack t ~at ~from)
+  else begin
+    let d = dir_of t (at, from) in
+    if not d.ack_due then begin
+      d.ack_due <- true;
+      d.cancel_ack <-
+        Sim.after_cancellable t.sim ~peer:at ~delay_ms:t.ack_delay_ms
+          (fun () -> fire_delayed_ack t ~at ~from)
+    end
+  end
 
 let consume_cpu t ~peer ~bytes =
   Sim.consume_cpu t.sim ~peer
@@ -425,8 +641,9 @@ let dispatch_payload t (self : Peer.t) ~src payload =
       | Some entry ->
           Hashtbl.remove t.conts key;
           entry.fn [] ~final:true)
-  | Message.Ack _ ->
-      (* Consumed by the transport layer (on_message) before dispatch. *)
+  | Message.Ack _ | Message.Batch _ ->
+      (* Consumed by the transport layer (on_message) before dispatch:
+         a batch frame is unpacked into its items there. *)
       ()
 
 (* Delivery entry point: re-establish the sender's correlation id as
@@ -473,8 +690,47 @@ let rec deliver_in_order t p ~src (msg : Message.t) =
       deliver_in_order t p ~src next
   | None -> ()
 
+(* Batched-mode variant: same in-order/exactly-once machinery, but the
+   acknowledgement is cumulative and deferred via [schedule_ack]
+   instead of per-message and immediate. *)
+let rec deliver_in_order_batched t p ~src (msg : Message.t) =
+  let seq = msg.Message.seq in
+  Hashtbl.replace t.rel.next_expected (p, src) (seq + 1);
+  dispatch t (peer t p) ~src msg;
+  match Hashtbl.find_opt t.rel.buffer (p, src, seq + 1) with
+  | Some next ->
+      Hashtbl.remove t.rel.buffer (p, src, seq + 1);
+      deliver_in_order_batched t p ~src next
+  | None -> ()
+
+let receive_sequenced t p ~src (msg : Message.t) =
+  let seq = msg.Message.seq in
+  let expected =
+    Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (p, src))
+  in
+  if seq < expected then begin
+    (* Already delivered — a go-back-N re-ship or a lost ack.  Owe a
+       (cumulative) re-ack so the sender's window drains. *)
+    count_dup t p;
+    schedule_ack t ~at:p ~from:src
+  end
+  else if seq > expected then begin
+    if Hashtbl.mem t.rel.buffer (p, src, seq) then count_dup t p
+    else Hashtbl.replace t.rel.buffer (p, src, seq) msg
+  end
+  else begin
+    deliver_in_order_batched t p ~src msg;
+    schedule_ack t ~at:p ~from:src
+  end
+
 let on_message t p ~src (msg : Message.t) =
   match msg.Message.payload with
+  | Message.Batch { items; ack } ->
+      if ack > 0 then handle_cum_ack t ~at:p ~from:src ack;
+      List.iter
+        (fun item -> receive_sequenced t p ~src (Message.item_message item))
+        items
+  | Message.Ack { seq } when batched t -> handle_cum_ack t ~at:p ~from:src seq
   | Message.Ack { seq } -> (
       match Hashtbl.find_opt t.rel.pending (p, src, seq) with
       | None -> ()
@@ -513,16 +769,32 @@ let handle_crash t p =
     List.iter (Hashtbl.remove tbl) doomed
   in
   Hashtbl.iter
-    (fun (src, _, _) ps -> if Peer_id.equal src p then ps.cancel_retry ())
+    (fun (src, _, _) (ps : pending_send) ->
+      if Peer_id.equal src p then ps.cancel_retry ())
     t.rel.pending;
   wipe t.rel.pending (fun (src, _, _) -> Peer_id.equal src p);
   wipe t.rel.buffer (fun (dst, _, _) -> Peer_id.equal dst p);
+  (* Batching state at (p, _) is all of p's volatile transport roles:
+     its send queues/windows and its owed delayed acks.  (Entries
+     (_, p) belong to live senders, which keep retransmitting toward
+     the outage as they should.) *)
+  Hashtbl.iter
+    (fun (src, _) (d : dir) ->
+      if Peer_id.equal src p then begin
+        d.cancel_retry ();
+        d.cancel_ack ()
+      end)
+    t.rel.dirs;
+  wipe t.rel.dirs (fun (src, _) -> Peer_id.equal src p);
   let old = peer t p in
   Peer_id.Table.replace t.peers p
     (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
 
 let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
-    ?(transport = Raw) ?(rto_ms = 40.0) ?(max_retries = 30) topology =
+    ?(transport = Raw) ?(rto_ms = 40.0) ?(max_retries = 30) ?(flush_ms = 0.0)
+    ?(ack_delay_ms = 0.0) topology =
+  if flush_ms < 0.0 then invalid_arg "System.create: negative flush_ms";
+  if ack_delay_ms < 0.0 then invalid_arg "System.create: negative ack_delay_ms";
   let sim = Sim.create topology in
   let t =
     {
@@ -535,16 +807,24 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
       transport;
       rto_ms;
       max_retries;
+      flush_ms;
+      ack_delay_ms;
       rel =
         {
           next_seq = Hashtbl.create 16;
           pending = Hashtbl.create 64;
           next_expected = Hashtbl.create 16;
           buffer = Hashtbl.create 64;
+          dirs = Hashtbl.create 16;
           retransmits = 0;
           dup_suppressed = 0;
           abandoned = 0;
           acks_sent = 0;
+          batches_sent = 0;
+          batched_messages = 0;
+          piggybacked_acks = 0;
+          delayed_acks = 0;
+          dedup_shared_bytes = 0;
         };
       failover_save = ignore;
       failover_load = ignore;

@@ -32,6 +32,8 @@ val create :
   ?transport:transport ->
   ?rto_ms:float ->
   ?max_retries:int ->
+  ?flush_ms:float ->
+  ?ack_delay_ms:float ->
   Axml_net.Topology.t ->
   t
 (** One peer is created per topology member.  [response_delay_ms]
@@ -42,9 +44,28 @@ val create :
     [Reliable], [rto_ms] is the initial retransmission timeout
     (default 40.0, doubling per retry up to 32x) and [max_retries]
     bounds retransmissions per message (default 30) so a permanently
-    unreachable destination cannot keep the run alive forever. *)
+    unreachable destination cannot keep the run alive forever.
+
+    [flush_ms] and [ack_delay_ms] (defaults 0.0) switch the Reliable
+    transport into {e batched} mode when either is positive: sequenced
+    messages to the same destination are held for up to [flush_ms] and
+    coalesced into one {!Message.Batch} frame carrying a piggybacked
+    cumulative ack, with identical payload forests shipped once per
+    frame (transfer sharing, rule (13), at the transport layer);
+    standalone acks are deferred by [ack_delay_ms] and suppressed when
+    reverse traffic piggybacks them first.  At the defaults the
+    unbatched per-message protocol runs unchanged.  Both knobs are
+    ignored under [Raw].
+    @raise Invalid_argument on negative knob values. *)
 
 val transport : t -> transport
+
+val flush_ms : t -> float
+(** The coalescing window ([0.0] = batching off unless
+    [ack_delay_ms] is set). *)
+
+val ack_delay_ms : t -> float
+(** The standalone-ack deferral ([0.0] = immediate acks). *)
 
 val sim : t -> Message.t Axml_net.Sim.t
 val peer : t -> Peer_id.t -> Peer.t
@@ -153,11 +174,23 @@ type reliability_counters = {
   dup_suppressed : int;
   abandoned : int;  (** sends given up after [max_retries] *)
   acks_sent : int;
+  batches_sent : int;  (** batch frames shipped (batched mode only) *)
+  batched_messages : int;
+      (** logical messages those frames carried, re-ships included *)
+  piggybacked_acks : int;
+      (** standalone acks cancelled because a reverse-direction batch
+          carried the acknowledgement instead *)
+  delayed_acks : int;
+      (** standalone acks that did fire after the [ack_delay_ms]
+          deferral (also counted in [acks_sent]) *)
+  dedup_shared_bytes : int;
+      (** bytes saved by within-frame transfer sharing *)
 }
 
 val reliability_counters : t -> reliability_counters
 (** Always-on transport counters (also exported as [net/*] metrics
-    when {!Axml_obs.Metrics.default} is enabled). *)
+    when {!Axml_obs.Metrics.default} is enabled).  The batching
+    counters stay 0 in unbatched mode. *)
 
 (** {1 Running and observing} *)
 

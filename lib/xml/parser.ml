@@ -96,15 +96,45 @@ let decode_entity st =
   | "quot" -> "\""
   | "apos" -> "'"
   | _ ->
+      (* Numeric character references are validated strictly: the digit
+         string must be non-empty and pure decimal (or pure hex after
+         [#x]) — [int_of_string_opt] alone would also accept [0x]-
+         prefixed, [_]-separated and negative literals — and the code
+         point must be a scalar value: surrogates (U+D800–U+DFFF) and
+         anything above U+10FFFF have no UTF-8 encoding and previously
+         produced invalid byte sequences. *)
+      let digits_value ~hex s =
+        let ok = ref (String.length s > 0) in
+        let value = ref 0 in
+        String.iter
+          (fun c ->
+            let d =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' when hex -> 10 + Char.code c - Char.code 'a'
+              | 'A' .. 'F' when hex -> 10 + Char.code c - Char.code 'A'
+              | _ ->
+                  ok := false;
+                  0
+            in
+            (* Saturate well above U+10FFFF instead of overflowing. *)
+            value := min 0x7FFFFFFF ((!value * if hex then 16 else 10) + d))
+          s;
+        if !ok then Some !value else None
+      in
       let num =
-        if String.length name > 2 && name.[0] = '#' && name.[1] = 'x' then
-          int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
-        else if String.length name > 1 && name.[0] = '#' then
-          int_of_string_opt (String.sub name 1 (String.length name - 1))
+        if String.length name >= 2 && name.[0] = '#' && name.[1] = 'x' then
+          digits_value ~hex:true (String.sub name 2 (String.length name - 2))
+        else if String.length name >= 1 && name.[0] = '#' then
+          digits_value ~hex:false (String.sub name 1 (String.length name - 1))
         else None
       in
       (match num with
-      | Some code when code >= 0 && code < 128 -> String.make 1 (Char.chr code)
+      | Some code when (code >= 0xD800 && code <= 0xDFFF) || code > 0x10FFFF ->
+          fail st
+            (Printf.sprintf "character reference &%s; is not a Unicode scalar value"
+               name)
+      | Some code when code < 128 -> String.make 1 (Char.chr code)
       | Some code ->
           (* Encode as UTF-8. *)
           let b = Buffer.create 4 in

@@ -1,3 +1,10 @@
+(* Literal tab/newline in attribute values would be folded to spaces
+   by a standard XML processor's attribute-value normalization, and a
+   literal carriage return anywhere is folded to a newline by
+   end-of-line normalization — either way a serialize→parse round trip
+   would not be byte-stable.  Emitting them as numeric character
+   references keeps the exact characters through any conforming
+   parser (and through ours). *)
 let escape buf ~quot s =
   String.iter
     (fun c ->
@@ -6,6 +13,9 @@ let escape buf ~quot s =
       | '<' -> Buffer.add_string buf "&lt;"
       | '>' -> Buffer.add_string buf "&gt;"
       | '"' when quot -> Buffer.add_string buf "&quot;"
+      | '\n' when quot -> Buffer.add_string buf "&#10;"
+      | '\t' when quot -> Buffer.add_string buf "&#9;"
+      | '\r' -> Buffer.add_string buf "&#13;"
       | c -> Buffer.add_char buf c)
     s
 
@@ -29,6 +39,13 @@ let add_attrs buf attrs =
       Buffer.add_char buf '"')
     attrs
 
+(* Children that produce no output.  An element holding only empty
+   text nodes must self-close like a childless one: reparsing its
+   serialization drops the empty texts, and `<e></e>` vs `<e/>` would
+   break byte-stable round trips. *)
+let empty_content =
+  List.for_all (function Tree.Text "" -> true | _ -> false)
+
 let rec add_tree buf = function
   | Tree.Text s -> escape buf ~quot:false s
   | Tree.Element e ->
@@ -36,7 +53,7 @@ let rec add_tree buf = function
       Buffer.add_char buf '<';
       Buffer.add_string buf name;
       add_attrs buf e.attrs;
-      if e.children = [] then Buffer.add_string buf "/>"
+      if empty_content e.children then Buffer.add_string buf "/>"
       else begin
         Buffer.add_char buf '>';
         List.iter (add_tree buf) e.children;

@@ -32,5 +32,6 @@ let () =
       ("workload.schema-gen", Test_schema_gen.suite);
       ("workload.xmark", Test_xmark.suite);
       ("obs", Test_obs.suite);
+      ("transport.batch", Test_transport_batch.suite);
       ("chaos", Test_fault.suite);
     ]

@@ -71,6 +71,54 @@ let chaos_property =
       in
       agrees ~reference:(List.assoc name (Lazy.force reference)) out fp)
 
+(* --- the chaos property, batched transport ------------------------- *)
+
+(* Same property, Reliable in batched mode: random coalescing windows
+   and ack delays on top of random faults must still reproduce the
+   fault-free forest and Σ fingerprint.  Knob value 0/0 is excluded by
+   construction (that is the unbatched property above); the arrays mix
+   flush-only, ack-delay-only and combined configurations. *)
+let flush_choices = [| 0.0; 0.5; 2.0; 5.0 |]
+let ack_choices = [| 1.0; 8.0; 20.0 |]
+
+let batched_chaos_arb =
+  let n = List.length (Lazy.force plans) in
+  let knobs (ki : int) =
+    (* 0..11: flush x ack, plus pure-flush rows with ack 0. *)
+    if ki < Array.length flush_choices - 1 then (flush_choices.(ki + 1), 0.0)
+    else
+      let ki = ki - (Array.length flush_choices - 1) in
+      (flush_choices.(ki / 3), ack_choices.(ki mod 3))
+  in
+  let n_knobs = Array.length flush_choices - 1 + (Array.length flush_choices * 3) in
+  QCheck.make
+    ~print:(fun (idx, seed, ki) ->
+      let f, a = knobs ki in
+      Printf.sprintf "plan=%s seed=%d flush_ms=%g ack_delay_ms=%g"
+        (fst (List.nth (Lazy.force plans) idx))
+        seed f a)
+    QCheck.Gen.(
+      triple (int_bound (n - 1)) (int_bound 99_999) (int_bound (n_knobs - 1)))
+  |> fun arb -> (arb, knobs)
+
+let batched_chaos_property =
+  let arb, knobs = batched_chaos_arb in
+  QCheck.Test.make ~count:200
+    ~name:"batched reliable runs match the fault-free Σ under random faults"
+    arb
+    (fun (idx, seed, ki) ->
+      let name, plan = List.nth (Lazy.force plans) idx in
+      let flush_ms, ack_delay_ms = knobs ki in
+      let sys, _ =
+        Test_rules_exec.build_system ~transport:System.Reliable ~flush_ms
+          ~ack_delay_ms ()
+      in
+      System.inject_faults sys (Fault.random ~seed all_peers);
+      let out = Exec.run_to_quiescence sys ~ctx:p1 plan in
+      agrees
+        ~reference:(List.assoc name (Lazy.force reference))
+        out (System.fingerprint sys))
+
 (* --- Raw ablation -------------------------------------------------- *)
 
 (* A harsh but eventually-quiet profile.  Reliable must still converge
@@ -346,6 +394,7 @@ let test_generic_skips_crashed_members () =
 let suite =
   [
     QCheck_alcotest.to_alcotest chaos_property;
+    QCheck_alcotest.to_alcotest batched_chaos_property;
     ("raw transport loses data (ablation)", `Quick, test_raw_ablation);
     ("same seed, same run", `Quick, test_same_seed_same_run);
     ("different seeds, different plans", `Quick, test_different_seeds_differ);

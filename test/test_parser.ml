@@ -66,6 +66,55 @@ let test_errors () =
   expect_error "<a>x</a><b>y</b>" (* trailing root *);
   expect_error "<1bad/>"
 
+(* Numeric character references must be non-empty, pure decimal/hex,
+   and denote a Unicode scalar value.  [int_of_string_opt] used to
+   also accept [0x]-prefixed, [_]-separated and negative literals, and
+   surrogates / out-of-range codes were UTF-8-"encoded" into invalid
+   byte sequences. *)
+let test_charref_rejections () =
+  expect_error "<a>&#;</a>";
+  expect_error "<a>&#x;</a>";
+  expect_error "<a>&#0x41;</a>";
+  expect_error "<a>&#6_5;</a>";
+  expect_error "<a>&#-65;</a>";
+  expect_error "<a>&#xD800;</a>" (* low surrogate bound *);
+  expect_error "<a>&#xDFFF;</a>" (* high surrogate bound *);
+  expect_error "<a>&#55296;</a>" (* 0xD800 in decimal *);
+  expect_error "<a>&#x110000;</a>" (* beyond U+10FFFF *);
+  expect_error "<a>&#99999999999999999999;</a>" (* would overflow int *)
+
+let test_charref_boundaries () =
+  let text s = Xml.Tree.text_content (parse s) in
+  Alcotest.(check string) "U+D7FF, below the surrogates" "\xed\x9f\xbf"
+    (text "<a>&#xD7FF;</a>");
+  Alcotest.(check string) "U+E000, above the surrogates" "\xee\x80\x80"
+    (text "<a>&#xE000;</a>");
+  Alcotest.(check string) "U+10FFFF, last scalar value" "\xf4\x8f\xbf\xbf"
+    (text "<a>&#x10FFFF;</a>")
+
+(* Literal tab/newline in attribute values (and carriage returns
+   anywhere) must serialize as character references: a conforming
+   parser folds the literals in normalization, so only the escaped
+   form survives a round trip byte-for-byte. *)
+let test_control_char_roundtrip () =
+  let t = parse "<a k=\"x&#10;y&#9;z&#13;\">line&#13;break</a>" in
+  Alcotest.(check (option string)) "attr decoded" (Some "x\ny\tz\r")
+    (Xml.Tree.attr t "k");
+  Alcotest.(check string) "text decoded" "line\rbreak"
+    (Xml.Tree.text_content t);
+  let s = Xml.Serializer.to_string t in
+  Alcotest.(check string) "re-serialization is byte-stable"
+    "<a k=\"x&#10;y&#9;z&#13;\">line&#13;break</a>" s;
+  (* And a tree built programmatically with the literals escapes them. *)
+  let g = gen () in
+  let built =
+    Xml.Tree.element_of_string ~gen:g ~attrs:[ ("k", "a\nb\tc\rd") ] "e"
+      [ Xml.Tree.text "t\rt" ]
+  in
+  Alcotest.(check string) "serializer escapes control characters"
+    "<e k=\"a&#10;b&#9;c&#13;d\">t&#13;t</e>"
+    (Xml.Serializer.to_string built)
+
 let test_error_position () =
   let g = gen () in
   match Xml.Parser.parse ~gen:g "<a>\n<b>\n</c>\n</a>" with
@@ -123,6 +172,9 @@ let suite =
     ("whitespace handling", `Quick, test_whitespace_handling);
     ("doctype skipped", `Quick, test_doctype_skipped);
     ("malformed inputs rejected", `Quick, test_errors);
+    ("character reference rejections", `Quick, test_charref_rejections);
+    ("character reference boundaries", `Quick, test_charref_boundaries);
+    ("control characters round-trip", `Quick, test_control_char_roundtrip);
     ("error positions", `Quick, test_error_position);
     ("forest parsing", `Quick, test_parse_forest);
     ("empty forest", `Quick, test_parse_forest_empty);

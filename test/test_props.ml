@@ -35,6 +35,49 @@ let serialize_parse_roundtrip seed =
       let t' = Xml.Parser.parse_exn ~keep_ws:true ~gen:(fresh_gen ()) s in
       Xml.Canonical.equal t t'
 
+(* Serialize → parse → serialize must be byte-stable even on
+   adversarial content: control characters and quotes in attribute
+   values, carriage returns and markup characters in text, astral-
+   plane code points, whitespace-only strings.  The first serialization
+   fixes a canonical escaped form; reparsing and reserializing must
+   reproduce it exactly (this is what lets serialized forests serve as
+   dedup keys in batched transport frames). *)
+let adversarial_fragments =
+  [|
+    "plain"; "two words"; ""; " "; "\n"; "\t"; "\r"; "\r\n"; "&"; "<"; ">";
+    "\""; "'"; "&amp;"; "&#10;"; "]]>"; "\xc3\xa9" (* é *);
+    "\xf0\x9d\x84\x9e" (* U+1D11E, astral *); "\xe2\x82\xac" (* € *);
+    "a\nb\tc\rd"; "  leading and trailing  ";
+  |]
+
+let adversarial_string rng =
+  String.concat ""
+    (List.init (Rng.int rng 4) (fun _ ->
+         adversarial_fragments.(Rng.int rng (Array.length adversarial_fragments))))
+
+let rec adversarial_tree rng depth =
+  let attrs =
+    List.init (Rng.int rng 3) (fun i ->
+        (Printf.sprintf "a%d" i, adversarial_string rng))
+  in
+  let children =
+    if depth = 0 then []
+    else
+      List.init (Rng.int rng 4) (fun _ ->
+          if Rng.int rng 3 = 0 then adversarial_tree rng (depth - 1)
+          else Xml.Tree.Text (adversarial_string rng))
+  in
+  Xml.Tree.element_of_string ~attrs ~gen:(fresh_gen ())
+    (Rng.pick rng [ "e"; "node"; "x-y"; "ns:tag" ])
+    children
+
+let adversarial_roundtrip_byte_stable seed =
+  let rng = Rng.create ~seed in
+  let t = adversarial_tree rng 3 in
+  let s = Xml.Serializer.to_string t in
+  let t' = Xml.Parser.parse_exn ~keep_ws:true ~gen:(fresh_gen ()) s in
+  String.equal s (Xml.Serializer.to_string t')
+
 (* Permute sibling elements only: element order is semantically free,
    while text segments keep their relative order (they denote one
    concatenated character stream). *)
@@ -300,6 +343,8 @@ let rng_shuffle_permutation seed =
 let suite =
   [
     qtest "serialize/parse round-trip" serialize_parse_roundtrip;
+    qtest "adversarial round-trip is byte-stable" ~count:200
+      adversarial_roundtrip_byte_stable;
     qtest "canonical invariant under sibling permutation"
       canonical_invariant_under_permutation;
     qtest "copy preserves canonical form" copy_preserves_canonical;
