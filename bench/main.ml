@@ -13,6 +13,7 @@
    E17 only:              dune exec bench/main.exe -- --e17 [--smoke]
    E18 only:              dune exec bench/main.exe -- --e18 [--smoke]
    E19 only:              dune exec bench/main.exe -- --e19 [--smoke]
+   E20 only:              dune exec bench/main.exe -- --e20 [--smoke]
 
    E17 additionally writes BENCH_E17.json and BENCH_summary.json, E18
    writes BENCH_E18.json, and E19 writes BENCH_E19.json, to the
@@ -279,10 +280,12 @@ let () =
   let e17_only = List.mem "--e17" args in
   let e18_only = List.mem "--e18" args in
   let e19_only = List.mem "--e19" args in
+  let e20_only = List.mem "--e20" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
   else if e18_only then Experiments.e18 ~smoke ()
   else if e19_only then Experiments.e19 ~smoke ()
+  else if e20_only then Experiments.e20 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

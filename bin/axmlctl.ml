@@ -632,6 +632,128 @@ let chaos_cmd =
           reliable transport reproduces the fault-free answers")
     Term.(const run $ seed $ drop $ raw $ flush_ms $ ack_delay)
 
+(* --- scale ------------------------------------------------------- *)
+
+let scale_cmd =
+  let peers =
+    Arg.(
+      value & opt int 100
+      & info [ "peers" ] ~docv:"N"
+          ~doc:
+            "Total peer count: one publisher, $(b,--subscribers) \
+             subscribers, and the rest mirrors")
+  in
+  let subscribers =
+    Arg.(
+      value & opt int 80
+      & info [ "subscribers" ] ~docv:"M" ~doc:"Subscriber count")
+  in
+  let requests =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per subscriber")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed") in
+  let reliable =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:"Use the Reliable transport (default: Raw)")
+  in
+  let run peers subscribers requests seed reliable =
+    let mirrors = peers - subscribers - 1 in
+    if mirrors < 1 then begin
+      prerr_endline
+        "error: --peers must exceed --subscribers by at least 2 (one \
+         publisher, one mirror)";
+      exit 1
+    end;
+    let transport =
+      if reliable then Runtime.System.Reliable else Runtime.System.Raw
+    in
+    let fc =
+      Workload.Scenarios.flash_crowd ~mirrors ~subscribers
+        ~requests_per_subscriber:requests ~transport ~seed ()
+    in
+    let sys = fc.Workload.Scenarios.fc_system in
+    let budget = (8 * fc.Workload.Scenarios.fc_requests) + (40 * peers) + 10_000 in
+    (* Simulation-scale nursery: keeps the ~[subscribers] concurrent
+       requests' in-flight state from being promoted wholesale (see
+       bench E20). *)
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+    let w0 = Gc.minor_words () in
+    let wall0 = Sys.time () in
+    let outcome, events = Runtime.System.run ~max_events:budget sys in
+    let wall = Sys.time () -. wall0 in
+    let words = Gc.minor_words () -. w0 in
+    (match outcome with
+    | `Quiescent -> ()
+    | `Budget_exhausted ->
+        Format.eprintf "warning: event budget (%d) exhausted@." budget);
+    let stats = Runtime.System.stats sys in
+    let completed = !(fc.Workload.Scenarios.fc_completed) in
+    Format.printf
+      "peers %d (1 publisher, %d mirrors, %d subscribers), seed %d, %s \
+       transport@."
+      peers mirrors subscribers seed
+      (if reliable then "reliable" else "raw");
+    Format.printf "requests  %d issued, %d completed, %d unserved@."
+      fc.Workload.Scenarios.fc_requests completed
+      !(fc.Workload.Scenarios.fc_unserved);
+    Format.printf "events    %d (%.0f events/sec, %.3f s wall, %.1f words/event)@."
+      events
+      (float_of_int events /. Float.max 1e-9 wall)
+      wall
+      (words /. float_of_int (max 1 events));
+    Format.printf "completion_ms %.0f@." stats.Net.Stats.completion_ms;
+    (* Per-tier byte totals: aggregate the per-link matrix by the tier
+       of each endpoint. *)
+    let tier_of =
+      let tiers = Hashtbl.create (2 * peers) in
+      Hashtbl.replace tiers
+        (Net.Peer_id.index fc.Workload.Scenarios.fc_publisher)
+        "publisher";
+      List.iter
+        (fun m -> Hashtbl.replace tiers (Net.Peer_id.index m) "mirror")
+        fc.Workload.Scenarios.fc_mirrors;
+      List.iter
+        (fun s -> Hashtbl.replace tiers (Net.Peer_id.index s) "subscriber")
+        fc.Workload.Scenarios.fc_subscribers;
+      fun p ->
+        Option.value ~default:"?"
+          (Hashtbl.find_opt tiers (Net.Peer_id.index p))
+    in
+    let totals = Hashtbl.create 8 in
+    List.iter
+      (fun ((src, dst), (msgs, bytes)) ->
+        let key = (tier_of src, tier_of dst) in
+        let m0, b0 =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt totals key)
+        in
+        Hashtbl.replace totals key (m0 + msgs, b0 + bytes))
+      stats.Net.Stats.per_link;
+    Format.printf "@.%-24s %10s %14s@." "tier" "messages" "bytes";
+    List.iter
+      (fun ((src, dst), (msgs, bytes)) ->
+        Format.printf "%-24s %10d %14d@."
+          (src ^ " -> " ^ dst)
+          msgs bytes)
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []));
+    if completed < fc.Workload.Scenarios.fc_requests then begin
+      Format.eprintf "error: %d request(s) never completed@."
+        (fc.Workload.Scenarios.fc_requests - completed);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run the web-scale flash-crowd scenario (one publisher, a mirror \
+          pool behind a generic fetch class, a subscriber crowd) and print \
+          throughput plus per-tier traffic totals")
+    Term.(const run $ peers $ subscribers $ requests $ seed $ reliable)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -648,4 +770,5 @@ let () =
             demo_cmd;
             trace_cmd;
             chaos_cmd;
+            scale_cmd;
           ]))

@@ -111,15 +111,44 @@ let usable ~available ~location members =
           | None -> true)
         members
 
+(* [Random] resolution is the per-request hot path of generic calls:
+   walk the member list twice (count the usable ones, then select the
+   i-th) instead of materialising the filtered list and [List.nth]-ing
+   into it.  Picks exactly the member the list-based path would — the
+   i-th usable member in registration order — with zero allocation. *)
+let pick ~available ~policy ~location ~compare_ref members =
+  match policy with
+  | Random seed ->
+      let ok r =
+        match available with
+        | None -> true
+        | Some live -> (
+            match peer_of_location (location r) with
+            | Some p -> live p
+            | None -> true)
+      in
+      let n = List.fold_left (fun acc r -> if ok r then acc + 1 else acc) 0 members in
+      if n = 0 then None
+      else
+        let rec nth_usable k = function
+          | [] -> None
+          | r :: rest ->
+              if ok r then if k = 0 then Some r else nth_usable (k - 1) rest
+              else nth_usable k rest
+        in
+        nth_usable (pseudo_random seed n) members
+  | First | Nearest _ | Least_loaded _ ->
+      choose ~policy ~location ~compare_ref (usable ~available ~location members)
+
 let pick_doc ?available t ~policy ~class_name =
   let location (r : Names.Doc_ref.t) = r.at in
-  choose ~policy ~location ~compare_ref:Names.Doc_ref.compare
-    (usable ~available ~location (doc_members t ~class_name))
+  pick ~available ~policy ~location ~compare_ref:Names.Doc_ref.compare
+    (doc_members t ~class_name)
 
 let pick_service ?available t ~policy ~class_name =
   let location (r : Names.Service_ref.t) = r.at in
-  choose ~policy ~location ~compare_ref:Names.Service_ref.compare
-    (usable ~available ~location (service_members t ~class_name))
+  pick ~available ~policy ~location ~compare_ref:Names.Service_ref.compare
+    (service_members t ~class_name)
 
 let classes t =
   let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in

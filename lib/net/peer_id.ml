@@ -1,4 +1,10 @@
-type t = string
+(* Interned identifiers: one record per distinct name, process-wide.
+   [name] comes first so that polymorphic compare on values (and on
+   tuples containing them, e.g. Stats per-link keys) still orders by
+   name, exactly as the previous [type t = string] representation did.
+   [idx] is a dense creation-order index used as a direct array
+   subscript by the simulator's per-peer slots. *)
+type t = { name : string; idx : int }
 
 let valid s =
   String.length s > 0
@@ -7,18 +13,32 @@ let valid s =
           (fun c -> c = '@' || c = ' ' || c = '\t' || c = '\n' || c = '\r')
           s)
 
-let of_string_opt s = if valid s then Some s else None
+let intern : (string, t) Hashtbl.t = Hashtbl.create 256
+let next_idx = ref 0
+
+let of_string_opt s =
+  match Hashtbl.find_opt intern s with
+  | Some _ as p -> p
+  | None ->
+      if valid s then begin
+        let p = { name = s; idx = !next_idx } in
+        incr next_idx;
+        Hashtbl.add intern s p;
+        Some p
+      end
+      else None
 
 let of_string s =
   match of_string_opt s with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Peer_id.of_string: %S" s)
 
-let to_string p = p
-let equal = String.equal
-let compare = String.compare
-let hash = Hashtbl.hash
-let pp = Format.pp_print_string
+let to_string p = p.name
+let index p = p.idx
+let equal p q = p.idx = q.idx
+let compare p q = String.compare p.name q.name
+let hash p = Hashtbl.hash p.name
+let pp fmt p = Format.pp_print_string fmt p.name
 
 module Ord = struct
   type nonrec t = t

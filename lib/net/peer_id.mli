@@ -3,15 +3,24 @@
     "We assume given a finite set of peers, each of which is
     characterized by a distinct peer identifier p ∈ P" (Section 2). *)
 
-type t = private string
+type t
 
 val of_string : string -> t
-(** @raise Invalid_argument on the empty string or strings containing
+(** Identifiers are interned: equal names yield the same value, and
+    each distinct name gets a dense creation-order {!index}.
+    @raise Invalid_argument on the empty string or strings containing
     ['@'] or whitespace (those characters delimit [d\@p] / [n\@p]
     notations). *)
 
 val of_string_opt : string -> t option
+
 val to_string : t -> string
+(** O(1): the name is stored in the identifier, not rebuilt. *)
+
+val index : t -> int
+(** Dense process-wide index (creation order), suitable as a direct
+    array subscript for per-peer slots. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

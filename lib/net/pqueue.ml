@@ -1,53 +1,304 @@
-type 'a node = {
-  time : float;
-  seq : int;
-  value : 'a;
-  mutable kids : 'a node list;
+(* Priority queue of timestamped events, keyed by [(time, sequence)]:
+   among equal times, insertion order wins, which makes simulator runs
+   deterministic.
+
+   The representation is built for the simulator's hot loop (millions
+   of push/pop pairs per run):
+
+   - a binary min-heap over parallel arrays — an unboxed [float array]
+     of times, an [int array] of sequence numbers and a value array —
+     so a push is three stores and a sift, with no per-node
+     allocation (the previous pairing heap allocated a node and a
+     list cell per push);
+
+   - a monotonic same-time fast path: a FIFO ring holding a run of
+     events that share the current minimum time.  The ring is
+     established only when it is empty and the incoming time is
+     strictly below the heap minimum (equal times must go to the heap,
+     where earlier sequence numbers already live); while it is
+     non-empty, pushes at exactly its time append to it and pops drain
+     it before the heap.  Because the total order is (time, seq), the
+     split never reorders anything;
+
+   - removable entries ({!push_removable}): cancellation marks the
+     entry dead in place and the structure compacts once dead entries
+     outnumber live ones, so cancelled timers neither inflate
+     {!length} nor accumulate in the heap (they used to sit there
+     until popped). *)
+
+type cell = { mutable pos : int; mutable dead : bool }
+
+let no_cell = { pos = -2; dead = false }
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable cells : cell array;
+  mutable size : int;  (** heap slots used, dead entries included *)
+  mutable dead : int;  (** cancelled entries still physically in the heap *)
+  mutable next_seq : int;
+  mutable ring_vals : 'a array;
+  mutable ring_head : int;
+  mutable ring_len : int;
+  mutable ring_time : float;  (** meaningful iff [ring_len > 0] *)
+  mutable last_time : float;  (** timestamp of the last {!take}n event *)
 }
 
-type 'a heap = Empty | Node of 'a node
-type 'a t = { mutable heap : 'a heap; mutable next_seq : int; mutable size : int }
+exception Empty
 
-let create () = { heap = Empty; next_seq = 0; size = 0 }
-let is_empty t = t.heap = Empty
-let length t = t.size
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let create () =
+  {
+    times = Array.make 64 0.0;
+    seqs = Array.make 64 0;
+    vals = Array.make 64 (dummy ());
+    cells = Array.make 64 no_cell;
+    size = 0;
+    dead = 0;
+    next_seq = 0;
+    ring_vals = Array.make 64 (dummy ());
+    ring_head = 0;
+    ring_len = 0;
+    ring_time = 0.0;
+    last_time = 0.0;
+  }
 
-let meld a b =
-  match (a, b) with
-  | Empty, h | h, Empty -> h
-  | Node x, Node y ->
-      if before x y then begin
-        x.kids <- y :: x.kids;
-        Node x
-      end
-      else begin
-        y.kids <- x :: y.kids;
-        Node y
-      end
+let length t = t.size - t.dead + t.ring_len
+let is_empty t = length t = 0
 
-let push t ~time value =
-  if Float.is_nan time then invalid_arg "Pqueue.push: NaN time";
-  let node = { time; seq = t.next_seq; value; kids = [] } in
-  t.next_seq <- t.next_seq + 1;
+(* --- heap primitives --------------------------------------------- *)
+
+let before t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let set_slot t i ~time ~seq v cell =
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.vals.(i) <- v;
+  t.cells.(i) <- cell;
+  if cell != no_cell then cell.pos <- i
+
+let move t ~src ~dst =
+  set_slot t dst ~time:t.times.(src) ~seq:t.seqs.(src) t.vals.(src)
+    t.cells.(src)
+
+let grow t =
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let times = Array.make cap' 0.0 in
+  Array.blit t.times 0 times 0 cap;
+  t.times <- times;
+  let seqs = Array.make cap' 0 in
+  Array.blit t.seqs 0 seqs 0 cap;
+  t.seqs <- seqs;
+  let vals = Array.make cap' (dummy ()) in
+  Array.blit t.vals 0 vals 0 cap;
+  t.vals <- vals;
+  let cells = Array.make cap' no_cell in
+  Array.blit t.cells 0 cells 0 cap;
+  t.cells <- cells
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t i parent then begin
+      let time = t.times.(i) and seq = t.seqs.(i) in
+      let v = t.vals.(i) and c = t.cells.(i) in
+      move t ~src:parent ~dst:i;
+      set_slot t parent ~time ~seq v c;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let smallest = if l + 1 < t.size && before t (l + 1) l then l + 1 else l in
+    if before t smallest i then begin
+      let time = t.times.(i) and seq = t.seqs.(i) in
+      let v = t.vals.(i) and c = t.cells.(i) in
+      move t ~src:smallest ~dst:i;
+      set_slot t smallest ~time ~seq v c;
+      sift_down t smallest
+    end
+  end
+
+let heap_push t ~time ~seq v cell =
+  if t.size = Array.length t.times then grow t;
+  set_slot t t.size ~time ~seq v cell;
   t.size <- t.size + 1;
-  t.heap <- meld t.heap (Node node)
+  sift_up t (t.size - 1)
 
-let rec meld_pairs = function
-  | [] -> Empty
-  | [ n ] -> Node n
-  | a :: b :: rest -> meld (meld (Node a) (Node b)) (meld_pairs rest)
+(* Remove the root; the caller has already read it. *)
+let heap_drop_root t =
+  let c = t.cells.(0) in
+  if c != no_cell then c.pos <- -1;
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    move t ~src:t.size ~dst:0;
+    t.vals.(t.size) <- dummy ();
+    t.cells.(t.size) <- no_cell;
+    sift_down t 0
+  end
+  else begin
+    t.vals.(0) <- dummy ();
+    t.cells.(0) <- no_cell
+  end
+
+(* Cancelled entries are skipped lazily; purging them at the root keeps
+   [peek_time] and the pop path honest without touching the interior. *)
+let rec purge_dead_roots t =
+  if t.size > 0 && t.cells.(0).dead then begin
+    heap_drop_root t;
+    t.dead <- t.dead - 1;
+    purge_dead_roots t
+  end
+
+(* --- ring primitives --------------------------------------------- *)
+
+let ring_push t v =
+  let cap = Array.length t.ring_vals in
+  if t.ring_len = cap then begin
+    let vals = Array.make (2 * cap) (dummy ()) in
+    for k = 0 to t.ring_len - 1 do
+      vals.(k) <- t.ring_vals.((t.ring_head + k) mod cap)
+    done;
+    t.ring_vals <- vals;
+    t.ring_head <- 0
+  end;
+  t.ring_vals.((t.ring_head + t.ring_len) mod Array.length t.ring_vals) <- v;
+  t.ring_len <- t.ring_len + 1
+
+let ring_pop t =
+  let v = t.ring_vals.(t.ring_head) in
+  t.ring_vals.(t.ring_head) <- dummy ();
+  t.ring_head <- (t.ring_head + 1) mod Array.length t.ring_vals;
+  t.ring_len <- t.ring_len - 1;
+  v
+
+(* Spill the ring into the heap, oldest first, assigning fresh sequence
+   numbers from the counter.  Exact because the heap holds no entry at
+   [ring_time] while the ring is active (establishment requires a
+   strictly smaller time), so only the ring's relative order matters —
+   which fresh increasing seqs preserve — and future pushes draw even
+   larger seqs. *)
+let flush_ring t =
+  let n = t.ring_len in
+  for _ = 1 to n do
+    let v = ring_pop t in
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    heap_push t ~time:t.ring_time ~seq v no_cell
+  done
+
+(* --- public API --------------------------------------------------- *)
+
+let push t ~time v =
+  if Float.is_nan time then invalid_arg "Pqueue.push: NaN time";
+  if t.ring_len > 0 && time = t.ring_time then begin
+    t.next_seq <- t.next_seq + 1;
+    ring_push t v
+  end
+  else begin
+    purge_dead_roots t;
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    if t.ring_len = 0 && (t.size = 0 || time < t.times.(0)) then begin
+      t.ring_time <- time;
+      ring_push t v
+    end
+    else heap_push t ~time ~seq v no_cell
+  end
+
+let compact t =
+  let j = ref 0 in
+  for i = 0 to t.size - 1 do
+    let c = t.cells.(i) in
+    if c.dead then c.pos <- -1
+    else begin
+      if i <> !j then move t ~src:i ~dst:!j;
+      incr j
+    end
+  done;
+  for k = !j to t.size - 1 do
+    t.vals.(k) <- dummy ();
+    t.cells.(k) <- no_cell
+  done;
+  t.size <- !j;
+  t.dead <- 0;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
+
+let push_removable t ~time v =
+  if Float.is_nan time then invalid_arg "Pqueue.push_removable: NaN time";
+  (* Removable entries always live in the heap (a cancelled ring slot
+     could not be compacted away).  If the ring is active at exactly
+     this time, it is flushed first so FIFO order across the two
+     structures survives. *)
+  if t.ring_len > 0 && time = t.ring_time then flush_ring t;
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let cell = { pos = -1; dead = false } in
+  heap_push t ~time ~seq v cell;
+  fun () ->
+    if (not cell.dead) && cell.pos >= 0 then begin
+      cell.dead <- true;
+      t.dead <- t.dead + 1;
+      if 2 * t.dead > t.size then compact t
+    end
 
 let pop t =
-  match t.heap with
-  | Empty -> None
-  | Node n ->
-      t.heap <- meld_pairs n.kids;
-      t.size <- t.size - 1;
-      Some (n.time, n.value)
+  purge_dead_roots t;
+  if t.ring_len > 0 && (t.size = 0 || t.ring_time <= t.times.(0)) then
+    Some (t.ring_time, ring_pop t)
+  else if t.size = 0 then None
+  else begin
+    let time = t.times.(0) and v = t.vals.(0) in
+    heap_drop_root t;
+    Some (time, v)
+  end
 
-let peek_time t = match t.heap with Empty -> None | Node n -> Some n.time
+(* Allocation-free pop for the simulator's hot loop: the minimum's
+   timestamp is left in [last_time] (read it with {!last_time}) instead
+   of being returned in a boxed pair. *)
+let take t =
+  purge_dead_roots t;
+  if t.ring_len > 0 && (t.size = 0 || t.ring_time <= t.times.(0)) then begin
+    t.last_time <- t.ring_time;
+    ring_pop t
+  end
+  else if t.size = 0 then raise Empty
+  else begin
+    t.last_time <- t.times.(0);
+    let v = t.vals.(0) in
+    heap_drop_root t;
+    v
+  end
+
+let last_time t = t.last_time
+
+let peek_time t =
+  purge_dead_roots t;
+  if t.ring_len > 0 && (t.size = 0 || t.ring_time <= t.times.(0)) then
+    Some t.ring_time
+  else if t.size = 0 then None
+  else Some t.times.(0)
+
 let clear t =
-  t.heap <- Empty;
-  t.size <- 0
+  for i = 0 to t.size - 1 do
+    t.vals.(i) <- dummy ();
+    let c = t.cells.(i) in
+    if c != no_cell then c.pos <- -1;
+    t.cells.(i) <- no_cell
+  done;
+  t.size <- 0;
+  t.dead <- 0;
+  for k = 0 to Array.length t.ring_vals - 1 do
+    t.ring_vals.(k) <- dummy ()
+  done;
+  t.ring_head <- 0;
+  t.ring_len <- 0

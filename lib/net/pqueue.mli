@@ -1,19 +1,42 @@
 (** Priority queue of timestamped events.
 
-    A pairing heap keyed by [(time, sequence)]: among equal times,
-    insertion order wins, which makes simulator runs deterministic. *)
+    An array binary heap keyed by [(time, sequence)] — among equal
+    times, insertion order wins, which makes simulator runs
+    deterministic — with a FIFO fast path for runs of events sharing
+    the current minimum time, and removable entries that are excluded
+    from {!length} as soon as they are cancelled (the heap compacts
+    once cancelled entries outnumber live ones). *)
 
 type 'a t
 
 val create : unit -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
+(** Live entries only: cancelled ones don't count. *)
 
 val push : 'a t -> time:float -> 'a -> unit
 (** @raise Invalid_argument if [time] is NaN. *)
 
+val push_removable : 'a t -> time:float -> 'a -> unit -> unit
+(** Like {!push}, but returns a cancel thunk.  Cancelling is O(1)
+    (amortized: it may trigger compaction), idempotent, and a no-op
+    once the entry has been popped; a cancelled entry is never
+    returned by {!pop} and stops counting toward {!length}
+    immediately.
+    @raise Invalid_argument if [time] is NaN. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event. *)
+
+exception Empty
+
+val take : 'a t -> 'a
+(** Allocation-free {!pop} for hot loops: removes and returns the
+    earliest event, leaving its timestamp readable via {!last_time}.
+    @raise Empty when the queue has no live entries. *)
+
+val last_time : 'a t -> float
+(** Timestamp of the event most recently removed by {!take}. *)
 
 val peek_time : 'a t -> float option
 val clear : 'a t -> unit

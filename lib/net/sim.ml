@@ -3,82 +3,162 @@ module Metrics = Axml_obs.Metrics
 
 type 'a event =
   | Deliver of { src : Peer_id.t; dst : Peer_id.t; payload : 'a }
-  | Timer of { peer : Peer_id.t; callback : unit -> unit; cancelled : bool ref }
+  | Timer of { peer : Peer_id.t; callback : unit -> unit }
   | Control of { callback : unit -> unit }
       (* Fault-plan machinery (crashes, restarts). Runs regardless of
          peer liveness and does not count toward completion time: a
          scheduled restart at t=500ms must not stretch a run that went
          quiescent at t=80ms. *)
 
+(* Per-peer net/* counter handles, created lazily and only while
+   metrics are enabled, so the disabled path allocates nothing. *)
+type net_handles = {
+  h_local : Metrics.counter_handle;
+  h_msgs : Metrics.counter_handle;
+  h_payload : Metrics.counter_handle;
+  h_bytes : Metrics.counter_handle;
+  h_cpu : Metrics.hist_handle;
+}
+
+(* All per-peer state, reached by one array load from the peer's dense
+   {!Peer_id.index} — the string-keyed hashtable lookups (and their
+   per-event hashing) this replaces dominated the event loop at 10^3
+   peers. *)
+type 'a slot = {
+  speer : Peer_id.t;
+  mutable handler : (src:Peer_id.t -> 'a -> unit) option;
+  mutable busy : float;
+  mutable factor : float;
+  mutable crashed_at : float;  (* < 0.0 = alive *)
+  mutable net : net_handles option;
+}
+
 type 'a t = {
   topology : Topology.t;
   queue : 'a event Pqueue.t;
-  handlers : (src:Peer_id.t -> 'a -> unit) Peer_id.Table.t;
-  busy : float Peer_id.Table.t;
-  cpu_factors : float Peer_id.Table.t;
+  mutable slots : 'a slot option array;  (* indexed by Peer_id.index *)
   stats : Stats.t;
   mutable now : float;
   mutable fault : Fault.state option;
-  crashed : float Peer_id.Table.t;  (* peer -> crash time *)
   mutable on_crash : Peer_id.t -> unit;
   mutable on_restart : Peer_id.t -> unit;
+  h_events : Metrics.counter_handle;
+  h_qdepth : Metrics.gauge_handle;
 }
 
 type outcome = [ `Quiescent | `Budget_exhausted ]
 
+let fresh_slot peer =
+  {
+    speer = peer;
+    handler = None;
+    busy = 0.0;
+    factor = 1.0;
+    crashed_at = -1.0;
+    net = None;
+  }
+
 let create topology =
+  let top_idx =
+    List.fold_left
+      (fun acc p -> max acc (Peer_id.index p))
+      (-1)
+      (Topology.peers topology)
+  in
+  let slots = Array.make (max 16 (top_idx + 1)) None in
+  List.iter
+    (fun p -> slots.(Peer_id.index p) <- Some (fresh_slot p))
+    (Topology.peers topology);
   {
     topology;
     queue = Pqueue.create ();
-    handlers = Peer_id.Table.create 16;
-    busy = Peer_id.Table.create 16;
-    cpu_factors = Peer_id.Table.create 16;
+    slots;
     stats = Stats.create ();
     now = 0.0;
     fault = None;
-    crashed = Peer_id.Table.create 4;
     on_crash = ignore;
     on_restart = ignore;
+    h_events = Metrics.counter_handle Metrics.default ~subsystem:"sim" "events";
+    h_qdepth =
+      Metrics.gauge_handle Metrics.default ~subsystem:"sim" "queue_depth";
   }
+
+let slot t peer =
+  let i = Peer_id.index peer in
+  let n = Array.length t.slots in
+  if i >= n then begin
+    let slots = Array.make (max (i + 1) (2 * n)) None in
+    Array.blit t.slots 0 slots 0 n;
+    t.slots <- slots
+  end;
+  match t.slots.(i) with
+  | Some s -> s
+  | None ->
+      let s = fresh_slot peer in
+      t.slots.(i) <- Some s;
+      s
+
+let net_handles s =
+  match s.net with
+  | Some h -> h
+  | None ->
+      let peer = Peer_id.to_string s.speer in
+      let h =
+        {
+          h_local =
+            Metrics.counter_handle Metrics.default ~peer ~subsystem:"net"
+              "local_messages";
+          h_msgs =
+            Metrics.counter_handle Metrics.default ~peer ~subsystem:"net"
+              "messages_sent";
+          h_payload =
+            Metrics.counter_handle Metrics.default ~peer ~subsystem:"net"
+              "payload_messages";
+          h_bytes =
+            Metrics.counter_handle Metrics.default ~peer ~subsystem:"net"
+              "bytes_sent";
+          h_cpu =
+            Metrics.hist_handle Metrics.default ~peer ~subsystem:"peer" "cpu_ms";
+        }
+      in
+      s.net <- Some h;
+      h
 
 let topology t = t.topology
 let now t = t.now
 let stats t = t.stats
-let set_handler t peer f = Peer_id.Table.replace t.handlers peer f
-
-let busy_until t peer =
-  Option.value ~default:0.0 (Peer_id.Table.find_opt t.busy peer)
-
-let cpu_factor t peer =
-  Option.value ~default:1.0 (Peer_id.Table.find_opt t.cpu_factors peer)
+let set_handler t peer f = (slot t peer).handler <- Some f
+let busy_until t peer = (slot t peer).busy
+let cpu_factor t peer = (slot t peer).factor
 
 let set_cpu_factor t peer factor =
   if factor <= 0.0 then invalid_arg "Sim.set_cpu_factor: factor must be positive";
-  Peer_id.Table.replace t.cpu_factors peer factor
+  (slot t peer).factor <- factor
 
 let consume_cpu t ~peer ~ms =
   if ms < 0.0 then invalid_arg "Sim.consume_cpu: negative duration";
-  let virtual_ms = ms *. cpu_factor t peer in
-  let horizon = max t.now (busy_until t peer) +. virtual_ms in
-  Peer_id.Table.replace t.busy peer horizon;
+  let s = slot t peer in
+  let virtual_ms = ms *. s.factor in
+  let horizon = max t.now s.busy +. virtual_ms in
+  s.busy <- horizon;
   if Metrics.is_on Metrics.default then
-    Metrics.observe Metrics.default ~peer:(Peer_id.to_string peer)
-      ~subsystem:"peer" "cpu_ms" virtual_ms;
+    Metrics.observe_h (net_handles s).h_cpu virtual_ms;
   (* Computation extends the run's completion time even when no
      further message departs from this peer. *)
   Stats.record_time t.stats horizon
 
 (* --- faults ------------------------------------------------------ *)
 
-let is_crashed t peer = Peer_id.Table.mem t.crashed peer
+let is_crashed t peer = (slot t peer).crashed_at >= 0.0
 
 let set_crash_hooks t ~on_crash ~on_restart =
   t.on_crash <- on_crash;
   t.on_restart <- on_restart
 
 let crash t peer =
-  if not (is_crashed t peer) then begin
-    Peer_id.Table.replace t.crashed peer t.now;
+  let s = slot t peer in
+  if s.crashed_at < 0.0 then begin
+    s.crashed_at <- t.now;
     if Metrics.is_on Metrics.default then
       Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
         ~subsystem:"fault" "crashes";
@@ -89,21 +169,22 @@ let crash t peer =
   end
 
 let restart t peer =
-  match Peer_id.Table.find_opt t.crashed peer with
-  | None -> ()
-  | Some since ->
-      Peer_id.Table.remove t.crashed peer;
-      if Metrics.is_on Metrics.default then
-        Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
-          ~subsystem:"fault" "restarts";
-      if Trace.enabled () then begin
-        (* One retrospective span covering the whole outage. *)
-        Trace.complete ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:since
-          ~dur_ms:(t.now -. since) "crashed";
-        Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
-          "restart"
-      end;
-      t.on_restart peer
+  let s = slot t peer in
+  if s.crashed_at >= 0.0 then begin
+    let since = s.crashed_at in
+    s.crashed_at <- -1.0;
+    if Metrics.is_on Metrics.default then
+      Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
+        ~subsystem:"fault" "restarts";
+    if Trace.enabled () then begin
+      (* One retrospective span covering the whole outage. *)
+      Trace.complete ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:since
+        ~dur_ms:(t.now -. since) "crashed";
+      Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
+        "restart"
+    end;
+    t.on_restart peer
+  end
 
 let reachable t ~src ~dst =
   (not (is_crashed t dst))
@@ -146,16 +227,14 @@ let inject t plan =
    fault-injected duplicates; bytes count remote messages only,
    loopbacks are tallied separately — so the metrics table and
    Stats.snapshot agree to the byte. *)
-let count_send_metrics ~src ~dst ~bytes ~msgs =
+let count_send_metrics t ~src ~dst ~bytes ~msgs =
   if Metrics.is_on Metrics.default then begin
-    let peer = Peer_id.to_string src in
-    if Peer_id.equal src dst then
-      Metrics.incr Metrics.default ~peer ~subsystem:"net" "local_messages"
+    let h = net_handles (slot t src) in
+    if Peer_id.equal src dst then Metrics.incr_h h.h_local ~by:1
     else begin
-      Metrics.incr Metrics.default ~peer ~subsystem:"net" "messages_sent";
-      Metrics.incr Metrics.default ~peer ~by:msgs ~subsystem:"net"
-        "payload_messages";
-      Metrics.incr Metrics.default ~peer ~by:bytes ~subsystem:"net" "bytes_sent"
+      Metrics.incr_h h.h_msgs ~by:1;
+      Metrics.incr_h h.h_payload ~by:msgs;
+      Metrics.incr_h h.h_bytes ~by:bytes
     end
   end
 
@@ -163,7 +242,7 @@ let transmit ?note ?(msgs = 1) t ~link ~departure ~jitter_ms ~src ~dst ~bytes
     payload =
   let arrival = departure +. Link.transfer_ms link ~bytes +. jitter_ms in
   Stats.record_send ~at_ms:departure ?note ~msgs t.stats ~src ~dst ~bytes;
-  count_send_metrics ~src ~dst ~bytes ~msgs;
+  count_send_metrics t ~src ~dst ~bytes ~msgs;
   (* The whole instrumentation block sits behind one boolean load so
      that the disabled hot path allocates nothing (checked in the E16
      bench). *)
@@ -203,21 +282,27 @@ let send ?note ?msgs t ~src ~dst ~bytes payload =
                 ~bytes payload)
             jitters_ms)
 
+let after t ~peer ~delay_ms callback =
+  if delay_ms < 0.0 then invalid_arg "Sim.after: negative delay";
+  Pqueue.push t.queue ~time:(t.now +. delay_ms) (Timer { peer; callback })
+
 let after_cancellable t ~peer ~delay_ms callback =
   if delay_ms < 0.0 then invalid_arg "Sim.after: negative delay";
-  let cancelled = ref false in
-  Pqueue.push t.queue
+  (* True removal: a cancelled timer leaves the queue (satellite of the
+     scaling refactor), so it neither inflates {!pending} nor lingers
+     in the heap until its time comes up. *)
+  Pqueue.push_removable t.queue
     ~time:(t.now +. delay_ms)
-    (Timer { peer; callback; cancelled });
-  fun () -> cancelled := true
-
-let after t ~peer ~delay_ms callback =
-  let (_cancel : unit -> unit) = after_cancellable t ~peer ~delay_ms callback in
-  ()
+    (Timer { peer; callback })
 
 let pending t = Pqueue.length t.queue
 
 let run ?until_ms ?(max_events = 1_000_000) t =
+  (* The instrumentation flags are sampled once per run, not per event:
+     the hot loop pays one branch, and toggling tracing or metrics from
+     inside a handler takes effect at the next [run]. *)
+  let metrics_on = Metrics.is_on Metrics.default in
+  let trace_on = Trace.enabled () in
   let processed = ref 0 in
   let more_events () =
     match (Pqueue.peek_time t.queue, until_ms) with
@@ -225,22 +310,22 @@ let run ?until_ms ?(max_events = 1_000_000) t =
     | Some time, Some limit -> time <= limit
     | Some _, None -> true
   in
-  let continue () = !processed < max_events && more_events () in
+  (* With no [until_ms] horizon (the common case) the loop condition is
+     a pair of integer reads and [Pqueue.take] pops without allocating;
+     the [peek_time]/[pop] option path only runs under a horizon. *)
+  let continue () =
+    !processed < max_events
+    && if until_ms = None then not (Pqueue.is_empty t.queue) else more_events ()
+  in
   while continue () do
-    match Pqueue.pop t.queue with
-    | None -> ()
-    | Some (_, Timer { cancelled; _ }) when !cancelled ->
-        (* A cancelled timer (e.g. a retransmission pre-empted by its
-           ack) is discarded before the clock advances: it must not
-           stretch the run's completion time past the last real
-           event. *)
-        ()
-    | Some (time, event) ->
-        t.now <- max t.now time;
+    match Pqueue.take t.queue with
+    | exception Pqueue.Empty -> ()
+    | event ->
+        t.now <- max t.now (Pqueue.last_time t.queue);
         incr processed;
-        if Metrics.is_on Metrics.default then begin
-          Metrics.incr Metrics.default ~subsystem:"sim" "events";
-          Metrics.gauge_max Metrics.default ~subsystem:"sim" "queue_depth"
+        if metrics_on then begin
+          Metrics.incr_h t.h_events ~by:1;
+          Metrics.gauge_max_h t.h_qdepth
             (float_of_int (Pqueue.length t.queue + 1))
         end;
         (match event with
@@ -250,12 +335,14 @@ let run ?until_ms ?(max_events = 1_000_000) t =
                destination is a routable fault, not an abort: the
                bytes were spent, the payload is gone, the run goes
                on.  Counted in net/drops. *)
-            if is_crashed t dst then record_drop t ~peer:dst ~reason:"crashed"
+            let s = slot t dst in
+            if s.crashed_at >= 0.0 then
+              record_drop t ~peer:dst ~reason:"crashed"
             else
-              match Peer_id.Table.find_opt t.handlers dst with
+              match s.handler with
               | None -> record_drop t ~peer:dst ~reason:"no-handler"
               | Some handler ->
-                  if Trace.enabled () then begin
+                  if trace_on then begin
                     let sid =
                       Trace.begin_span ~cat:"sim"
                         ~peer:(Peer_id.to_string dst)
@@ -267,22 +354,23 @@ let run ?until_ms ?(max_events = 1_000_000) t =
                     (* The handler's virtual footprint: any CPU it
                        consumed pushed the peer's busy horizon past
                        [now]. *)
-                    Trace.end_span sid ~ts:(max t.now (busy_until t dst))
+                    Trace.end_span sid ~ts:(max t.now s.busy)
                   end
                   else handler ~src payload)
-        | Timer { peer; callback; cancelled = _ } ->
+        | Timer { peer; callback } ->
             Stats.record_time t.stats t.now;
             (* Timers model volatile local state; a crashed peer's
                timers fire into the void. *)
-            if not (is_crashed t peer) then
-              if Trace.enabled () then begin
+            let s = slot t peer in
+            if s.crashed_at < 0.0 then
+              if trace_on then begin
                 let sid =
                   Trace.begin_span ~cat:"sim"
                     ~peer:(Peer_id.to_string peer)
                     ~ts:t.now "timer"
                 in
                 callback ();
-                Trace.end_span sid ~ts:(max t.now (busy_until t peer))
+                Trace.end_span sid ~ts:(max t.now s.busy)
               end
               else callback ()
         | Control { callback } -> callback ())

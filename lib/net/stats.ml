@@ -16,6 +16,18 @@ type trace_entry = {
   note : string;
 }
 
+(* One mutable cell per directed link, keyed by the packed pair of
+   dense peer indexes: recording a send is an int-keyed table probe
+   and two in-place increments — no tuple key allocation, no generic
+   hashing of peer names (that cost dominated record_send at 10^6
+   messages). *)
+type link_cell = {
+  lsrc : Peer_id.t;
+  ldst : Peer_id.t;
+  mutable lmsgs : int;
+  mutable lbytes : int;
+}
+
 type t = {
   mutable messages : int;
   mutable payload_messages : int;
@@ -23,11 +35,13 @@ type t = {
   mutable local_messages : int;
   mutable drops : int;
   mutable completion_ms : float;
-  per_link : (Peer_id.t * Peer_id.t, int * int) Hashtbl.t;
+  per_link : (int, link_cell) Hashtbl.t;
   mutable tracing : bool;
   mutable trace_local : bool;
   mutable trace_rev : trace_entry list;
 }
+
+let pack src dst = (Peer_id.index src lsl 31) lor Peer_id.index dst
 
 let create () =
   {
@@ -58,10 +72,14 @@ let record_send ?(at_ms = 0.0) ?(note = "") ?(msgs = 1) t ~src ~dst ~bytes =
     t.messages <- t.messages + 1;
     t.payload_messages <- t.payload_messages + msgs;
     t.bytes <- t.bytes + bytes;
-    let m, b =
-      Option.value ~default:(0, 0) (Hashtbl.find_opt t.per_link (src, dst))
-    in
-    Hashtbl.replace t.per_link (src, dst) (m + 1, b + bytes);
+    let key = pack src dst in
+    (match Hashtbl.find t.per_link key with
+    | cell ->
+        cell.lmsgs <- cell.lmsgs + 1;
+        cell.lbytes <- cell.lbytes + bytes
+    | exception Not_found ->
+        Hashtbl.add t.per_link key
+          { lsrc = src; ldst = dst; lmsgs = 1; lbytes = bytes });
     if t.tracing then
       t.trace_rev <-
         { at_ms; src; dst; trace_bytes = bytes; note } :: t.trace_rev
@@ -86,7 +104,9 @@ let snapshot t : snapshot =
     drops = t.drops;
     completion_ms = t.completion_ms;
     per_link =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_link []
+      Hashtbl.fold
+        (fun _ c acc -> ((c.lsrc, c.ldst), (c.lmsgs, c.lbytes)) :: acc)
+        t.per_link []
       |> List.sort compare;
   }
 

@@ -2,17 +2,26 @@ module Pmap = Peer_id.Map
 
 type t = {
   peer_list : Peer_id.t list;
-  peer_set : Peer_id.Set.t;
+  member : bool array;  (** indexed by dense {!Peer_id.index} *)
   links : Link.t Pmap.t Pmap.t;  (** src -> dst -> link *)
   default : Peer_id.t -> Peer_id.t -> Link.t;
 }
 
 let peers t = t.peer_list
-let mem t p = Peer_id.Set.mem p t.peer_set
+
+(* O(1): membership by dense index — the per-send Set.mem did
+   O(log n) string comparisons. *)
+let mem t p =
+  let i = Peer_id.index p in
+  i < Array.length t.member && t.member.(i)
 
 let link t ~src ~dst =
   if not (mem t src && mem t dst) then raise Not_found;
   if Peer_id.equal src dst then Link.local
+  else if Pmap.is_empty t.links then
+    (* Builder topologies carry no per-pair overrides: skip straight to
+       the default link function. *)
+    t.default src dst
   else
     match Pmap.find_opt src t.links |> Fun.flip Option.bind (Pmap.find_opt dst) with
     | Some l -> l
@@ -23,12 +32,12 @@ let override t ~src ~dst l =
   { t with links = Pmap.add src (Pmap.add dst l row) t.links }
 
 let base peer_list default =
-  {
-    peer_list;
-    peer_set = Peer_id.Set.of_list peer_list;
-    links = Pmap.empty;
-    default;
-  }
+  let top =
+    List.fold_left (fun acc p -> max acc (Peer_id.index p)) (-1) peer_list
+  in
+  let member = Array.make (top + 1) false in
+  List.iter (fun p -> member.(Peer_id.index p) <- true) peer_list;
+  { peer_list; member; links = Pmap.empty; default }
 
 let full_mesh ~link peer_list = base peer_list (fun _ _ -> link)
 
@@ -61,12 +70,17 @@ let ring ~hop_link peer_list =
 let clustered ~intra ~inter clusters =
   let peer_list = List.concat clusters in
   let cluster_of =
-    let tbl = Hashtbl.create 16 in
+    (* Dense-index lookup: the per-send string-keyed hash probe is an
+       array load. *)
+    let top =
+      List.fold_left (fun acc p -> max acc (Peer_id.index p)) (-1) peer_list
+    in
+    let arr = Array.make (top + 1) (-1) in
     List.iteri
       (fun ci members ->
-        List.iter (fun p -> Hashtbl.replace tbl (Peer_id.to_string p) ci) members)
+        List.iter (fun p -> arr.(Peer_id.index p) <- ci) members)
       clusters;
-    fun p -> Hashtbl.find tbl (Peer_id.to_string p)
+    fun p -> arr.(Peer_id.index p)
   in
   let default src dst =
     if cluster_of src = cluster_of dst then intra else inter

@@ -13,21 +13,28 @@ let bucket_index v =
   in
   find 0
 
-type value =
-  | Vcounter of { mutable count : int }
-  | Vgauge of { mutable value : float; mutable max_value : float }
-  | Vhist of { mutable count : int; mutable sum : float; buckets : int array }
+type counter = { mutable count : int }
+type gauge = { mutable value : float; mutable max_value : float }
+type hist = { mutable n : int; mutable sum : float; buckets : int array }
+
+type value = Vcounter of counter | Vgauge of gauge | Vhist of hist
 
 type t = {
   tbl : (string * string * string, value) Hashtbl.t;
   mutable enabled : bool;
+  mutable gen : int;
+      (* Bumped on [reset]: outstanding handles notice their cached
+         cell is stale and re-resolve lazily. *)
 }
 
-let create () = { tbl = Hashtbl.create 64; enabled = false }
+let create () = { tbl = Hashtbl.create 64; enabled = false; gen = 0 }
 let default = create ()
 let set_enabled t b = t.enabled <- b
 let is_on t = t.enabled
-let reset t = Hashtbl.reset t.tbl
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.gen <- t.gen + 1
 
 let find_or_add t key make =
   match Hashtbl.find_opt t.tbl key with
@@ -44,6 +51,116 @@ let incr t ?(peer = "") ?(by = 1) ~subsystem name =
     with
     | Vcounter c -> c.count <- c.count + by
     | Vgauge _ | Vhist _ -> ()
+
+(* --- pre-resolved handles ---------------------------------------
+
+   A handle caches the mutable cell behind one (peer, subsystem, name)
+   key so that a hot-loop update is a generation check plus an in-place
+   mutation — no tuple allocation, no hashing.  Cells are resolved
+   lazily and only while the registry is enabled, so holding a handle
+   over a disabled registry creates no table entry and allocates
+   nothing per update (the E16 invariant). *)
+
+type counter_handle = {
+  creg : t;
+  ckey : string * string * string;
+  mutable cgen : int;  (* generation [ccell] was resolved under; -1 = never *)
+  mutable ccell : counter;
+}
+
+(* Sink for kind-mismatched keys: updates go nowhere, exactly like the
+   keyed mutators, but stay O(1) instead of re-probing the table. *)
+let counter_sink = { count = 0 }
+
+let counter_handle t ?(peer = "") ~subsystem name =
+  { creg = t; ckey = (peer, subsystem, name); cgen = -1; ccell = counter_sink }
+
+let resolve_counter h =
+  let t = h.creg in
+  (match find_or_add t h.ckey (fun () -> Vcounter { count = 0 }) with
+  | Vcounter c -> h.ccell <- c
+  | Vgauge _ | Vhist _ -> h.ccell <- counter_sink);
+  h.cgen <- t.gen
+
+let incr_h h ~by =
+  if h.creg.enabled then begin
+    if h.cgen <> h.creg.gen then resolve_counter h;
+    h.ccell.count <- h.ccell.count + by
+  end
+
+type gauge_handle = {
+  greg : t;
+  gkey : string * string * string;
+  mutable ggen : int;
+  mutable gcell : gauge;
+}
+
+let gauge_sink = { value = 0.0; max_value = neg_infinity }
+
+let gauge_handle t ?(peer = "") ~subsystem name =
+  { greg = t; gkey = (peer, subsystem, name); ggen = -1; gcell = gauge_sink }
+
+let resolve_gauge h =
+  let t = h.greg in
+  (match
+     find_or_add t h.gkey (fun () ->
+         Vgauge { value = 0.0; max_value = neg_infinity })
+   with
+  | Vgauge g -> h.gcell <- g
+  | Vcounter _ | Vhist _ -> h.gcell <- gauge_sink);
+  h.ggen <- t.gen
+
+let gauge_set_h h v =
+  if h.greg.enabled then begin
+    if h.ggen <> h.greg.gen then resolve_gauge h;
+    let g = h.gcell in
+    g.value <- v;
+    if v > g.max_value then g.max_value <- v
+  end
+
+let gauge_max_h h v =
+  if h.greg.enabled then begin
+    if h.ggen <> h.greg.gen then resolve_gauge h;
+    let g = h.gcell in
+    if v > g.max_value then begin
+      g.max_value <- v;
+      g.value <- v
+    end
+  end
+
+type hist_handle = {
+  hreg : t;
+  hkey : string * string * string;
+  mutable hgen : int;
+  mutable hcell : hist;
+}
+
+let hist_sink = { n = 0; sum = 0.0; buckets = [||] }
+
+let hist_handle t ?(peer = "") ~subsystem name =
+  { hreg = t; hkey = (peer, subsystem, name); hgen = -1; hcell = hist_sink }
+
+let resolve_hist h =
+  let t = h.hreg in
+  (match
+     find_or_add t h.hkey (fun () ->
+         Vhist { n = 0; sum = 0.0; buckets = Array.make hist_buckets 0 })
+   with
+  | Vhist d -> h.hcell <- d
+  | Vcounter _ | Vgauge _ -> h.hcell <- hist_sink);
+  h.hgen <- t.gen
+
+let observe_h h v =
+  if h.hreg.enabled then begin
+    if h.hgen <> h.hreg.gen then resolve_hist h;
+    let d = h.hcell in
+    if Array.length d.buckets > 0 then begin
+      d.n <- d.n + 1;
+      d.sum <- d.sum +. v;
+      let i = bucket_index v in
+      d.buckets.(i) <- d.buckets.(i) + 1
+    end
+  end
 
 let gauge_set t ?(peer = "") ~subsystem name v =
   if t.enabled then
@@ -73,10 +190,10 @@ let observe t ?(peer = "") ~subsystem name v =
   if t.enabled then
     match
       find_or_add t (peer, subsystem, name) (fun () ->
-          Vhist { count = 0; sum = 0.0; buckets = Array.make hist_buckets 0 })
+          Vhist { n = 0; sum = 0.0; buckets = Array.make hist_buckets 0 })
     with
     | Vhist h ->
-        h.count <- h.count + 1;
+        h.n <- h.n + 1;
         h.sum <- h.sum +. v;
         let i = bucket_index v in
         h.buckets.(i) <- h.buckets.(i) + 1
@@ -96,13 +213,13 @@ let snapshot t =
         match v with
         | Vcounter { count } -> Count count
         | Vgauge { value; max_value } -> Value { value; max_value }
-        | Vhist { count; sum; buckets } ->
+        | Vhist { n; sum; buckets } ->
             let filled = ref [] in
             for i = hist_buckets - 1 downto 0 do
               if buckets.(i) > 0 then
                 filled := (bucket_bound i, buckets.(i)) :: !filled
             done;
-            Dist { count; sum; buckets = !filled }
+            Dist { count = n; sum; buckets = !filled }
       in
       { peer; subsystem; name; sample } :: acc)
     t.tbl []

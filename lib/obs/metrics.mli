@@ -45,6 +45,32 @@ val observe : t -> ?peer:string -> subsystem:string -> string -> float -> unit
 (** Add one observation to a log-scale histogram (powers-of-two
     buckets). *)
 
+(** {1 Pre-resolved handles}
+
+    A handle caches the mutable cell behind one (peer, subsystem,
+    name) key, turning a hot-loop update into a generation check plus
+    an in-place mutation — no tuple allocation, no hashing.  Handles
+    are cheap to create and resolve lazily: while the registry is
+    disabled they create no table entry and an update allocates
+    nothing (the E16 invariant), and after {!reset} they transparently
+    re-resolve.  A handle over a key already bound to a different
+    metric kind updates nothing, like the keyed mutators. *)
+
+type counter_handle
+type gauge_handle
+type hist_handle
+
+val counter_handle :
+  t -> ?peer:string -> subsystem:string -> string -> counter_handle
+
+val gauge_handle : t -> ?peer:string -> subsystem:string -> string -> gauge_handle
+val hist_handle : t -> ?peer:string -> subsystem:string -> string -> hist_handle
+
+val incr_h : counter_handle -> by:int -> unit
+val gauge_set_h : gauge_handle -> float -> unit
+val gauge_max_h : gauge_handle -> float -> unit
+val observe_h : hist_handle -> float -> unit
+
 (** {1 Reading} *)
 
 type sample =

@@ -37,27 +37,38 @@ type pending_send = {
          stretch the run's completion time. *)
 }
 
-(* Per-direction batching state, keyed (a, b).  The record bundles two
-   independent roles of peer [a] in its conversation with [b]: as the
-   {e sender} of a→b traffic ([queue], [unacked], the retry timer) and
-   as the {e receiver} of b→a traffic (the delayed standalone ack).
-   Both roles are volatile — a crash of [a] wipes the record. *)
-type dir = {
+(* One connection record per ordered peer pair (a, b), bundling every
+   role [a] plays in its conversation with [b]: the durable sequence
+   cursors, the sender-side in-flight state for a→b traffic (per-seq
+   [pending] sends or the batching window), and the receiver-side
+   state for b→a traffic (the early-arrival [buffer] and the delayed
+   standalone ack).  This replaces five tuple-keyed hashtables whose
+   per-message key allocation and generic tuple hashing dominated the
+   transport at 10^6 messages: now each message does one int-keyed
+   probe (packed dense peer indexes) to reach all of its state.
+
+   Durability: [next_seq] / [next_expected] model WAL-backed cursors
+   and survive a crash of [a]; everything else in the record is
+   volatile and reset by {!handle_crash}.  The record itself is
+   created on first contact and never removed. *)
+type conn = {
+  c_src : Peer_id.t;  (* a *)
+  c_dst : Peer_id.t;  (* b *)
+  mutable next_seq : int;  (* last seq assigned to a→b traffic *)
+  mutable next_expected : int;  (* next in-order seq awaited from b *)
+  pending : (int, pending_send) Hashtbl.t;  (* seq -> unbatched in-flight *)
   mutable queue : Message.t list;  (* awaiting flush, newest first *)
   mutable flush_pending : bool;
   mutable unacked : Message.t list;  (* sent, ascending seq *)
   mutable attempt : int;
   mutable cancel_retry : unit -> unit;
+  buffer : (int, Message.t) Hashtbl.t;  (* seq -> early arrival from b *)
   mutable ack_due : bool;  (* a standalone ack timer is armed *)
   mutable cancel_ack : unit -> unit;
 }
 
 type rel = {
-  next_seq : (Peer_id.t * Peer_id.t, int) Hashtbl.t;
-  pending : (Peer_id.t * Peer_id.t * int, pending_send) Hashtbl.t;
-  next_expected : (Peer_id.t * Peer_id.t, int) Hashtbl.t;  (* (dst, src) *)
-  buffer : (Peer_id.t * Peer_id.t * int, Message.t) Hashtbl.t;  (* (dst, src, seq) *)
-  dirs : (Peer_id.t * Peer_id.t, dir) Hashtbl.t;  (* batching only *)
+  conns : (int, conn) Hashtbl.t;  (* packed (a, b) dense-index pair *)
   mutable retransmits : int;
   mutable dup_suppressed : int;
   mutable abandoned : int;
@@ -71,7 +82,7 @@ type rel = {
 
 type t = {
   sim : Message.t Sim.t;
-  peers : Peer.t Peer_id.Table.t;
+  mutable peers : Peer.t option array;  (* indexed by dense Peer_id.index *)
   conts : (int, cont_entry) Hashtbl.t;
   mutable next_key : int;
   response_delay_ms : float;
@@ -127,10 +138,23 @@ let reliability_counters t =
     dedup_shared_bytes = t.rel.dedup_shared_bytes;
   }
 
+(* Dense per-peer slots: the per-dispatch peer lookup is an array load
+   instead of a string hash + probe. *)
+let peer_slot t p =
+  let i = Peer_id.index p in
+  if i < Array.length t.peers then t.peers.(i) else None
+
 let peer t p =
-  match Peer_id.Table.find_opt t.peers p with
-  | Some peer -> peer
-  | None -> raise Not_found
+  match peer_slot t p with Some peer -> peer | None -> raise Not_found
+
+let set_peer t p v =
+  let i = Peer_id.index p in
+  if i >= Array.length t.peers then begin
+    let arr = Array.make (max (i + 1) (2 * Array.length t.peers)) None in
+    Array.blit t.peers 0 arr 0 (Array.length t.peers);
+    t.peers <- arr
+  end;
+  t.peers.(i) <- Some v
 
 let peers t =
   Axml_net.Topology.peers (Sim.topology t.sim) |> List.map (peer t)
@@ -167,28 +191,64 @@ let raw_send t ~src ~dst (msg : Message.t) =
    min(rto * 2^n, rto * 32). *)
 let retry_delay t attempt = t.rto_ms *. (2.0 ** float_of_int (min attempt 5))
 
+let conn_key a b = (Peer_id.index a lsl 31) lor Peer_id.index b
+
+let conn t a b =
+  let key = conn_key a b in
+  match Hashtbl.find t.rel.conns key with
+  | c -> c
+  | exception Not_found ->
+      let c =
+        {
+          c_src = a;
+          c_dst = b;
+          next_seq = 0;
+          next_expected = 1;
+          pending = Hashtbl.create 8;
+          queue = [];
+          flush_pending = false;
+          unacked = [];
+          attempt = 0;
+          cancel_retry = ignore;
+          buffer = Hashtbl.create 8;
+          ack_due = false;
+          cancel_ack = ignore;
+        }
+      in
+      Hashtbl.add t.rel.conns key c;
+      c
+
+(* Lookup that must not create: used where the old tables answered
+   [None] for a pair that never communicated. *)
+let conn_opt t a b =
+  match Hashtbl.find t.rel.conns (conn_key a b) with
+  | c -> Some c
+  | exception Not_found -> None
+
 (* One physical transmission of a sequenced message plus the timer
    that guards it.  The timer outlives acks on purpose: when it fires
    it checks whether the send is still pending and retransmits with
    backoff, giving up (and counting the abandonment) after
    [max_retries] so a permanently dead destination cannot keep the
-   simulation alive forever. *)
-let rec transmit t ~src ~dst (msg : Message.t) =
+   simulation alive forever.  The connection record is captured by the
+   timer closure — records are never replaced, so the capture cannot
+   go stale. *)
+let rec transmit t (c : conn) ~src ~dst (msg : Message.t) =
   raw_send t ~src ~dst msg;
-  match Hashtbl.find_opt t.rel.pending (src, dst, msg.Message.seq) with
+  match Hashtbl.find_opt c.pending msg.Message.seq with
   | None -> ()
   | Some p ->
       p.cancel_retry <-
         Sim.after_cancellable t.sim ~peer:src
           ~delay_ms:(retry_delay t p.attempt) (fun () ->
-            retry t ~src ~dst msg)
+            retry t c ~src ~dst msg)
 
-and retry t ~src ~dst (msg : Message.t) =
+and retry t (c : conn) ~src ~dst (msg : Message.t) =
   let seq = msg.Message.seq in
-  match Hashtbl.find_opt t.rel.pending (src, dst, seq) with
+  match Hashtbl.find_opt c.pending seq with
   | None -> () (* acked in the meantime *)
   | Some p when p.attempt >= t.max_retries ->
-      Hashtbl.remove t.rel.pending (src, dst, seq);
+      Hashtbl.remove c.pending seq;
       t.rel.abandoned <- t.rel.abandoned + 1;
       if Metrics.is_on Metrics.default then
         Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
@@ -202,7 +262,7 @@ and retry t ~src ~dst (msg : Message.t) =
       if Metrics.is_on Metrics.default then
         Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
           ~subsystem:"net" "retransmits";
-      transmit t ~src ~dst msg
+      transmit t c ~src ~dst msg
 
 (* --- batched reliable transport (sender side) -------------------- *)
 
@@ -216,28 +276,9 @@ and retry t ~src ~dst (msg : Message.t) =
 let batched t =
   t.transport = Reliable && (t.flush_ms > 0.0 || t.ack_delay_ms > 0.0)
 
-let dir_of t key =
-  match Hashtbl.find_opt t.rel.dirs key with
-  | Some d -> d
-  | None ->
-      let d =
-        {
-          queue = [];
-          flush_pending = false;
-          unacked = [];
-          attempt = 0;
-          cancel_retry = ignore;
-          ack_due = false;
-          cancel_ack = ignore;
-        }
-      in
-      Hashtbl.replace t.rel.dirs key d;
-      d
-
-(* Highest sequence number peer [at] has delivered from [from] — what
-   a cumulative ack acknowledges ([0] = nothing yet). *)
-let cum_ack t ~at ~from =
-  Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (at, from)) - 1
+(* Highest sequence number [c.c_src] has delivered from [c.c_dst] —
+   what a cumulative ack acknowledges ([0] = nothing yet). *)
+let cum_ack (c : conn) = c.next_expected - 1
 
 (* Ship one frame.  A regular flush carries only the window's fresh
    messages; a retransmission timeout re-ships the whole unacked
@@ -245,7 +286,7 @@ let cum_ack t ~at ~from =
    go quadratic when the flush window is shorter than the RTT).  One
    retry timer per direction guards the window, replacing the
    per-message timers of the unbatched path. *)
-let rec send_batch t ~src ~dst (d : dir) msgs =
+let rec send_batch t ~src ~dst (d : conn) msgs =
   if d.ack_due then begin
     (* The pending standalone ack is subsumed by this frame's
        piggybacked cumulative ack. *)
@@ -256,7 +297,7 @@ let rec send_batch t ~src ~dst (d : dir) msgs =
       Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
         ~subsystem:"net" "piggybacked_acks"
   end;
-  let payload = Message.batch ~ack:(cum_ack t ~at:src ~from:dst) msgs in
+  let payload = Message.batch ~ack:(cum_ack d) msgs in
   let items = Message.batch_size payload in
   let saved = Message.batch_saved payload in
   t.rel.batches_sent <- t.rel.batches_sent + 1;
@@ -278,7 +319,7 @@ let rec send_batch t ~src ~dst (d : dir) msgs =
         [
           ("dst", Peer_id.to_string dst);
           ("items", string_of_int items);
-          ("ack", string_of_int (cum_ack t ~at:src ~from:dst));
+          ("ack", string_of_int (cum_ack d));
           ("shared_bytes", string_of_int saved);
         ]
       "batch";
@@ -286,13 +327,12 @@ let rec send_batch t ~src ~dst (d : dir) msgs =
   d.cancel_retry ();
   d.cancel_retry <-
     Sim.after_cancellable t.sim ~peer:src ~delay_ms:(retry_delay t d.attempt)
-      (fun () -> retry_batch t ~src ~dst)
+      (fun () -> retry_batch t d ~src ~dst)
 
-and retry_batch t ~src ~dst =
-  match Hashtbl.find_opt t.rel.dirs (src, dst) with
-  | None -> ()
-  | Some d when d.unacked = [] -> ()
-  | Some d when d.attempt >= t.max_retries ->
+and retry_batch t (d : conn) ~src ~dst =
+  match d with
+  | d when d.unacked = [] -> ()
+  | d when d.attempt >= t.max_retries ->
       let n = List.length d.unacked in
       d.unacked <- [];
       d.attempt <- 0;
@@ -303,7 +343,7 @@ and retry_batch t ~src ~dst =
       Log.warn (fun m ->
           m "peer %a: abandoning %d batched message(s) to %a after %d retries"
             Peer_id.pp src n Peer_id.pp dst t.max_retries)
-  | Some d ->
+  | d ->
       d.attempt <- d.attempt + 1;
       t.rel.retransmits <- t.rel.retransmits + 1;
       if Metrics.is_on Metrics.default then
@@ -311,22 +351,19 @@ and retry_batch t ~src ~dst =
           ~subsystem:"net" "retransmits";
       send_batch t ~src ~dst d d.unacked
 
-let flush_dir t ~src ~dst =
-  match Hashtbl.find_opt t.rel.dirs (src, dst) with
-  | None -> ()
-  | Some d -> (
-      d.flush_pending <- false;
-      match List.rev d.queue with
-      | [] -> ()  (* stale timer, e.g. surviving a crash+restart *)
-      | fresh ->
-          d.queue <- [];
-          d.unacked <- d.unacked @ fresh;
-          send_batch t ~src ~dst d fresh)
+let flush_conn t ~src ~dst (d : conn) =
+  d.flush_pending <- false;
+  match List.rev d.queue with
+  | [] -> ()  (* stale timer, e.g. surviving a crash+restart *)
+  | fresh ->
+      d.queue <- [];
+      d.unacked <- d.unacked @ fresh;
+      send_batch t ~src ~dst d fresh
 
 (* Everything up to [upto] is delivered at the far side.  Progress
    resets the backoff; an emptied window parks the retry timer. *)
 let handle_cum_ack t ~at ~from upto =
-  match Hashtbl.find_opt t.rel.dirs (at, from) with
+  match conn_opt t at from with
   | None -> ()
   | Some d ->
       let before = List.length d.unacked in
@@ -353,27 +390,23 @@ let send t ~src ~dst payload =
   in
   if not sequenced then raw_send t ~src ~dst (Message.make ~corr payload)
   else begin
-    let key = (src, dst) in
-    let seq =
-      1 + Option.value ~default:0 (Hashtbl.find_opt t.rel.next_seq key)
-    in
-    Hashtbl.replace t.rel.next_seq key seq;
+    let c = conn t src dst in
+    let seq = c.next_seq + 1 in
+    c.next_seq <- seq;
     let msg = Message.make ~corr ~seq payload in
     if batched t then begin
-      let d = dir_of t key in
-      d.queue <- msg :: d.queue;
-      if not d.flush_pending then begin
-        d.flush_pending <- true;
+      c.queue <- msg :: c.queue;
+      if not c.flush_pending then begin
+        c.flush_pending <- true;
         (* [flush_ms = 0] still coalesces: the timer fires after every
            send already scheduled at this instant. *)
         Sim.after t.sim ~peer:src ~delay_ms:t.flush_ms (fun () ->
-            flush_dir t ~src ~dst)
+            flush_conn t ~src ~dst c)
       end
     end
     else begin
-      Hashtbl.replace t.rel.pending (src, dst, seq)
-        { msg; attempt = 0; cancel_retry = ignore };
-      transmit t ~src ~dst msg
+      Hashtbl.replace c.pending seq { msg; attempt = 0; cancel_retry = ignore };
+      transmit t c ~src ~dst msg
     end
   end
 
@@ -383,33 +416,28 @@ let send_ack t ~src ~dst ~corr seq =
 
 (* --- batched reliable transport (receiver side, ack scheduling) --- *)
 
-let fire_delayed_ack t ~at ~from =
-  match Hashtbl.find_opt t.rel.dirs (at, from) with
-  | None -> ()
-  | Some d when not d.ack_due -> ()
-  | Some d ->
-      d.ack_due <- false;
-      t.rel.delayed_acks <- t.rel.delayed_acks + 1;
-      if Metrics.is_on Metrics.default then
-        Metrics.incr Metrics.default ~peer:(Peer_id.to_string at)
-          ~subsystem:"net" "delayed_acks";
-      send_ack t ~src:at ~dst:from ~corr:0 (cum_ack t ~at ~from)
+let fire_delayed_ack t ~at ~from (d : conn) =
+  if d.ack_due then begin
+    d.ack_due <- false;
+    t.rel.delayed_acks <- t.rel.delayed_acks + 1;
+    if Metrics.is_on Metrics.default then
+      Metrics.incr Metrics.default ~peer:(Peer_id.to_string at)
+        ~subsystem:"net" "delayed_acks";
+    send_ack t ~src:at ~dst:from ~corr:0 (cum_ack d)
+  end
 
 (* Owe the sender an acknowledgement.  With no delay configured a
    standalone cumulative ack leaves immediately; otherwise a single
    timer is armed (re-arming would starve the sender under a steady
    stream) and cancelled if reverse traffic piggybacks first. *)
-let schedule_ack t ~at ~from =
+let schedule_ack t ~at ~from (d : conn) =
   if t.ack_delay_ms <= 0.0 then
-    send_ack t ~src:at ~dst:from ~corr:0 (cum_ack t ~at ~from)
-  else begin
-    let d = dir_of t (at, from) in
-    if not d.ack_due then begin
-      d.ack_due <- true;
-      d.cancel_ack <-
-        Sim.after_cancellable t.sim ~peer:at ~delay_ms:t.ack_delay_ms
-          (fun () -> fire_delayed_ack t ~at ~from)
-    end
+    send_ack t ~src:at ~dst:from ~corr:0 (cum_ack d)
+  else if not d.ack_due then begin
+    d.ack_due <- true;
+    d.cancel_ack <-
+      Sim.after_cancellable t.sim ~peer:at ~delay_ms:t.ack_delay_ms (fun () ->
+          fire_delayed_ack t ~at ~from d)
   end
 
 let consume_cpu t ~peer ~bytes =
@@ -679,48 +707,47 @@ let count_dup t p =
     Metrics.incr Metrics.default ~peer:(Peer_id.to_string p) ~subsystem:"net"
       "dup_suppressed"
 
-let rec deliver_in_order t p ~src (msg : Message.t) =
+let rec deliver_in_order t (c : conn) p ~src (msg : Message.t) =
   let seq = msg.Message.seq in
-  Hashtbl.replace t.rel.next_expected (p, src) (seq + 1);
+  c.next_expected <- seq + 1;
   send_ack t ~src:p ~dst:src ~corr:msg.Message.corr seq;
   dispatch t (peer t p) ~src msg;
-  match Hashtbl.find_opt t.rel.buffer (p, src, seq + 1) with
+  match Hashtbl.find_opt c.buffer (seq + 1) with
   | Some next ->
-      Hashtbl.remove t.rel.buffer (p, src, seq + 1);
-      deliver_in_order t p ~src next
+      Hashtbl.remove c.buffer (seq + 1);
+      deliver_in_order t c p ~src next
   | None -> ()
 
 (* Batched-mode variant: same in-order/exactly-once machinery, but the
    acknowledgement is cumulative and deferred via [schedule_ack]
    instead of per-message and immediate. *)
-let rec deliver_in_order_batched t p ~src (msg : Message.t) =
+let rec deliver_in_order_batched t (c : conn) p ~src (msg : Message.t) =
   let seq = msg.Message.seq in
-  Hashtbl.replace t.rel.next_expected (p, src) (seq + 1);
+  c.next_expected <- seq + 1;
   dispatch t (peer t p) ~src msg;
-  match Hashtbl.find_opt t.rel.buffer (p, src, seq + 1) with
+  match Hashtbl.find_opt c.buffer (seq + 1) with
   | Some next ->
-      Hashtbl.remove t.rel.buffer (p, src, seq + 1);
-      deliver_in_order_batched t p ~src next
+      Hashtbl.remove c.buffer (seq + 1);
+      deliver_in_order_batched t c p ~src next
   | None -> ()
 
 let receive_sequenced t p ~src (msg : Message.t) =
+  let c = conn t p src in
   let seq = msg.Message.seq in
-  let expected =
-    Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (p, src))
-  in
+  let expected = c.next_expected in
   if seq < expected then begin
     (* Already delivered — a go-back-N re-ship or a lost ack.  Owe a
        (cumulative) re-ack so the sender's window drains. *)
     count_dup t p;
-    schedule_ack t ~at:p ~from:src
+    schedule_ack t ~at:p ~from:src c
   end
   else if seq > expected then begin
-    if Hashtbl.mem t.rel.buffer (p, src, seq) then count_dup t p
-    else Hashtbl.replace t.rel.buffer (p, src, seq) msg
+    if Hashtbl.mem c.buffer seq then count_dup t p
+    else Hashtbl.replace c.buffer seq msg
   end
   else begin
-    deliver_in_order_batched t p ~src msg;
-    schedule_ack t ~at:p ~from:src
+    deliver_in_order_batched t c p ~src msg;
+    schedule_ack t ~at:p ~from:src c
   end
 
 let on_message t p ~src (msg : Message.t) =
@@ -732,17 +759,19 @@ let on_message t p ~src (msg : Message.t) =
         items
   | Message.Ack { seq } when batched t -> handle_cum_ack t ~at:p ~from:src seq
   | Message.Ack { seq } -> (
-      match Hashtbl.find_opt t.rel.pending (p, src, seq) with
+      match conn_opt t p src with
       | None -> ()
-      | Some ps ->
-          ps.cancel_retry ();
-          Hashtbl.remove t.rel.pending (p, src, seq))
+      | Some c -> (
+          match Hashtbl.find_opt c.pending seq with
+          | None -> ()
+          | Some ps ->
+              ps.cancel_retry ();
+              Hashtbl.remove c.pending seq))
   | _ when msg.Message.seq = 0 -> dispatch t (peer t p) ~src msg
   | _ ->
+      let c = conn t p src in
       let seq = msg.Message.seq in
-      let expected =
-        Option.value ~default:1 (Hashtbl.find_opt t.rel.next_expected (p, src))
-      in
+      let expected = c.next_expected in
       if seq < expected then begin
         (* Already delivered — the ack must have been lost.  Re-ack so
            the sender stops retransmitting. *)
@@ -750,10 +779,10 @@ let on_message t p ~src (msg : Message.t) =
         send_ack t ~src:p ~dst:src ~corr:msg.Message.corr seq
       end
       else if seq > expected then begin
-        if Hashtbl.mem t.rel.buffer (p, src, seq) then count_dup t p
-        else Hashtbl.replace t.rel.buffer (p, src, seq) msg
+        if Hashtbl.mem c.buffer seq then count_dup t p
+        else Hashtbl.replace c.buffer seq msg
       end
-      else deliver_in_order t p ~src msg
+      else deliver_in_order t c p ~src msg
 
 (* A crash wipes everything volatile the peer holds: its store,
    registry, catalog, watchers — and the transport's in-flight state
@@ -764,31 +793,32 @@ let on_message t p ~src (msg : Message.t) =
    a restarted peer comes back empty). *)
 let handle_crash t p =
   t.failover_save p;
-  let wipe tbl choose =
-    let doomed = Hashtbl.fold (fun k _ acc -> if choose k then k :: acc else acc) tbl [] in
-    List.iter (Hashtbl.remove tbl) doomed
-  in
+  (* Every conn (p, _) holds all of p's volatile transport roles: its
+     unbatched in-flight sends, its batching queues/windows, its
+     early-arrival buffers and its owed delayed acks.  Reset them in
+     place, keeping the durable cursors.  (Conns (_, p) belong to live
+     senders, which keep retransmitting toward the outage as they
+     should.) *)
+  let pi = Peer_id.index p in
   Hashtbl.iter
-    (fun (src, _, _) (ps : pending_send) ->
-      if Peer_id.equal src p then ps.cancel_retry ())
-    t.rel.pending;
-  wipe t.rel.pending (fun (src, _, _) -> Peer_id.equal src p);
-  wipe t.rel.buffer (fun (dst, _, _) -> Peer_id.equal dst p);
-  (* Batching state at (p, _) is all of p's volatile transport roles:
-     its send queues/windows and its owed delayed acks.  (Entries
-     (_, p) belong to live senders, which keep retransmitting toward
-     the outage as they should.) *)
-  Hashtbl.iter
-    (fun (src, _) (d : dir) ->
-      if Peer_id.equal src p then begin
-        d.cancel_retry ();
-        d.cancel_ack ()
+    (fun key (c : conn) ->
+      if key lsr 31 = pi then begin
+        Hashtbl.iter (fun _ (ps : pending_send) -> ps.cancel_retry ()) c.pending;
+        Hashtbl.reset c.pending;
+        c.queue <- [];
+        c.flush_pending <- false;
+        c.unacked <- [];
+        c.attempt <- 0;
+        c.cancel_retry ();
+        c.cancel_retry <- ignore;
+        Hashtbl.reset c.buffer;
+        c.ack_due <- false;
+        c.cancel_ack ();
+        c.cancel_ack <- ignore
       end)
-    t.rel.dirs;
-  wipe t.rel.dirs (fun (src, _) -> Peer_id.equal src p);
+    t.rel.conns;
   let old = peer t p in
-  Peer_id.Table.replace t.peers p
-    (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
+  set_peer t p (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
 
 let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
     ?(transport = Raw) ?(rto_ms = 40.0) ?(max_retries = 30) ?(flush_ms = 0.0)
@@ -799,7 +829,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
   let t =
     {
       sim;
-      peers = Peer_id.Table.create 16;
+      peers = Array.make 16 None;
       conts = Hashtbl.create 64;
       next_key = 0;
       response_delay_ms;
@@ -811,11 +841,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
       ack_delay_ms;
       rel =
         {
-          next_seq = Hashtbl.create 16;
-          pending = Hashtbl.create 64;
-          next_expected = Hashtbl.create 16;
-          buffer = Hashtbl.create 64;
-          dirs = Hashtbl.create 16;
+          conns = Hashtbl.create 64;
           retransmits = 0;
           dup_suppressed = 0;
           abandoned = 0;
@@ -832,7 +858,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
   in
   List.iter
     (fun p ->
-      Peer_id.Table.replace t.peers p (Peer.create p);
+      set_peer t p (Peer.create p);
       (* The handler resolves the Peer.t at dispatch time: a crash
          replaces the record behind [p], and a stale capture here
          would resurrect pre-crash state. *)
@@ -1046,7 +1072,7 @@ let cost_env t =
   let topology = Sim.topology t.sim in
   let all_peer_ids = Axml_net.Topology.peers topology in
   let find_doc p (r : Names.Doc_ref.t) =
-    Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+    Option.bind (peer_slot t p) (fun peer ->
         Axml_doc.Store.find peer.Peer.store r.Names.Doc_ref.name)
   in
   let doc_bytes (r : Names.Doc_ref.t) =
@@ -1059,7 +1085,7 @@ let cost_env t =
   in
   let doc_stats (r : Names.Doc_ref.t) =
     let stats_at p =
-      Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+      Option.bind (peer_slot t p) (fun peer ->
           Axml_doc.Store.stats_of peer.Peer.store r.Names.Doc_ref.name)
     in
     match r.Names.Doc_ref.at with
@@ -1068,7 +1094,7 @@ let cost_env t =
   in
   let service_query (r : Names.Service_ref.t) =
     let visible p =
-      Option.bind (Peer_id.Table.find_opt t.peers p) (fun peer ->
+      Option.bind (peer_slot t p) (fun peer ->
           Axml_doc.Registry.visible_query peer.Peer.registry
             r.Names.Service_ref.name)
     in

@@ -104,6 +104,160 @@ let resolution_request sd ~at ~wanted =
        (fun name -> Tree.element ~gen (l "want") ~attrs:[ ("name", name) ] [])
        wanted)
 
+type flash_crowd = {
+  fc_system : System.t;
+  fc_publisher : Peer_id.t;
+  fc_mirrors : Peer_id.t list;
+  fc_subscribers : Peer_id.t list;
+  fc_fetch_class : string;
+  fc_requests : int;
+  fc_completed : int ref;
+  fc_unserved : int ref;
+}
+
+let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4)
+    ?(packages = 32) ?(payload_bytes = 256) ?(arrival_window_ms = 500.0)
+    ?(think_ms = 5.0) ?transport ?flush_ms ?ack_delay_ms ~seed () =
+  if mirrors < 1 then invalid_arg "Scenarios.flash_crowd: mirrors < 1";
+  if subscribers < 0 then invalid_arg "Scenarios.flash_crowd: subscribers < 0";
+  let publisher = Peer_id.of_string "origin" in
+  let mirror_ids =
+    List.init mirrors (fun i -> Peer_id.of_string (Printf.sprintf "mirror%03d" i))
+  in
+  let sub_ids =
+    List.init subscribers (fun i -> Peer_id.of_string (Printf.sprintf "sub%05d" i))
+  in
+  let topology =
+    Axml_net.Topology.clustered
+      ~intra:(Axml_net.Link.make ~latency_ms:2.0 ~bandwidth_bytes_per_ms:1000.0)
+      ~inter:(Axml_net.Link.make ~latency_ms:20.0 ~bandwidth_bytes_per_ms:200.0)
+      [ publisher :: mirror_ids; sub_ids ]
+  in
+  let sys = System.create ?transport ?flush_ms ?ack_delay_ms topology in
+  let sim = System.sim sys in
+  let fetch_class = "fetch_any" in
+  (* Mirrors: an extern package-fetch service over a pre-built package
+     array, registered as one generic service class. *)
+  List.iter
+    (fun m ->
+      let gen = System.gen_of sys m in
+      let pkg_forests =
+        Array.init packages (fun i ->
+            [
+              Tree.element ~gen (l "package")
+                ~attrs:
+                  [ ("name", Printf.sprintf "pkg%03d" i); ("version", "2.0") ]
+                [
+                  Tree.element ~gen (l "blob")
+                    [ Tree.text (String.make payload_bytes 'x') ];
+                ];
+            ])
+      in
+      let fetch params =
+        match params with
+        | [ (req :: _) ] -> (
+            match Tree.attr req "pkg" with
+            | Some s ->
+                let i = int_of_string s in
+                if i >= 0 && i < packages then pkg_forests.(i) else []
+            | None -> [])
+        | _ -> []
+      in
+      System.add_service sys m
+        (Axml_doc.Service.extern ~name:"fetch"
+           ~signature:(Axml_schema.Signature.untyped ~arity:1)
+           fetch);
+      System.register_service_class sys ~class_name:fetch_class
+        (Names.Service_ref.make (Names.Service_name.of_string "fetch") (Names.At m)))
+    mirror_ids;
+  (* The publisher announces the release to every mirror (the event
+     that triggers the crowd). *)
+  let pgen = System.gen_of sys publisher in
+  List.iter
+    (fun m ->
+      System.send sys ~src:publisher ~dst:m
+        (Axml_peer.Message.Install_doc
+           {
+             name = "release";
+             forest =
+               [
+                 Tree.element ~gen:pgen (l "release")
+                   ~attrs:
+                     [ ("version", "2.0"); ("packages", string_of_int packages) ]
+                   [];
+               ];
+             notify = None;
+           }))
+    mirror_ids;
+  let completed = ref 0 and unserved = ref 0 in
+  (* One request tree per package, shared by every subscriber: the
+     fetch service only reads the [pkg] attribute and nothing installs
+     these trees, so sharing is safe — and it keeps half a million
+     requests from allocating half a million identical elements. *)
+  let req_trees =
+    let rgen = Axml_xml.Node_id.Gen.create ~namespace:"flash-crowd-req" in
+    Array.init packages (fun i ->
+        Tree.element ~gen:rgen (l "get") ~attrs:[ ("pkg", string_of_int i) ] [])
+  in
+  (* Each subscriber runs a closed loop: pick a mirror through the
+     generic class, invoke fetch, and on the final response batch
+     schedule the next request after a think delay.  The availability
+     oracle and catalog are per-subscriber invariants, hoisted out of
+     the per-request path. *)
+  let rec request sub avail catalog sub_rng pick_seed remaining =
+    match
+      Axml_doc.Generic.pick_service ~available:avail catalog
+        ~policy:(Axml_doc.Generic.Random pick_seed)
+        ~class_name:fetch_class
+    with
+    | None | Some { Names.Service_ref.at = Names.Any; _ } -> incr unserved
+    | Some { Names.Service_ref.name = service; at = Names.At provider } ->
+        let key = System.fresh_key sys in
+        System.set_cont sys key (fun _forest ~final ->
+            if final then begin
+              incr completed;
+              if remaining > 1 then
+                Axml_net.Sim.after sim ~peer:sub
+                  ~delay_ms:(Rng.float sub_rng think_ms)
+                  (fun () ->
+                    request sub avail catalog sub_rng pick_seed (remaining - 1))
+            end);
+        let req = req_trees.(Rng.int sub_rng packages) in
+        System.send sys ~src:sub ~dst:provider
+          (Axml_peer.Message.Invoke
+             {
+               service;
+               params = [ [ req ] ];
+               replies = [ Axml_peer.Message.Cont { peer = sub; key } ];
+             })
+  in
+  (* Flash-crowd arrival curve: quadratic ramp concentrating arrivals
+     near the release announcement, with a long tail. *)
+  let arrival_rng = Rng.create ~seed in
+  List.iteri
+    (fun k sub ->
+      let u = Rng.float arrival_rng 1.0 in
+      let at = arrival_window_ms *. u *. u in
+      let sub_rng = Rng.create ~seed:((seed * 1_000_003) + k) in
+      let pick_seed = seed + k in
+      if requests_per_subscriber > 0 then
+        Axml_net.Sim.after sim ~peer:sub ~delay_ms:at (fun () ->
+            let avail = System.availability sys ~from:sub in
+            let catalog = (System.peer sys sub).Axml_peer.Peer.catalog in
+            request sub avail catalog sub_rng pick_seed
+              requests_per_subscriber))
+    sub_ids;
+  {
+    fc_system = sys;
+    fc_publisher = publisher;
+    fc_mirrors = mirror_ids;
+    fc_subscribers = sub_ids;
+    fc_fetch_class = fetch_class;
+    fc_requests = subscribers * requests_per_subscriber;
+    fc_completed = completed;
+    fc_unserved = unserved;
+  }
+
 type subscription = {
   sub_system : System.t;
   sub_aggregator : Peer_id.t;

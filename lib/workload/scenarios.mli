@@ -41,6 +41,51 @@ val resolution_request :
   software_distribution -> at:Peer_id.t -> wanted:string list -> Axml_xml.Tree.t
 (** Build a request tree at the given peer. *)
 
+(** {1 Flash-crowd software distribution (web scale)}
+
+    One publisher, [mirrors] mirror peers each exposing an extern
+    package-fetch service behind a single generic service class, and
+    [subscribers] client peers.  The publisher announces a release to
+    every mirror at t=0; subscriber arrivals follow a flash-crowd ramp
+    (quadratic, front-loaded over [arrival_window_ms]).  Each
+    subscriber runs a closed loop: resolve the class through
+    {!Axml_doc.Generic.pick_service}, invoke fetch on the chosen
+    mirror, and after the response and a think delay issue the next
+    request, [requests_per_subscriber] times.  Each request costs two
+    remote messages (Invoke + Stream), so total traffic is
+    ~2·[subscribers]·[requests_per_subscriber] messages — the driver
+    behind bench E20 and [axmlctl scale]. *)
+
+type flash_crowd = {
+  fc_system : Axml_peer.System.t;
+  fc_publisher : Peer_id.t;
+  fc_mirrors : Peer_id.t list;
+  fc_subscribers : Peer_id.t list;
+  fc_fetch_class : string;  (** Generic service class of the fetch service. *)
+  fc_requests : int;  (** Total requests the crowd will issue. *)
+  fc_completed : int ref;  (** Requests whose final response arrived. *)
+  fc_unserved : int ref;  (** Requests that found no available mirror. *)
+}
+
+val flash_crowd :
+  ?mirrors:int ->
+  ?subscribers:int ->
+  ?requests_per_subscriber:int ->
+  ?packages:int ->
+  ?payload_bytes:int ->
+  ?arrival_window_ms:float ->
+  ?think_ms:float ->
+  ?transport:Axml_peer.System.transport ->
+  ?flush_ms:float ->
+  ?ack_delay_ms:float ->
+  seed:int ->
+  unit ->
+  flash_crowd
+(** Defaults: 8 mirrors, 64 subscribers, 4 requests each, 32 packages,
+    256-byte payloads, 500 ms arrival window, ≤5 ms think time, [Raw]
+    transport.  Build, then {!Axml_peer.System.run} with a
+    [max_events] budget of at least ~4·[fc_requests]. *)
+
 (** {1 News subscription}
 
     [sources] peers each expose a continuous feed over their local

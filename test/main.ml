@@ -34,4 +34,5 @@ let () =
       ("obs", Test_obs.suite);
       ("transport.batch", Test_transport_batch.suite);
       ("chaos", Test_fault.suite);
+      ("scale", Test_scale.suite);
     ]
