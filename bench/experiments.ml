@@ -1282,6 +1282,40 @@ let write_json path contents =
       output_string oc contents;
       output_char oc '\n')
 
+(* BENCH_summary.json: one uniform envelope embedding every
+   BENCH_E<n>.json artifact present in the working directory, keyed by
+   experiment id.  Every experiment calls this after writing its own
+   artifact, so the summary always reflects whichever subset was last
+   (re)run — a dashboard reads one file with one schema instead of one
+   ad-hoc schema per experiment. *)
+let write_summary () =
+  let files =
+    Sys.readdir "." |> Array.to_list
+    |> List.filter (fun f ->
+           String.starts_with ~prefix:"BENCH_E" f
+           && Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  let entries =
+    List.map
+      (fun f ->
+        let key =
+          let base = Filename.chop_suffix f ".json" in
+          String.sub base 6 (String.length base - 6)
+        in
+        let ic = open_in_bin f in
+        let contents =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        json_s key ^ ": " ^ String.trim contents)
+      files
+  in
+  write_json "BENCH_summary.json"
+    ("{" ^ json_s "schema_version" ^ ": 2, " ^ json_s "experiments" ^ ": {"
+   ^ String.concat ", " entries ^ "}}")
+
 let e17 ?(smoke = false) () =
   section
     (if smoke then "E17  indexed store vs naive evaluation (smoke)"
@@ -1560,13 +1594,6 @@ let e17 ?(smoke = false) () =
              ])
          cost_rows)
   in
-  write_json "BENCH_E17.json"
-    (json_obj
-       [
-         ("experiment", json_s "E17"); ("smoke", json_b smoke);
-         ("sweep", sweep_json); ("maintenance", maint_json);
-         ("cost_estimate", cost_json);
-       ]);
   let max_nodes =
     List.fold_left (fun acc (_, _, n, _, _, _, _, _, _) -> max acc n) 0 sweep
   in
@@ -1589,22 +1616,29 @@ let e17 ?(smoke = false) () =
     List.fold_left (fun acc r -> acc +. f r) 0.0 rows
     /. float_of_int (max 1 (List.length rows))
   in
-  write_json "BENCH_summary.json"
+  write_json "BENCH_E17.json"
     (json_obj
        [
          ("experiment", json_s "E17"); ("smoke", json_b smoke);
-         ("max_nodes", string_of_int max_nodes);
-         ("max_speedup", json_f max_speedup);
-         ("speedup_rare_label_at_max_size", json_f speedup_at_max);
-         ("all_outputs_identical", json_b !all_identical);
-         ("maintain_vs_rebuild_ratio_max", json_f ratio_max);
-         ("mean_cost_err_before",
-          json_f (mean (fun (_, _, _, _, _, e, _) -> e) cost_rows));
-         ("mean_cost_err_after",
-          json_f (mean (fun (_, _, _, _, _, _, e) -> e) cost_rows));
-         ("index_hits", string_of_int hits);
-         ("fallbacks", string_of_int fallbacks);
+         ("sweep", sweep_json); ("maintenance", maint_json);
+         ("cost_estimate", cost_json);
+         ( "summary",
+           json_obj
+             [
+               ("max_nodes", string_of_int max_nodes);
+               ("max_speedup", json_f max_speedup);
+               ("speedup_rare_label_at_max_size", json_f speedup_at_max);
+               ("all_outputs_identical", json_b !all_identical);
+               ("maintain_vs_rebuild_ratio_max", json_f ratio_max);
+               ("mean_cost_err_before",
+                json_f (mean (fun (_, _, _, _, _, e, _) -> e) cost_rows));
+               ("mean_cost_err_after",
+                json_f (mean (fun (_, _, _, _, _, _, e) -> e) cost_rows));
+               ("index_hits", string_of_int hits);
+               ("fallbacks", string_of_int fallbacks);
+             ] );
        ]);
+  write_summary ();
   Printf.printf
     "\nwrote BENCH_E17.json and BENCH_summary.json\n\
      shape: the index pays off exactly where traversal dominated — the\n\
@@ -1773,8 +1807,9 @@ let e18 ?(smoke = false) () =
                     ])
                 rows) );
        ]);
+  write_summary ();
   Printf.printf
-    "\nwrote BENCH_E18.json\n\
+    "\nwrote BENCH_E18.json and BENCH_summary.json\n\
      shape: byte and time overheads grow with the drop rate while the\n\
      reliable answer column stays full — the protocol converts loss into\n\
      latency and retransmitted bytes; the raw ablation loses the answer\n\
@@ -2026,8 +2061,9 @@ let e19 ?(smoke = false) () =
                        runs)
                 per_workload) );
        ]);
+  write_summary ();
   Printf.printf
-    "\nwrote BENCH_E19.json\n\
+    "\nwrote BENCH_E19.json and BENCH_summary.json\n\
      shape: the chatty stream collapses into a handful of frames — the\n\
      flush window removes envelopes and the ack delay removes standalone\n\
      acks (piggybacked on reverse batches where traffic flows both ways);\n\
@@ -2189,11 +2225,219 @@ let e20 ?(smoke = false) () =
          ("pre_refactor_baseline", baseline_json);
          ("rows", rows_json);
        ]);
+  write_summary ();
   Printf.printf
-    "\nwrote BENCH_E20.json\n\
+    "\nwrote BENCH_E20.json and BENCH_summary.json\n\
      shape: events/sec should stay flat as peer count grows — per-event\n\
      work is array-indexed, not string-hashed — and the top tier should\n\
      complete its ~10^6 messages in single-digit seconds\n"
+
+(* --- E21: observability overhead ablation ------------------------ *)
+
+(* Prices the telemetry stack of DESIGN.md §15 on the flash-crowd
+   scenario of E20: the same tiers run with everything off, with
+   cumulative metrics, with metrics + head-sampled tracing (1 in 64
+   correlations), and with the full stack (+ windowed timeseries).
+   Two invariants gate the design:
+   - the disabled path must allocate nothing — the two "off" arms
+     bracketing the instrumented ones must agree on words/event to the
+     word (the E16 invariant, extended to every record site);
+   - the metrics arm must stay within ~10% of the off arm's wall
+     clock, and the sampled-trace arms must complete the largest tier
+     (head sampling is what makes tracing viable at 10^3 peers). *)
+let e21 ?(smoke = false) () =
+  section
+    (if smoke then "E21  observability overhead ablation (smoke)"
+     else "E21  observability overhead ablation");
+  Printf.printf
+    "scenario: the E20 flash crowd per observability arm — off /\n\
+     metrics / metrics+sampled traces (1/64) / full stack / off again;\n\
+     words/event of the two off arms must agree exactly, the metrics\n\
+     arm must cost <= ~10%% extra wall clock, and the sampled arms must\n\
+     complete every tier\n\n";
+  let tiers =
+    if smoke then [ (3, 6, 20); (8, 41, 20) ]
+    else [ (3, 6, 800); (8, 91, 550); (24, 975, 512) ]
+  in
+  (* (label, metrics, timeseries, keep-one-in; 0 = tracing off) *)
+  let arms =
+    [
+      ("off", false, false, 0);
+      ("metrics", true, false, 0);
+      ("metrics+traces", true, false, 64);
+      ("full", true, true, 64);
+      ("off (after)", false, false, 0);
+    ]
+  in
+  let disable_all () =
+    Obs.Metrics.set_enabled Obs.Metrics.default false;
+    Obs.Metrics.reset Obs.Metrics.default;
+    Obs.Timeseries.set_enabled Obs.Timeseries.default false;
+    Obs.Timeseries.reset Obs.Timeseries.default;
+    Obs.Trace.set_enabled false;
+    Obs.Trace.clear ();
+    Obs.Trace.set_sampling ~seed:0 ~keep_one_in:1 ()
+  in
+  let gc0 = Gc.get () in
+  Gc.set { gc0 with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  Fun.protect ~finally:(fun () ->
+      disable_all ();
+      Gc.set gc0)
+  @@ fun () ->
+  let run_arm (mirrors, subscribers, reqs) (label, metrics, ts, keep) =
+    Obs.Metrics.set_enabled Obs.Metrics.default metrics;
+    Obs.Metrics.reset Obs.Metrics.default;
+    Obs.Timeseries.set_enabled Obs.Timeseries.default ts;
+    Obs.Timeseries.reset Obs.Timeseries.default;
+    if keep > 0 then begin
+      Obs.Trace.set_enabled true;
+      Obs.Trace.clear ();
+      Obs.Trace.set_sampling ~seed:11 ~keep_one_in:keep ()
+    end
+    else begin
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ()
+    end;
+    let fc =
+      Workload.Scenarios.flash_crowd ~mirrors ~subscribers
+        ~requests_per_subscriber:reqs ~seed:11 ()
+    in
+    let sys = fc.Workload.Scenarios.fc_system in
+    let peers = 1 + mirrors + subscribers in
+    let budget =
+      (8 * fc.Workload.Scenarios.fc_requests) + (40 * peers) + 10_000
+    in
+    Gc.compact ();
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    let outcome, events = System.run ~max_events:budget sys in
+    let wall = Sys.time () -. t0 in
+    let words = Gc.minor_words () -. w0 in
+    let ok =
+      outcome = `Quiescent
+      && !(fc.Workload.Scenarios.fc_completed)
+         = fc.Workload.Scenarios.fc_requests
+      && !(fc.Workload.Scenarios.fc_unserved) = 0
+    in
+    let spans = if keep > 0 then Obs.Trace.count () else 0 in
+    let series = List.length (Obs.Timeseries.keys Obs.Timeseries.default) in
+    disable_all ();
+    ( label, peers, events, wall,
+      words /. Float.max 1.0 (float_of_int events), spans, series, ok )
+  in
+  let checks = ref [] in
+  let tier_results =
+    List.map
+      (fun tier ->
+        let rows = List.map (run_arm tier) arms in
+        let wall_of l =
+          List.fold_left
+            (fun acc (label, _, _, wall, _, _, _, _) ->
+              if label = l then wall else acc)
+            0.0 rows
+        in
+        let wpe_of l =
+          List.fold_left
+            (fun acc (label, _, _, _, wpe, _, _, _) ->
+              if label = l then wpe else acc)
+            0.0 rows
+        in
+        let peers =
+          match rows with (_, p, _, _, _, _, _, _) :: _ -> p | [] -> 0
+        in
+        let off_wpe_agree = wpe_of "off" = wpe_of "off (after)" in
+        let metrics_ratio =
+          wall_of "metrics" /. Float.max 1e-9 (wall_of "off")
+        in
+        let all_complete =
+          List.for_all (fun (_, _, _, _, _, _, _, ok) -> ok) rows
+        in
+        checks :=
+          (peers, off_wpe_agree, metrics_ratio, all_complete) :: !checks;
+        (peers, rows))
+      tiers
+  in
+  let checks = List.rev !checks in
+  List.iter
+    (fun (peers, rows) ->
+      Printf.printf "-- %d peers --\n" peers;
+      table
+        ~headers:
+          [ "arm"; "events"; "wall s"; "words/event"; "spans"; "series"; "ok" ]
+        (List.map
+           (fun (label, _, events, wall, wpe, spans, series, ok) ->
+             [
+               label; string_of_int events;
+               Printf.sprintf "%.3f" wall;
+               Printf.sprintf "%.1f" wpe;
+               string_of_int spans; string_of_int series;
+               (if ok then "yes" else "NO");
+             ])
+           rows))
+    tier_results;
+  List.iter
+    (fun (peers, agree, ratio, complete) ->
+      if not agree then
+        Printf.printf
+          "  !! E21 %d peers: disabled-path words/event changed across arms\n"
+          peers;
+      if ratio > 1.10 then
+        Printf.printf
+          "  ~~ E21 %d peers: metrics arm wall ratio %.2fx (> 1.10x target; \
+           wall clock is noisy at small tiers)\n"
+          peers ratio;
+      if not complete then
+        Printf.printf "  !! E21 %d peers: an arm failed to complete\n" peers)
+    checks;
+  let rows_json =
+    json_arr
+      (List.concat_map
+         (fun (peers, rows) ->
+           List.map
+             (fun (label, _, events, wall, wpe, spans, series, ok) ->
+               json_obj
+                 [
+                   ("peers", string_of_int peers);
+                   ("arm", json_s label);
+                   ("events", string_of_int events);
+                   ("wall_s", json_f wall);
+                   ("words_per_event", json_f wpe);
+                   ("sampled_spans", string_of_int spans);
+                   ("timeseries_keys", string_of_int series);
+                   ("quiescent_and_complete", json_b ok);
+                 ])
+             rows)
+         tier_results)
+  in
+  let checks_json =
+    json_arr
+      (List.map
+         (fun (peers, agree, ratio, complete) ->
+           json_obj
+             [
+               ("peers", string_of_int peers);
+               ("disabled_words_per_event_stable", json_b agree);
+               ("metrics_wall_ratio", json_f ratio);
+               ("all_arms_complete", json_b complete);
+             ])
+         checks)
+  in
+  write_json "BENCH_E21.json"
+    (json_obj
+       [
+         ("experiment", json_s "E21");
+         ("smoke", json_b smoke);
+         ("sample_keep_one_in", string_of_int 64);
+         ("rows", rows_json);
+         ("checks", checks_json);
+       ]);
+  write_summary ();
+  Printf.printf
+    "\nwrote BENCH_E21.json and BENCH_summary.json\n\
+     shape: words/event is identical in both off arms (the disabled\n\
+     path allocates nothing), the metrics arm adds low-single-digit\n\
+     percent wall, and the sampled-trace arms complete every tier with\n\
+     a span count ~1/64th of a full trace\n"
 
 let all =
   [
@@ -2202,4 +2446,5 @@ let all =
     (fun () -> e18 ());
     (fun () -> e19 ());
     (fun () -> e20 ());
+    (fun () -> e21 ());
   ]

@@ -14,10 +14,12 @@
    E18 only:              dune exec bench/main.exe -- --e18 [--smoke]
    E19 only:              dune exec bench/main.exe -- --e19 [--smoke]
    E20 only:              dune exec bench/main.exe -- --e20 [--smoke]
+   E21 only:              dune exec bench/main.exe -- --e21 [--smoke]
 
-   E17 additionally writes BENCH_E17.json and BENCH_summary.json, E18
-   writes BENCH_E18.json, and E19 writes BENCH_E19.json, to the
-   current directory; --smoke shrinks them to CI size. *)
+   E17-E21 each write a BENCH_E<n>.json artifact to the current
+   directory, then regenerate BENCH_summary.json — a uniform
+   {schema_version, experiments: {E17: ..., ...}} envelope embedding
+   every artifact present; --smoke shrinks them to CI size. *)
 
 open Axml
 open Bench_util
@@ -281,11 +283,13 @@ let () =
   let e18_only = List.mem "--e18" args in
   let e19_only = List.mem "--e19" args in
   let e20_only = List.mem "--e20" args in
+  let e21_only = List.mem "--e21" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
   else if e18_only then Experiments.e18 ~smoke ()
   else if e19_only then Experiments.e19 ~smoke ()
   else if e20_only then Experiments.e20 ~smoke ()
+  else if e21_only then Experiments.e21 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

@@ -7,7 +7,10 @@
      optimize   optimize a serialized plan under the cost model
      explain    run the unified planner and print its explain record
      demo       run the Example-1 demonstration end to end
-     trace      run the traced Example-1 and export spans + metrics *)
+     trace      run the traced Example-1 and export spans + metrics
+     chaos      run the reference plans under seeded faults
+     scale      run the flash-crowd scenario and print tier traffic
+     top        flash-crowd under windowed telemetry; per-peer table *)
 
 open Cmdliner
 open Axml
@@ -75,8 +78,22 @@ let query_cmd =
              descendant steps from a structural index, $(b,naive) is the \
              reference interpreter (ablation / cross-check)")
   in
-  let run qtext engine files =
-    let gen = Xml.Node_id.Gen.create ~namespace:"cli" in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "EXPLAIN ANALYZE: run the query on a synthetic distributed \
+             system (a driver peer plus one peer per input document) under \
+             the per-operator profiler, and print planner cost estimates \
+             next to the observed per-operator costs.  Exits non-zero if \
+             the per-operator sim times fail to sum to the root span")
+  in
+  (* The profiled path re-creates the query as a distributed plan: each
+     input file becomes a document installed on its own peer of a
+     synthetic mesh, so the operator table shows real transfer and
+     delivery costs, not a local evaluation. *)
+  let run_profile qtext files =
     let q =
       match Query.Parser.parse qtext with
       | Ok q -> q
@@ -89,23 +106,81 @@ let query_cmd =
         (Query.Ast.arity q) (List.length files);
       exit 1
     end;
-    let inputs =
-      List.map
-        (fun f ->
-          match Xml.Parser.parse_forest ~gen (read_file f) with
-          | Ok forest -> forest
+    let driver = Net.Peer_id.of_string "p1" in
+    let holders =
+      List.mapi
+        (fun i _ -> Net.Peer_id.of_string (Printf.sprintf "p%d" (i + 2)))
+        files
+    in
+    let topo =
+      Net.Topology.full_mesh
+        ~link:(Net.Link.make ~latency_ms:10.0 ~bandwidth_bytes_per_ms:100.0)
+        (driver :: holders)
+    in
+    let sys = Runtime.System.create topo in
+    Obs.Metrics.set_enabled Obs.Metrics.default true;
+    Obs.Metrics.reset Obs.Metrics.default;
+    let args =
+      List.mapi
+        (fun i (f, p) ->
+          let gen = Runtime.System.gen_of sys p in
+          match Xml.Parser.parse ~gen (read_file f) with
+          | Ok t ->
+              let name = Printf.sprintf "in%d" (i + 1) in
+              Runtime.System.add_document sys p ~name t;
+              Algebra.Expr.doc name ~at:(Net.Peer_id.to_string p)
           | Error e ->
               Format.eprintf "%s: %a@." f Xml.Parser.pp_error e;
               exit 1)
-        files
+        (List.combine files holders)
     in
-    let out = Query.Compile.eval ~engine ~gen q inputs in
-    List.iter (fun t -> print_string (Xml.Serializer.to_string_pretty t)) out;
-    Format.printf "; %d result(s)@." (List.length out)
+    let plan = Algebra.Expr.query_at q ~at:driver ~args in
+    let { Runtime.Exec.outcome; report } =
+      Runtime.Exec.run_profiled sys ~ctx:driver plan
+    in
+    List.iter
+      (fun t -> print_string (Xml.Serializer.to_string_pretty t))
+      outcome.Runtime.Exec.results;
+    Format.printf "; %d result(s), %.1f sim ms, %d bytes on the wire@.@."
+      (List.length outcome.Runtime.Exec.results)
+      outcome.Runtime.Exec.elapsed_ms outcome.Runtime.Exec.stats.Net.Stats.bytes;
+    Format.printf "%a@." Runtime.Profiler.pp_report report;
+    if not (Runtime.Profiler.sums_to_root report) then exit 1
+  in
+  let run qtext engine profile files =
+    if profile then run_profile qtext files
+    else begin
+      let gen = Xml.Node_id.Gen.create ~namespace:"cli" in
+      let q =
+        match Query.Parser.parse qtext with
+        | Ok q -> q
+        | Error e ->
+            Format.eprintf "%a@." Query.Parser.pp_error e;
+            exit 1
+      in
+      if Query.Ast.arity q <> List.length files then begin
+        Format.eprintf "query expects %d input(s), %d file(s) given@."
+          (Query.Ast.arity q) (List.length files);
+        exit 1
+      end;
+      let inputs =
+        List.map
+          (fun f ->
+            match Xml.Parser.parse_forest ~gen (read_file f) with
+            | Ok forest -> forest
+            | Error e ->
+                Format.eprintf "%s: %a@." f Xml.Parser.pp_error e;
+                exit 1)
+          files
+      in
+      let out = Query.Compile.eval ~engine ~gen q inputs in
+      List.iter (fun t -> print_string (Xml.Serializer.to_string_pretty t)) out;
+      Format.printf "; %d result(s)@." (List.length out)
+    end
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate a query over XML documents")
-    Term.(const run $ qarg $ engine $ files)
+    Term.(const run $ qarg $ engine $ profile $ files)
 
 (* --- shared plan options --------------------------------------- *)
 
@@ -481,6 +556,22 @@ let trace_cmd =
 
 (* --- chaos ------------------------------------------------------- *)
 
+(* Shared by chaos/scale: turn SLO breaches into a distinct exit code
+   (3).  The breach test reads the runtime's own counters — unserved
+   requests, abandoned reliable deliveries, budget exhaustion — so it
+   holds with every observability layer off; the matching trace
+   instants (cat "slo") are the sampled, inspectable view of the same
+   moments. *)
+let slo_arg =
+  Arg.(
+    value & flag
+    & info [ "slo" ]
+        ~doc:
+          "Exit with code 3 when the run breached an SLO: unserved \
+           requests, abandoned reliable deliveries, or event-budget \
+           exhaustion (computed from runtime counters, independent of \
+           telemetry)")
+
 let chaos_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault plan seed") in
   let drop =
@@ -514,7 +605,7 @@ let chaos_cmd =
              value switches the Reliable transport into batched mode \
              (ignored with $(b,--raw))")
   in
-  let run seed drop raw flush_ms ack_delay =
+  let run seed drop raw flush_ms ack_delay slo =
     (* Three-peer reference Σ (the V-series shape): catalog at p2,
        orders at p3, a declarative service at p2, a collector inbox at
        p3 for the forwarded stream. *)
@@ -589,6 +680,7 @@ let chaos_cmd =
            ack_delay
        else "");
     let divergent = ref 0 in
+    let abandoned_total = ref 0 and unfinished = ref 0 in
     Format.printf "  %-16s %-8s %6s %6s %6s %6s %9s %9s@." "plan" "answer"
       "drops" "retx" "dups" "aband" "ref ms" "fault ms";
     List.iter
@@ -600,6 +692,8 @@ let chaos_cmd =
         Runtime.System.inject_faults sys fault;
         let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
         let rc = Runtime.System.reliability_counters sys in
+        abandoned_total := !abandoned_total + rc.Runtime.System.abandoned;
+        if not out.finished then incr unfinished;
         let ok =
           out.finished
           && Xml.Canonical.equal_forest ref_out.results out.results
@@ -623,14 +717,23 @@ let chaos_cmd =
         !divergent;
       exit 1
     end
-    else Format.printf "@.all plans match the fault-free runs@."
+    else Format.printf "@.all plans match the fault-free runs@.";
+    if slo then begin
+      if !abandoned_total > 0 || !unfinished > 0 then begin
+        Format.eprintf
+          "SLO breach: %d abandoned delivery(ies), %d unfinished plan(s)@."
+          !abandoned_total !unfinished;
+        exit 3
+      end
+      else Format.printf "SLO: no breaches@."
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run the reference plans under a seeded fault plan and check the \
           reliable transport reproduces the fault-free answers")
-    Term.(const run $ seed $ drop $ raw $ flush_ms $ ack_delay)
+    Term.(const run $ seed $ drop $ raw $ flush_ms $ ack_delay $ slo_arg)
 
 (* --- scale ------------------------------------------------------- *)
 
@@ -660,7 +763,7 @@ let scale_cmd =
       & info [ "reliable" ]
           ~doc:"Use the Reliable transport (default: Raw)")
   in
-  let run peers subscribers requests seed reliable =
+  let run peers subscribers requests seed reliable slo =
     let mirrors = peers - subscribers - 1 in
     if mirrors < 1 then begin
       prerr_endline
@@ -740,6 +843,20 @@ let scale_cmd =
           msgs bytes)
       (List.sort compare
          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []));
+    (if slo then begin
+       let rc = Runtime.System.reliability_counters sys in
+       let unserved = !(fc.Workload.Scenarios.fc_unserved) in
+       let exhausted = outcome = `Budget_exhausted in
+       if unserved > 0 || rc.Runtime.System.abandoned > 0 || exhausted then begin
+         Format.eprintf
+           "SLO breach: %d unserved request(s), %d abandoned \
+            delivery(ies)%s@."
+           unserved rc.Runtime.System.abandoned
+           (if exhausted then ", event budget exhausted" else "");
+         exit 3
+       end
+       else Format.printf "SLO: no breaches@."
+     end);
     if completed < fc.Workload.Scenarios.fc_requests then begin
       Format.eprintf "error: %d request(s) never completed@."
         (fc.Workload.Scenarios.fc_requests - completed);
@@ -752,7 +869,261 @@ let scale_cmd =
          "Run the web-scale flash-crowd scenario (one publisher, a mirror \
           pool behind a generic fetch class, a subscriber crowd) and print \
           throughput plus per-tier traffic totals")
-    Term.(const run $ peers $ subscribers $ requests $ seed $ reliable)
+    Term.(
+      const run $ peers $ subscribers $ requests $ seed $ reliable $ slo_arg)
+
+(* --- top --------------------------------------------------------- *)
+
+let top_cmd =
+  let peers =
+    Arg.(
+      value & opt int 100
+      & info [ "peers" ] ~docv:"N" ~doc:"Total peer count (as in scale)")
+  in
+  let subscribers =
+    Arg.(
+      value & opt int 80
+      & info [ "subscribers" ] ~docv:"M" ~doc:"Subscriber count")
+  in
+  let requests =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests per subscriber")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed") in
+  let reliable =
+    Arg.(
+      value & flag
+      & info [ "reliable" ] ~doc:"Use the Reliable transport (default: Raw)")
+  in
+  let interval =
+    Arg.(
+      value & opt float 100.0
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Telemetry window width (virtual milliseconds)")
+  in
+  let rows =
+    Arg.(
+      value & opt int 12
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Table rows: the N peers with the highest transmit rate")
+  in
+  let sample =
+    Arg.(
+      value & opt int 64
+      & info [ "sample" ] ~docv:"K"
+          ~doc:
+            "Trace head sampling: keep one correlation id in K (whole \
+             cross-peer computations kept or dropped atomically); 0 \
+             disables tracing entirely")
+  in
+  let json =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the table as a JSON object")
+  in
+  let run peers subscribers requests seed reliable interval rows sample json =
+    let mirrors = peers - subscribers - 1 in
+    if mirrors < 1 then begin
+      prerr_endline
+        "error: --peers must exceed --subscribers by at least 2 (one \
+         publisher, one mirror)";
+      exit 1
+    end;
+    (* Full observability stack: cumulative metrics, windowed series at
+       the requested interval, and sampled tracing (viable at 10^3
+       peers precisely because sampled-out events allocate nothing). *)
+    let reg = Obs.Timeseries.default in
+    Obs.Metrics.set_enabled Obs.Metrics.default true;
+    Obs.Metrics.reset Obs.Metrics.default;
+    Obs.Timeseries.set_window reg interval;
+    Obs.Timeseries.set_enabled reg true;
+    Obs.Timeseries.reset reg;
+    if sample > 0 then begin
+      Obs.Trace.set_enabled true;
+      Obs.Trace.clear ();
+      Obs.Trace.set_sampling ~seed ~keep_one_in:sample ()
+    end
+    else Obs.Trace.set_enabled false;
+    let transport =
+      if reliable then Runtime.System.Reliable else Runtime.System.Raw
+    in
+    let fc =
+      Workload.Scenarios.flash_crowd ~mirrors ~subscribers
+        ~requests_per_subscriber:requests ~transport ~seed ()
+    in
+    let sys = fc.Workload.Scenarios.fc_system in
+    let budget = (8 * fc.Workload.Scenarios.fc_requests) + (40 * peers) + 10_000 in
+    Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+    let outcome, events = Runtime.System.run ~max_events:budget sys in
+    let stats = Runtime.System.stats sys in
+    let rc = Runtime.System.reliability_counters sys in
+    (* Read the rings back.  [now] is the virtual end of the run; rates
+       cover the complete windows the ring still holds, quantiles merge
+       every live window's histogram. *)
+    let now = Obs.Timeseries.now reg in
+    let windows = Obs.Timeseries.ring_size reg in
+    let cur = Obs.Timeseries.epoch_of reg now in
+    let sum_rate key =
+      (* Bytes/sec analogue of [Timeseries.rate]: total of w_sum over
+         the complete windows preceding the current one. *)
+      let total = ref 0.0 in
+      for e = max 0 (cur - windows + 1) to cur - 1 do
+        match Obs.Timeseries.read_window reg key ~epoch:e with
+        | Some a -> total := !total +. a.Obs.Timeseries.w_sum
+        | None -> ()
+      done;
+      !total /. (float_of_int (windows - 1) *. interval /. 1000.0)
+    in
+    let peak key =
+      let best = ref 0.0 in
+      for e = max 0 (cur - windows + 1) to cur do
+        match Obs.Timeseries.read_window reg key ~epoch:e with
+        | Some a when a.Obs.Timeseries.w_count > 0 ->
+            if a.Obs.Timeseries.w_max > !best then best := a.Obs.Timeseries.w_max
+        | _ -> ()
+      done;
+      !best
+    in
+    let all_keys = Obs.Timeseries.keys reg in
+    let all_peers =
+      (fc.Workload.Scenarios.fc_publisher, "publisher")
+      :: List.map (fun m -> (m, "mirror")) fc.Workload.Scenarios.fc_mirrors
+      @ List.map (fun s -> (s, "subscriber")) fc.Workload.Scenarios.fc_subscribers
+    in
+    let row (p, tier) =
+      let name = Net.Peer_id.to_string p in
+      let k suffix = "peer/" ^ name ^ "/" ^ suffix in
+      let tx = Obs.Timeseries.rate reg (k "tx") ~now ~windows:(windows - 1) in
+      let kb = sum_rate (k "tx") /. 1024.0 in
+      let p95 =
+        Obs.Timeseries.quantile reg (k "latency_ms") ~now ~windows ~q:0.95
+      in
+      let p99 =
+        Obs.Timeseries.quantile reg (k "latency_ms") ~now ~windows ~q:0.99
+      in
+      let inflight =
+        (* Peak of the per-link in-flight gauges departing this peer
+           (recorded by the Reliable transport; 0 under Raw). *)
+        let prefix = "net/link/" ^ name ^ "->" in
+        List.fold_left
+          (fun acc key ->
+            if
+              String.starts_with ~prefix key
+              && String.ends_with ~suffix:"/inflight" key
+            then Float.max acc (peak key)
+            else acc)
+          0.0 all_keys
+      in
+      let counter n =
+        Obs.Metrics.counter_value Obs.Metrics.default ~peer:name
+          ~subsystem:"net" n
+      in
+      (name, tier, tx, kb, p95, p99, inflight, counter "retransmits",
+       counter "drops")
+    in
+    let ranked =
+      List.map row all_peers
+      |> List.sort (fun (n1, _, tx1, _, _, _, _, _, _) (n2, _, tx2, _, _, _, _, _, _) ->
+             match compare tx2 tx1 with 0 -> compare n1 n2 | c -> c)
+    in
+    let shown = List.filteri (fun i _ -> i < rows) ranked in
+    let trace_events = if sample > 0 then Obs.Trace.events () else [] in
+    let sampled_span =
+      match trace_events with
+      | [] -> 0.0
+      | e0 :: rest ->
+          let lo, hi =
+            List.fold_left
+              (fun (lo, hi) (e : Obs.Trace.event) ->
+                (Float.min lo e.ts_ms, Float.max hi (e.ts_ms +. e.dur_ms)))
+              (e0.Obs.Trace.ts_ms, e0.Obs.Trace.ts_ms +. e0.Obs.Trace.dur_ms)
+              rest
+          in
+          hi -. lo
+    in
+    if json then begin
+      let b = Buffer.create 4096 in
+      let esc s = Obs.Exporter.json_escape s in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"schema_version\":2,\"peers\":%d,\"mirrors\":%d,\"subscribers\":%d,\
+            \"seed\":%d,\"transport\":\"%s\",\"window_ms\":%g,\"windows\":%d,"
+           peers mirrors subscribers seed
+           (if reliable then "reliable" else "raw")
+           interval windows);
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"requests\":{\"issued\":%d,\"completed\":%d,\"unserved\":%d},"
+           fc.Workload.Scenarios.fc_requests
+           !(fc.Workload.Scenarios.fc_completed)
+           !(fc.Workload.Scenarios.fc_unserved));
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"events\":%d,\"completion_ms\":%.3f,\"budget_exhausted\":%b,\
+            \"retransmits\":%d,\"abandoned\":%d,"
+           events stats.Net.Stats.completion_ms
+           (outcome = `Budget_exhausted)
+           rc.Runtime.System.retransmits rc.Runtime.System.abandoned);
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"trace\":{\"keep_one_in\":%d,\"sampled_events\":%d,\
+            \"sampled_span_ms\":%.3f},\"rows\":["
+           sample (List.length trace_events) sampled_span);
+      List.iteri
+        (fun i (name, tier, tx, kb, p95, p99, infl, retx, drops) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"peer\":\"%s\",\"tier\":\"%s\",\"tx_per_s\":%.3f,\
+                \"kb_per_s\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,\
+                \"inflight\":%.0f,\"retransmits\":%d,\"drops\":%d}"
+               (esc name) (esc tier) tx kb p95 p99 infl retx drops))
+        shown;
+      Buffer.add_string b "]}";
+      print_endline (Buffer.contents b)
+    end
+    else begin
+      Format.printf
+        "peers %d (1 publisher, %d mirrors, %d subscribers), seed %d, %s \
+         transport, %g ms windows@."
+        peers mirrors subscribers seed
+        (if reliable then "reliable" else "raw")
+        interval;
+      Format.printf "requests  %d issued, %d completed, %d unserved@."
+        fc.Workload.Scenarios.fc_requests
+        !(fc.Workload.Scenarios.fc_completed)
+        !(fc.Workload.Scenarios.fc_unserved);
+      Format.printf "sim       %.0f ms, %d events%s@."
+        stats.Net.Stats.completion_ms events
+        (if outcome = `Budget_exhausted then " (budget exhausted)" else "");
+      if sample > 0 then
+        Format.printf
+          "trace     %d sampled event(s) at 1/%d, covering %.0f sim ms@."
+          (List.length trace_events) sample sampled_span;
+      Format.printf "@.%-12s %-10s %9s %9s %8s %8s %6s %6s %6s@." "peer"
+        "tier" "tx/s" "KB/s" "p95 ms" "p99 ms" "infl" "retx" "drops";
+      List.iter
+        (fun (name, tier, tx, kb, p95, p99, infl, retx, drops) ->
+          Format.printf "%-12s %-10s %9.1f %9.2f %8.2f %8.2f %6.0f %6d %6d@."
+            (Obs.Exporter.sanitize name)
+            (Obs.Exporter.sanitize tier)
+            tx kb p95 p99 infl retx drops)
+        shown;
+      if List.length ranked > rows then
+        Format.printf "... %d more peer(s); raise --top to see them@."
+          (List.length ranked - rows)
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the flash-crowd scenario with the full observability stack on \
+          (metrics, windowed telemetry, sampled tracing) and print a \
+          per-peer load table: transmit rates, latency quantiles, in-flight \
+          windows, retransmits and drops")
+    Term.(
+      const run $ peers $ subscribers $ requests $ seed $ reliable $ interval
+      $ rows $ sample $ json)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -771,4 +1142,5 @@ let () =
             trace_cmd;
             chaos_cmd;
             scale_cmd;
+            top_cmd;
           ]))

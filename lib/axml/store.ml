@@ -1,13 +1,52 @@
 module Index = Axml_xml.Index
+module Timeseries = Axml_obs.Timeseries
 
 type t = {
   docs : (Names.Doc_name.t, Document.t) Hashtbl.t;
   indexes : (Names.Doc_name.t, Index.t) Hashtbl.t;
       (* Lazily built, dropped on any mutation the index can't absorb
          incrementally; [index_of] rebuilds on demand. *)
+  series : (Names.Doc_name.t, Timeseries.handle * Timeseries.handle) Hashtbl.t;
+      (* Per-document load series ([doc/<name>/reads],
+         [doc/<name>/write_bytes]), bound lazily so stores created
+         with telemetry off pay nothing. *)
 }
 
-let create () = { docs = Hashtbl.create 16; indexes = Hashtbl.create 16 }
+let create () =
+  {
+    docs = Hashtbl.create 16;
+    indexes = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+(* Per-document load accounting: lookups and written bytes, windowed
+   by {!Axml_obs.Timeseries} under the simulator's clock — the demand
+   signal a placement controller would watch to decide replication or
+   migration.  All sites guard on [Timeseries.is_on]: disabled, the
+   cost is one boolean load. *)
+let doc_series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some hs -> hs
+  | None ->
+      let n = Names.Doc_name.to_string name in
+      let hs =
+        ( Timeseries.handle Timeseries.default ("doc/" ^ n ^ "/reads"),
+          Timeseries.handle Timeseries.default ("doc/" ^ n ^ "/write_bytes") )
+      in
+      Hashtbl.replace t.series name hs;
+      hs
+
+let note_read t name =
+  if Timeseries.is_on Timeseries.default then begin
+    let reads, _ = doc_series t name in
+    Timeseries.record reads 1.0
+  end
+
+let note_write t name bytes =
+  if bytes > 0 && Timeseries.is_on Timeseries.default then begin
+    let _, writes = doc_series t name in
+    Timeseries.record writes (float_of_int bytes)
+  end
 let invalidate t name = Hashtbl.remove t.indexes name
 
 let add t doc =
@@ -25,11 +64,17 @@ let install t ~name root =
     else dn
   in
   let dn = pick name 1 in
-  Hashtbl.replace t.docs dn
-    (Document.make ~name:(Names.Doc_name.to_string dn) root);
+  let doc = Document.make ~name:(Names.Doc_name.to_string dn) root in
+  Hashtbl.replace t.docs dn doc;
+  note_write t dn (Document.byte_size doc);
   dn
 
-let find t name = Hashtbl.find_opt t.docs name
+let find t name =
+  match Hashtbl.find_opt t.docs name with
+  | None -> None
+  | Some doc ->
+      note_read t name;
+      Some doc
 
 let find_by_string t s =
   match Names.Doc_name.of_string_opt s with
@@ -87,6 +132,7 @@ let insert_under t name ~node forest =
       | None -> None
       | Some doc' ->
           Hashtbl.replace t.docs name doc';
+          note_write t name (Axml_xml.Forest.byte_size forest);
           (match Hashtbl.find_opt t.indexes name with
           | None -> ()
           | Some ix ->

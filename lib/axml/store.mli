@@ -2,7 +2,14 @@
 
     Holds the documents of one peer, keyed by name ("no two documents
     can agree on the values of (d, p)", Section 2.1).  The store is
-    mutable — it is the piece of system state Σ owned by a peer. *)
+    mutable — it is the piece of system state Σ owned by a peer.
+
+    When {!Axml_obs.Timeseries} telemetry is enabled, the store feeds
+    per-document load series: [doc/<name>/reads] counts one per
+    {!find} hit, [doc/<name>/write_bytes] accumulates the bytes of
+    {!install} and {!insert_under} — the demand signals a placement
+    controller would watch.  Disabled, each site costs one boolean
+    load. *)
 
 type t
 

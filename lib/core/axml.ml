@@ -93,11 +93,13 @@ module Runtime = struct
   module Type_driven = Axml_peer.Type_driven
   module Persist = Axml_peer.Persist
   module Failover = Axml_peer.Failover
+  module Profiler = Axml_peer.Profiler
 end
 
 module Obs = struct
   module Trace = Axml_obs.Trace
   module Metrics = Axml_obs.Metrics
+  module Timeseries = Axml_obs.Timeseries
   module Exporter = Axml_obs.Exporter
 end
 

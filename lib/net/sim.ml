@@ -1,5 +1,6 @@
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module Timeseries = Axml_obs.Timeseries
 
 type 'a event =
   | Deliver of { src : Peer_id.t; dst : Peer_id.t; payload : 'a }
@@ -20,6 +21,21 @@ type net_handles = {
   h_cpu : Metrics.hist_handle;
 }
 
+(* Per-peer windowed series behind [axmlctl top]: transmitted bytes
+   (one observation per remote transmission, value = bytes) and the
+   modelled link latency of each transmission. *)
+type ts_handles = {
+  t_tx : Timeseries.handle;
+  t_lat : Timeseries.handle;
+}
+
+(* Per-directed-link series ([net/link/<src>-><dst>/*]) — the
+   observed-load signal a placement controller reads per link. *)
+type link_handles = {
+  l_bytes : Timeseries.handle;
+  l_lat : Timeseries.handle;
+}
+
 (* All per-peer state, reached by one array load from the peer's dense
    {!Peer_id.index} — the string-keyed hashtable lookups (and their
    per-event hashing) this replaces dominated the event loop at 10^3
@@ -31,6 +47,7 @@ type 'a slot = {
   mutable factor : float;
   mutable crashed_at : float;  (* < 0.0 = alive *)
   mutable net : net_handles option;
+  mutable ts : ts_handles option;
 }
 
 type 'a t = {
@@ -44,6 +61,7 @@ type 'a t = {
   mutable on_restart : Peer_id.t -> unit;
   h_events : Metrics.counter_handle;
   h_qdepth : Metrics.gauge_handle;
+  ts_links : (int, link_handles) Hashtbl.t;  (* packed (src, dst) indexes *)
 }
 
 type outcome = [ `Quiescent | `Budget_exhausted ]
@@ -56,6 +74,7 @@ let fresh_slot peer =
     factor = 1.0;
     crashed_at = -1.0;
     net = None;
+    ts = None;
   }
 
 let create topology =
@@ -69,19 +88,29 @@ let create topology =
   List.iter
     (fun p -> slots.(Peer_id.index p) <- Some (fresh_slot p))
     (Topology.peers topology);
-  {
-    topology;
-    queue = Pqueue.create ();
-    slots;
-    stats = Stats.create ();
-    now = 0.0;
-    fault = None;
-    on_crash = ignore;
-    on_restart = ignore;
-    h_events = Metrics.counter_handle Metrics.default ~subsystem:"sim" "events";
-    h_qdepth =
-      Metrics.gauge_handle Metrics.default ~subsystem:"sim" "queue_depth";
-  }
+  let t =
+    {
+      topology;
+      queue = Pqueue.create ();
+      slots;
+      stats = Stats.create ();
+      now = 0.0;
+      fault = None;
+      on_crash = ignore;
+      on_restart = ignore;
+      h_events = Metrics.counter_handle Metrics.default ~subsystem:"sim" "events";
+      h_qdepth =
+        Metrics.gauge_handle Metrics.default ~subsystem:"sim" "queue_depth";
+      ts_links = Hashtbl.create 64;
+    }
+  in
+  (* The most recently created simulator drives the default windowed
+     telemetry's clock: window epochs follow virtual time, so
+     recordings anywhere in the process (stores included, which have
+     no simulator reference) stay deterministic.  Harnesses comparing
+     several systems run them one at a time. *)
+  Timeseries.set_clock Timeseries.default (fun () -> t.now);
+  t
 
 let slot t peer =
   let i = Peer_id.index peer in
@@ -122,6 +151,39 @@ let net_handles s =
         }
       in
       s.net <- Some h;
+      h
+
+let ts_handles s =
+  match s.ts with
+  | Some h -> h
+  | None ->
+      let peer = Peer_id.to_string s.speer in
+      let h =
+        {
+          t_tx = Timeseries.handle Timeseries.default ("peer/" ^ peer ^ "/tx");
+          t_lat =
+            Timeseries.handle Timeseries.default ("peer/" ^ peer ^ "/latency_ms");
+        }
+      in
+      s.ts <- Some h;
+      h
+
+let link_series t ~src ~dst =
+  let key = (Peer_id.index src lsl 31) lor Peer_id.index dst in
+  match Hashtbl.find_opt t.ts_links key with
+  | Some h -> h
+  | None ->
+      let name = Peer_id.to_string src ^ "->" ^ Peer_id.to_string dst in
+      let h =
+        {
+          l_bytes =
+            Timeseries.handle Timeseries.default ("net/link/" ^ name ^ "/bytes");
+          l_lat =
+            Timeseries.handle Timeseries.default
+              ("net/link/" ^ name ^ "/latency_ms");
+        }
+      in
+      Hashtbl.add t.ts_links key h;
       h
 
 let topology t = t.topology
@@ -198,7 +260,7 @@ let record_drop t ~peer ~reason =
   if Metrics.is_on Metrics.default then
     Metrics.incr Metrics.default ~peer:(Peer_id.to_string peer)
       ~subsystem:"net" "drops";
-  if Trace.enabled () then
+  if Trace.sampled () then
     Trace.instant ~cat:"fault" ~peer:(Peer_id.to_string peer) ~ts:t.now
       ~args:[ ("reason", reason) ]
       "drop"
@@ -243,10 +305,20 @@ let transmit ?note ?(msgs = 1) t ~link ~departure ~jitter_ms ~src ~dst ~bytes
   let arrival = departure +. Link.transfer_ms link ~bytes +. jitter_ms in
   Stats.record_send ~at_ms:departure ?note ~msgs t.stats ~src ~dst ~bytes;
   count_send_metrics t ~src ~dst ~bytes ~msgs;
-  (* The whole instrumentation block sits behind one boolean load so
-     that the disabled hot path allocates nothing (checked in the E16
-     bench). *)
-  if Trace.enabled () then begin
+  (* Every instrumentation block sits behind one boolean load so that
+     the disabled hot path allocates nothing (checked in the E16/E21
+     benches); tracing additionally gates on the sampling decision,
+     so a sampled-out transmission allocates nothing either. *)
+  (if Timeseries.is_on Timeseries.default && not (Peer_id.equal src dst) then begin
+     let lat = arrival -. departure in
+     let ph = ts_handles (slot t src) in
+     Timeseries.record_at ph.t_tx ~ts:departure (float_of_int bytes);
+     Timeseries.record_at ph.t_lat ~ts:departure lat;
+     let lh = link_series t ~src ~dst in
+     Timeseries.record_at lh.l_bytes ~ts:departure (float_of_int bytes);
+     Timeseries.record_at lh.l_lat ~ts:departure lat
+   end);
+  if Trace.sampled () then begin
     let args =
       let base =
         [ ("dst", Peer_id.to_string dst); ("bytes", string_of_int bytes) ]
@@ -304,6 +376,10 @@ let run ?until_ms ?(max_events = 1_000_000) t =
   let metrics_on = Metrics.is_on Metrics.default in
   let trace_on = Trace.enabled () in
   let processed = ref 0 in
+  (* The queue-depth gauge is a high-water mark, so only a new maximum
+     needs to reach the registry — the common case is an integer
+     compare with no float boxing. *)
+  let qdepth_hw = ref (-1) in
   let more_events () =
     match (Pqueue.peek_time t.queue, until_ms) with
     | None, _ -> false
@@ -325,8 +401,11 @@ let run ?until_ms ?(max_events = 1_000_000) t =
         incr processed;
         if metrics_on then begin
           Metrics.incr_h t.h_events ~by:1;
-          Metrics.gauge_max_h t.h_qdepth
-            (float_of_int (Pqueue.length t.queue + 1))
+          let depth = Pqueue.length t.queue + 1 in
+          if depth > !qdepth_hw then begin
+            qdepth_hw := depth;
+            Metrics.gauge_max_h t.h_qdepth (float_of_int depth)
+          end
         end;
         (match event with
         | Deliver { src; dst; payload } -> (
@@ -342,7 +421,7 @@ let run ?until_ms ?(max_events = 1_000_000) t =
               match s.handler with
               | None -> record_drop t ~peer:dst ~reason:"no-handler"
               | Some handler ->
-                  if trace_on then begin
+                  if trace_on && Trace.sampled () then begin
                     let sid =
                       Trace.begin_span ~cat:"sim"
                         ~peer:(Peer_id.to_string dst)
@@ -363,7 +442,7 @@ let run ?until_ms ?(max_events = 1_000_000) t =
                timers fire into the void. *)
             let s = slot t peer in
             if s.crashed_at < 0.0 then
-              if trace_on then begin
+              if trace_on && Trace.sampled () then begin
                 let sid =
                   Trace.begin_span ~cat:"sim"
                     ~peer:(Peer_id.to_string peer)

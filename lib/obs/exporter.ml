@@ -1,5 +1,13 @@
 (* Minimal JSON emission — the toolkit deliberately has no JSON
-   dependency (same convention as Planner.explain_json). *)
+   dependency (same convention as Planner.explain_json).
+
+   Escaping covers the full non-printable range on BOTH sides: control
+   characters below 0x20 and every byte at or above 0x7F.  Span and
+   peer names come from document labels, which are attacker-supplied
+   in hostile workloads — emitting raw high bytes would let a label
+   smuggle invalid UTF-8 (or terminal escape sequences, for the table
+   renderers) into exporter output.  Bytes >= 0x80 are escaped as
+   their Latin-1 code points, keeping the output pure ASCII. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -10,11 +18,28 @@ let json_escape s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7F ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* The same range, for plain-terminal output (axmlctl tables): control
+   and non-ASCII bytes become  \xNN  so hostile labels cannot inject
+   terminal escape sequences. *)
+let sanitize s =
+  if
+    String.for_all (fun c -> Char.code c >= 0x20 && Char.code c < 0x7F) s
+  then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if Char.code c >= 0x20 && Char.code c < 0x7F then Buffer.add_char buf c
+        else Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c)))
+      s;
+    Buffer.contents buf
+  end
 
 (* JSON numbers must not be [nan]/[inf]; timestamps and durations are
    finite by construction but durations of still-open spans are -1. *)
@@ -42,12 +67,14 @@ let chrome_trace (events : Trace.event list) =
     let pid = pid_of e.Trace.peer in
     let args =
       args_json
-        [
-          ("span", string_of_int e.Trace.id);
-          ( "parent",
-            match e.Trace.parent with Some p -> string_of_int p | None -> "" );
-          ("corr", string_of_int e.Trace.corr);
-        ]
+        ([
+           ("span", string_of_int e.Trace.id);
+           ( "parent",
+             match e.Trace.parent with Some p -> string_of_int p | None -> ""
+           );
+           ("corr", string_of_int e.Trace.corr);
+         ]
+        @ if e.Trace.op >= 0 then [ ("op", string_of_int e.Trace.op) ] else [])
         e.Trace.args
     in
     match e.Trace.kind with
@@ -93,6 +120,8 @@ let jsonl (events : Trace.event list) =
            (match e.Trace.kind with Trace.Span -> "span" | Trace.Instant -> "instant")
            (json_escape e.Trace.name) (json_escape e.Trace.cat)
            (json_escape e.Trace.peer) (num e.Trace.ts_ms) (num e.Trace.dur_ms));
+      if e.Trace.op >= 0 then
+        Buffer.add_string buf (Printf.sprintf {|,"op":%d|} e.Trace.op);
       if e.Trace.args <> [] then begin
         Buffer.add_string buf {|,"args":{|};
         Buffer.add_string buf (args_json [] e.Trace.args);

@@ -15,7 +15,15 @@
     {!metrics_json} serializes a {!Metrics} snapshot. *)
 
 val json_escape : string -> string
-(** Escape a string for inclusion inside JSON double quotes. *)
+(** Escape a string for inclusion inside JSON double quotes.  Control
+    characters and every byte >= 0x7F are escaped as [\uNNNN] (the
+    byte's Latin-1 code point), so the output is pure ASCII even when
+    span/peer names carry hostile document labels. *)
+
+val sanitize : string -> string
+(** Escape control and non-ASCII bytes as [\xNN] for plain-terminal
+    output (the [axmlctl] table renderers).  Printable ASCII strings
+    are returned unchanged, without allocating. *)
 
 val chrome_trace : Trace.event list -> string
 val jsonl : Trace.event list -> string

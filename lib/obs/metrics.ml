@@ -5,10 +5,15 @@ let hist_buckets = 28
 let bucket_bound i =
   if i >= hist_buckets - 1 then infinity else Float.pow 2.0 (float_of_int (i - 4))
 
+(* The bounds are cached so the per-observation walk below compares
+   against array cells instead of recomputing powers — [bucket_index]
+   sits on the per-delivery hot path of the enabled-metrics arm. *)
+let bounds = Array.init hist_buckets bucket_bound
+
 let bucket_index v =
   let rec find i =
     if i >= hist_buckets - 1 then hist_buckets - 1
-    else if v <= bucket_bound i then i
+    else if v <= Array.unsafe_get bounds i then i
     else find (i + 1)
   in
   find 0

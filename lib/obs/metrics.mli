@@ -20,6 +20,16 @@
       [plan/equal_calls], [plan/queries_optimized],
       [plan/search_ms] (histogram). *)
 
+(** {1 Histogram geometry}
+
+    Shared with {!Timeseries} so per-window distributions merge with
+    cumulative ones: bucket [i] covers [(2^(i-5), 2^(i-4)]], the last
+    bucket overflows to infinity. *)
+
+val hist_buckets : int
+val bucket_bound : int -> float
+val bucket_index : float -> int
+
 type t
 
 val create : unit -> t

@@ -1,0 +1,107 @@
+(** Windowed telemetry: sim-clock-aligned ring aggregates.
+
+    Where {!Metrics} keeps one cumulative cell per key for a whole
+    run, a timeseries keeps the recent past: each key owns a fixed
+    ring of windows, each covering [window_ms] of the driving clock
+    (virtual sim time in the runtime) and aggregating
+    count/sum/min/max plus a mergeable log-scale histogram in the
+    {!Metrics} bucket geometry.  The pull API ({!read_window},
+    {!rate}, {!quantile}) answers "what happened to this document /
+    link / peer over the last N windows" — the observed-load signal a
+    placement controller consumes.
+
+    Conventions for keys wired into the runtime:
+    - [doc/<name>/reads], [doc/<name>/write_bytes] — per-document load
+      (recorded by [Axml_doc.Store]);
+    - [net/link/<src>-><dst>/bytes], [net/link/<src>-><dst>/latency_ms]
+      — per-directed-link load (recorded by [Axml_net.Sim]);
+    - [peer/<p>/tx], [peer/<p>/latency_ms], [peer/<p>/inflight] — the
+      per-peer view behind [axmlctl top].
+
+    Determinism: windows are keyed by the virtual clock; {!snapshot}
+    sorts keys; same-seed runs produce byte-identical snapshots.
+    Collection is {b off by default}; the disabled path is one boolean
+    load and allocates nothing (E16/E21 invariant). *)
+
+type t
+
+val create : ?window_ms:float -> ?ring:int -> unit -> t
+(** Defaults: 100 ms windows, 64-slot ring (6.4 s of history). *)
+
+val default : t
+val set_enabled : t -> bool -> unit
+val is_on : t -> bool
+
+val reset : t -> unit
+(** Drop every series; outstanding handles re-resolve lazily. *)
+
+val window_ms : t -> float
+val ring_size : t -> int
+
+val set_window : t -> float -> unit
+(** Change the window width (e.g. [axmlctl top --interval-ms]).
+    Epochs index the window grid, so this drops every live series —
+    equivalent to {!reset} — when the width actually changes.
+    @raise Invalid_argument on a non-positive width. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Install the driving clock ([Sim.now] in the runtime — virtual
+    milliseconds, so recordings stay deterministic).  Default: a
+    constant 0. *)
+
+val now : t -> float
+
+val epoch_of : t -> float -> int
+(** The window index containing a timestamp. *)
+
+val window_start : t -> int -> float
+
+(** {1 Recording} *)
+
+type handle
+(** A pre-resolved series reference: a hot-loop record is a generation
+    check plus in-place mutation — no hashing, no allocation.  Held
+    over a disabled registry it creates no table entry. *)
+
+val handle : t -> string -> handle
+val record : handle -> float -> unit
+(** Record at the clock's current time. *)
+
+val record_at : handle -> ts:float -> float -> unit
+val observe : t -> string -> ts:float -> float -> unit
+(** One-shot (non-handle) record, for cold paths. *)
+
+(** {1 Reading} *)
+
+type agg = {
+  w_epoch : int;
+  w_start_ms : float;
+  w_count : int;
+  w_sum : float;
+  w_min : float;  (** [infinity] when the window is empty. *)
+  w_max : float;
+  w_buckets : int array;  (** Log-histogram counts (a copy). *)
+}
+
+val read_window : t -> string -> epoch:int -> agg option
+(** The aggregate for one window, if it still lives in the ring. *)
+
+val rate : t -> string -> now:float -> windows:int -> float
+(** Events per second over the [windows] complete windows preceding
+    the one containing [now] (the still-filling current window is
+    excluded). *)
+
+val quantile : t -> string -> now:float -> windows:int -> q:float -> float
+(** Merged-histogram quantile over the last [windows] windows up to
+    and including [now]'s: the inclusive upper bound of the bucket
+    holding the q-th observation; [0.] with no data. *)
+
+val keys : t -> string list
+(** Sorted. *)
+
+val snapshot : t -> (string * agg list) list
+(** Every live window of every key — keys sorted, windows ascending;
+    byte-identical across same-seed runs. *)
+
+val fingerprint : t -> string
+(** Digest of {!snapshot}, for replay-determinism checks. *)

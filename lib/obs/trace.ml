@@ -8,6 +8,7 @@ type event = {
   id : span_id;
   parent : span_id option;
   corr : int;
+  op : int;
   name : string;
   cat : string;
   peer : string;
@@ -26,6 +27,46 @@ let open_stack : event list ref = ref []
 let next_id = ref 0
 let next_corr = ref 0
 let corr = ref 0
+let op = ref (-1)
+
+(* --- deterministic head sampling ---------------------------------
+
+   The keep/drop decision is a pure function of (seed, correlation
+   id): whole cross-peer computations are kept or dropped atomically,
+   and the kept set is identical across same-seed runs whether or not
+   sampling was active when they executed.  The decision is computed
+   once per ambient-correlation change and cached in [keep_flag], so
+   the per-record check is two boolean loads; a sampled-out site
+   records nothing and allocates nothing. *)
+let sample_seed = ref 0
+let sample_keep_one_in = ref 1
+let keep_flag = ref true
+
+(* splitmix-style avalanche, confined to 30 bits so the result is
+   stable across 32/64-bit native ints. *)
+let corr_hash seed c =
+  let x = (c * 0x9E3779B9) lxor (seed * 0x85EBCA6B) in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0xC2B2AE35 in
+  let x = x lxor (x lsr 13) in
+  x land 0x3FFFFFFF
+
+(* The null correlation (0 — ambient timers, untagged deliveries) is
+   sampled out whenever sampling is active: it is not a computation, so
+   keeping it would tie an unbounded stream of background events to a
+   single hash outcome instead of thinning per request. *)
+let keep_corr c =
+  !sample_keep_one_in <= 1
+  || (c <> 0 && corr_hash !sample_seed c mod !sample_keep_one_in = 0)
+
+let set_sampling ?(seed = 0) ~keep_one_in () =
+  if keep_one_in < 1 then invalid_arg "Trace.set_sampling: keep_one_in < 1";
+  sample_seed := seed;
+  sample_keep_one_in := keep_one_in;
+  keep_flag := keep_corr !corr
+
+let sampling () = (!sample_seed, !sample_keep_one_in)
+let sampled () = !enabled_flag && !keep_flag
 
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
@@ -34,7 +75,14 @@ let clear () =
   events_rev := [];
   event_count := 0;
   open_stack := [];
-  corr := 0
+  next_id := 0;
+  next_corr := 0;
+  (* Restarting the correlation counter makes same-seed runs separated
+     by [clear] assign identical ids — traces, and the sampling
+     decisions derived from them, compare byte for byte. *)
+  corr := 0;
+  op := -1;
+  keep_flag := keep_corr 0
 
 let fresh_corr () =
   incr next_corr;
@@ -42,10 +90,42 @@ let fresh_corr () =
 
 let current_corr () = !corr
 
-let with_corr c f =
+(* Closure-free ambient switching for the per-message hot path: the
+   caller saves the previous id, dispatches, and restores — no
+   Fun.protect allocation on the sampled-out path. *)
+let swap_corr c =
   let saved = !corr in
   corr := c;
-  Fun.protect ~finally:(fun () -> corr := saved) f
+  keep_flag := keep_corr c;
+  saved
+
+let restore_corr c =
+  corr := c;
+  keep_flag := keep_corr c
+
+let with_corr c f =
+  let saved = swap_corr c in
+  Fun.protect ~finally:(fun () -> restore_corr saved) f
+
+(* --- ambient plan-operator id (profiler) -------------------------
+
+   [-1] = unattributed.  Carried like the correlation id: set around
+   an operator's evaluation, stamped into every span/instant recorded
+   meanwhile, shipped inside message envelopes and re-established at
+   dispatch — so remote work folds back onto the operator that caused
+   it. *)
+let current_op () = !op
+
+let swap_op o =
+  let saved = !op in
+  op := o;
+  saved
+
+let restore_op o = op := o
+
+let with_op o f =
+  let saved = swap_op o in
+  Fun.protect ~finally:(fun () -> restore_op saved) f
 
 let record e =
   events_rev := e :: !events_rev;
@@ -55,7 +135,7 @@ let parent_id () =
   match !open_stack with [] -> None | e :: _ -> Some e.id
 
 let begin_span ?(args = []) ~cat ~peer ~ts name =
-  if not !enabled_flag then null
+  if not (!enabled_flag && !keep_flag) then null
   else begin
     incr next_id;
     let e =
@@ -63,6 +143,7 @@ let begin_span ?(args = []) ~cat ~peer ~ts name =
         id = !next_id;
         parent = parent_id ();
         corr = !corr;
+        op = !op;
         name;
         cat;
         peer;
@@ -95,13 +176,14 @@ let end_span id ~ts =
   end
 
 let complete ?(args = []) ~cat ~peer ~ts ~dur_ms name =
-  if !enabled_flag then begin
+  if !enabled_flag && !keep_flag then begin
     incr next_id;
     record
       {
         id = !next_id;
         parent = parent_id ();
         corr = !corr;
+        op = !op;
         name;
         cat;
         peer;
@@ -113,13 +195,14 @@ let complete ?(args = []) ~cat ~peer ~ts ~dur_ms name =
   end
 
 let instant ?(args = []) ~cat ~peer ~ts name =
-  if !enabled_flag then begin
+  if !enabled_flag && !keep_flag then begin
     incr next_id;
     record
       {
         id = !next_id;
         parent = parent_id ();
         corr = !corr;
+        op = !op;
         name;
         cat;
         peer;

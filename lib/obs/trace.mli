@@ -17,8 +17,9 @@
       (see {!wall_ms}).  Exporters keep the two apart by category.
 
     Collection is global and {b off by default}.  Every instrumentation
-    site in the runtime guards itself with {!enabled}, so the disabled
-    path costs one boolean load and allocates nothing. *)
+    site in the runtime guards itself with {!enabled} (or, on paths
+    that build span arguments, {!sampled}), so the disabled path costs
+    one boolean load and allocates nothing. *)
 
 type span_id = int
 
@@ -32,8 +33,9 @@ type event = {
   id : span_id;
   parent : span_id option;  (** Enclosing span at begin time. *)
   corr : int;  (** Correlation id; [0] = uncorrelated. *)
+  op : int;  (** Plan-operator id (profiler); [-1] = unattributed. *)
   name : string;
-  cat : string;  (** Subsystem: ["net"], ["sim"], ["peer"], ["exec"], ["plan"], ["rewrite"]. *)
+  cat : string;  (** Subsystem: ["net"], ["sim"], ["peer"], ["exec"], ["plan"], ["rewrite"], ["slo"]. *)
   peer : string;  (** Track the event belongs to (peer id or ["planner"]). *)
   ts_ms : float;
   mutable dur_ms : float;  (** [-1.0] while the span is open. *)
@@ -45,8 +47,39 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val clear : unit -> unit
-(** Drop all recorded events and open spans; the enabled flag and id
-    counters are untouched (ids stay unique across clears). *)
+(** Drop all recorded events and open spans and restart the span and
+    correlation counters — same-seed runs separated by [clear] assign
+    identical ids, so their traces compare byte for byte.  The enabled
+    flag and the sampling configuration are untouched. *)
+
+(** {1 Deterministic head sampling}
+
+    The keep/drop decision is a pure function of the sampling seed and
+    an event's correlation id, so whole cross-peer computations are
+    kept or dropped atomically and the kept set is identical across
+    same-seed runs — a sampled trace is exactly the subset of the full
+    trace whose correlation ids pass {!keep_corr}.  The decision for
+    the ambient correlation is cached when it changes; a sampled-out
+    recording site returns immediately and allocates nothing. *)
+
+val set_sampling : ?seed:int -> keep_one_in:int -> unit -> unit
+(** Keep roughly one correlation in [keep_one_in] ([1] = keep all,
+    the default).  Raises on [keep_one_in < 1]. *)
+
+val sampling : unit -> int * int
+(** Current [(seed, keep_one_in)]. *)
+
+val keep_corr : int -> bool
+(** The (pure, deterministic) sampling decision for a correlation id.
+    The null id [0] — ambient work belonging to no computation — is
+    always dropped while sampling is active ([keep_one_in > 1]):
+    background timers and untagged deliveries would otherwise ride one
+    hash outcome as an all-or-nothing block. *)
+
+val sampled : unit -> bool
+(** [enabled () && decision for the ambient correlation] — guard span
+    argument construction on hot paths with this so the sampled-out
+    path allocates nothing. *)
 
 (** {1 Correlation} *)
 
@@ -61,6 +94,27 @@ val with_corr : int -> (unit -> 'a) -> 'a
 (** Run the thunk with the ambient correlation id set; restores the
     previous id on exit (also on exceptions). *)
 
+val swap_corr : int -> int
+(** Set the ambient correlation id, returning the previous one —
+    the closure-free variant of {!with_corr} for per-message hot
+    paths.  Pair with {!restore_corr} (also on exceptions). *)
+
+val restore_corr : int -> unit
+
+(** {1 Operator attribution (profiler)}
+
+    An ambient plan-operator id, [-1] = unattributed.  Carried like
+    the correlation id: set around an operator's evaluation, stamped
+    into every event recorded meanwhile, shipped inside message
+    envelopes and re-established at dispatch, so remote work folds
+    back onto the operator that caused it
+    (see {!Axml_peer.Profiler}). *)
+
+val current_op : unit -> int
+val with_op : int -> (unit -> 'a) -> 'a
+val swap_op : int -> int
+val restore_op : int -> unit
+
 (** {1 Recording} *)
 
 val begin_span :
@@ -71,7 +125,7 @@ val begin_span :
   string ->
   span_id
 (** Open a span; its parent is the innermost open span.  Returns
-    {!null} when disabled. *)
+    {!null} when disabled or sampled out. *)
 
 val end_span : span_id -> ts:float -> unit
 (** Close a span, recording [ts - start] as its duration.  Closing

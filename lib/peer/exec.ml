@@ -3,6 +3,7 @@ module Names = Axml_doc.Names
 module Tree = Axml_xml.Tree
 module Forest = Axml_xml.Forest
 module Expr = Axml_algebra.Expr
+module Trace = Axml_obs.Trace
 
 let log = Logs.Src.create "axml.exec" ~doc:"AXML expression evaluation"
 
@@ -10,6 +11,20 @@ module Log = (val Logs.src_log log)
 
 let site_peer ~ctx expr =
   match Expr.site expr with Names.At p -> p | Names.Any -> ctx
+
+(* Operator attribution (profiler): when the ambient operator id is
+   set (>= 0, i.e. inside {!run_profiled}), each recursion below
+   re-establishes the pre-order id of the child it descends into, so
+   every span and message the child causes is stamped with it.  A
+   delegation that ships the {e same} operator to another peer keeps
+   the ambient id (the message envelope carries it); one that ships a
+   {e child} wraps the send in the child's id.  Outside profiling the
+   id is -1 and [with_op_if] is a plain call. *)
+let with_op_if op f = if op < 0 then f () else Trace.with_op op f
+
+(* The id of child [i] of the ambient operator [k] whose children are
+   [kids] ({!Axml_algebra.Expr.subexpressions} of the current node). *)
+let sub_op k kids i = if k < 0 then -1 else Profiler.child_op ~parent:k kids i
 
 (* Register a continuation and return its reply destination. *)
 let cont_at sys ~at k =
@@ -46,22 +61,36 @@ let rec eval sys ~ctx (expr : Expr.t) ~(emit : System.emit) : unit =
       else eval_sc sys ~ctx sc ~emit
   | Expr.Send { dest; expr = inner } -> eval_send sys ~ctx dest inner ~emit
   | Expr.Eval_at { at; expr = inner } ->
-      if Peer_id.equal at ctx then eval sys ~ctx inner ~emit
+      let io = sub_op (Trace.current_op ()) [ inner ] 0 in
+      if Peer_id.equal at ctx then
+        with_op_if io (fun () -> eval sys ~ctx inner ~emit)
       else
         (* Rule (14): ship the plan, stream the results back. *)
-        delegate sys ~ctx ~to_:at inner
-          ~replies:[ cont_at sys ~at:ctx emit ]
-          ~ack:None
+        with_op_if io (fun () ->
+            delegate sys ~ctx ~to_:at inner
+              ~replies:[ cont_at sys ~at:ctx emit ]
+              ~ack:None)
   | Expr.Shared { name; at; value; body } ->
       (* Rule (13): materialize [value] as a document at [at], then run
          [body].  The sequencing is the parallelism loss the paper
-         notes. *)
-      let dest =
-        Expr.Send
-          { dest = Expr.To_doc (name, at); expr = value }
-      in
-      eval sys ~ctx dest ~emit:(fun _ ~final ->
-          if final then eval sys ~ctx body ~emit)
+         notes.  Calls the send-as-document machinery directly (rather
+         than synthesizing a [Send] node) so operator attribution sees
+         exactly the two children the plan has: [value] and [body]. *)
+      let k = Trace.current_op () in
+      let kids = [ value; body ] in
+      let v_op = sub_op k kids 0 and b_op = sub_op k kids 1 in
+      with_op_if v_op (fun () ->
+          side_effecting_send sys ~ctx
+            ~src:(site_peer ~ctx value)
+            value
+            ~emit:(fun _ ~final ->
+              if final then
+                with_op_if b_op (fun () -> eval sys ~ctx body ~emit))
+            ~replies:
+              [
+                Message.Install
+                  { peer = at; name = Names.Doc_name.to_string name };
+              ])
 
 (* Definition (1)/(6) over literal data: plain trees are values;
    sc-rooted trees are activated.  Embedded (non-root) calls stay inert
@@ -208,6 +237,9 @@ and resolve_query sys ~ctx (q : Expr.query_expr) (k : Axml_query.Ast.t option ->
                 (Message.Deploy { prefix = "_tmp_shipped"; query = ast; reply }))
 
 and eval_query_app sys ~ctx query args ~emit =
+  (* Captured now: the resolution continuation may fire during a later
+     delivery, under that message's ambient operator. *)
+  let k = Trace.current_op () in
   resolve_query sys ~ctx query (fun ast ->
       match ast with
       | None -> emit [] ~final:true
@@ -244,7 +276,9 @@ and eval_query_app sys ~ctx query args ~emit =
               else if delta <> [] then emit delta ~final:false
             in
             List.iteri
-              (fun i arg -> eval sys ~ctx arg ~emit:(push i))
+              (fun i arg ->
+                with_op_if (sub_op k args i) (fun () ->
+                    eval sys ~ctx arg ~emit:(push i)))
               args
           end)
 
@@ -282,12 +316,15 @@ and eval_sc sys ~ctx (sc : Axml_doc.Sc.t) ~emit =
 
 and eval_send sys ~ctx dest inner ~emit =
   let src = site_peer ~ctx inner in
+  let io = sub_op (Trace.current_op ()) [ inner ] 0 in
   match dest with
   | Expr.To_peer p ->
       if not (Peer_id.equal ctx p) then begin
         (* The value materializes at p, not here: the driver observes
            ∅ once the transfer completes (definition (3) — evaluating
-           a send returns the empty result at the evaluation site). *)
+           a send returns the empty result at the evaluation site).
+           The whole [Send] operator ships, so the ambient operator id
+           travels unchanged. *)
         let key = System.fresh_key sys in
         System.set_cont sys key (fun _ ~final ->
             if final then emit [] ~final:true);
@@ -297,17 +334,23 @@ and eval_send sys ~ctx dest inner ~emit =
       else if not (Peer_id.equal src ctx) then
         (* Definitions (3)+(5): the operand's home evaluates and sends
            the copy here. *)
-        delegate sys ~ctx ~to_:src inner
-          ~replies:[ cont_at sys ~at:ctx emit ]
-          ~ack:None
-      else eval sys ~ctx inner ~emit
+        with_op_if io (fun () ->
+            delegate sys ~ctx ~to_:src inner
+              ~replies:[ cont_at sys ~at:ctx emit ]
+              ~ack:None)
+      else with_op_if io (fun () -> eval sys ~ctx inner ~emit)
   | Expr.To_nodes targets ->
-      side_effecting_send sys ~ctx ~src inner ~emit
-        ~replies:(List.map (fun r -> Message.Node r) targets)
+      with_op_if io (fun () ->
+          side_effecting_send sys ~ctx ~src inner ~emit
+            ~replies:(List.map (fun r -> Message.Node r) targets))
   | Expr.To_doc (name, p) ->
-      side_effecting_send sys ~ctx ~src inner ~emit
-        ~replies:
-          [ Message.Install { peer = p; name = Names.Doc_name.to_string name } ]
+      with_op_if io (fun () ->
+          side_effecting_send sys ~ctx ~src inner ~emit
+            ~replies:
+              [
+                Message.Install
+                  { peer = p; name = Names.Doc_name.to_string name };
+              ])
 
 (* Common machinery of send-to-nodes and send-as-document: batches flow
    to the destinations, which acknowledge the final one after applying
@@ -341,8 +384,6 @@ type outcome = {
   events : int;
 }
 
-module Trace = Axml_obs.Trace
-
 let run_to_quiescence ?(reset_stats = true) ?max_events sys ~ctx expr =
   if reset_stats then System.reset_stats sys;
   let start = System.now_ms sys in
@@ -353,7 +394,7 @@ let run_to_quiescence ?(reset_stats = true) ?max_events sys ~ctx expr =
      so each hop's spans — on any peer — share it. *)
   let go () =
     let sid =
-      if Trace.enabled () then
+      if Trace.sampled () then
         Trace.begin_span ~cat:"exec"
           ~peer:(Axml_net.Peer_id.to_string ctx)
           ~ts:start
@@ -365,6 +406,16 @@ let run_to_quiescence ?(reset_stats = true) ?max_events sys ~ctx expr =
         acc := !acc @ forest;
         if final then finished := true);
     let termination, events = System.run ?max_events sys in
+    (* SLO breach: the divergence guard cut the run short — whatever
+       the caller was waiting for never finished. *)
+    (match termination with
+    | `Budget_exhausted when Trace.sampled () ->
+        Trace.instant ~cat:"slo"
+          ~peer:(Axml_net.Peer_id.to_string ctx)
+          ~ts:(System.now_ms sys)
+          ~args:[ ("events", string_of_int events) ]
+          "budget_exhausted"
+    | `Budget_exhausted | `Quiescent -> ());
     let stats = System.stats sys in
     (* Completion covers trailing local computation (busy horizons),
        not just the last message delivery. *)
@@ -409,5 +460,30 @@ let run_optimized ?reset_stats ?max_events
   ( planned,
     run_to_quiescence ?reset_stats ?max_events sys ~ctx
       planned.Axml_algebra.Planner.plan )
+
+type profiled = { outcome : outcome; report : Profiler.report }
+
+(* EXPLAIN ANALYZE: run the plan under forced full tracing (enabled,
+   sampling 1-in-1 — both restored afterwards) with the root operator
+   id 0 ambient, slice the events this run recorded, and fold them
+   back onto the plan's operators next to the planner's estimates. *)
+let run_profiled ?reset_stats ?max_events sys ~ctx expr =
+  let was_enabled = Trace.enabled () in
+  let seed, keep = Trace.sampling () in
+  Trace.set_enabled true;
+  Trace.set_sampling ~seed ~keep_one_in:1 ();
+  let mark = Trace.count () in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.set_sampling ~seed ~keep_one_in:keep ();
+        Trace.set_enabled was_enabled)
+      (fun () ->
+        Trace.with_op 0 (fun () ->
+            run_to_quiescence ?reset_stats ?max_events sys ~ctx expr))
+  in
+  let events = List.filteri (fun i _ -> i >= mark) (Trace.events ()) in
+  let report = Profiler.report ~env:(System.cost_env sys) ~ctx ~events expr in
+  { outcome; report }
 
 let () = System.set_eval_hook (fun sys ~ctx expr ~emit -> eval sys ~ctx expr ~emit)

@@ -58,6 +58,28 @@ val run_to_quiescence :
     computation causes carries the id — so its spans can be followed
     across peers in the exported trace. *)
 
+type profiled = {
+  outcome : outcome;
+  report : Profiler.report;
+      (** Per-operator estimate-vs-observed table; see {!Profiler}. *)
+}
+
+val run_profiled :
+  ?reset_stats:bool ->
+  ?max_events:int ->
+  System.t ->
+  ctx:Axml_net.Peer_id.t ->
+  Axml_algebra.Expr.t ->
+  profiled
+(** EXPLAIN ANALYZE: evaluate the expression with tracing forced on
+    (sampling disabled for the run, both settings restored afterwards)
+    and the ambient operator id rooted at [0], then fold the recorded
+    spans back onto the plan's operators.  The report pairs each
+    operator's observed exclusive sim time, CPU, bytes, messages and
+    index hits with the planner's {!Axml_algebra.Cost} estimate, and
+    feeds each operator's estimate-error ratio into the
+    [profiler/est_error_ratio] histogram of {!Axml_obs.Metrics}. *)
+
 val run_optimized :
   ?reset_stats:bool ->
   ?max_events:int ->

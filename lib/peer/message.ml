@@ -42,14 +42,15 @@ and batch_item =
   | Full of t
   | Shared of { msg : t; of_seq : int; saved : int }
 
-and t = { payload : payload; corr : int; seq : int }
+and t = { payload : payload; corr : int; seq : int; op : int }
 
-let make ?(corr = 0) ?(seq = 0) payload = { payload; corr; seq }
+let make ?(corr = 0) ?(seq = 0) ?(op = -1) payload = { payload; corr; seq; op }
 
 let envelope = 64
-(* Headers, addressing, framing.  The correlation id travels inside
-   this budget — it does not change the charged size, so traced and
-   untraced runs ship identical byte counts. *)
+(* Headers, addressing, framing.  The correlation id and the
+   profiler's plan-operator id travel inside this budget — they do
+   not change the charged size, so traced, profiled and plain runs
+   ship identical byte counts. *)
 
 let item_header = 16
 (* Per-item framing inside a batch: sequence number, payload kind and

@@ -86,7 +86,7 @@ and batch_item =
           [saved] bytes.  The full payload is retained so delivery
           needs no reassembly step. *)
 
-and t = { payload : payload; corr : int; seq : int }
+and t = { payload : payload; corr : int; seq : int; op : int }
 (** The wire envelope: a payload plus the correlation id of the
     logical computation that caused the send ([0] = uncorrelated).
     Minted by {!Axml_obs.Trace.fresh_corr} at the computation's entry
@@ -96,10 +96,15 @@ and t = { payload : payload; corr : int; seq : int }
     peers and hops.
 
     [seq] is the reliable transport's per-(src,dst) sequence number;
-    [0] means unsequenced (raw transport, loopback, acks).  Like the
-    correlation id it rides inside the fixed envelope budget. *)
+    [0] means unsequenced (raw transport, loopback, acks).
 
-val make : ?corr:int -> ?seq:int -> payload -> t
+    [op] is the profiler's plan-operator id ([-1] = unattributed),
+    carried and re-established exactly like the correlation id so
+    remote work is folded back onto the operator that caused it.
+    Like the correlation id, both ride inside the fixed envelope
+    budget. *)
+
+val make : ?corr:int -> ?seq:int -> ?op:int -> payload -> t
 
 val bytes : payload -> int
 (** Serialized size estimate charged to the link (the correlation id

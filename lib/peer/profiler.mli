@@ -1,0 +1,73 @@
+(** Per-operator query profiling (EXPLAIN ANALYZE for plans).
+
+    Folds the trace of one profiled run ({!Exec.run_profiled}) back
+    onto the operators of the plan expression and pairs each with the
+    planner's static estimate ({!Axml_algebra.Cost.of_expr}).
+
+    Operators are numbered pre-order: the root is [0] and the subtree
+    rooted at id [k] occupies the id range [k, k + size).  The
+    numbering is recomputable from an operator's id and the expression
+    alone, so delegations need only ship the id
+    (see {!Message.t}).
+
+    Exclusive sim time is an interval sweep over the root ["execute"]
+    span: every elementary interval goes to the deepest covering span,
+    so the per-operator exclusive times {e partition} the root
+    interval — they sum to the root's total by construction, which is
+    the report's self-check ({!sums_to_root}). *)
+
+val child_op : parent:int -> Axml_algebra.Expr.t list -> int -> int
+(** [child_op ~parent children i]: the pre-order id of child [i] of
+    the operator numbered [parent] whose children are [children]
+    (its {!Axml_algebra.Expr.subexpressions}).  [-1] when [parent]
+    is [-1] (profiling off). *)
+
+val label : Axml_algebra.Expr.t -> string
+(** Short human label for an operator (["query_app/2@p1"], …). *)
+
+val operators :
+  ctx:Axml_net.Peer_id.t ->
+  Axml_algebra.Expr.t ->
+  (int * Axml_net.Peer_id.t * Axml_algebra.Expr.t) list
+(** Pre-order [(id, evaluation context, operator)] listing; the
+    context threads the way {!Exec.eval} moves work (a query
+    application evaluates its arguments at its own site, eval\@p runs
+    its body at [p]). *)
+
+type op_row = {
+  op : int;
+  op_label : string;
+  est : Axml_algebra.Cost.t;  (** Planner estimate for the subtree. *)
+  excl_ms : float;  (** Exclusive sim time (partition of the root). *)
+  cpu_ms : float;  (** Busy-horizon growth of deliveries. *)
+  bytes : int;  (** Wire bytes of transfers attributed here. *)
+  messages : int;  (** Logical messages (transfer spans). *)
+  index_hits : int;
+  index_fallbacks : int;
+  err_ratio : float;
+      (** [|excl_ms - est.latency_ms| / max(est.latency_ms, 1µs)];
+          also fed to the [profiler/est_error_ratio] histogram. *)
+}
+
+type report = {
+  rows : op_row list;  (** One per plan operator, ascending id. *)
+  root_ms : float;  (** Duration of the ["execute"] span. *)
+  total_excl_ms : float;  (** Σ [excl_ms]; equals [root_ms] up to fp. *)
+}
+
+val sums_to_root : report -> bool
+(** The acceptance self-check: Σ per-operator exclusive sim time
+    equals the root span's duration (1e-6 relative tolerance). *)
+
+val report :
+  env:Axml_algebra.Cost.env ->
+  ctx:Axml_net.Peer_id.t ->
+  events:Axml_obs.Trace.event list ->
+  Axml_algebra.Expr.t ->
+  report
+(** Fold the events of one profiled run (already sliced to the run)
+    into a report for the given plan. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Render the estimate-vs-observed table plus the sum-to-root check
+    line (["operator sim-time totals sum to root: OK (...)"]). *)

@@ -5,6 +5,7 @@ module Tree = Axml_xml.Tree
 module Forest = Axml_xml.Forest
 module Trace = Axml_obs.Trace
 module Metrics = Axml_obs.Metrics
+module Timeseries = Axml_obs.Timeseries
 
 let log = Logs.Src.create "axml.system" ~doc:"AXML peer system"
 
@@ -65,6 +66,10 @@ type conn = {
   buffer : (int, Message.t) Hashtbl.t;  (* seq -> early arrival from b *)
   mutable ack_due : bool;  (* a standalone ack timer is armed *)
   mutable cancel_ack : unit -> unit;
+  mutable ts_inflight : Timeseries.handle option;
+      (* Lazily-bound [net/link/a->b/inflight] series (see
+         {!Axml_obs.Timeseries}); [None] until the first send with
+         telemetry enabled. *)
 }
 
 type rel = {
@@ -80,9 +85,18 @@ type rel = {
   mutable dedup_shared_bytes : int;
 }
 
+(* Pre-resolved per-peer metric handles for the routing/stream hot
+   path — a keyed [Metrics.incr] allocates a key tuple and hashes
+   three strings per call, which showed up at the E21 1000-peer tier. *)
+type peer_metrics = {
+  m_routed : Metrics.counter_handle;
+  m_stream_batches : Metrics.hist_handle;
+}
+
 type t = {
   sim : Message.t Sim.t;
   mutable peers : Peer.t option array;  (* indexed by dense Peer_id.index *)
+  mutable pmetrics : peer_metrics option array;  (* same index *)
   conts : (int, cont_entry) Hashtbl.t;
   mutable next_key : int;
   response_delay_ms : float;
@@ -146,6 +160,30 @@ let peer_slot t p =
 
 let peer t p =
   match peer_slot t p with Some peer -> peer | None -> raise Not_found
+
+let peer_metrics t p =
+  let i = Peer_id.index p in
+  if i >= Array.length t.pmetrics then begin
+    let arr = Array.make (max (i + 1) (2 * Array.length t.pmetrics)) None in
+    Array.blit t.pmetrics 0 arr 0 (Array.length t.pmetrics);
+    t.pmetrics <- arr
+  end;
+  match t.pmetrics.(i) with
+  | Some h -> h
+  | None ->
+      let peer = Peer_id.to_string p in
+      let h =
+        {
+          m_routed =
+            Metrics.counter_handle Metrics.default ~peer ~subsystem:"peer"
+              "routed_batches";
+          m_stream_batches =
+            Metrics.hist_handle Metrics.default ~peer ~subsystem:"stream"
+              "batches";
+        }
+      in
+      t.pmetrics.(i) <- Some h;
+      h
 
 let set_peer t p v =
   let i = Peer_id.index p in
@@ -213,6 +251,7 @@ let conn t a b =
           buffer = Hashtbl.create 8;
           ack_due = false;
           cancel_ack = ignore;
+          ts_inflight = None;
         }
       in
       Hashtbl.add t.rel.conns key c;
@@ -253,6 +292,15 @@ and retry t (c : conn) ~src ~dst (msg : Message.t) =
       if Metrics.is_on Metrics.default then
         Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
           ~subsystem:"net" "abandoned";
+      (* SLO breach: reliable delivery gave up on this message. *)
+      if Trace.sampled () then
+        Trace.instant ~cat:"slo"
+          ~peer:(Peer_id.to_string src)
+          ~ts:(Sim.now t.sim)
+          ~args:
+            [ ("dst", Peer_id.to_string dst); ("seq", string_of_int seq);
+              ("count", "1") ]
+          "abandoned";
       Log.warn (fun m ->
           m "peer %a: abandoning seq %d to %a after %d retries" Peer_id.pp src
             seq Peer_id.pp dst t.max_retries)
@@ -311,7 +359,7 @@ let rec send_batch t ~src ~dst (d : conn) msgs =
       Metrics.incr Metrics.default ~peer ~by:saved ~subsystem:"net"
         "batch_shared_bytes"
   end;
-  if Trace.enabled () then
+  if Trace.sampled () then
     Trace.instant ~cat:"net"
       ~peer:(Peer_id.to_string src)
       ~ts:(Sim.now t.sim)
@@ -340,6 +388,14 @@ and retry_batch t (d : conn) ~src ~dst =
       if Metrics.is_on Metrics.default then
         Metrics.incr Metrics.default ~peer:(Peer_id.to_string src) ~by:n
           ~subsystem:"net" "abandoned";
+      (* SLO breach: the whole unacked window was given up on. *)
+      if Trace.sampled () then
+        Trace.instant ~cat:"slo"
+          ~peer:(Peer_id.to_string src)
+          ~ts:(Sim.now t.sim)
+          ~args:
+            [ ("dst", Peer_id.to_string dst); ("count", string_of_int n) ]
+          "abandoned";
       Log.warn (fun m ->
           m "peer %a: abandoning %d batched message(s) to %a after %d retries"
             Peer_id.pp src n Peer_id.pp dst t.max_retries)
@@ -377,8 +433,33 @@ let handle_cum_ack t ~at ~from upto =
         end
       end
 
+(* Sender-side congestion telemetry: how many sequenced messages to
+   [c.c_dst] are in flight (unacked window plus the unflushed queue)
+   the moment a new send joins them — the signal a placement
+   controller would watch for a saturating link. *)
+let note_inflight (c : conn) =
+  let h =
+    match c.ts_inflight with
+    | Some h -> h
+    | None ->
+        let h =
+          Timeseries.handle Timeseries.default
+            ("net/link/" ^ Peer_id.to_string c.c_src ^ "->"
+           ^ Peer_id.to_string c.c_dst ^ "/inflight")
+        in
+        c.ts_inflight <- Some h;
+        h
+  in
+  (* [+ 1] counts the joining message itself: a quiet link reads 1,
+     a saturating one reads its whole outstanding window. *)
+  Timeseries.record h
+    (float_of_int
+       (1 + Hashtbl.length c.pending + List.length c.unacked
+      + List.length c.queue))
+
 let send t ~src ~dst payload =
   let corr = Trace.current_corr () in
+  let op = Trace.current_op () in
   let sequenced =
     match (t.transport, payload) with
     | Raw, _ -> false
@@ -388,12 +469,13 @@ let send t ~src ~dst payload =
        protocol's feedback and must stay unsequenced or every ack
        would need an ack. *)
   in
-  if not sequenced then raw_send t ~src ~dst (Message.make ~corr payload)
+  if not sequenced then raw_send t ~src ~dst (Message.make ~corr ~op payload)
   else begin
     let c = conn t src dst in
     let seq = c.next_seq + 1 in
     c.next_seq <- seq;
-    let msg = Message.make ~corr ~seq payload in
+    let msg = Message.make ~corr ~seq ~op payload in
+    if Timeseries.is_on Timeseries.default then note_inflight c;
     if batched t then begin
       c.queue <- msg :: c.queue;
       if not c.flush_pending then begin
@@ -449,9 +531,8 @@ let route ?notify t ~src dest forest ~final =
      destination, after the side effect — a bare ack message would
      overtake the (larger, slower) data it acknowledges. *)
   if Metrics.is_on Metrics.default then
-    Metrics.incr Metrics.default ~peer:(Peer_id.to_string src)
-      ~subsystem:"peer" "routed_batches";
-  if Trace.enabled () then
+    Metrics.incr_h (peer_metrics t src).m_routed ~by:1;
+  if Trace.sampled () then
     Trace.instant ~cat:"peer"
       ~peer:(Peer_id.to_string src)
       ~ts:(Sim.now t.sim)
@@ -613,9 +694,8 @@ let dispatch_payload t (self : Peer.t) ~src payload =
             if entry.remaining_finals <= 0 then begin
               Hashtbl.remove t.conts key;
               if Metrics.is_on Metrics.default then
-                Metrics.observe Metrics.default
-                  ~peer:(Peer_id.to_string self.Peer.id)
-                  ~subsystem:"stream" "batches"
+                Metrics.observe_h
+                  (peer_metrics t self.Peer.id).m_stream_batches
                   (float_of_int entry.batches)
             end
           end;
@@ -674,26 +754,42 @@ let dispatch_payload t (self : Peer.t) ~src payload =
          a batch frame is unpacked into its items there. *)
       ()
 
-(* Delivery entry point: re-establish the sender's correlation id as
-   the ambient one, so spans recorded here — and any messages sent
-   from here — stay attached to the logical computation that caused
-   this delivery, across any number of hops. *)
+(* Delivery entry point: re-establish the sender's correlation id (and
+   the profiler's operator id) as the ambient ones, so spans recorded
+   here — and any messages sent from here — stay attached to the
+   logical computation that caused this delivery, across any number of
+   hops.  Written closure-free (swap/restore rather than
+   with_corr/Fun.protect) because this is the per-message hot path:
+   with tracing enabled but this correlation sampled out, the whole
+   prelude is two ref swaps and a cached boolean — no span arguments
+   are ever built. *)
 let dispatch t (self : Peer.t) ~src (msg : Message.t) =
-  if Trace.enabled () then
-    Trace.with_corr msg.Message.corr (fun () ->
-        let sid =
-          Trace.begin_span ~cat:"peer"
-            ~peer:(Peer_id.to_string self.Peer.id)
-            ~ts:(Sim.now t.sim)
-            ~args:[ ("src", Peer_id.to_string src) ]
-            ("handle " ^ Message.tag msg.Message.payload)
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            Trace.end_span sid
-              ~ts:(max (Sim.now t.sim) (Sim.busy_until t.sim self.Peer.id)))
-          (fun () -> dispatch_payload t self ~src msg.Message.payload))
-  else dispatch_payload t self ~src msg.Message.payload
+  if not (Trace.enabled ()) then
+    dispatch_payload t self ~src msg.Message.payload
+  else begin
+    let corr0 = Trace.swap_corr msg.Message.corr in
+    let op0 = Trace.swap_op msg.Message.op in
+    let sid =
+      if Trace.sampled () then
+        Trace.begin_span ~cat:"peer"
+          ~peer:(Peer_id.to_string self.Peer.id)
+          ~ts:(Sim.now t.sim)
+          ~args:[ ("src", Peer_id.to_string src) ]
+          ("handle " ^ Message.tag msg.Message.payload)
+      else Trace.null
+    in
+    let finish () =
+      Trace.end_span sid
+        ~ts:(max (Sim.now t.sim) (Sim.busy_until t.sim self.Peer.id));
+      Trace.restore_op op0;
+      Trace.restore_corr corr0
+    in
+    match dispatch_payload t self ~src msg.Message.payload with
+    | () -> finish ()
+    | exception e ->
+        finish ();
+        raise e
+  end
 
 (* Receiver-side transport stage, run before dispatch.  Sequenced
    messages are delivered to the application exactly once and in send
@@ -830,6 +926,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
     {
       sim;
       peers = Array.make 16 None;
+      pmetrics = Array.make 16 None;
       conts = Hashtbl.create 64;
       next_key = 0;
       response_delay_ms;
@@ -984,11 +1081,15 @@ let activate_call t ~owner ~doc ~node =
     if Trace.enabled () then
       Trace.with_corr (Trace.fresh_corr ()) (fun () ->
           let sid =
-            Trace.begin_span ~cat:"peer"
-              ~peer:(Peer_id.to_string owner)
-              ~ts:(Sim.now t.sim)
-              ~args:[ ("doc", Names.Doc_name.to_string doc) ]
-              "activate_call"
+            (* Sampling decides per fresh correlation: a dropped
+               activation records nothing here or downstream. *)
+            if Trace.sampled () then
+              Trace.begin_span ~cat:"peer"
+                ~peer:(Peer_id.to_string owner)
+                ~ts:(Sim.now t.sim)
+                ~args:[ ("doc", Names.Doc_name.to_string doc) ]
+                "activate_call"
+            else Trace.null
           in
           Fun.protect
             ~finally:(fun () -> Trace.end_span sid ~ts:(Sim.now t.sim))

@@ -371,7 +371,23 @@ let flush cnt =
     if cnt.builds > 0 then
       Metrics.incr Metrics.default ~by:cnt.builds ~subsystem:"query"
         "index_builds"
-  end
+  end;
+  (* Per-evaluation attribution for the profiler: the ambient operator
+     id stamped into this instant lets {!Axml_peer.Profiler} fold
+     index behaviour onto the plan operator whose query this was. *)
+  if
+    cnt.hits + cnt.fallbacks + cnt.builds > 0
+    && Axml_obs.Trace.sampled ()
+  then
+    Axml_obs.Trace.instant ~cat:"query" ~peer:"query"
+      ~ts:(Axml_obs.Timeseries.now Axml_obs.Timeseries.default)
+      ~args:
+        [
+          ("hits", string_of_int cnt.hits);
+          ("fallbacks", string_of_int cnt.fallbacks);
+          ("builds", string_of_int cnt.builds);
+        ]
+      "index"
 
 let check_arity q inputs =
   (match Ast.check q with

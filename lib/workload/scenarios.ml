@@ -204,13 +204,32 @@ let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4
      schedule the next request after a think delay.  The availability
      oracle and catalog are per-subscriber invariants, hoisted out of
      the per-request path. *)
+  (* Each request is one cross-peer computation: mint it a fresh
+     correlation id so head sampling (see {!Axml_obs.Trace}) keeps or
+     drops the whole request — invoke, mirror work, response stream —
+     atomically.  Timer callbacks run under the null id, so the guard
+     fires exactly once per request; with tracing off the path is
+     untouched. *)
   let rec request sub avail catalog sub_rng pick_seed remaining =
+    if Axml_obs.Trace.enabled () && Axml_obs.Trace.current_corr () = 0 then
+      Axml_obs.Trace.with_corr
+        (Axml_obs.Trace.fresh_corr ())
+        (fun () -> request sub avail catalog sub_rng pick_seed remaining)
+    else
     match
       Axml_doc.Generic.pick_service ~available:avail catalog
         ~policy:(Axml_doc.Generic.Random pick_seed)
         ~class_name:fetch_class
     with
-    | None | Some { Names.Service_ref.at = Names.Any; _ } -> incr unserved
+    | None | Some { Names.Service_ref.at = Names.Any; _ } ->
+        incr unserved;
+        (* SLO breach: no reachable mirror — the request dies here. *)
+        if Axml_obs.Trace.sampled () then
+          Axml_obs.Trace.instant ~cat:"slo"
+            ~peer:(Peer_id.to_string sub)
+            ~ts:(Axml_net.Sim.now sim)
+            ~args:[ ("class", fetch_class) ]
+            "unserved"
     | Some { Names.Service_ref.name = service; at = Names.At provider } ->
         let key = System.fresh_key sys in
         System.set_cont sys key (fun _forest ~final ->

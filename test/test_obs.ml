@@ -92,7 +92,9 @@ let test_cross_peer_correlation () =
       let by_corr = Hashtbl.create 8 in
       List.iter
         (fun (e : Trace.event) ->
-          if e.corr <> 0 then begin
+          (* The query engine's index-attribution instants live on a
+             ["query"] pseudo-track, not a peer track. *)
+          if e.corr <> 0 && e.peer <> "query" then begin
             let ps = Option.value ~default:[] (Hashtbl.find_opt by_corr e.corr) in
             if not (List.mem e.peer ps) then
               Hashtbl.replace by_corr e.corr (e.peer :: ps)
@@ -248,8 +250,9 @@ module Json = struct
              | 'u' ->
                  if !pos + 4 >= n then raise (Bad "bad \\u");
                  let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
-                 (* ASCII only — all the exporters ever escape. *)
-                 Buffer.add_char buf (Char.chr (code land 0x7F));
+                 (* The exporters escape whole bytes as their Latin-1
+                    code points (0x00-0xFF). *)
+                 Buffer.add_char buf (Char.chr (code land 0xFF));
                  pos := !pos + 5
              | c -> raise (Bad (Printf.sprintf "escape %c" c)));
             go ()

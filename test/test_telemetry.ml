@@ -1,0 +1,377 @@
+(* Windowed telemetry engine, trace sampling and the query profiler:
+   Timeseries ring semantics, the sampled-trace subset property,
+   same-seed fingerprint determinism (including under faults and
+   crash/restart), profiler sum-to-root, exporter escaping. *)
+
+open Axml
+open Helpers
+module System = Runtime.System
+module Trace = Obs.Trace
+module Timeseries = Obs.Timeseries
+module Metrics = Obs.Metrics
+
+let p1 = peer "p1"
+let p2 = peer "p2"
+let p3 = peer "p3"
+
+(* Every test owns the global observability state: start clean, leave
+   clean (the runtime instruments the default registries). *)
+let with_telemetry f =
+  let reset () =
+    Trace.set_enabled false;
+    Trace.clear ();
+    Trace.set_sampling ~seed:0 ~keep_one_in:1 ();
+    Metrics.set_enabled Metrics.default false;
+    Metrics.reset Metrics.default;
+    Timeseries.set_enabled Timeseries.default false;
+    Timeseries.reset Timeseries.default
+  in
+  reset ();
+  Fun.protect ~finally:reset f
+
+(* --- Timeseries ring semantics ----------------------------------- *)
+
+let test_window_aggregates () =
+  let t = Timeseries.create ~window_ms:10.0 ~ring:4 () in
+  Timeseries.set_enabled t true;
+  let h = Timeseries.handle t "k" in
+  Timeseries.record_at h ~ts:12.0 3.0;
+  Timeseries.record_at h ~ts:17.0 5.0;
+  Timeseries.record_at h ~ts:25.0 7.0;
+  (match Timeseries.read_window t "k" ~epoch:1 with
+  | None -> Alcotest.fail "window 1 missing"
+  | Some a ->
+      Alcotest.(check int) "count" 2 a.Timeseries.w_count;
+      Alcotest.(check (float 1e-9)) "sum" 8.0 a.Timeseries.w_sum;
+      Alcotest.(check (float 1e-9)) "min" 3.0 a.Timeseries.w_min;
+      Alcotest.(check (float 1e-9)) "max" 5.0 a.Timeseries.w_max;
+      Alcotest.(check (float 1e-9)) "start" 10.0 a.Timeseries.w_start_ms);
+  (match Timeseries.read_window t "k" ~epoch:2 with
+  | None -> Alcotest.fail "window 2 missing"
+  | Some a -> Alcotest.(check int) "count" 1 a.Timeseries.w_count);
+  Alcotest.(check bool)
+    "empty window absent" true
+    (Timeseries.read_window t "k" ~epoch:0 = None)
+
+let test_ring_eviction () =
+  let t = Timeseries.create ~window_ms:10.0 ~ring:4 () in
+  Timeseries.set_enabled t true;
+  let h = Timeseries.handle t "k" in
+  (* Epochs 0..5 through a 4-slot ring: 0 and 1 are overwritten by 4
+     and 5 (same slot, newer epoch). *)
+  for e = 0 to 5 do
+    Timeseries.record_at h ~ts:(float_of_int e *. 10.0) 1.0
+  done;
+  Alcotest.(check bool)
+    "epoch 0 evicted" true
+    (Timeseries.read_window t "k" ~epoch:0 = None);
+  Alcotest.(check bool)
+    "epoch 1 evicted" true
+    (Timeseries.read_window t "k" ~epoch:1 = None);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d live" e)
+        true
+        (Timeseries.read_window t "k" ~epoch:e <> None))
+    [ 2; 3; 4; 5 ]
+
+let test_rate_and_quantile () =
+  let t = Timeseries.create ~window_ms:100.0 ~ring:8 () in
+  Timeseries.set_enabled t true;
+  let h = Timeseries.handle t "lat" in
+  (* 10 observations in [0,100), 20 in [100,200); now = 250 so both are
+     complete windows and the (empty) current one is excluded. *)
+  for i = 0 to 9 do
+    Timeseries.record_at h ~ts:(float_of_int i *. 10.0) 4.0
+  done;
+  for i = 0 to 19 do
+    Timeseries.record_at h ~ts:(100.0 +. float_of_int i) 64.0
+  done;
+  Alcotest.(check (float 1e-9))
+    "rate over 2 windows" 150.0
+    (Timeseries.rate t "lat" ~now:250.0 ~windows:2);
+  (* Merged histogram: 10 observations of 4.0, 20 of 64.0 — the median
+     and above sit in the 64.0 bucket, low quantiles in the 4.0 one.
+     Quantiles answer with the bucket's inclusive upper bound. *)
+  let q q' = Timeseries.quantile t "lat" ~now:250.0 ~windows:8 ~q:q' in
+  Alcotest.(check (float 1e-9)) "p25 bucket" 4.0 (q 0.25);
+  Alcotest.(check (float 1e-9)) "p95 bucket" 64.0 (q 0.95);
+  Alcotest.(check (float 1e-9)) "no data" 0.0
+    (Timeseries.quantile t "none" ~now:250.0 ~windows:8 ~q:0.5)
+
+let test_set_window_resets () =
+  let t = Timeseries.create ~window_ms:10.0 ~ring:4 () in
+  Timeseries.set_enabled t true;
+  let h = Timeseries.handle t "k" in
+  Timeseries.record_at h ~ts:5.0 1.0;
+  Alcotest.(check bool) "live before" true (Timeseries.keys t <> []);
+  Timeseries.set_window t 50.0;
+  Alcotest.(check (float 1e-9)) "width changed" 50.0 (Timeseries.window_ms t);
+  Alcotest.(check bool) "series dropped" true (Timeseries.keys t = []);
+  (* Handles re-resolve against the new generation. *)
+  Timeseries.record_at h ~ts:60.0 2.0;
+  Alcotest.(check bool)
+    "records in new grid" true
+    (Timeseries.read_window t "k" ~epoch:1 <> None)
+
+let test_disabled_records_nothing () =
+  let t = Timeseries.create () in
+  let h = Timeseries.handle t "k" in
+  Timeseries.record_at h ~ts:1.0 1.0;
+  Timeseries.observe t "k2" ~ts:1.0 1.0;
+  Alcotest.(check bool) "no keys" true (Timeseries.keys t = []);
+  Alcotest.(check string)
+    "empty fingerprint is stable" (Timeseries.fingerprint t)
+    (Timeseries.fingerprint (Timeseries.create ()))
+
+(* --- flash-crowd runs under full telemetry ------------------------ *)
+
+(* A small flash crowd (10 peers, 18 requests) driven to quiescence
+   with everything enabled; returns (events, fingerprint). *)
+let crowd_run ?fault ~scenario_seed ~keep () =
+  Trace.set_enabled true;
+  Trace.clear ();
+  Trace.set_sampling ~seed:42 ~keep_one_in:keep ();
+  Metrics.set_enabled Metrics.default true;
+  Metrics.reset Metrics.default;
+  Timeseries.set_enabled Timeseries.default true;
+  Timeseries.reset Timeseries.default;
+  let fc =
+    Workload.Scenarios.flash_crowd ~mirrors:3 ~subscribers:6
+      ~requests_per_subscriber:3 ~transport:System.Reliable
+      ~seed:scenario_seed ()
+  in
+  let sys = fc.Workload.Scenarios.fc_system in
+  Option.iter (fun f -> System.inject_faults sys f) fault;
+  let outcome, _ = System.run ~max_events:50_000 sys in
+  Alcotest.(check bool) "quiescent" true (outcome = `Quiescent);
+  (Trace.events (), Timeseries.fingerprint Timeseries.default)
+
+(* Projection for trace comparisons: everything except the span ids
+   (unsampled spans still consume no ids — but open/close interleaving
+   differs between a thinned and a full recording, so parent links are
+   the one field not preserved verbatim by sampling). *)
+let project (e : Trace.event) =
+  ( e.Trace.corr, e.Trace.op, e.Trace.name, e.Trace.cat, e.Trace.peer,
+    e.Trace.ts_ms, e.Trace.dur_ms, e.Trace.kind = Trace.Instant, e.Trace.args )
+
+let test_sampled_subset () =
+  with_telemetry (fun () ->
+      let full, _ = crowd_run ~scenario_seed:5 ~keep:1 () in
+      let sampled, _ = crowd_run ~scenario_seed:5 ~keep:8 () in
+      Alcotest.(check bool)
+        "sampling thinned the trace" true
+        (List.length sampled < List.length full && sampled <> []);
+      (* keep_corr must reflect the sampled run's configuration. *)
+      let expected =
+        List.filter (fun (e : Trace.event) -> Trace.keep_corr e.Trace.corr) full
+      in
+      Alcotest.(check int)
+        "same cardinality" (List.length expected) (List.length sampled);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "event matches" true (project a = project b))
+        expected sampled)
+
+let qcheck_sampled_subset =
+  QCheck.Test.make ~count:6 ~name:"sampled trace = keep_corr subset of full"
+    QCheck.(pair (int_range 1 50) (int_range 2 16))
+    (fun (scenario_seed, keep) ->
+      with_telemetry (fun () ->
+          let full, _ = crowd_run ~scenario_seed ~keep:1 () in
+          let sampled, _ = crowd_run ~scenario_seed ~keep () in
+          let expected =
+            List.filter
+              (fun (e : Trace.event) -> Trace.keep_corr e.Trace.corr)
+              full
+          in
+          List.length expected = List.length sampled
+          && List.for_all2
+               (fun a b -> project a = project b)
+               expected sampled))
+
+let test_fingerprint_deterministic () =
+  with_telemetry (fun () ->
+      let _, fp1 = crowd_run ~scenario_seed:7 ~keep:4 () in
+      let _, fp2 = crowd_run ~scenario_seed:7 ~keep:4 () in
+      Alcotest.(check string) "same-seed fingerprints agree" fp1 fp2;
+      (* Sampling only thins the trace; the windowed load series are
+         recorded unconditionally, so the fingerprint is also
+         independent of the sampling rate. *)
+      let _, fp3 = crowd_run ~scenario_seed:7 ~keep:1 () in
+      Alcotest.(check string) "sampling-independent" fp1 fp3)
+
+let test_fingerprint_deterministic_under_faults () =
+  with_telemetry (fun () ->
+      (* Lossy links plus a crash/restart of a mirror mid-run: the
+         reliable transport re-delivers, and two same-seed replays must
+         agree on every windowed aggregate. *)
+      let fault () =
+        Net.Fault.make
+          ~profile:
+            { Net.Fault.drop = 0.15; duplicate = 0.05; jitter_ms = 2.0 }
+          ~events:
+            [
+              Net.Fault.Crash
+                {
+                  peer = peer "mirror001";
+                  at_ms = 40.0;
+                  restart_ms = Some 90.0;
+                };
+            ]
+          ~quiet_after_ms:400.0 ~seed:13 ()
+      in
+      let _, fp1 = crowd_run ~fault:(fault ()) ~scenario_seed:9 ~keep:4 () in
+      let _, fp2 = crowd_run ~fault:(fault ()) ~scenario_seed:9 ~keep:4 () in
+      Alcotest.(check string) "replay fingerprints agree" fp1 fp2;
+      Alcotest.(check bool)
+        "faulty run differs from clean run" true
+        (fp1 <> snd (crowd_run ~scenario_seed:9 ~keep:4 ())))
+
+let test_doc_and_link_series_recorded () =
+  with_telemetry (fun () ->
+      let _, _ = crowd_run ~scenario_seed:3 ~keep:1 () in
+      let keys = Timeseries.keys Timeseries.default in
+      let has prefix =
+        List.exists (fun k -> String.starts_with ~prefix k) keys
+      in
+      Alcotest.(check bool) "per-peer tx" true (has "peer/");
+      Alcotest.(check bool) "per-link load" true (has "net/link/");
+      Alcotest.(check bool) "per-doc load" true (has "doc/"))
+
+(* --- profiler ------------------------------------------------------ *)
+
+let join_system () =
+  let sys = System.create (mesh [ "p1"; "p2"; "p3" ]) in
+  let seed = ref 7 in
+  List.iter
+    (fun p ->
+      let rng = Workload.Rng.create ~seed:!seed in
+      incr seed;
+      let g = System.gen_of sys p in
+      System.add_document sys p ~name:"cat"
+        (Workload.Xml_gen.catalog ~gen:g ~rng ~items:40 ~selectivity:0.2 ()))
+    [ p2; p3 ];
+  sys
+
+let join_plan () =
+  let join =
+    query
+      {|query(2) for $x in $0//item, $y in $1//item
+        where attr($x, "category") = "wanted" and attr($y, "category") = "wanted"
+        return <pair/>|}
+  in
+  Algebra.Expr.query_at join ~at:p1
+    ~args:[ Algebra.Expr.doc "cat" ~at:"p2"; Algebra.Expr.doc "cat" ~at:"p3" ]
+
+let test_profiler_sums_to_root () =
+  with_telemetry (fun () ->
+      Metrics.set_enabled Metrics.default true;
+      let { Runtime.Exec.outcome; report } =
+        Runtime.Exec.run_profiled (join_system ()) ~ctx:p1 (join_plan ())
+      in
+      Alcotest.(check bool) "finished" true outcome.Runtime.Exec.finished;
+      Alcotest.(check bool)
+        "exclusive times sum to root" true
+        (Runtime.Profiler.sums_to_root report);
+      Alcotest.(check bool)
+        "root covers the run" true
+        (report.Runtime.Profiler.root_ms > 0.0);
+      (* query_app over two doc arguments = 3 operators, each with a
+         finite estimate-error ratio. *)
+      Alcotest.(check int)
+        "one row per operator" 3
+        (List.length report.Runtime.Profiler.rows);
+      List.iter
+        (fun (r : Runtime.Profiler.op_row) ->
+          Alcotest.(check bool)
+            (r.Runtime.Profiler.op_label ^ " err finite")
+            true
+            (Float.is_finite r.Runtime.Profiler.err_ratio
+            && r.Runtime.Profiler.err_ratio >= 0.0))
+        report.Runtime.Profiler.rows;
+      (* The estimate-error distribution feeds the metrics registry. *)
+      let snapshot = Metrics.snapshot Metrics.default in
+      Alcotest.(check bool)
+        "est_error_ratio recorded" true
+        (List.exists
+           (fun (e : Metrics.entry) ->
+             e.Metrics.subsystem = "profiler"
+             && e.Metrics.name = "est_error_ratio")
+           snapshot))
+
+let test_profiler_restores_sampling () =
+  with_telemetry (fun () ->
+      Trace.set_enabled false;
+      Trace.set_sampling ~seed:3 ~keep_one_in:16 ();
+      let _ = Runtime.Exec.run_profiled (join_system ()) ~ctx:p1 (join_plan ()) in
+      Alcotest.(check bool) "tracing restored off" false (Trace.enabled ());
+      Alcotest.(check bool)
+        "sampling restored" true
+        (Trace.sampling () = (3, 16)))
+
+(* --- exporter escaping -------------------------------------------- *)
+
+let test_exporter_escapes_hostile_names () =
+  with_telemetry (fun () ->
+      Trace.set_enabled true;
+      let ts = 1.0 in
+      Trace.instant ~cat:"t\tb" ~peer:"p\x01eer\xC3\xA9" ~ts
+        ~args:[ ("k\"ey", "v\\al\nue") ]
+        "sp\x7fan\"name";
+      let events = Trace.events () in
+      let ok_json s =
+        (* Structural validity proxy: no raw control bytes survive
+           (everything below 0x20 must be escaped to \uNNNN), and the
+           quotes balance. *)
+        String.for_all (fun c -> c = '\n' || Char.code c >= 0x20) s
+        &&
+        let quotes = ref 0 and escaped = ref false in
+        String.iter
+          (fun c ->
+            if !escaped then escaped := false
+            else if c = '\\' then escaped := true
+            else if c = '"' then incr quotes)
+          s;
+        !quotes mod 2 = 0
+      in
+      Alcotest.(check bool)
+        "chrome trace escapes" true
+        (ok_json (Obs.Exporter.chrome_trace events));
+      Alcotest.(check bool)
+        "jsonl escapes" true
+        (ok_json (Obs.Exporter.jsonl events));
+      Alcotest.(check bool)
+        "sanitize strips terminal controls" true
+        (String.for_all
+           (fun c -> Char.code c >= 0x20)
+           (Obs.Exporter.sanitize "a\x1b[31mred\x07\tb")))
+
+let suite =
+  [
+    Alcotest.test_case "timeseries: window aggregates" `Quick
+      test_window_aggregates;
+    Alcotest.test_case "timeseries: ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "timeseries: rate and quantile" `Quick
+      test_rate_and_quantile;
+    Alcotest.test_case "timeseries: set_window resets" `Quick
+      test_set_window_resets;
+    Alcotest.test_case "timeseries: disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "sampling: sampled trace is the keep_corr subset"
+      `Quick test_sampled_subset;
+    QCheck_alcotest.to_alcotest qcheck_sampled_subset;
+    Alcotest.test_case "fingerprint: same-seed runs agree" `Quick
+      test_fingerprint_deterministic;
+    Alcotest.test_case "fingerprint: deterministic under faults + crash"
+      `Quick test_fingerprint_deterministic_under_faults;
+    Alcotest.test_case "series: doc, link and peer keys recorded" `Quick
+      test_doc_and_link_series_recorded;
+    Alcotest.test_case "profiler: exclusive times sum to root" `Quick
+      test_profiler_sums_to_root;
+    Alcotest.test_case "profiler: restores sampling state" `Quick
+      test_profiler_restores_sampling;
+    Alcotest.test_case "exporter: hostile names escaped" `Quick
+      test_exporter_escapes_hostile_names;
+  ]
