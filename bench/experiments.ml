@@ -2439,6 +2439,302 @@ let e21 ?(smoke = false) () =
      percent wall, and the sampled-trace arms complete every tier with\n\
      a span count ~1/64th of a full trace\n"
 
+(* --- E22: binary wire codec ablation ------------------------------ *)
+
+(* Prices the compact binary wire (DESIGN.md §16) against the XML
+   sizing model on the E20 flash crowd.  The headline arms run the
+   batched Reliable transport (flush 2 ms, ack delay 8 ms): there every
+   physical frame is sized on send and re-sized on every retransmission
+   re-batch, so the wire's accounting cost is on the per-event path —
+   the XML model walks per-forest memo tables per charge, the binary
+   wire reads one cached frame-length integer.  Raw arms ride along as
+   the floor where both wires charge once per message.  Three
+   invariants gate the design:
+   - the wire never changes answers: per tier and transport, the XML
+     and binary arms reach the same Σ fingerprint (binary-strict, which
+     round-trips every transmission through encode/decode, included);
+   - binary frames are strictly smaller than the XML sizing model;
+   - a relay re-batches binary frames without decoding any payload
+     (Message.payload_decodes stays flat across slice + re-frame). *)
+let e22 ?(smoke = false) () =
+  section
+    (if smoke then "E22  binary wire codec ablation (smoke)"
+     else "E22  binary wire codec ablation");
+  Printf.printf
+    "scenario: the E20 flash crowd per wire arm — raw and batched\n\
+     reliable (flush 2 ms, ack 8 ms) under the XML sizing model vs the\n\
+     binary codec; per tier and transport the two wires must agree on\n\
+     the final Σ while the binary wire ships smaller frames, and on the\n\
+     batched arms it should cost less wall and allocation per event\n\n";
+  let tiers =
+    if smoke then [ (3, 6, 20); (8, 41, 20) ]
+    else [ (3, 6, 800); (8, 91, 550); (24, 975, 512) ]
+  in
+  (* (label, transport, wire, flush_ms, ack_delay_ms) *)
+  let arms =
+    [
+      ("raw/xml", System.Raw, System.Xml, 0.0, 0.0);
+      ("raw/binary", System.Raw, System.Binary, 0.0, 0.0);
+      ("batched/xml", System.Reliable, System.Xml, 2.0, 8.0);
+      ("batched/binary", System.Reliable, System.Binary, 2.0, 8.0);
+    ]
+  in
+  let gc0 = Gc.get () in
+  Gc.set { gc0 with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  Fun.protect ~finally:(fun () -> Gc.set gc0) @@ fun () ->
+  let run_arm (mirrors, subscribers, reqs) (label, transport, wire, flush, ack)
+      =
+    let fc =
+      Workload.Scenarios.flash_crowd ~mirrors ~subscribers
+        ~requests_per_subscriber:reqs ~transport ~wire ~flush_ms:flush
+        ~ack_delay_ms:ack ~seed:11 ()
+    in
+    let sys = fc.Workload.Scenarios.fc_system in
+    let peers = 1 + mirrors + subscribers in
+    (* The batched arms spend ~12 events per request (flush timers,
+       acks and retransmission bookkeeping on top of the request
+       round trip), where E20/E21's raw arms spend ~3 — hence the
+       larger multiplier. *)
+    let budget =
+      (16 * fc.Workload.Scenarios.fc_requests) + (40 * peers) + 10_000
+    in
+    Gc.compact ();
+    let d0 = Runtime.Message.payload_decodes () in
+    let w0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    let outcome, events = System.run ~max_events:budget sys in
+    let wall = Sys.time () -. t0 in
+    let words = Gc.minor_words () -. w0 in
+    let decodes = Runtime.Message.payload_decodes () - d0 in
+    let st = System.stats sys in
+    let ok =
+      outcome = `Quiescent
+      && !(fc.Workload.Scenarios.fc_completed)
+         = fc.Workload.Scenarios.fc_requests
+      && !(fc.Workload.Scenarios.fc_unserved) = 0
+    in
+    ( label, peers, events, st.Net.Stats.messages, st.Net.Stats.bytes, wall,
+      words /. Float.max 1.0 (float_of_int events), decodes,
+      System.fingerprint sys, ok )
+  in
+  let checks = ref [] in
+  let tier_results =
+    List.map
+      (fun tier ->
+        let rows = List.map (run_arm tier) arms in
+        let field f l =
+          List.fold_left
+            (fun acc ((label, _, _, _, _, _, _, _, _, _) as row) ->
+              if label = l then f row else acc)
+            (f (List.hd rows))
+            rows
+        in
+        let fp_of l = field (fun (_, _, _, _, _, _, _, _, fp, _) -> fp) l in
+        let bytes_of l = field (fun (_, _, _, _, b, _, _, _, _, _) -> b) l in
+        let wall_of l = field (fun (_, _, _, _, _, w, _, _, _, _) -> w) l in
+        let wpe_of l = field (fun (_, _, _, _, _, _, w, _, _, _) -> w) l in
+        let peers =
+          match rows with (_, p, _, _, _, _, _, _, _, _) :: _ -> p | [] -> 0
+        in
+        let fps_agree =
+          String.equal (fp_of "raw/xml") (fp_of "raw/binary")
+          && String.equal (fp_of "batched/xml") (fp_of "batched/binary")
+        in
+        let binary_smaller =
+          bytes_of "raw/binary" < bytes_of "raw/xml"
+          && bytes_of "batched/binary" < bytes_of "batched/xml"
+        in
+        let wall_ratio =
+          wall_of "batched/binary" /. Float.max 1e-9 (wall_of "batched/xml")
+        in
+        let wpe_ratio =
+          wpe_of "batched/binary" /. Float.max 1e-9 (wpe_of "batched/xml")
+        in
+        let all_complete =
+          List.for_all (fun (_, _, _, _, _, _, _, _, _, ok) -> ok) rows
+        in
+        checks :=
+          (peers, fps_agree, binary_smaller, wall_ratio, wpe_ratio,
+           all_complete)
+          :: !checks;
+        (peers, rows))
+      tiers
+  in
+  let checks = List.rev !checks in
+  List.iter
+    (fun (peers, rows) ->
+      Printf.printf "-- %d peers --\n" peers;
+      table
+        ~headers:
+          [
+            "arm"; "events"; "messages"; "bytes"; "wall s"; "words/event";
+            "decodes"; "ok";
+          ]
+        (List.map
+           (fun (label, _, events, msgs, bytes, wall, wpe, decodes, _, ok) ->
+             [
+               label; string_of_int events; string_of_int msgs;
+               string_of_int bytes;
+               Printf.sprintf "%.3f" wall;
+               Printf.sprintf "%.1f" wpe;
+               string_of_int decodes;
+               (if ok then "yes" else "NO");
+             ])
+           rows))
+    tier_results;
+  List.iter
+    (fun (peers, fps, smaller, wall_r, wpe_r, complete) ->
+      if not fps then
+        Printf.printf "  !! E22 %d peers: wires disagree on the final Σ\n"
+          peers;
+      if not smaller then
+        Printf.printf
+          "  !! E22 %d peers: binary frames not smaller than the XML model\n"
+          peers;
+      if wall_r > 1.0 then
+        Printf.printf
+          "  ~~ E22 %d peers: batched binary wall ratio %.2fx (> 1.0x \
+           target; wall clock is noisy at small tiers)\n"
+          peers wall_r;
+      if wpe_r > 1.0 then
+        Printf.printf
+          "  ~~ E22 %d peers: batched binary words/event ratio %.2fx\n" peers
+          wpe_r;
+      if not complete then
+        Printf.printf "  !! E22 %d peers: an arm failed to complete\n" peers)
+    checks;
+  (* Strict-wire arm (smallest tier): every transmission crosses
+     encode/decode, and lazy decode keeps payload parses bounded by the
+     logical messages actually delivered. *)
+  let strict_row =
+    run_arm (List.hd tiers)
+      ("batched/binary-strict", System.Reliable, System.Binary_strict, 2.0, 8.0)
+  in
+  let ( _, _, strict_events, strict_msgs, _, _, _, strict_decodes, strict_fp,
+        strict_ok ) =
+    strict_row
+  in
+  let strict_fp_agrees =
+    match tier_results with
+    | (_, rows) :: _ ->
+        List.exists
+          (fun (l, _, _, _, _, _, _, _, fp, _) ->
+            l = "batched/xml" && String.equal fp strict_fp)
+          rows
+    | [] -> false
+  in
+  Printf.printf
+    "\nstrict wire (smallest tier): %d events, %d payload decodes, Σ %s\n"
+    strict_events strict_decodes
+    (if strict_fp_agrees then "agrees" else "DIFFERS");
+  (* Relay micro-check: slice and re-frame an encoded batch; the
+     decode counter must not move. *)
+  let relay_decodes, relay_ns =
+    let g = Xml.Node_id.Gen.create ~namespace:"e22-relay" in
+    let msgs =
+      List.init 16 (fun i ->
+          Runtime.Message.make ~seq:(i + 1)
+            (Runtime.Message.Stream
+               {
+                 key = i;
+                 forest =
+                   Runtime.Message.now
+                     [
+                       Xml.Parser.parse_exn ~gen:g
+                         (Printf.sprintf
+                            "<pkg name=\"pkg%03d\"><blob>%s</blob></pkg>" i
+                            (String.make 64 'x'));
+                     ];
+                 final = true;
+               }))
+    in
+    let frame =
+      Runtime.Codec.encode
+        (Runtime.Message.make (Runtime.Message.batch ~ack:3 msgs))
+    in
+    let iters = if smoke then 1_000 else 20_000 in
+    let d0 = Runtime.Message.payload_decodes () in
+    let t0 = Sys.time () in
+    for i = 1 to iters do
+      match Runtime.Codec.Relay.parse_batch frame with
+      | Ok (_, items) -> ignore (Runtime.Codec.Relay.rebatch ~ack:i items)
+      | Error _ -> failwith "E22: relay parse failed"
+    done;
+    let per_op = (Sys.time () -. t0) /. float_of_int iters *. 1e9 in
+    (Runtime.Message.payload_decodes () - d0, per_op)
+  in
+  Printf.printf
+    "relay: slice + re-frame a 16-message batch, %d payload decodes, %.0f \
+     ns/frame\n"
+    relay_decodes relay_ns;
+  let rows_json =
+    json_arr
+      (List.concat_map
+         (fun (peers, rows) ->
+           List.map
+             (fun (label, _, events, msgs, bytes, wall, wpe, decodes, fp, ok)
+                ->
+               json_obj
+                 [
+                   ("peers", string_of_int peers);
+                   ("arm", json_s label);
+                   ("events", string_of_int events);
+                   ("messages", string_of_int msgs);
+                   ("bytes", string_of_int bytes);
+                   ("wall_s", json_f wall);
+                   ("words_per_event", json_f wpe);
+                   ("payload_decodes", string_of_int decodes);
+                   ("fingerprint", json_s fp);
+                   ("quiescent_and_complete", json_b ok);
+                 ])
+             rows)
+         tier_results)
+  in
+  let checks_json =
+    json_arr
+      (List.map
+         (fun (peers, fps, smaller, wall_r, wpe_r, complete) ->
+           json_obj
+             [
+               ("peers", string_of_int peers);
+               ("fingerprints_agree_across_wires", json_b fps);
+               ("binary_bytes_smaller", json_b smaller);
+               ("batched_binary_wall_ratio", json_f wall_r);
+               ("batched_binary_words_ratio", json_f wpe_r);
+               ("all_arms_complete", json_b complete);
+             ])
+         checks)
+  in
+  write_json "BENCH_E22.json"
+    (json_obj
+       [
+         ("experiment", json_s "E22");
+         ("smoke", json_b smoke);
+         ("rows", rows_json);
+         ("checks", checks_json);
+         ( "strict_wire",
+           json_obj
+             [
+               ("events", string_of_int strict_events);
+               ("messages", string_of_int strict_msgs);
+               ("payload_decodes", string_of_int strict_decodes);
+               ("fingerprint_agrees", json_b strict_fp_agrees);
+               ("quiescent_and_complete", json_b strict_ok);
+             ] );
+         ( "relay",
+           json_obj
+             [
+               ("payload_decodes", string_of_int relay_decodes);
+               ("ns_per_frame", json_f relay_ns);
+             ] );
+       ]);
+  write_summary ();
+  Printf.printf
+    "\nwrote BENCH_E22.json and BENCH_summary.json\n\
+     shape: identical Σ per tier across wires, binary bytes well below\n\
+     the XML model, batched-binary wall and words/event at or below the\n\
+     batched-XML arm, and zero relay payload decodes\n"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
@@ -2447,4 +2743,5 @@ let all =
     (fun () -> e19 ());
     (fun () -> e20 ());
     (fun () -> e21 ());
+    (fun () -> e22 ());
   ]

@@ -572,6 +572,27 @@ let slo_arg =
            exhaustion (computed from runtime counters, independent of \
            telemetry)")
 
+(* Shared by chaos and scale: the wire format is orthogonal to the
+   transport, so every command that builds a system takes both. *)
+let wire_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("xml", Runtime.System.Xml);
+             ("binary", Runtime.System.Binary);
+             ("binary-strict", Runtime.System.Binary_strict);
+           ])
+        Runtime.System.Xml
+    & info [ "wire" ] ~docv:"FORMAT"
+        ~doc:
+          "Wire format for byte accounting: $(b,xml) (the textual \
+           serialization model), $(b,binary) (compact frames, \
+           DESIGN.md \xC2\xA716), or $(b,binary-strict) (binary plus a full \
+           encode/decode round-trip of every transmission).  The \
+           delivered results and the final \xCE\xA3 are wire-independent.")
+
 let chaos_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fault plan seed") in
   let drop =
@@ -605,7 +626,7 @@ let chaos_cmd =
              value switches the Reliable transport into batched mode \
              (ignored with $(b,--raw))")
   in
-  let run seed drop raw flush_ms ack_delay slo =
+  let run seed drop raw flush_ms ack_delay wire slo =
     (* Three-peer reference Σ (the V-series shape): catalog at p2,
        orders at p3, a declarative service at p2, a collector inbox at
        p3 for the forwarded stream. *)
@@ -623,12 +644,14 @@ let chaos_cmd =
     let orders_xml =
       {|<orders><order item="alpha"/><order item="gamma"/><order item="zeta"/></orders>|}
     in
-    (* The reference runs stay on the unbatched per-message protocol:
-       the check is that a batched faulty run still reproduces the
-       plain fault-free answer, not a batched twin of itself. *)
-    let build ?(flush_ms = 0.0) ?(ack_delay_ms = 0.0) transport =
+    (* The reference runs stay on the unbatched per-message protocol
+       and the XML wire: the check is that a batched (or binary-wire)
+       faulty run still reproduces the plain fault-free answer, not a
+       twin of itself. *)
+    let build ?(flush_ms = 0.0) ?(ack_delay_ms = 0.0)
+        ?(wire = Runtime.System.Xml) transport =
       let sys =
-        Runtime.System.create ~transport ~flush_ms ~ack_delay_ms topo
+        Runtime.System.create ~transport ~wire ~flush_ms ~ack_delay_ms topo
       in
       Runtime.System.load_document sys p2 ~name:"cat" ~xml:catalog_xml;
       Runtime.System.load_document sys p3 ~name:"orders" ~xml:orders_xml;
@@ -672,9 +695,13 @@ let chaos_cmd =
     in
     let transport = if raw then Runtime.System.Raw else Runtime.System.Reliable in
     Format.printf
-      "fault plan: seed=%d drop=%.2f duplicate=%.2f transport=%s%s@.@." seed
-      drop (drop /. 4.0)
+      "fault plan: seed=%d drop=%.2f duplicate=%.2f transport=%s wire=%s%s@.@."
+      seed drop (drop /. 4.0)
       (if raw then "raw" else "reliable")
+      (match wire with
+      | Runtime.System.Xml -> "xml"
+      | Runtime.System.Binary -> "binary"
+      | Runtime.System.Binary_strict -> "binary-strict")
       (if (not raw) && (flush_ms > 0.0 || ack_delay > 0.0) then
          Printf.sprintf " (batched: flush %g ms, ack delay %g ms)" flush_ms
            ack_delay
@@ -688,7 +715,7 @@ let chaos_cmd =
         let ref_sys, _ = build Runtime.System.Reliable in
         let ref_out = Runtime.Exec.run_to_quiescence ref_sys ~ctx:p1 plan in
         let ref_fp = Runtime.System.fingerprint ref_sys in
-        let sys, _ = build ~flush_ms ~ack_delay_ms:ack_delay transport in
+        let sys, _ = build ~flush_ms ~ack_delay_ms:ack_delay ~wire transport in
         Runtime.System.inject_faults sys fault;
         let out = Runtime.Exec.run_to_quiescence sys ~ctx:p1 plan in
         let rc = Runtime.System.reliability_counters sys in
@@ -733,7 +760,8 @@ let chaos_cmd =
        ~doc:
          "Run the reference plans under a seeded fault plan and check the \
           reliable transport reproduces the fault-free answers")
-    Term.(const run $ seed $ drop $ raw $ flush_ms $ ack_delay $ slo_arg)
+    Term.(
+      const run $ seed $ drop $ raw $ flush_ms $ ack_delay $ wire_arg $ slo_arg)
 
 (* --- scale ------------------------------------------------------- *)
 
@@ -763,7 +791,7 @@ let scale_cmd =
       & info [ "reliable" ]
           ~doc:"Use the Reliable transport (default: Raw)")
   in
-  let run peers subscribers requests seed reliable slo =
+  let run peers subscribers requests seed reliable wire slo =
     let mirrors = peers - subscribers - 1 in
     if mirrors < 1 then begin
       prerr_endline
@@ -776,7 +804,7 @@ let scale_cmd =
     in
     let fc =
       Workload.Scenarios.flash_crowd ~mirrors ~subscribers
-        ~requests_per_subscriber:requests ~transport ~seed ()
+        ~requests_per_subscriber:requests ~transport ~wire ~seed ()
     in
     let sys = fc.Workload.Scenarios.fc_system in
     let budget = (8 * fc.Workload.Scenarios.fc_requests) + (40 * peers) + 10_000 in
@@ -800,6 +828,10 @@ let scale_cmd =
        transport@."
       peers mirrors subscribers seed
       (if reliable then "reliable" else "raw");
+    (match wire with
+    | Runtime.System.Xml -> ()
+    | Runtime.System.Binary -> Format.printf "wire      binary@."
+    | Runtime.System.Binary_strict -> Format.printf "wire      binary-strict@.");
     Format.printf "requests  %d issued, %d completed, %d unserved@."
       fc.Workload.Scenarios.fc_requests completed
       !(fc.Workload.Scenarios.fc_unserved);
@@ -870,7 +902,8 @@ let scale_cmd =
           pool behind a generic fetch class, a subscriber crowd) and print \
           throughput plus per-tier traffic totals")
     Term.(
-      const run $ peers $ subscribers $ requests $ seed $ reliable $ slo_arg)
+      const run $ peers $ subscribers $ requests $ seed $ reliable $ wire_arg
+      $ slo_arg)
 
 (* --- top --------------------------------------------------------- *)
 

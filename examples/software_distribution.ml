@@ -114,11 +114,12 @@ let () =
        {
          node = update_node;
          forest =
-           [
-             Xml.Tree.element_of_string ~gen:gm "update"
-               ~attrs:[ ("package", List.hd sd.sd_packages); ("version", "2.0") ]
-               [];
-           ];
+           Runtime.Message.now
+             [
+               Xml.Tree.element_of_string ~gen:gm "update"
+                 ~attrs:[ ("package", List.hd sd.sd_packages); ("version", "2.0") ]
+                 [];
+             ];
          notify = None;
        });
   ignore (System.run sys);

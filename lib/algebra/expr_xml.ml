@@ -255,4 +255,9 @@ let of_xml_string s =
   | Error e -> Error (Format.asprintf "%a" Axml_xml.Parser.pp_error e)
   | Ok t -> of_tree t
 
-let byte_size e = String.length (to_xml_string e)
+(* Counts the serialized size without materializing the XML string;
+   the tree is still built (cheap — one node per syntactic form) but
+   the O(output) string is not. *)
+let byte_size e =
+  let gen = Axml_xml.Node_id.Gen.create ~namespace:"expr" in
+  Axml_xml.Serializer.serialized_length (to_tree ~gen e)

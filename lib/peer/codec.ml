@@ -1,0 +1,844 @@
+module Tree = Axml_xml.Tree
+module Forest = Axml_xml.Forest
+module Label = Axml_xml.Label
+module Node_id = Axml_xml.Node_id
+module Peer_id = Axml_net.Peer_id
+module Names = Axml_doc.Names
+
+type error = Truncated | Malformed of string
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "truncated frame"
+  | Malformed m -> Format.fprintf fmt "malformed frame: %s" m
+
+exception Err of error
+
+let truncated () = raise (Err Truncated)
+let malformed m = raise (Err (Malformed m))
+
+let magic = 0xA7
+let version = 0x01
+
+(* ---------- varints ---------- *)
+
+(* LEB128.  [uv] writes a non-negative-interpreted int as up to 9
+   groups of 7 bits (63 bits, the full OCaml int range); [zv] zigzags
+   first so small negative scalars (op = -1) stay one byte. *)
+
+let rec uv_size n = if n land lnot 0x7f = 0 then 1 else 1 + uv_size (n lsr 7)
+let zig n = (n lsl 1) lxor (n asr 62)
+let unzig v = (v lsr 1) lxor (-(v land 1))
+let zv_size n = uv_size (zig n)
+
+let buf_uv b n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let buf_zv b n = buf_uv b (zig n)
+
+let buf_str b s =
+  buf_uv b (String.length s);
+  Buffer.add_string b s
+
+let str_size s = uv_size (String.length s) + String.length s
+
+(* ---------- bounded reader ---------- *)
+
+type rd = { buf : Bytes.t; mutable pos : int; limit : int }
+
+let rd_byte r =
+  if r.pos >= r.limit then truncated ();
+  let c = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  c
+
+let rd_uv r =
+  let rec go shift acc =
+    if shift > 56 then malformed "varint overflow";
+    let c = rd_byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let rd_zv r = unzig (rd_uv r)
+
+let rd_len r =
+  let n = rd_uv r in
+  if n < 0 || n > r.limit - r.pos then truncated ();
+  n
+
+(* A declared element count; each element needs at least [per] bytes,
+   which bounds preallocation against corrupt counts. *)
+let rd_count r ~per =
+  let n = rd_uv r in
+  if n < 0 || n > (r.limit - r.pos) / per then malformed "count exceeds frame";
+  n
+
+let rd_str r =
+  let n = rd_len r in
+  let s = Bytes.sub_string r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rd_skip r n =
+  if n > r.limit - r.pos then truncated ();
+  r.pos <- r.pos + n
+
+(* ---------- tree blobs ----------
+
+   A tree is encoded as a self-contained blob: an interned string
+   table (labels, attribute names, identifier namespaces, in first-use
+   order) followed by the node structure referencing table indices.
+   Blobs are cached per tree in a weak pointer-keyed table, so a
+   shared tree (the flash-crowd request and package payloads) is
+   encoded once no matter how many messages carry it, and sizing a
+   message that carries it is a length lookup. *)
+
+let encode_tree_blob t =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] and next = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt tbl s with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        Hashtbl.add tbl s i;
+        order := s :: !order;
+        incr next;
+        i
+  in
+  let rec collect = function
+    | Tree.Text _ -> ()
+    | Tree.Element e ->
+        ignore (intern (Label.to_string e.label));
+        ignore (intern (Node_id.namespace e.id));
+        List.iter (fun (k, _) -> ignore (intern k)) e.attrs;
+        List.iter collect e.children
+  in
+  collect t;
+  let b = Buffer.create 128 in
+  buf_uv b !next;
+  List.iter (buf_str b) (List.rev !order);
+  let idx s = Hashtbl.find tbl s in
+  let rec node = function
+    | Tree.Text s ->
+        Buffer.add_char b '\x02';
+        buf_str b s
+    | Tree.Element e ->
+        Buffer.add_char b '\x01';
+        buf_uv b (idx (Label.to_string e.label));
+        buf_uv b (idx (Node_id.namespace e.id));
+        buf_uv b (Node_id.counter e.id);
+        buf_uv b (List.length e.attrs);
+        List.iter
+          (fun (k, v) ->
+            buf_uv b (idx k);
+            buf_str b v)
+          e.attrs;
+        buf_uv b (List.length e.children);
+        List.iter node e.children
+  in
+  node t;
+  Buffer.to_bytes b
+
+(* ---------- blob length without the blob ----------
+
+   Byte accounting sizes every outbound message, and most carried
+   trees are one-shot: materializing the encoded blob (buffer, intern
+   table, copy) just to learn its length would make the binary wire
+   allocate more than the XML model's arithmetic walk.  So sizing has
+   its own pure-arithmetic pass that mirrors [encode_tree_blob]
+   byte-for-byte: same pre-order traversal, hence the same first-use
+   intern order, hence the same index widths.  The scratch intern
+   table is reused across calls ([Hashtbl.clear] keeps the bucket
+   array) and probed with [Hashtbl.find] (the raise allocates
+   nothing, unlike [find_opt]'s [Some]), so sizing a fresh tree
+   allocates only the table's bucket cells. *)
+
+let size_tbl : (string, int) Hashtbl.t = Hashtbl.create 64
+let size_count = ref 0
+let size_strings = ref 0
+
+let size_intern s =
+  match Hashtbl.find size_tbl s with
+  | i -> i
+  | exception Not_found ->
+      let i = !size_count in
+      Hashtbl.add size_tbl s i;
+      incr size_count;
+      size_strings := !size_strings + str_size s;
+      i
+
+(* Interning is order-sensitive (index width depends on assignment
+   order), so side-effecting calls are sequenced with [let] — OCaml
+   evaluates operands of [+] right to left. *)
+let rec size_node acc = function
+  | Tree.Text s -> acc + 1 + str_size s
+  | Tree.Element e ->
+      let lbl = uv_size (size_intern (Label.to_string e.label)) in
+      let ns = uv_size (size_intern (Node_id.namespace e.id)) in
+      let acc =
+        acc + 1 + lbl + ns
+        + uv_size (Node_id.counter e.id)
+        + uv_size (List.length e.attrs)
+        + uv_size (List.length e.children)
+      in
+      let acc = List.fold_left size_attr acc e.attrs in
+      List.fold_left size_node acc e.children
+
+and size_attr acc (k, v) = acc + uv_size (size_intern k) + str_size v
+
+let tree_blob_size t =
+  Hashtbl.clear size_tbl;
+  size_count := 0;
+  size_strings := 0;
+  let body = size_node 0 t in
+  uv_size !size_count + !size_strings + body
+
+(* Direct-mapped physical-identity cache of blob lengths: shared trees
+   (flash-crowd request and package payloads) are carried by fresh
+   messages, so a per-message cache would always miss — this one is
+   keyed by the tree itself and costs zero allocation on a hit.  Slots
+   are indexed by node identifier, disambiguated by [==] (a rebuilt
+   tree with a preserved id lands in the same slot but fails the
+   identity check and is re-measured).  Entries are strong references,
+   so the cache pins at most [len_slots] trees — a bounded, deliberate
+   trade for allocation-free sizing. *)
+
+let len_slots = 4096
+let len_keys = Array.make len_slots (Tree.text "")
+let len_vals = Array.make len_slots 0
+
+let tree_blob_len t =
+  match t with
+  (* an empty string table still has its one-byte count header *)
+  | Tree.Text s -> 2 + str_size s
+  | Tree.Element e ->
+      let i =
+        (Node_id.counter e.id * 0x9e3779b1)
+        lxor Hashtbl.hash (Node_id.namespace e.id)
+        land (len_slots - 1)
+      in
+      if len_keys.(i) == t then len_vals.(i)
+      else begin
+        let n = tree_blob_size t in
+        len_keys.(i) <- t;
+        len_vals.(i) <- n;
+        n
+      end
+
+module Blob_tbl = Ephemeron.K1.Make (struct
+  type t = Tree.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let blob_tbl = Blob_tbl.create 1024
+
+let tree_blob t =
+  match Blob_tbl.find_opt blob_tbl t with
+  | Some b -> b
+  | None ->
+      let b = encode_tree_blob t in
+      Blob_tbl.add blob_tbl t b;
+      b
+
+let decode_tree_blob r =
+  let nstrings = rd_count r ~per:1 in
+  let strings = Array.make (max nstrings 1) "" in
+  for i = 0 to nstrings - 1 do
+    strings.(i) <- rd_str r
+  done;
+  let str i =
+    if i < 0 || i >= nstrings then malformed "string index out of range"
+    else strings.(i)
+  in
+  let rec node depth =
+    if depth > 10_000 then malformed "tree too deep";
+    match rd_byte r with
+    | 0x02 -> Tree.text (rd_str r)
+    | 0x01 ->
+        let label =
+          match Label.of_string_opt (str (rd_uv r)) with
+          | Some l -> l
+          | None -> malformed "invalid label"
+        in
+        let ns = str (rd_uv r) in
+        let counter = rd_uv r in
+        let id =
+          match Node_id.make ~ns ~counter with
+          | Some id -> id
+          | None -> malformed "invalid node identifier"
+        in
+        let nattrs = rd_count r ~per:2 in
+        let attrs =
+          List.init nattrs (fun _ ->
+              let k = str (rd_uv r) in
+              let v = rd_str r in
+              (k, v))
+        in
+        let nchildren = rd_count r ~per:1 in
+        let children = List.init nchildren (fun _ -> node (depth + 1)) in
+        Tree.with_id id ~attrs label children
+    | k -> malformed (Printf.sprintf "unknown node tag %#x" k)
+  in
+  node 0
+
+(* ---------- forest sections ----------
+
+   forest := uv(ntrees) { uv(blob_len) blob }*
+
+   The per-tree length prefixes are the offset index: a reader can
+   locate every tree (and the end of the section) without parsing any
+   blob, which is what makes lazy decode and zero-parse relay slicing
+   possible. *)
+
+let forest_section_size lf =
+  let open Message in
+  if lf.wire >= 0 then lf.wire
+  else
+    let n =
+      match lf.st with
+      | Todo { enc = _, _, len; _ } -> len
+      | Done f ->
+          List.fold_left
+            (fun acc t ->
+              let len = tree_blob_len t in
+              acc + uv_size len + len)
+            (uv_size (List.length f))
+            f
+    in
+    lf.wire <- n;
+    n
+
+let buf_forest b lf =
+  let open Message in
+  match lf.st with
+  | Todo { enc = src, off, len; _ } -> Buffer.add_subbytes b src off len
+  | Done f ->
+      buf_uv b (List.length f);
+      List.iter
+        (fun t ->
+          let blob = tree_blob t in
+          buf_uv b (Bytes.length blob);
+          Buffer.add_bytes b blob)
+        f
+
+(* Skips over a forest section, returning the lazy forest backed by
+   the frame slice.  Only length prefixes are read — no blob is
+   parsed until the forest is forced. *)
+let rd_forest r =
+  let start = r.pos in
+  let ntrees = rd_count r ~per:1 in
+  let offs =
+    List.init ntrees (fun _ ->
+        let len = rd_len r in
+        let o = r.pos in
+        rd_skip r len;
+        (o, len))
+  in
+  let slice_len = r.pos - start in
+  let buf = r.buf in
+  let decode () =
+    List.map
+      (fun (o, len) -> decode_tree_blob { buf; pos = o; limit = o + len })
+      offs
+  in
+  let lf = Message.delay ~trees:ntrees ~enc:(buf, start, slice_len) decode in
+  lf.Message.wire <- slice_len;
+  lf
+
+(* ---------- scalars, names, destinations ---------- *)
+
+let buf_bool b v = Buffer.add_char b (if v then '\x01' else '\x00')
+
+let rd_bool r =
+  match rd_byte r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> malformed "invalid boolean"
+
+let buf_peer b p = buf_str b (Peer_id.to_string p)
+
+let rd_peer r =
+  match Peer_id.of_string_opt (rd_str r) with
+  | Some p -> p
+  | None -> malformed "invalid peer identifier"
+
+let buf_node_id b id =
+  buf_str b (Node_id.namespace id);
+  buf_uv b (Node_id.counter id)
+
+let node_id_size id = str_size (Node_id.namespace id) + uv_size (Node_id.counter id)
+
+let rd_node_id r =
+  let ns = rd_str r in
+  let counter = rd_uv r in
+  match Node_id.make ~ns ~counter with
+  | Some id -> id
+  | None -> malformed "invalid node identifier"
+
+let buf_dest b = function
+  | Message.Cont { peer; key } ->
+      Buffer.add_char b '\x00';
+      buf_peer b peer;
+      buf_zv b key
+  | Message.Node { Names.Node_ref.node; peer } ->
+      Buffer.add_char b '\x01';
+      buf_node_id b node;
+      buf_peer b peer
+  | Message.Install { peer; name } ->
+      Buffer.add_char b '\x02';
+      buf_peer b peer;
+      buf_str b name
+
+let dest_size = function
+  | Message.Cont { peer; key } ->
+      1 + str_size (Peer_id.to_string peer) + zv_size key
+  | Message.Node { Names.Node_ref.node; peer } ->
+      1 + node_id_size node + str_size (Peer_id.to_string peer)
+  | Message.Install { peer; name } ->
+      1 + str_size (Peer_id.to_string peer) + str_size name
+
+let rd_dest r =
+  match rd_byte r with
+  | 0 ->
+      let peer = rd_peer r in
+      let key = rd_zv r in
+      Message.Cont { peer; key }
+  | 1 ->
+      let node = rd_node_id r in
+      let peer = rd_peer r in
+      Message.Node (Names.Node_ref.make ~node ~peer)
+  | 2 ->
+      let peer = rd_peer r in
+      let name = rd_str r in
+      Message.Install { peer; name }
+  | k -> malformed (Printf.sprintf "unknown destination tag %#x" k)
+
+let buf_dests b ds =
+  buf_uv b (List.length ds);
+  List.iter (buf_dest b) ds
+
+let dests_size ds =
+  List.fold_left (fun acc d -> acc + dest_size d) (uv_size (List.length ds)) ds
+
+let rd_dests r =
+  let n = rd_count r ~per:2 in
+  List.init n (fun _ -> rd_dest r)
+
+let buf_notify b = function
+  | None -> Buffer.add_char b '\x00'
+  | Some (peer, key) ->
+      Buffer.add_char b '\x01';
+      buf_peer b peer;
+      buf_zv b key
+
+let notify_size = function
+  | None -> 1
+  | Some (peer, key) -> 1 + str_size (Peer_id.to_string peer) + zv_size key
+
+let rd_notify r =
+  match rd_byte r with
+  | 0 -> None
+  | 1 ->
+      let peer = rd_peer r in
+      let key = rd_zv r in
+      Some (peer, key)
+  | _ -> malformed "invalid option tag"
+
+(* Expressions and queries travel textually-equivalent but compact:
+   an expression as one tree blob of its XML view, a query as its
+   surface syntax (both have exact parse round-trips). *)
+
+let expr_blob e =
+  let gen = Node_id.Gen.create ~namespace:"wire-expr" in
+  encode_tree_blob (Axml_algebra.Expr_xml.to_tree ~gen e)
+
+let rd_expr r =
+  let len = rd_len r in
+  let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
+  rd_skip r len;
+  let t = decode_tree_blob sub in
+  if sub.pos <> sub.limit then malformed "trailing bytes in expression blob";
+  match Axml_algebra.Expr_xml.of_tree t with
+  | Ok e -> e
+  | Error m -> malformed ("invalid expression: " ^ m)
+
+let rd_query r =
+  match Axml_query.Parser.parse (rd_str r) with
+  | Ok q -> q
+  | Error _ -> malformed "invalid query"
+
+(* ---------- payloads ---------- *)
+
+let kind_of = function
+  | Message.Stream _ -> 0
+  | Message.Eval_request _ -> 1
+  | Message.Invoke _ -> 2
+  | Message.Insert _ -> 3
+  | Message.Install_doc _ -> 4
+  | Message.Deploy _ -> 5
+  | Message.Query_shipped _ -> 6
+  | Message.Ack _ -> 7
+  | Message.Batch _ -> 8
+
+(* [forests] selects whether forest sections are emitted: [`Inline]
+   for ordinary messages, [`Omit] for the deduplicated body of a
+   [Shared] batch item (the receiver resolves the back-reference). *)
+let rec buf_payload b ~forests p =
+  Buffer.add_char b (Char.chr (kind_of p));
+  match p with
+  | Message.Stream { key; forest; final } ->
+      buf_zv b key;
+      buf_bool b final;
+      (match forests with `Inline -> buf_forest b forest | `Omit -> ())
+  | Message.Eval_request { expr; replies; ack } ->
+      let blob = expr_blob expr in
+      buf_uv b (Bytes.length blob);
+      Buffer.add_bytes b blob;
+      buf_dests b replies;
+      buf_notify b ack
+  | Message.Invoke { service; params; replies } ->
+      buf_str b (Names.Service_name.to_string service);
+      buf_uv b (List.length params);
+      List.iter (buf_forest b) params;
+      buf_dests b replies
+  | Message.Insert { node; forest; notify } ->
+      buf_node_id b node;
+      buf_notify b notify;
+      (match forests with `Inline -> buf_forest b forest | `Omit -> ())
+  | Message.Install_doc { name; forest; notify } ->
+      buf_str b name;
+      buf_notify b notify;
+      (match forests with `Inline -> buf_forest b forest | `Omit -> ())
+  | Message.Deploy { prefix; query; reply } ->
+      buf_str b prefix;
+      buf_str b (Axml_query.Ast.to_string query);
+      buf_dest b reply
+  | Message.Query_shipped { key; query } ->
+      buf_zv b key;
+      buf_str b (Axml_query.Ast.to_string query)
+  | Message.Ack { seq } -> buf_zv b seq
+  | Message.Batch { items; ack } ->
+      buf_zv b ack;
+      buf_uv b (List.length items);
+      List.iter
+        (function
+          | Message.Full m ->
+              Buffer.add_char b '\x00';
+              buf_uv b (subbody_size ~forests:`Inline m);
+              buf_subbody b ~forests:`Inline m
+          | Message.Shared { msg; of_seq; saved } ->
+              Buffer.add_char b '\x01';
+              buf_zv b of_seq;
+              buf_uv b saved;
+              buf_uv b (subbody_size ~forests:`Omit msg);
+              buf_subbody b ~forests:`Omit msg)
+        items
+
+and buf_subbody b ~forests (m : Message.t) =
+  buf_zv b m.corr;
+  buf_zv b m.seq;
+  buf_zv b m.op;
+  buf_payload b ~forests m.payload
+
+and payload_size ~forests p =
+  1
+  +
+  match p with
+  | Message.Stream { key; forest; _ } ->
+      zv_size key + 1
+      + (match forests with
+        | `Inline -> forest_section_size forest
+        | `Omit -> 0)
+  | Message.Eval_request { expr; replies; ack } ->
+      let blen = Bytes.length (expr_blob expr) in
+      uv_size blen + blen + dests_size replies + notify_size ack
+  | Message.Invoke { service; params; replies } ->
+      str_size (Names.Service_name.to_string service)
+      + uv_size (List.length params)
+      + List.fold_left (fun acc f -> acc + forest_section_size f) 0 params
+      + dests_size replies
+  | Message.Insert { node; forest; notify } ->
+      node_id_size node + notify_size notify
+      + (match forests with
+        | `Inline -> forest_section_size forest
+        | `Omit -> 0)
+  | Message.Install_doc { name; forest; notify } ->
+      str_size name + notify_size notify
+      + (match forests with
+        | `Inline -> forest_section_size forest
+        | `Omit -> 0)
+  | Message.Deploy { prefix; query; reply } ->
+      str_size prefix
+      + str_size (Axml_query.Ast.to_string query)
+      + dest_size reply
+  | Message.Query_shipped { key; query } ->
+      zv_size key + str_size (Axml_query.Ast.to_string query)
+  | Message.Ack { seq } -> zv_size seq
+  | Message.Batch { items; ack } ->
+      zv_size ack + uv_size (List.length items) + batch_items_size 0 items
+
+(* A named member of the recursive group rather than an inline fold:
+   an anonymous closure referencing the group is re-allocated on every
+   call, and this runs once per flushed frame on the hot path. *)
+and batch_items_size acc = function
+  | [] -> acc
+  | Message.Full m :: rest ->
+      let s = subbody_size ~forests:`Inline m in
+      batch_items_size (acc + 1 + uv_size s + s) rest
+  | Message.Shared { msg; of_seq; saved } :: rest ->
+      let s = subbody_size ~forests:`Omit msg in
+      batch_items_size (acc + 1 + zv_size of_seq + uv_size saved + uv_size s + s) rest
+
+and subbody_size ~forests (m : Message.t) =
+  zv_size m.corr + zv_size m.seq + zv_size m.op + payload_size ~forests m.payload
+
+(* ---------- frames ---------- *)
+
+let body_size (m : Message.t) =
+  2 + zv_size m.corr + zv_size m.seq + zv_size m.op
+  + payload_size ~forests:`Inline m.payload
+
+let frame_bytes (m : Message.t) =
+  let b = body_size m in
+  uv_size b + b
+
+let encode (m : Message.t) =
+  let b = Buffer.create 256 in
+  buf_uv b (body_size m);
+  Buffer.add_char b (Char.chr magic);
+  Buffer.add_char b (Char.chr version);
+  buf_zv b m.corr;
+  buf_zv b m.seq;
+  buf_zv b m.op;
+  buf_payload b ~forests:`Inline m.payload;
+  Buffer.to_bytes b
+
+let rec rd_payload r ~forest_src =
+  let kind = rd_byte r in
+  match kind with
+  | 0 ->
+      let key = rd_zv r in
+      let final = rd_bool r in
+      let forest = rd_forest_or_ref r forest_src in
+      Message.Stream { key; forest; final }
+  | 1 ->
+      let expr = rd_expr r in
+      let replies = rd_dests r in
+      let ack = rd_notify r in
+      Message.Eval_request { expr; replies; ack }
+  | 2 ->
+      let service =
+        match Names.Service_name.of_string_opt (rd_str r) with
+        | Some s -> s
+        | None -> malformed "invalid service name"
+      in
+      let nparams = rd_count r ~per:1 in
+      let params = List.init nparams (fun _ -> rd_forest r) in
+      let replies = rd_dests r in
+      Message.Invoke { service; params; replies }
+  | 3 ->
+      let node = rd_node_id r in
+      let notify = rd_notify r in
+      let forest = rd_forest_or_ref r forest_src in
+      Message.Insert { node; forest; notify }
+  | 4 ->
+      let name = rd_str r in
+      let notify = rd_notify r in
+      let forest = rd_forest_or_ref r forest_src in
+      Message.Install_doc { name; forest; notify }
+  | 5 ->
+      let prefix = rd_str r in
+      let query = rd_query r in
+      let reply = rd_dest r in
+      Message.Deploy { prefix; query; reply }
+  | 6 ->
+      let key = rd_zv r in
+      let query = rd_query r in
+      Message.Query_shipped { key; query }
+  | 7 -> Message.Ack { seq = rd_zv r }
+  | 8 ->
+      let ack = rd_zv r in
+      let nitems = rd_count r ~per:2 in
+      (* Maps an item's sequence number to its shareable forest, for
+         resolving back-references.  Sharing is reconstructed exactly:
+         a [Shared] item's payload holds the {e same} lazy forest as
+         its referent, so forcing either decodes once. *)
+      let shared : (int, Message.lforest) Hashtbl.t = Hashtbl.create 8 in
+      let items =
+        List.init nitems (fun _ ->
+            match rd_byte r with
+            | 0 ->
+                let m = rd_subitem r ~forest_src:`Inline in
+                (match Message.shareable_forest m.Message.payload with
+                | Some lf -> Hashtbl.replace shared m.Message.seq lf
+                | None -> ());
+                Message.Full m
+            | 1 ->
+                let of_seq = rd_zv r in
+                let saved = rd_uv r in
+                let lf =
+                  match Hashtbl.find_opt shared of_seq with
+                  | Some lf -> lf
+                  | None -> malformed "dangling batch back-reference"
+                in
+                let msg = rd_subitem r ~forest_src:(`Ref lf) in
+                Message.Shared { msg; of_seq; saved }
+            | k -> malformed (Printf.sprintf "unknown batch item tag %#x" k))
+      in
+      Message.Batch { items; ack }
+  | k -> malformed (Printf.sprintf "unknown payload kind %#x" k)
+
+and rd_forest_or_ref r = function
+  | `Inline -> rd_forest r
+  | `Ref lf -> lf
+
+and rd_subitem r ~forest_src =
+  let sublen = rd_len r in
+  let sub = { buf = r.buf; pos = r.pos; limit = r.pos + sublen } in
+  rd_skip r sublen;
+  let corr = rd_zv sub in
+  let seq = rd_zv sub in
+  let op = rd_zv sub in
+  let payload = rd_payload sub ~forest_src in
+  if sub.pos <> sub.limit then malformed "trailing bytes in batch item";
+  Message.make ~corr ~seq ~op payload
+
+let decode buf =
+  try
+    let r = { buf; pos = 0; limit = Bytes.length buf } in
+    let blen = rd_uv r in
+    if blen < 0 || blen > r.limit - r.pos then truncated ();
+    if blen < r.limit - r.pos then malformed "over-length frame";
+    if rd_byte r <> magic then malformed "bad magic";
+    if rd_byte r <> version then malformed "unsupported version";
+    let corr = rd_zv r in
+    let seq = rd_zv r in
+    let op = rd_zv r in
+    let payload = rd_payload r ~forest_src:`Inline in
+    if r.pos <> r.limit then malformed "trailing payload bytes";
+    Ok (Message.make ~corr ~seq ~op payload)
+  with
+  | Err e -> Error e
+  | Invalid_argument m -> Error (Malformed m)
+
+(* Forces every forest a message carries (including batch items);
+   used by strict decoding and tests. *)
+let rec force_all (m : Message.t) =
+  match m.payload with
+  | Message.Stream { forest; _ }
+  | Message.Insert { forest; _ }
+  | Message.Install_doc { forest; _ } ->
+      ignore (Message.force forest)
+  | Message.Invoke { params; _ } ->
+      List.iter (fun lf -> ignore (Message.force lf)) params
+  | Message.Batch { items; _ } ->
+      List.iter (fun item -> force_all (Message.item_message item)) items
+  | Message.Eval_request _ | Message.Deploy _ | Message.Query_shipped _
+  | Message.Ack _ ->
+      ()
+
+let decode_strict buf =
+  match decode buf with
+  | Error _ as e -> e
+  | Ok m -> (
+      match force_all m with
+      | () -> Ok m
+      | exception Err e -> Error e
+      | exception Invalid_argument s -> Error (Malformed s))
+
+let roundtrip m =
+  match decode (encode m) with
+  | Ok m' -> m'
+  | Error e -> invalid_arg (Format.asprintf "Codec.roundtrip: %a" pp_error e)
+
+(* ---------- zero-parse relay slicing ----------
+
+   A relay (the paper's rule (12) intermediary) re-batches frames
+   without interpreting payloads: it slices a batch frame along the
+   per-item length prefixes, reads only the scalar headers it routes
+   on, and blits the slices into a fresh frame.  No forest blob is
+   ever parsed — Message.payload_decodes stays flat. *)
+
+module Relay = struct
+  type item = {
+    src : Bytes.t;
+    off : int;  (** item start: the tag byte *)
+    len : int;  (** full item extent, tag byte included *)
+    seq : int;  (** sequence number read from the item header *)
+    of_seq : int;  (** back-reference target, [-1] for full items *)
+  }
+
+  let item_seq it = it.seq
+  let item_of_seq it = it.of_seq
+  let is_shared it = it.of_seq >= 0
+
+  let parse_batch buf =
+    try
+      let r = { buf; pos = 0; limit = Bytes.length buf } in
+      let blen = rd_uv r in
+      if blen < 0 || blen > r.limit - r.pos then truncated ();
+      if blen < r.limit - r.pos then malformed "over-length frame";
+      if rd_byte r <> magic then malformed "bad magic";
+      if rd_byte r <> version then malformed "unsupported version";
+      let _corr = rd_zv r in
+      let _seq = rd_zv r in
+      let _op = rd_zv r in
+      if rd_byte r <> 8 then malformed "not a batch frame";
+      let ack = rd_zv r in
+      let nitems = rd_count r ~per:2 in
+      let items =
+        List.init nitems (fun _ ->
+            let off = r.pos in
+            let of_seq =
+              match rd_byte r with
+              | 0 -> -1
+              | 1 ->
+                  let of_seq = rd_zv r in
+                  let _saved = rd_uv r in
+                  of_seq
+              | k -> malformed (Printf.sprintf "unknown batch item tag %#x" k)
+            in
+            let sublen = rd_len r in
+            let hdr = { buf; pos = r.pos; limit = r.pos + sublen } in
+            let _corr = rd_zv hdr in
+            let seq = rd_zv hdr in
+            rd_skip r sublen;
+            { src = buf; off; len = r.pos - off; seq; of_seq })
+      in
+      if r.pos <> r.limit then malformed "trailing payload bytes";
+      Ok (ack, items)
+    with
+    | Err e -> Error e
+    | Invalid_argument m -> Error (Malformed m)
+
+  let rebatch ?(corr = 0) ?(seq = 0) ?(op = -1) ~ack items =
+    let b = Buffer.create 256 in
+    Buffer.add_char b '\x08';
+    buf_zv b ack;
+    buf_uv b (List.length items);
+    List.iter (fun it -> Buffer.add_subbytes b it.src it.off it.len) items;
+    let payload = Buffer.to_bytes b in
+    let body =
+      2 + zv_size corr + zv_size seq + zv_size op + Bytes.length payload
+    in
+    let out = Buffer.create (uv_size body + body) in
+    buf_uv out body;
+    Buffer.add_char out (Char.chr magic);
+    Buffer.add_char out (Char.chr version);
+    buf_zv out corr;
+    buf_zv out seq;
+    buf_zv out op;
+    Buffer.add_bytes out payload;
+    Buffer.to_bytes out
+end

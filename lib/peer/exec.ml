@@ -284,7 +284,11 @@ and eval_query_app sys ~ctx query args ~emit =
 
 and eval_sc sys ~ctx (sc : Axml_doc.Sc.t) ~emit =
   let self = System.peer sys ctx in
-  let params = List.map (Forest.copy ~gen:self.Peer.gen) sc.params in
+  let params =
+    List.map
+      (fun f -> Message.now (Forest.copy ~gen:self.Peer.gen f))
+      sc.params
+  in
   let invoke provider service =
     let replies, finish_now =
       match sc.forward with

@@ -7,8 +7,50 @@ type reply_dest =
   | Node of Names.Node_ref.t
   | Install of { peer : Peer_id.t; name : string }
 
+(* A forest as carried by a message: either materialized ([Done]) or
+   still sitting encoded in a received frame ([Todo]).  The binary
+   codec builds [Todo] values whose [decode] thunk parses the frame
+   slice on first touch; [enc] keeps the slice itself so the forest
+   can be re-encoded (relay forwarding, retransmission) without ever
+   being parsed.  [wire] caches the encoded-section length and [dig]
+   the structural digest — both are per-message scratch owned by the
+   codec and the batch dedup; neither affects equality of the carried
+   forest. *)
+type lforest = { mutable st : lstate; mutable wire : int; mutable dig : int }
+
+and lstate =
+  | Done of Forest.t
+  | Todo of {
+      trees : int;
+      decode : unit -> Forest.t;
+      enc : Bytes.t * int * int;
+    }
+
+let now f = { st = Done f; wire = -1; dig = 0 }
+let delay ~trees ~enc decode = { st = Todo { trees; decode; enc }; wire = -1; dig = 0 }
+
+(* Count of lazy payload decodes since the last reset — the
+   observable that proves relays and the transport layer never touch
+   forest content (they slice frames instead). *)
+let decodes = ref 0
+let payload_decodes () = !decodes
+let reset_payload_decodes () = decodes := 0
+
+let force lf =
+  match lf.st with
+  | Done f -> f
+  | Todo { decode; _ } ->
+      incr decodes;
+      let f = decode () in
+      lf.st <- Done f;
+      f
+
+let peek lf = match lf.st with Done f -> Some f | Todo _ -> None
+let trees lf = match lf.st with Done f -> List.length f | Todo { trees; _ } -> trees
+let is_forced lf = match lf.st with Done _ -> true | Todo _ -> false
+
 type payload =
-  | Stream of { key : int; forest : Forest.t; final : bool }
+  | Stream of { key : int; forest : lforest; final : bool }
   | Eval_request of {
       expr : Axml_algebra.Expr.t;
       replies : reply_dest list;
@@ -16,17 +58,17 @@ type payload =
     }
   | Invoke of {
       service : Names.Service_name.t;
-      params : Forest.t list;
+      params : lforest list;
       replies : reply_dest list;
     }
   | Insert of {
       node : Axml_xml.Node_id.t;
-      forest : Forest.t;
+      forest : lforest;
       notify : (Peer_id.t * int) option;
     }
   | Install_doc of {
       name : string;
-      forest : Forest.t;
+      forest : lforest;
       notify : (Peer_id.t * int) option;
     }
   | Deploy of {
@@ -60,14 +102,19 @@ let item_header = 16
 let backref_bytes = 4
 (* A dedup back-reference: "same forest as item #n of this batch". *)
 
+(* XML-model size of a carried forest.  Forces a lazy forest: the XML
+   size model needs the trees.  (The binary wire never calls this —
+   it charges encoded frame lengths from Codec, which reads cached
+   slice lengths instead.) *)
+let lf_bytes lf = Forest.byte_size_cached (force lf)
+
 let rec bytes = function
-  | Stream { forest; _ } -> envelope + Forest.byte_size forest
+  | Stream { forest; _ } -> envelope + lf_bytes forest
   | Eval_request { expr; _ } -> envelope + Axml_algebra.Expr_xml.byte_size expr
   | Invoke { params; _ } ->
-      envelope
-      + List.fold_left (fun acc f -> acc + Forest.byte_size f) 0 params
+      envelope + List.fold_left (fun acc f -> acc + lf_bytes f) 0 params
   | Insert { forest; _ } | Install_doc { forest; _ } ->
-      envelope + Forest.byte_size forest
+      envelope + lf_bytes forest
   | Deploy { query; _ } | Query_shipped { query; _ } ->
       envelope + String.length (Axml_query.Ast.to_string query)
   | Ack _ -> envelope
@@ -85,24 +132,51 @@ let rec bytes = function
    (rule (13), transfer sharing, applied at the transport layer). *)
 let shareable_forest = function
   | Stream { forest; _ } | Insert { forest; _ } | Install_doc { forest; _ } ->
-      if forest = [] then None else Some forest
+      if trees forest = 0 then None else Some forest
   | Eval_request _ | Invoke _ | Deploy _ | Query_shipped _ | Ack _ | Batch _ ->
       None
 
+(* Structural digest of the carried forest, cached per message.  0 is
+   the unset sentinel; Forest.shape_hash never returns 0. *)
+let shape_digest lf =
+  if lf.dig <> 0 then lf.dig
+  else begin
+    let d = Forest.shape_hash (force lf) in
+    lf.dig <- d;
+    d
+  end
+
 let batch ~ack msgs =
-  let seen = Hashtbl.create 8 in
+  (* Dedup within the frame.  Key: the cached structural digest (an
+     int — no serialization).  Buckets verify candidates first by
+     pointer, then by [Forest.equal_shape], so the sharing decision
+     is exactly "same serialized forest" as before, without the
+     serializer. *)
+  let seen : (int, (lforest * int) list ref) Hashtbl.t = Hashtbl.create 8 in
   let items =
     List.map
       (fun (m : t) ->
         match shareable_forest m.payload with
         | None -> Full m
-        | Some forest -> (
-            let key = Axml_xml.Serializer.forest_to_string forest in
-            match Hashtbl.find_opt seen key with
-            | Some of_seq ->
-                Shared { msg = m; of_seq; saved = Forest.byte_size forest }
+        | Some lf -> (
+            let d = shape_digest lf in
+            let bucket =
+              match Hashtbl.find_opt seen d with
+              | Some b -> b
+              | None ->
+                  let b = ref [] in
+                  Hashtbl.add seen d b;
+                  b
+            in
+            let same (lf0, _) =
+              lf0 == lf
+              || Forest.equal_shape (force lf0) (force lf)
+            in
+            match List.find_opt same !bucket with
+            | Some (_, of_seq) ->
+                Shared { msg = m; of_seq; saved = lf_bytes lf }
             | None ->
-                Hashtbl.add seen key m.seq;
+                bucket := (lf, m.seq) :: !bucket;
                 Full m))
       msgs
   in
@@ -137,9 +211,17 @@ let tag = function
   | Ack _ -> "ack"
   | Batch _ -> "batch"
 
+(* Printing must not force a lazy forest — tracing a relayed frame
+   would otherwise defeat zero-parse forwarding.  An undecoded forest
+   prints its encoded-slice length instead. *)
+let pp_lf_bytes fmt lf =
+  match lf.st with
+  | Done f -> Format.fprintf fmt "%dB" (Forest.byte_size_cached f)
+  | Todo { enc = _, _, len; _ } -> Format.fprintf fmt "%dB-enc" len
+
 let rec pp fmt = function
   | Stream { key; forest; final } ->
-      Format.fprintf fmt "stream[%d] %dB%s" key (Forest.byte_size forest)
+      Format.fprintf fmt "stream[%d] %a%s" key pp_lf_bytes forest
         (if final then " (final)" else "")
   | Eval_request { expr; _ } ->
       Format.fprintf fmt "eval-request %a" Axml_algebra.Expr.pp expr
@@ -147,10 +229,10 @@ let rec pp fmt = function
       Format.fprintf fmt "invoke %a/%d" Names.Service_name.pp service
         (List.length params)
   | Insert { node; forest; _ } ->
-      Format.fprintf fmt "insert %dB under %a" (Forest.byte_size forest)
+      Format.fprintf fmt "insert %a under %a" pp_lf_bytes forest
         Axml_xml.Node_id.pp node
   | Install_doc { name; forest; _ } ->
-      Format.fprintf fmt "install %s (%dB)" name (Forest.byte_size forest)
+      Format.fprintf fmt "install %s (%a)" name pp_lf_bytes forest
   | Deploy { prefix; _ } -> Format.fprintf fmt "deploy %s_*" prefix
   | Query_shipped { key; _ } -> Format.fprintf fmt "query-shipped[%d]" key
   | Ack { seq } -> Format.fprintf fmt "ack[%d]" seq

@@ -6,11 +6,64 @@
     call activation), node/document installations (definitions (4) and
     (8)) and query shipping.
 
-    Byte sizes are computed from the XML serializations — the simulator
-    charges what the wire would carry. *)
+    Byte sizes under the XML wire are computed from the XML
+    serializations — the simulator charges what the wire would carry.
+    Under the binary wire ({!Codec}), the charge is the actual encoded
+    frame length. *)
 
 module Peer_id = Axml_net.Peer_id
 module Names = Axml_doc.Names
+
+(** {1 Lazily decoded forests}
+
+    A forest carried by a message is either materialized or still
+    encoded inside a received binary frame.  Producers build
+    materialized forests with {!now}; the binary decoder builds lazy
+    ones with {!delay}, whose thunk parses the frame slice on first
+    touch.  Transport-layer code (batching, relaying, retransmission,
+    byte accounting under the binary wire) never needs the trees and
+    so never forces — {!payload_decodes} counts forcings to make that
+    claim checkable. *)
+
+type lforest = { mutable st : lstate; mutable wire : int; mutable dig : int }
+(** [wire] caches the binary-encoded forest-section length
+    ([-1] = unknown); [dig] caches the structural digest
+    ([0] = unknown).  Both are scratch: they never affect the carried
+    forest's value. *)
+
+and lstate =
+  | Done of Axml_xml.Forest.t
+  | Todo of {
+      trees : int;  (** tree count, readable without decoding *)
+      decode : unit -> Axml_xml.Forest.t;
+      enc : Bytes.t * int * int;
+          (** the encoded forest section ([buf], [offset], [length]) —
+              re-encoding blits this slice, no parse *)
+    }
+
+val now : Axml_xml.Forest.t -> lforest
+val delay : trees:int -> enc:Bytes.t * int * int -> (unit -> Axml_xml.Forest.t) -> lforest
+
+val force : lforest -> Axml_xml.Forest.t
+(** Materialize (and cache) the forest; counts toward
+    {!payload_decodes} if a decode actually runs. *)
+
+val peek : lforest -> Axml_xml.Forest.t option
+(** The forest if already materialized; never decodes. *)
+
+val trees : lforest -> int
+(** Number of trees; never decodes. *)
+
+val is_forced : lforest -> bool
+
+val payload_decodes : unit -> int
+(** Global count of lazy forest decodes since the last
+    {!reset_payload_decodes} — the counter that verifies zero-parse
+    relay forwarding. *)
+
+val reset_payload_decodes : unit -> unit
+
+(** {1 Messages} *)
 
 (** Where a response stream should be delivered. *)
 type reply_dest =
@@ -22,7 +75,7 @@ type reply_dest =
       (** Install as a new document there. *)
 
 type payload =
-  | Stream of { key : int; forest : Axml_xml.Forest.t; final : bool }
+  | Stream of { key : int; forest : lforest; final : bool }
       (** One batch of a response stream. *)
   | Eval_request of {
       expr : Axml_algebra.Expr.t;
@@ -34,12 +87,12 @@ type payload =
     }
   | Invoke of {
       service : Names.Service_name.t;
-      params : Axml_xml.Forest.t list;
+      params : lforest list;
       replies : reply_dest list;
     }
   | Insert of {
       node : Axml_xml.Node_id.t;
-      forest : Axml_xml.Forest.t;
+      forest : lforest;
       notify : (Peer_id.t * int) option;
           (** Destination-side acknowledgement: after applying the
               insert, ping this continuation.  Carried by the last
@@ -49,7 +102,7 @@ type payload =
     }
   | Install_doc of {
       name : string;
-      forest : Axml_xml.Forest.t;
+      forest : lforest;
       notify : (Peer_id.t * int) option;
     }
   | Deploy of {
@@ -73,18 +126,17 @@ type payload =
           cumulative} acknowledgement of the reverse direction
           ([0] = nothing to acknowledge).  Built by {!batch}, which
           also applies within-frame transfer sharing (rule (13) at the
-          transport layer): an item whose serialized forest already
-          appears earlier in the same frame is carried as a
-          back-reference and charged {!backref_bytes} instead of the
-          forest's size. *)
+          transport layer): an item whose forest structurally equals
+          an earlier item's is carried as a back-reference and charged
+          {!backref_bytes} instead of the forest's size. *)
 
 and batch_item =
   | Full of t
   | Shared of { msg : t; of_seq : int; saved : int }
-      (** [msg]'s forest is byte-identical to the one item [of_seq]
-          carries; only a back-reference crosses the wire, saving
-          [saved] bytes.  The full payload is retained so delivery
-          needs no reassembly step. *)
+      (** [msg]'s forest is structurally identical to the one item
+          [of_seq] carries; only a back-reference crosses the wire,
+          saving [saved] bytes.  The full payload is retained so
+          delivery needs no reassembly step. *)
 
 and t = { payload : payload; corr : int; seq : int; op : int }
 (** The wire envelope: a payload plus the correlation id of the
@@ -107,26 +159,36 @@ and t = { payload : payload; corr : int; seq : int; op : int }
 val make : ?corr:int -> ?seq:int -> ?op:int -> payload -> t
 
 val bytes : payload -> int
-(** Serialized size estimate charged to the link (the correlation id
-    rides inside the fixed envelope budget).  A [Batch] charges one
-    envelope for the frame plus a small per-item header — coalescing
-    n messages saves [(n-1) * (envelope - item_header)] bytes of fixed
-    cost before any dedup sharing. *)
+(** XML-wire serialized size estimate charged to the link (the
+    correlation id rides inside the fixed envelope budget).  A [Batch]
+    charges one envelope for the frame plus a small per-item header —
+    coalescing n messages saves [(n-1) * (envelope - item_header)]
+    bytes of fixed cost before any dedup sharing.  Forces lazy
+    forests (only the XML wire uses this model; the binary wire
+    charges {!Codec.frame_bytes}). *)
 
 val envelope : int
-(** Fixed per-message framing cost in bytes. *)
+(** Fixed per-message framing cost in bytes (XML wire model). *)
 
 val item_header : int
-(** Per-item framing cost inside a [Batch] frame. *)
+(** Per-item framing cost inside a [Batch] frame (XML wire model). *)
 
 val backref_bytes : int
-(** Wire cost of a dedup back-reference inside a [Batch]. *)
+(** Wire cost of a dedup back-reference inside a [Batch] (XML wire
+    model). *)
+
+val shape_digest : lforest -> int
+(** Structural digest of the carried forest
+    ({!Axml_xml.Forest.shape_hash}), cached in the message.  Forces on
+    first call. *)
 
 val batch : ack:int -> t list -> payload
 (** Build a [Batch] frame from sequenced messages (given in send
     order) with the cumulative reverse-direction acknowledgement
-    [ack].  Items whose serialized forest duplicates an earlier item
-    of the same frame become [Shared] back-references. *)
+    [ack].  Items whose forest structurally duplicates an earlier item
+    of the same frame become [Shared] back-references; candidates are
+    matched by cached digest, then verified by pointer equality or
+    {!Axml_xml.Forest.equal_shape} — no serialization. *)
 
 val item_message : batch_item -> t
 (** The enclosed message (back-references carry their full payload). *)
@@ -145,3 +207,9 @@ val tag : payload -> string
     metric keys. *)
 
 val pp : Format.formatter -> payload -> unit
+(** Never forces a lazy forest: an undecoded forest prints its
+    encoded-slice length as ["<n>B-enc"]. *)
+
+val shareable_forest : payload -> lforest option
+(** The forest a payload materializes at the destination, if non-empty
+    — the dedup candidate inside a batch.  Never decodes. *)

@@ -21,6 +21,16 @@ type cont_entry = {
 
 type transport = Raw | Reliable
 
+(* Which wire encoding the simulator charges (and, for
+   [Binary_strict], actually runs).  [Xml] is the original model:
+   bytes = XML serialization size plus a fixed envelope.  [Binary]
+   charges the exact encoded frame length computed by {!Codec} without
+   materializing frames.  [Binary_strict] additionally encodes and
+   lazily re-decodes every physical transmission, so the whole stack
+   (transport, chaos plans, dispatch) exercises the codec end to
+   end. *)
+type wire = Xml | Binary | Binary_strict
+
 (* Reliable-transport state. Sequence cursors ([next_seq],
    [next_expected]) model WAL-backed durable state: they survive a
    crash, so a restarted peer neither reuses sequence numbers (which
@@ -102,6 +112,7 @@ type t = {
   response_delay_ms : float;
   cpu_ms_per_kb : float;
   transport : transport;
+  wire : wire;
   rto_ms : float;
   max_retries : int;
   flush_ms : float;
@@ -124,6 +135,7 @@ let sim t = t.sim
 let response_delay_ms t = t.response_delay_ms
 let cpu_ms_per_kb t = t.cpu_ms_per_kb
 let transport t = t.transport
+let wire t = t.wire
 let flush_ms t = t.flush_ms
 let ack_delay_ms t = t.ack_delay_ms
 
@@ -218,12 +230,26 @@ let note_of t payload =
   else None
 
 let raw_send t ~src ~dst (msg : Message.t) =
+  (* The charged size is the wire's: the XML model walks the payload
+     (memoized per tree), the binary wire reads cached encoded-frame
+     lengths.  Strict mode then replaces the in-flight message with
+     its encode→lazy-decode round trip, so the receiver works off the
+     frame exactly as a real network peer would — forests decode on
+     first touch, and transport-layer handling decodes nothing. *)
+  let bytes =
+    match t.wire with
+    | Xml -> Message.bytes msg.Message.payload
+    | Binary | Binary_strict -> Codec.frame_bytes msg
+  in
+  let msg =
+    match t.wire with
+    | Xml | Binary -> msg
+    | Binary_strict -> Codec.roundtrip msg
+  in
   Sim.send
     ?note:(note_of t msg.Message.payload)
     ~msgs:(Message.batch_size msg.Message.payload)
-    t.sim ~src ~dst
-    ~bytes:(Message.bytes msg.Message.payload)
-    msg
+    t.sim ~src ~dst ~bytes msg
 
 (* Exponential backoff, capped: attempt 0 waits rto, attempt n waits
    min(rto * 2^n, rto * 32). *)
@@ -546,7 +572,7 @@ let route ?notify t ~src dest forest ~final =
                 "node@" ^ Peer_id.to_string r.Names.Node_ref.peer
             | Message.Install { peer; name } ->
                 Printf.sprintf "install %s@%s" name (Peer_id.to_string peer) );
-          ("bytes", string_of_int (Forest.byte_size forest));
+          ("bytes", string_of_int (Forest.byte_size_cached forest));
           ("final", string_of_bool final);
         ]
       "route";
@@ -554,14 +580,21 @@ let route ?notify t ~src dest forest ~final =
   match dest with
   | Message.Cont { peer; key } ->
       if forest <> [] || final then
-        send t ~src ~dst:peer (Message.Stream { key; forest; final })
+        send t ~src ~dst:peer
+          (Message.Stream { key; forest = Message.now forest; final })
   | Message.Node r ->
       if forest <> [] || notify <> None then
         send t ~src ~dst:r.Names.Node_ref.peer
-          (Message.Insert { node = r.Names.Node_ref.node; forest; notify })
+          (Message.Insert
+             {
+               node = r.Names.Node_ref.node;
+               forest = Message.now forest;
+               notify;
+             })
   | Message.Install { peer; name } ->
       if forest <> [] || notify <> None then
-        send t ~src ~dst:peer (Message.Install_doc { name; forest; notify })
+        send t ~src ~dst:peer
+          (Message.Install_doc { name; forest = Message.now forest; notify })
 
 (* Notify doc-feed watchers that a document has grown. *)
 let notify_watchers t self doc_name forest =
@@ -583,7 +616,9 @@ let run_service t (self : Peer.t) service params replies =
       match Axml_doc.Service.impl svc with
       | Axml_doc.Service.Declarative q ->
           let input_bytes =
-            List.fold_left (fun acc f -> acc + Forest.byte_size f) 0 params
+            List.fold_left
+              (fun acc f -> acc + Forest.byte_size_cached f)
+              0 params
           in
           consume_cpu t ~peer:self.Peer.id ~bytes:input_bytes;
           let out =
@@ -634,7 +669,7 @@ let ping t (self : Peer.t) = function
   | None -> ()
   | Some (peer, key) ->
       send t ~src:self.Peer.id ~dst:peer
-        (Message.Stream { key; forest = []; final = true })
+        (Message.Stream { key; forest = Message.now []; final = true })
 
 let handle_insert t (self : Peer.t) node forest notify =
   (match Peer.find_doc_with_node self node with
@@ -688,6 +723,9 @@ let dispatch_payload t (self : Peer.t) ~src payload =
               m "peer %a: stream for dead continuation %d" Peer_id.pp
                 self.Peer.id key)
       | Some entry ->
+          (* First (and only) touch of a lazily-decoded forest: the
+             application is about to consume it. *)
+          let forest = Message.force forest in
           entry.batches <- entry.batches + 1;
           if final then begin
             entry.remaining_finals <- entry.remaining_finals - 1;
@@ -724,18 +762,19 @@ let dispatch_payload t (self : Peer.t) ~src payload =
             match ack with
             | Some (peer, key) when side_dests = [] ->
                 send t ~src:self.Peer.id ~dst:peer
-                  (Message.Stream { key; forest = []; final = true })
+                  (Message.Stream
+                     { key; forest = Message.now []; final = true })
             | Some _ | None -> ()
           end
         end
       in
       !eval_hook t ~ctx:self.Peer.id expr ~emit
   | Message.Invoke { service; params; replies } ->
-      run_service t self service params replies
+      run_service t self service (List.map Message.force params) replies
   | Message.Insert { node; forest; notify } ->
-      handle_insert t self node forest notify
+      handle_insert t self node (Message.force forest) notify
   | Message.Install_doc { name; forest; notify } ->
-      handle_install t self name forest notify
+      handle_install t self name (Message.force forest) notify
   | Message.Deploy { prefix; query; reply } ->
       let name =
         Axml_doc.Registry.install_query self.Peer.registry ~prefix query
@@ -917,8 +956,8 @@ let handle_crash t p =
   set_peer t p (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
 
 let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
-    ?(transport = Raw) ?(rto_ms = 40.0) ?(max_retries = 30) ?(flush_ms = 0.0)
-    ?(ack_delay_ms = 0.0) topology =
+    ?(transport = Raw) ?(wire = Xml) ?(rto_ms = 40.0) ?(max_retries = 30)
+    ?(flush_ms = 0.0) ?(ack_delay_ms = 0.0) topology =
   if flush_ms < 0.0 then invalid_arg "System.create: negative flush_ms";
   if ack_delay_ms < 0.0 then invalid_arg "System.create: negative ack_delay_ms";
   let sim = Sim.create topology in
@@ -932,6 +971,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
       response_delay_ms;
       cpu_ms_per_kb;
       transport;
+      wire;
       rto_ms;
       max_retries;
       flush_ms;
@@ -1036,7 +1076,8 @@ let activate_call_now t ~owner ~doc ~node =
               in
               let params =
                 List.map
-                  (Forest.copy ~gen:self.Peer.gen)
+                  (fun f ->
+                    Message.now (Forest.copy ~gen:self.Peer.gen f))
                   sc.Axml_doc.Sc.params
               in
               match sc.Axml_doc.Sc.provider with

@@ -26,10 +26,27 @@ type transport =
           retransmission and receiver-side in-order dedup: effectively
           exactly-once, in-order delivery over a lossy network. *)
 
+(** Which wire encoding the simulator charges for each transmission. *)
+type wire =
+  | Xml
+      (** The original model: XML serialization size plus a fixed
+          envelope ({!Message.bytes}). *)
+  | Binary
+      (** Exact encoded frame length of the binary codec
+          ({!Codec.frame_bytes}), computed from cached per-tree blob
+          lengths without materializing frames. *)
+  | Binary_strict
+      (** [Binary], and every physical transmission is additionally
+          encoded and lazily re-decoded ({!Codec.roundtrip}), so the
+          receiver consumes real frames: forests decode on first
+          application touch, transport-layer handling decodes nothing
+          (observable via {!Message.payload_decodes}). *)
+
 val create :
   ?response_delay_ms:float ->
   ?cpu_ms_per_kb:float ->
   ?transport:transport ->
+  ?wire:wire ->
   ?rto_ms:float ->
   ?max_retries:int ->
   ?flush_ms:float ->
@@ -56,9 +73,16 @@ val create :
     reverse traffic piggybacks them first.  At the defaults the
     unbatched per-message protocol runs unchanged.  Both knobs are
     ignored under [Raw].
+
+    [wire] (default [Xml]) selects the byte-accounting model — and,
+    for [Binary_strict], routes every transmission through the binary
+    codec.  The wire never changes what is delivered, only how it is
+    charged/carried: same-seed runs reach the same Σ fingerprints
+    under every wire.
     @raise Invalid_argument on negative knob values. *)
 
 val transport : t -> transport
+val wire : t -> wire
 
 val flush_ms : t -> float
 (** The coalescing window ([0.0] = batching off unless

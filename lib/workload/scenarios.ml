@@ -117,7 +117,7 @@ type flash_crowd = {
 
 let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4)
     ?(packages = 32) ?(payload_bytes = 256) ?(arrival_window_ms = 500.0)
-    ?(think_ms = 5.0) ?transport ?flush_ms ?ack_delay_ms ~seed () =
+    ?(think_ms = 5.0) ?transport ?wire ?flush_ms ?ack_delay_ms ~seed () =
   if mirrors < 1 then invalid_arg "Scenarios.flash_crowd: mirrors < 1";
   if subscribers < 0 then invalid_arg "Scenarios.flash_crowd: subscribers < 0";
   let publisher = Peer_id.of_string "origin" in
@@ -133,7 +133,7 @@ let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4
       ~inter:(Axml_net.Link.make ~latency_ms:20.0 ~bandwidth_bytes_per_ms:200.0)
       [ publisher :: mirror_ids; sub_ids ]
   in
-  let sys = System.create ?transport ?flush_ms ?ack_delay_ms topology in
+  let sys = System.create ?transport ?wire ?flush_ms ?ack_delay_ms topology in
   let sim = System.sim sys in
   let fetch_class = "fetch_any" in
   (* Mirrors: an extern package-fetch service over a pre-built package
@@ -180,12 +180,15 @@ let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4
            {
              name = "release";
              forest =
-               [
-                 Tree.element ~gen:pgen (l "release")
-                   ~attrs:
-                     [ ("version", "2.0"); ("packages", string_of_int packages) ]
-                   [];
-               ];
+               Axml_peer.Message.now
+                 [
+                   Tree.element ~gen:pgen (l "release")
+                     ~attrs:
+                       [
+                         ("version", "2.0"); ("packages", string_of_int packages);
+                       ]
+                     [];
+                 ];
              notify = None;
            }))
     mirror_ids;
@@ -246,7 +249,7 @@ let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4
           (Axml_peer.Message.Invoke
              {
                service;
-               params = [ [ req ] ];
+               params = [ Axml_peer.Message.now [ req ] ];
                replies = [ Axml_peer.Message.Cont { peer = sub; key } ];
              })
   in
@@ -358,4 +361,5 @@ let publish sub ~source ~headline =
           (* Route through the system's own Insert handling so the
              feed's watchers fire. *)
           System.send sys ~src:source ~dst:source
-            (Axml_peer.Message.Insert { node; forest = [ item ]; notify = None }))
+            (Axml_peer.Message.Insert
+               { node; forest = Axml_peer.Message.now [ item ]; notify = None }))

@@ -76,6 +76,7 @@ val flash_crowd :
   ?arrival_window_ms:float ->
   ?think_ms:float ->
   ?transport:Axml_peer.System.transport ->
+  ?wire:Axml_peer.System.wire ->
   ?flush_ms:float ->
   ?ack_delay_ms:float ->
   seed:int ->

@@ -8,6 +8,15 @@ type t = Tree.t list
 val empty : t
 val size : t -> int
 val byte_size : t -> int
+
+val byte_size_cached : t -> int
+(** {!byte_size} through the weak per-tree memo
+    ({!Tree.byte_size_cached}); for per-charge hot paths. *)
+
+val shape_hash : t -> int
+(** Structural digest consistent with {!equal_shape}; order-sensitive
+    combination of {!Tree.shape_hash}.  Never returns 0. *)
+
 val equal_shape : t -> t -> bool
 val copy : gen:Node_id.Gen.t -> t -> t
 val concat_map : (Tree.t -> t) -> t -> t

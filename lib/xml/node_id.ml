@@ -11,6 +11,12 @@ let hash = Hashtbl.hash
 let to_string { ns; counter } = Printf.sprintf "%s:%d" ns counter
 let pp fmt id = Format.pp_print_string fmt (to_string id)
 
+let namespace { ns; _ } = ns
+let counter { counter; _ } = counter
+
+let make ~ns ~counter =
+  if counter >= 0 && ns <> "" then Some { ns; counter } else None
+
 let of_string s =
   match String.rindex_opt s ':' with
   | None -> None

@@ -17,6 +17,15 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Parse the [pp] representation, ["<namespace>:<counter>"]. *)
 
+val namespace : t -> string
+val counter : t -> int
+(** The two components, for codecs that intern namespaces instead of
+    shipping the textual form per node. *)
+
+val make : ns:string -> counter:int -> t option
+(** Rebuild from components; [None] under the same validity rules as
+    {!of_string} (non-empty namespace, non-negative counter). *)
+
 (** Identifier generators.  Two generators created with distinct
     namespaces never produce equal identifiers. *)
 module Gen : sig

@@ -62,6 +62,49 @@ let rec add_tree buf = function
         Buffer.add_char buf '>'
       end
 
+(* Character-for-character mirror of [escape]: the length the escaped
+   form of [s] would occupy, without building it. *)
+let escaped_length ~quot s =
+  let n = ref 0 in
+  String.iter
+    (fun c ->
+      n :=
+        !n
+        +
+        match c with
+        | '&' -> 5
+        | '<' | '>' -> 4
+        | '"' when quot -> 6
+        | '\n' when quot -> 5
+        | '\t' when quot -> 4
+        | '\r' -> 5
+        | _ -> 1)
+    s;
+  !n
+
+(* Mirror of [add_tree]/[to_string ~decl:false]: counts the serialized
+   bytes without materializing the string.  Kept in lock-step with the
+   writer above (self-closing rule included); a qcheck property pins
+   [serialized_length t = String.length (to_string t)]. *)
+let rec serialized_length = function
+  | Tree.Text s -> escaped_length ~quot:false s
+  | Tree.Element e ->
+      let name = String.length (Label.to_string e.label) in
+      let attrs =
+        List.fold_left
+          (fun acc (k, v) ->
+            acc + 1 + String.length k + 2 + escaped_length ~quot:true v + 1)
+          0 e.attrs
+      in
+      if empty_content e.children then 1 + name + attrs + 2
+      else
+        1 + name + attrs + 1
+        + List.fold_left (fun acc c -> acc + serialized_length c) 0 e.children
+        + 2 + name + 1
+
+let forest_serialized_length f =
+  List.fold_left (fun acc t -> acc + serialized_length t) 0 f
+
 let to_string ?(decl = false) t =
   let buf = Buffer.create 256 in
   if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>";

@@ -22,5 +22,12 @@ val to_string_pretty : ?indent:int -> Tree.t -> string
 
 val forest_to_string : Tree.t list -> string
 
+val serialized_length : Tree.t -> int
+(** [String.length (to_string t)] without materializing the string;
+    mirrors the writer exactly (escaping and the self-closing rule). *)
+
+val forest_serialized_length : Tree.t list -> int
+(** [String.length (forest_to_string f)] without materializing. *)
+
 val pp : Format.formatter -> Tree.t -> unit
 (** Pretty rendering on a formatter. *)

@@ -62,6 +62,17 @@ val byte_size : t -> int
 (** Approximate serialized size in bytes; the unit of the network cost
     model. *)
 
+val byte_size_cached : t -> int
+(** {!byte_size} memoized per root in a weak table keyed on pointer
+    identity.  Safe because trees are immutable and functional updates
+    path-copy; meant for hot paths that re-measure the same shipped
+    tree on every charge. *)
+
+val shape_hash : t -> int
+(** Structural digest consistent with {!equal_shape}: equal shapes
+    hash equal; node identifiers are ignored.  Memoized like
+    {!byte_size_cached}.  Never returns 0. *)
+
 (** {1 Traversal} *)
 
 val fold : ('a -> t -> 'a) -> 'a -> t -> 'a

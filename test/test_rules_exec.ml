@@ -27,9 +27,9 @@ let orders_xml =
 (* A fresh system with the reference Σ.  The inbox node id must be
    stable across rebuilds for plans with forward lists: we rebuild it
    with a dedicated namespace whose counter restarts every time. *)
-let build_system ?transport ?flush_ms ?ack_delay_ms () =
+let build_system ?transport ?wire ?flush_ms ?ack_delay_ms () =
   let sys =
-    System.create ?transport ?flush_ms ?ack_delay_ms
+    System.create ?transport ?wire ?flush_ms ?ack_delay_ms
       (mesh ~latency:10.0 ~bandwidth:100.0 [ "p1"; "p2"; "p3" ])
   in
   System.load_document sys p2 ~name:"cat" ~xml:catalog_xml;

@@ -109,7 +109,9 @@ let test_doc_feed_subscription () =
     (Runtime.Message.Insert
        {
          node = root_id;
-         forest = [ Xml.Tree.element_of_string ~gen:g2 "n" [ txt "second" ] ];
+         forest =
+           Runtime.Message.now
+             [ Xml.Tree.element_of_string ~gen:g2 "n" [ txt "second" ] ];
          notify = None;
        });
   ignore (System.run sys);
@@ -153,10 +155,18 @@ let test_install_doc_accumulates () =
   let sys = make () in
   System.send sys ~src:p1 ~dst:p2
     (Runtime.Message.Install_doc
-       { name = "log"; forest = [ parse "<entry>1</entry>" ]; notify = None });
+       {
+         name = "log";
+         forest = Runtime.Message.now [ parse "<entry>1</entry>" ];
+         notify = None;
+       });
   System.send sys ~src:p1 ~dst:p2
     (Runtime.Message.Install_doc
-       { name = "log"; forest = [ parse "<entry>2</entry>" ]; notify = None });
+       {
+         name = "log";
+         forest = Runtime.Message.now [ parse "<entry>2</entry>" ];
+         notify = None;
+       });
   ignore (System.run sys);
   match System.find_document sys p2 "log" with
   | Some doc ->

@@ -23,7 +23,7 @@ let p2 = peer "p2"
 (* --- Message.Batch accounting (pure) ------------------------------- *)
 
 let stream_msg ?(g = gen ()) ~seq xml =
-  let forest = [ parse ~g xml ] in
+  let forest = Message.now [ parse ~g xml ] in
   Message.make ~seq (Message.Stream { key = 7; forest; final = false })
 
 let test_batch_bytes () =
@@ -54,7 +54,7 @@ let test_batch_dedup () =
   let payload = Message.batch ~ack:0 [ m1; m2; m3 ] in
   let forest_bytes =
     match m1.Message.payload with
-    | Message.Stream { forest; _ } -> Xml.Forest.byte_size forest
+    | Message.Stream { forest; _ } -> Xml.Forest.byte_size (Message.force forest)
     | _ -> assert false
   in
   Alcotest.(check int) "second copy shipped as a back-reference"
