@@ -2735,6 +2735,288 @@ let e22 ?(smoke = false) () =
      the XML model, batched-binary wall and words/event at or below the\n\
      batched-XML arm, and zero relay payload decodes\n"
 
+(* --- E23: adaptive replica placement ------------------------------ *)
+
+(* Prices the adaptive placement controller (DESIGN.md §17) against
+   static placement on the hotspot workload: a handful of documents
+   draw 90 % of a closed-loop read population while streaming appends
+   keep them live.  Serving a read costs real CPU at the serving peer
+   (0.4 cpu-ms/KB), so a static system queues at the hot owners; the
+   controller watches windowed Timeseries signals, ships the hot
+   documents to idle spares mid-stream and steers reads to the least
+   loaded replica.  Two tiers: calm links, and a chaos tier (random
+   drops/duplicates/jitter quiet by 400 ms, a 150 ms partition of a
+   spare, an owner crash/restart with failover) — the same fault plan
+   on both arms.  Gates:
+   - every run quiesces with every read served;
+   - all four runs agree on the final Σ content fingerprint — the
+     controller never changes answers, even under faults;
+   - the adaptive arm actually commits migrations and beats static on
+     p95/p99 read latency and/or bytes (it is allowed to spend bytes:
+     replication is traffic). *)
+
+module Placement = Runtime.Placement
+module Sc = Workload.Scenarios
+
+let e23 ?(smoke = false) () =
+  section
+    (if smoke then "E23  adaptive replica placement (smoke)"
+     else "E23  adaptive replica placement");
+  Printf.printf
+    "scenario: hotspot — 10%% of documents draw 90%% of a closed-loop\n\
+     read population under streaming appends; static placement (seeded\n\
+     random reader picks, no controller) vs adaptive (load-steered\n\
+     picks + the §17 migration controller), on calm links and under a\n\
+     chaos plan; Σ content must agree across all four runs while the\n\
+     adaptive arm relieves the hot-owner queue\n\n";
+  let owners, spares, readers, docs, reads_per_reader =
+    if smoke then (4, 2, 16, 12, 10) else (6, 4, 32, 40, 50)
+  in
+  let appends, append_every_ms, payload_bytes =
+    if smoke then (4, 10.0, 1024) else (6, 40.0, 2048)
+  in
+  (* Serving a read is CPU work at the serving peer; at 3 cpu-ms/KB a
+     hot owner saturates under the closed-loop population, which is
+     exactly the queue the controller is supposed to drain. *)
+  let cpu_ms_per_kb = 3.0 in
+  let hot_fraction = 0.1 and hot_share = 0.9 and seed = 11 in
+  let chaos_plan (hs : Sc.hotspot) =
+    (* Probabilistic faults quiet by 400 ms shape the read tails; the
+       owner crash sits after the read streams drain (and past quiet +
+       max retransmission backoff, 32·rto = 1280 ms — the discipline
+       under which the WAL-modelled transport provably converges, see
+       test_fault.ml).  A mid-stream crash would eat in-flight eval
+       state — volatile by design — so it gates Σ convergence through
+       failover + replica resync, not the latency table. *)
+    let island = [ List.hd hs.Sc.hs_spares ] in
+    let victim = List.hd hs.Sc.hs_owners in
+    Net.Fault.make
+      ~profile:{ Net.Fault.drop = 0.12; duplicate = 0.04; jitter_ms = 2.0 }
+      ~events:
+        [
+          Net.Fault.Partition
+            {
+              island;
+              window = Net.Fault.window ~from_ms:100.0 ~until_ms:250.0;
+            };
+          Net.Fault.Crash
+            { peer = victim; at_ms = 8000.0; restart_ms = Some 8250.0 };
+        ]
+      ~quiet_after_ms:400.0 ~seed:23 ()
+  in
+  let pct l q =
+    match List.sort compare l with
+    | [] -> Float.nan
+    | sorted ->
+        let a = Array.of_list sorted in
+        let n = Array.length a in
+        let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+        a.(max 0 (min (n - 1) i))
+  in
+  let run_arm ~chaos ~adaptive =
+    let reg = Obs.Timeseries.default in
+    if adaptive then begin
+      Obs.Timeseries.set_window reg 10.0;
+      Obs.Timeseries.set_enabled reg true
+    end;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Timeseries.set_enabled reg false;
+        Obs.Timeseries.set_window reg 100.0)
+    @@ fun () ->
+    let hs =
+      Sc.hotspot ~owners ~spares ~readers ~docs ~hot_fraction ~hot_share
+        ~reads_per_reader ~appends ~append_every_ms ~payload_bytes
+        ~think_ms:2.0 ~arrival_window_ms:100.0 ~steered:adaptive
+        ~cpu_ms_per_kb ~seed ()
+    in
+    let sys = hs.Sc.hs_system in
+    let storage = hs.Sc.hs_owners @ hs.Sc.hs_spares in
+    if chaos then ignore (Runtime.Failover.enable sys);
+    let ctl =
+      if adaptive then
+        Some
+          (Placement.enable
+             ~cfg:
+               {
+                 Placement.default_config with
+                 tick_ms = 20.0;
+                 windows = 3;
+                 hot_rate = 100.0;
+                 migrations_per_tick = 2;
+                 seed = seed + 99;
+                 eligible =
+                   Some (fun p -> List.exists (Net.Peer_id.equal p) storage);
+               }
+             sys)
+      else None
+    in
+    if chaos then System.inject_faults sys (chaos_plan hs);
+    let t0 = Sys.time () in
+    let outcome, events = System.run sys in
+    let wall = Sys.time () -. t0 in
+    let st = System.stats sys in
+    let lats = !(hs.Sc.hs_latencies) in
+    let committed =
+      match ctl with
+      | Some c -> (Placement.stats c).Placement.s_committed
+      | None -> 0
+    in
+    let ok =
+      outcome = `Quiescent
+      && !(hs.Sc.hs_completed) = hs.Sc.hs_requests
+      && !(hs.Sc.hs_unserved) = 0
+    in
+    ( events, !(hs.Sc.hs_completed), !(hs.Sc.hs_unserved), pct lats 0.50,
+      pct lats 0.95, pct lats 0.99, st.Net.Stats.messages, st.Net.Stats.bytes,
+      committed, System.content_fingerprint sys, wall, ok )
+  in
+  let tiers = [ ("calm", false); ("chaos", true) ] in
+  let arms = [ ("static", false); ("adaptive", true) ] in
+  let rows =
+    List.concat_map
+      (fun (tier, chaos) ->
+        List.map
+          (fun (arm, adaptive) -> (tier, arm, run_arm ~chaos ~adaptive))
+          arms)
+      tiers
+  in
+  List.iter
+    (fun (tier, _) ->
+      Printf.printf "-- %s --\n" tier;
+      table
+        ~headers:
+          [
+            "arm"; "served"; "p50 ms"; "p95 ms"; "p99 ms"; "messages";
+            "bytes"; "migr"; "ok";
+          ]
+        (List.filter_map
+           (fun (t, arm, (_, served, _, p50, p95, p99, msgs, bytes, migr, _,
+                          _, ok)) ->
+             if t <> tier then None
+             else
+               Some
+                 [
+                   arm; string_of_int served;
+                   Printf.sprintf "%.1f" p50;
+                   Printf.sprintf "%.1f" p95;
+                   Printf.sprintf "%.1f" p99;
+                   string_of_int msgs; string_of_int bytes;
+                   string_of_int migr;
+                   (if ok then "yes" else "NO");
+                 ])
+           rows))
+    tiers;
+  let field tier arm f =
+    List.fold_left
+      (fun acc (t, a, row) -> if t = tier && a = arm then f row else acc)
+      Float.nan rows
+  in
+  let p95_of t a = field t a (fun (_, _, _, _, p, _, _, _, _, _, _, _) -> p) in
+  let p99_of t a = field t a (fun (_, _, _, _, _, p, _, _, _, _, _, _) -> p) in
+  let bytes_of t a =
+    field t a (fun (_, _, _, _, _, _, _, b, _, _, _, _) -> float_of_int b)
+  in
+  let migr_of t a =
+    field t a (fun (_, _, _, _, _, _, _, _, m, _, _, _) -> float_of_int m)
+  in
+  let fps =
+    List.map (fun (_, _, (_, _, _, _, _, _, _, _, _, fp, _, _)) -> fp) rows
+  in
+  let sigma_agree =
+    match fps with
+    | fp :: rest -> List.for_all (String.equal fp) rest
+    | [] -> false
+  in
+  let all_ok =
+    List.for_all (fun (_, _, (_, _, _, _, _, _, _, _, _, _, _, ok)) -> ok) rows
+  in
+  let checks =
+    List.map
+      (fun (tier, _) ->
+        let beats =
+          p95_of tier "adaptive" < p95_of tier "static"
+          || p99_of tier "adaptive" < p99_of tier "static"
+          || bytes_of tier "adaptive" < bytes_of tier "static"
+        in
+        let migrated = migr_of tier "adaptive" > 0.0 in
+        (tier, beats, migrated))
+      tiers
+  in
+  Printf.printf "\nΣ content %s across all four runs\n"
+    (if sigma_agree then "agrees" else "DIFFERS");
+  if not all_ok then Printf.printf "!! E23: an arm failed to complete\n";
+  List.iter
+    (fun (tier, beats, migrated) ->
+      if not migrated then
+        Printf.printf "!! E23 %s: the controller never committed a migration\n"
+          tier;
+      if not beats then
+        Printf.printf
+          "!! E23 %s: adaptive beat static on neither tail latency nor bytes\n"
+          tier
+      else
+        Printf.printf
+          "%s: adaptive p95 %.1f ms vs static %.1f ms (p99 %.1f vs %.1f), \
+           %.2fx bytes, %.0f migrations\n"
+          tier (p95_of tier "adaptive") (p95_of tier "static")
+          (p99_of tier "adaptive") (p99_of tier "static")
+          (bytes_of tier "adaptive" /. Float.max 1.0 (bytes_of tier "static"))
+          (migr_of tier "adaptive"))
+    checks;
+  let rows_json =
+    json_arr
+      (List.map
+         (fun (tier, arm, (events, served, unserved, p50, p95, p99, msgs,
+                           bytes, migr, fp, wall, ok)) ->
+           json_obj
+             [
+               ("tier", json_s tier);
+               ("arm", json_s arm);
+               ("events", string_of_int events);
+               ("served", string_of_int served);
+               ("unserved", string_of_int unserved);
+               ("p50_ms", json_f p50);
+               ("p95_ms", json_f p95);
+               ("p99_ms", json_f p99);
+               ("messages", string_of_int msgs);
+               ("bytes", string_of_int bytes);
+               ("migrations_committed", string_of_int migr);
+               ("fingerprint", json_s fp);
+               ("wall_s", json_f wall);
+               ("quiescent_and_complete", json_b ok);
+             ])
+         rows)
+  in
+  let checks_json =
+    json_arr
+      (List.map
+         (fun (tier, beats, migrated) ->
+           json_obj
+             [
+               ("tier", json_s tier);
+               ("adaptive_beats_static", json_b beats);
+               ("controller_migrated", json_b migrated);
+             ])
+         checks)
+  in
+  write_json "BENCH_E23.json"
+    (json_obj
+       [
+         ("experiment", json_s "E23");
+         ("smoke", json_b smoke);
+         ("rows", rows_json);
+         ("checks", checks_json);
+         ("sigma_agrees_across_runs", json_b sigma_agree);
+         ("all_arms_complete", json_b all_ok);
+       ]);
+  write_summary ();
+  Printf.printf
+    "\nwrote BENCH_E23.json and BENCH_summary.json\n\
+     shape: identical Σ across static/adaptive × calm/chaos, the\n\
+     controller committing migrations on both tiers and pulling the\n\
+     hot-owner read tail below the static arm's\n"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
@@ -2744,4 +3026,5 @@ let all =
     (fun () -> e20 ());
     (fun () -> e21 ());
     (fun () -> e22 ());
+    (fun () -> e23 ());
   ]

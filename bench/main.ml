@@ -16,8 +16,9 @@
    E20 only:              dune exec bench/main.exe -- --e20 [--smoke]
    E21 only:              dune exec bench/main.exe -- --e21 [--smoke]
    E22 only:              dune exec bench/main.exe -- --e22 [--smoke]
+   E23 only:              dune exec bench/main.exe -- --e23 [--smoke]
 
-   E17-E22 each write a BENCH_E<n>.json artifact to the current
+   E17-E23 each write a BENCH_E<n>.json artifact to the current
    directory, then regenerate BENCH_summary.json — a uniform
    {schema_version, experiments: {E17: ..., ...}} envelope embedding
    every artifact present; --smoke shrinks them to CI size. *)
@@ -286,6 +287,7 @@ let () =
   let e20_only = List.mem "--e20" args in
   let e21_only = List.mem "--e21" args in
   let e22_only = List.mem "--e22" args in
+  let e23_only = List.mem "--e23" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
   else if e18_only then Experiments.e18 ~smoke ()
@@ -293,6 +295,7 @@ let () =
   else if e20_only then Experiments.e20 ~smoke ()
   else if e21_only then Experiments.e21 ~smoke ()
   else if e22_only then Experiments.e22 ~smoke ()
+  else if e23_only then Experiments.e23 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

@@ -10,6 +10,7 @@
      trace      run the traced Example-1 and export spans + metrics
      chaos      run the reference plans under seeded faults
      scale      run the flash-crowd scenario and print tier traffic
+     place      hotspot scenario, static vs adaptive placement arms
      top        flash-crowd under windowed telemetry; per-peer table *)
 
 open Cmdliner
@@ -905,6 +906,225 @@ let scale_cmd =
       const run $ peers $ subscribers $ requests $ seed $ reliable $ wire_arg
       $ slo_arg)
 
+(* --- place ------------------------------------------------------- *)
+
+(* The placement analogue of scale: run the hotspot scenario twice on
+   the identical shape and seed — static placement (seeded Random
+   reader picks, no controller) and adaptive (load-steered picks plus
+   the DESIGN.md §17 migration controller) — and print read-latency
+   tails, traffic totals and the adaptive arm's migration schedule.
+   The two arms must agree on the final Σ content fingerprint: the
+   controller moves replicas, never answers. *)
+
+let place_cmd =
+  let owners =
+    Arg.(
+      value & opt int 4
+      & info [ "owners" ] ~docv:"N" ~doc:"Document-owning peers")
+  in
+  let spares =
+    Arg.(
+      value & opt int 2
+      & info [ "spares" ] ~docv:"N"
+          ~doc:"Idle storage peers — natural migration targets")
+  in
+  let readers =
+    Arg.(value & opt int 16 & info [ "readers" ] ~docv:"N" ~doc:"Reader peers")
+  in
+  let docs =
+    Arg.(
+      value & opt int 12
+      & info [ "docs" ] ~docv:"N"
+          ~doc:"Documents; 10% are hot and draw 90% of reads")
+  in
+  let reads =
+    Arg.(
+      value & opt int 10
+      & info [ "reads" ] ~docv:"R" ~doc:"Reads per reader (closed loop)")
+  in
+  let appends =
+    Arg.(
+      value & opt int 4
+      & info [ "appends" ] ~docv:"K"
+          ~doc:"Streaming appends per hot document")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Scenario seed") in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject a chaos plan aimed at the hotspot: random drops, \
+             duplicates and jitter quiet by 400 ms, plus a 150 ms \
+             partition of the hottest document's owner — the same plan \
+             on both arms")
+  in
+  let run owners spares readers docs reads appends seed chaos wire slo =
+    if owners < 1 || spares < 1 || readers < 1 || docs < 1 then begin
+      prerr_endline "error: --owners, --spares, --readers and --docs must be >= 1";
+      exit 1
+    end;
+    let pct l q =
+      match List.sort compare l with
+      | [] -> Float.nan
+      | sorted ->
+          let a = Array.of_list sorted in
+          let n = Array.length a in
+          let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+          a.(max 0 (min (n - 1) i))
+    in
+    let run_arm adaptive =
+      let reg = Obs.Timeseries.default in
+      if adaptive then begin
+        Obs.Timeseries.set_window reg 10.0;
+        Obs.Timeseries.set_enabled reg true
+      end;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Timeseries.set_enabled reg false;
+          Obs.Timeseries.set_window reg 100.0)
+      @@ fun () ->
+      let hs =
+        Workload.Scenarios.hotspot ~owners ~spares ~readers ~docs
+          ~hot_fraction:0.1 ~hot_share:0.9 ~reads_per_reader:reads ~appends
+          ~append_every_ms:10.0 ~payload_bytes:1024 ~think_ms:2.0
+          ~arrival_window_ms:100.0 ~steered:adaptive ~cpu_ms_per_kb:3.0 ~wire
+          ~seed ()
+      in
+      let sys = hs.Workload.Scenarios.hs_system in
+      let storage =
+        hs.Workload.Scenarios.hs_owners @ hs.Workload.Scenarios.hs_spares
+      in
+      let ctl =
+        if adaptive then
+          Some
+            (Runtime.Placement.enable
+               ~cfg:
+                 {
+                   Runtime.Placement.default_config with
+                   tick_ms = 20.0;
+                   windows = 3;
+                   hot_rate = 100.0;
+                   migrations_per_tick = 2;
+                   seed = seed + 99;
+                   eligible =
+                     Some (fun p -> List.exists (Net.Peer_id.equal p) storage);
+                 }
+               sys)
+        else None
+      in
+      if chaos then begin
+        (* Aim the partition at the hottest document's owner: the worst
+           place a fault can land for static placement, and exactly the
+           load the controller is supposed to route around. *)
+        let hot_owner =
+          match hs.Workload.Scenarios.hs_hot with
+          | h :: _ -> List.assoc h hs.Workload.Scenarios.hs_docs
+          | [] -> List.hd hs.Workload.Scenarios.hs_owners
+        in
+        Runtime.System.inject_faults sys
+          (Net.Fault.make
+             ~profile:
+               { Net.Fault.drop = 0.12; duplicate = 0.04; jitter_ms = 2.0 }
+             ~events:
+               [
+                 Net.Fault.Partition
+                   {
+                     island = [ hot_owner ];
+                     window = Net.Fault.window ~from_ms:100.0 ~until_ms:250.0;
+                   };
+               ]
+             ~quiet_after_ms:400.0 ~seed:(seed + 23) ())
+      end;
+      let outcome, events = Runtime.System.run sys in
+      let stats = Runtime.System.stats sys in
+      let rc = Runtime.System.reliability_counters sys in
+      (hs, ctl, outcome, events, stats, rc,
+       Runtime.System.content_fingerprint sys)
+    in
+    let hs_s, _, out_s, events_s, stats_s, rc_s, fp_s = run_arm false in
+    let hs_a, ctl_a, out_a, events_a, stats_a, rc_a, fp_a = run_arm true in
+    Format.printf
+      "hotspot: %d owners, %d spares, %d readers, %d docs (10%% hot / 90%% \
+       of reads), %d reads/reader, seed %d%s@.@."
+      owners spares readers docs reads seed
+      (if chaos then ", chaos plan on" else "");
+    let p95_of (hs : Workload.Scenarios.hotspot) =
+      pct !(hs.Workload.Scenarios.hs_latencies) 0.95
+    in
+    let row arm (hs : Workload.Scenarios.hotspot) out events
+        (stats : Net.Stats.snapshot) migr =
+      let lats = !(hs.Workload.Scenarios.hs_latencies) in
+      Format.printf
+        "%-9s served %d/%d (unserved %d), p50 %.1f p95 %.1f p99 %.1f ms, \
+         %d msgs, %d bytes, %d migration(s), %s@."
+        arm
+        !(hs.Workload.Scenarios.hs_completed)
+        hs.Workload.Scenarios.hs_requests
+        !(hs.Workload.Scenarios.hs_unserved)
+        (pct lats 0.50) (pct lats 0.95) (pct lats 0.99)
+        stats.Net.Stats.messages stats.Net.Stats.bytes migr
+        (match out with
+        | `Quiescent -> Printf.sprintf "quiescent in %d events" events
+        | `Budget_exhausted -> "BUDGET EXHAUSTED")
+    in
+    row "static" hs_s out_s events_s stats_s 0;
+    let migr =
+      match ctl_a with
+      | Some c -> (Runtime.Placement.stats c).Runtime.Placement.s_committed
+      | None -> 0
+    in
+    row "adaptive" hs_a out_a events_a stats_a migr;
+    (match ctl_a with
+    | Some c ->
+        Format.printf "@.migration schedule:@.%a@." Runtime.Placement.pp_schedule c
+    | None -> ());
+    let sigma_agree = String.equal fp_s fp_a in
+    Format.printf "\xCE\xA3 content %s across arms (%s)@."
+      (if sigma_agree then "agrees" else "DIFFERS")
+      (String.sub fp_a 0 (min 12 (String.length fp_a)));
+    (* The SLO judges the controller arm: the static baseline is
+       allowed to fail under chaos — that failure is the point. *)
+    ignore rc_s;
+    let unserved = !(hs_a.Workload.Scenarios.hs_unserved) in
+    let abandoned = rc_a.Runtime.System.abandoned in
+    let tail_regressed =
+      let s = p95_of hs_s and a = p95_of hs_a in
+      Float.is_nan s || Float.is_nan a || a > 1.1 *. s
+    in
+    (if slo then
+       if (not sigma_agree) || unserved > 0 || abandoned > 0 || tail_regressed
+       then begin
+         Format.eprintf
+           "SLO breach: %s%d unserved read(s), %d abandoned delivery(ies)%s@."
+           (if sigma_agree then "" else "\xCE\xA3 mismatch, ")
+           unserved abandoned
+           (if tail_regressed then
+              ", adaptive p95 above 1.1x the static tail"
+            else "");
+         exit 3
+       end
+       else Format.printf "SLO: no breaches@.");
+    if
+      (not sigma_agree)
+      || !(hs_a.Workload.Scenarios.hs_completed)
+         < hs_a.Workload.Scenarios.hs_requests
+    then begin
+      Format.eprintf
+        "error: arms disagree on \xCE\xA3 or adaptive reads never completed@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Run the hotspot scenario under static and adaptive placement on \
+          the same seed, print latency tails, traffic and the migration \
+          schedule, and cross-check the final \xCE\xA3 content fingerprints")
+    Term.(
+      const run $ owners $ spares $ readers $ docs $ reads $ appends $ seed
+      $ chaos $ wire_arg $ slo_arg)
+
 (* --- top --------------------------------------------------------- *)
 
 let top_cmd =
@@ -1175,5 +1395,6 @@ let () =
             trace_cmd;
             chaos_cmd;
             scale_cmd;
+            place_cmd;
             top_cmd;
           ]))

@@ -9,6 +9,7 @@ type policy =
       probe_bytes : int;
     }
   | Least_loaded of (Peer_id.t -> float)
+  | Load_steered of { seed : int; gauge : Peer_id.t -> float option }
 
 type t = {
   docs : (string, Names.Doc_ref.t list ref) Hashtbl.t;
@@ -28,6 +29,11 @@ let register tbl ~class_name member ~equal =
   in
   if not (List.exists (equal member) !cell) then cell := !cell @ [ member ]
 
+let unregister tbl ~class_name member ~equal =
+  match Hashtbl.find_opt tbl class_name with
+  | None -> ()
+  | Some cell -> cell := List.filter (fun r -> not (equal member r)) !cell
+
 let register_doc t ~class_name (r : Names.Doc_ref.t) =
   (match r.at with
   | Names.Any -> invalid_arg "Generic.register_doc: member location is Any"
@@ -39,6 +45,12 @@ let register_service t ~class_name (r : Names.Service_ref.t) =
   | Names.Any -> invalid_arg "Generic.register_service: member location is Any"
   | Names.At _ -> ());
   register t.services ~class_name r ~equal:Names.Service_ref.equal
+
+let unregister_doc t ~class_name (r : Names.Doc_ref.t) =
+  unregister t.docs ~class_name r ~equal:Names.Doc_ref.equal
+
+let unregister_service t ~class_name (r : Names.Service_ref.t) =
+  unregister t.services ~class_name r ~equal:Names.Service_ref.equal
 
 let members tbl ~class_name =
   match Hashtbl.find_opt tbl class_name with Some c -> !c | None -> []
@@ -94,7 +106,44 @@ let choose ~policy ~location ~compare_ref members =
                 | Some _ -> acc)
               None members
           in
-          Option.map fst best)
+          Option.map fst best
+      | Load_steered { seed; gauge } ->
+          (* An option-returning gauge separates "no signal" from "zero
+             load": telemetry disabled, no complete window yet, or a
+             NaN/inf score all yield [None].  Members with a signal are
+             ranked by it; exact ties (e.g. everyone idle at 0.0) are
+             broken by the stateless [Random] rule, which also serves
+             as the fallback when {e no} member has a signal — the
+             policy degrades to seeded load spreading instead of
+             poisoning the ranking with NaNs. *)
+          let score r =
+            match peer_of_location (location r) with
+            | None -> None
+            | Some p -> (
+                match gauge p with
+                | Some v when Float.is_finite v -> Some v
+                | _ -> None)
+          in
+          let scored = List.map (fun r -> (r, score r)) members in
+          let best =
+            List.fold_left
+              (fun acc (_, s) ->
+                match (acc, s) with
+                | None, Some v -> Some v
+                | Some b, Some v when v < b -> Some v
+                | _ -> acc)
+              None scored
+          in
+          (match best with
+          | None ->
+              Some (List.nth members (pseudo_random seed (List.length members)))
+          | Some b ->
+              let tied =
+                List.filter_map
+                  (fun (r, s) -> if s = Some b then Some r else None)
+                  scored
+              in
+              Some (List.nth tied (pseudo_random seed (List.length tied)))))
 
 (* Members on crashed or partitioned peers are filtered out before the
    policy chooses — this is what lets d@any / s@any degrade gracefully
@@ -137,7 +186,7 @@ let pick ~available ~policy ~location ~compare_ref members =
               else nth_usable k rest
         in
         nth_usable (pseudo_random seed n) members
-  | First | Nearest _ | Least_loaded _ ->
+  | First | Nearest _ | Least_loaded _ | Load_steered _ ->
       choose ~policy ~location ~compare_ref (usable ~available ~location members)
 
 let pick_doc ?available t ~policy ~class_name =

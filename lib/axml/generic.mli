@@ -19,6 +19,15 @@ type policy =
       (** Cheapest link from [from] for a transfer of [probe_bytes]. *)
   | Least_loaded of (Axml_net.Peer_id.t -> float)
       (** Smallest load according to the supplied gauge. *)
+  | Load_steered of {
+      seed : int;
+      gauge : Axml_net.Peer_id.t -> float option;
+    }
+      (** Like {!Least_loaded} but fed by an optional, windowed load
+          signal (see [Placement.load_gauge]): [None] — telemetry
+          disabled, no complete window, or a non-finite reading —
+          never poisons the ranking.  Exact ties and the all-[None]
+          case fall back to the seeded {!Random} rule. *)
 
 type t
 (** The catalog: class name → members.  Documents and services live in
@@ -31,6 +40,13 @@ val register_doc : t -> class_name:string -> Names.Doc_ref.t -> unit
     @raise Invalid_argument if the member's location is {!Names.Any}. *)
 
 val register_service : t -> class_name:string -> Names.Service_ref.t -> unit
+
+val unregister_doc : t -> class_name:string -> Names.Doc_ref.t -> unit
+(** Retire a member from a document class (no-op if absent).  The
+    class itself remains, possibly empty — a later {!register_doc}
+    re-populates it. *)
+
+val unregister_service : t -> class_name:string -> Names.Service_ref.t -> unit
 
 val doc_members : t -> class_name:string -> Names.Doc_ref.t list
 val service_members : t -> class_name:string -> Names.Service_ref.t list

@@ -81,6 +81,18 @@ let find_by_string t s =
   | None -> None
   | Some n -> find t n
 
+(* Telemetry-quiet lookups for the runtime's own machinery (replica
+   shipping, retraction, fingerprints).  Internal reads must not feed
+   the doc/<n>/reads signal: the placement controller would observe
+   its own bookkeeping as query load and re-heat the documents it
+   just moved. *)
+let peek t name = Hashtbl.find_opt t.docs name
+
+let peek_by_string t s =
+  match Names.Doc_name.of_string_opt s with
+  | None -> None
+  | Some n -> peek t n
+
 let mem t name = Hashtbl.mem t.docs name
 
 let remove t name =

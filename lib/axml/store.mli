@@ -26,6 +26,14 @@ val install : t -> name:string -> Axml_xml.Tree.t -> Names.Doc_name.t
 
 val find : t -> Names.Doc_name.t -> Document.t option
 val find_by_string : t -> string -> Document.t option
+
+val peek : t -> Names.Doc_name.t -> Document.t option
+(** Like {!find} but without recording a [doc/<n>/reads] event — for
+    the runtime's own machinery (replica shipping, retraction,
+    fingerprints), whose lookups are not query load and must not feed
+    the placement controller's signals. *)
+
+val peek_by_string : t -> string -> Document.t option
 val mem : t -> Names.Doc_name.t -> bool
 val remove : t -> Names.Doc_name.t -> unit
 val update : t -> Document.t -> unit

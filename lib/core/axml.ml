@@ -94,6 +94,7 @@ module Runtime = struct
   module Type_driven = Axml_peer.Type_driven
   module Persist = Axml_peer.Persist
   module Failover = Axml_peer.Failover
+  module Placement = Axml_peer.Placement
   module Profiler = Axml_peer.Profiler
 end
 

@@ -57,6 +57,14 @@ val after : 'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit
     model volatile state: one firing while its peer is crashed is
     silently discarded. *)
 
+val at : 'a t -> time:float -> (unit -> unit) -> unit
+(** Schedule a peer-independent control callback at absolute sim time
+    [time] (clamped to [now]).  Control events always run — they are
+    not tied to a peer's liveness and do not count toward the run's
+    completion time — which makes them the right vehicle for
+    system-level controllers (e.g. the placement tick) that must keep
+    observing across crashes. *)
+
 val after_cancellable :
   'a t -> peer:Peer_id.t -> delay_ms:float -> (unit -> unit) -> unit -> unit
 (** Like {!after}, but returns a cancel thunk.  A cancelled timer is

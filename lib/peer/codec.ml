@@ -490,6 +490,8 @@ let kind_of = function
   | Message.Query_shipped _ -> 6
   | Message.Ack _ -> 7
   | Message.Batch _ -> 8
+  | Message.Migrate_doc _ -> 9
+  | Message.Retract_doc _ -> 10
 
 (* [forests] selects whether forest sections are emitted: [`Inline]
    for ordinary messages, [`Omit] for the deduplicated body of a
@@ -520,6 +522,13 @@ let rec buf_payload b ~forests p =
       buf_str b name;
       buf_notify b notify;
       (match forests with `Inline -> buf_forest b forest | `Omit -> ())
+  | Message.Migrate_doc { name; forest; notify } ->
+      buf_str b name;
+      buf_notify b notify;
+      (match forests with `Inline -> buf_forest b forest | `Omit -> ())
+  | Message.Retract_doc { name; notify } ->
+      buf_str b name;
+      buf_notify b notify
   | Message.Deploy { prefix; query; reply } ->
       buf_str b prefix;
       buf_str b (Axml_query.Ast.to_string query);
@@ -578,6 +587,12 @@ and payload_size ~forests p =
       + (match forests with
         | `Inline -> forest_section_size forest
         | `Omit -> 0)
+  | Message.Migrate_doc { name; forest; notify } ->
+      str_size name + notify_size notify
+      + (match forests with
+        | `Inline -> forest_section_size forest
+        | `Omit -> 0)
+  | Message.Retract_doc { name; notify } -> str_size name + notify_size notify
   | Message.Deploy { prefix; query; reply } ->
       str_size prefix
       + str_size (Axml_query.Ast.to_string query)
@@ -657,6 +672,15 @@ let rec rd_payload r ~forest_src =
       let notify = rd_notify r in
       let forest = rd_forest_or_ref r forest_src in
       Message.Install_doc { name; forest; notify }
+  | 9 ->
+      let name = rd_str r in
+      let notify = rd_notify r in
+      let forest = rd_forest_or_ref r forest_src in
+      Message.Migrate_doc { name; forest; notify }
+  | 10 ->
+      let name = rd_str r in
+      let notify = rd_notify r in
+      Message.Retract_doc { name; notify }
   | 5 ->
       let prefix = rd_str r in
       let query = rd_query r in
@@ -738,14 +762,15 @@ let rec force_all (m : Message.t) =
   match m.payload with
   | Message.Stream { forest; _ }
   | Message.Insert { forest; _ }
-  | Message.Install_doc { forest; _ } ->
+  | Message.Install_doc { forest; _ }
+  | Message.Migrate_doc { forest; _ } ->
       ignore (Message.force forest)
   | Message.Invoke { params; _ } ->
       List.iter (fun lf -> ignore (Message.force lf)) params
   | Message.Batch { items; _ } ->
       List.iter (fun item -> force_all (Message.item_message item)) items
   | Message.Eval_request _ | Message.Deploy _ | Message.Query_shipped _
-  | Message.Ack _ ->
+  | Message.Ack _ | Message.Retract_doc _ ->
       ()
 
 let decode_strict buf =

@@ -154,6 +154,11 @@ and eval_doc sys ~ctx (r : Names.Doc_ref.t) ~emit =
       let self = System.peer sys ctx in
       match Axml_doc.Store.find self.Peer.store r.name with
       | Some doc ->
+          (* Serving a document read is real work: charge the copy at
+             the owner so a hot replica queues behind its own CPU
+             (the latency signal placement steers on). *)
+          System.consume_cpu sys ~peer:ctx
+            ~bytes:(Axml_doc.Document.byte_size doc);
           emit
             [ Tree.copy ~gen:self.Peer.gen (Axml_doc.Document.root doc) ]
             ~final:true

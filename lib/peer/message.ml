@@ -71,6 +71,18 @@ type payload =
       forest : lforest;
       notify : (Peer_id.t * int) option;
     }
+  | Migrate_doc of {
+      name : string;
+      forest : lforest;
+      notify : (Peer_id.t * int) option;
+    }
+      (** Placement handoff: install-or-replace a replica of [name] at
+          the destination, {e preserving} the shipped node ids (the
+          codec and [now] forests both carry them), so queries resolve
+          the same ids on every replica. *)
+  | Retract_doc of { name : string; notify : (Peer_id.t * int) option }
+      (** Placement cleanup: drop the replica of [name] at the
+          destination (idempotent). *)
   | Deploy of {
       prefix : string;
       query : Axml_query.Ast.t;
@@ -113,8 +125,10 @@ let rec bytes = function
   | Eval_request { expr; _ } -> envelope + Axml_algebra.Expr_xml.byte_size expr
   | Invoke { params; _ } ->
       envelope + List.fold_left (fun acc f -> acc + lf_bytes f) 0 params
-  | Insert { forest; _ } | Install_doc { forest; _ } ->
+  | Insert { forest; _ } | Install_doc { forest; _ } | Migrate_doc { forest; _ }
+    ->
       envelope + lf_bytes forest
+  | Retract_doc _ -> envelope
   | Deploy { query; _ } | Query_shipped { query; _ } ->
       envelope + String.length (Axml_query.Ast.to_string query)
   | Ack _ -> envelope
@@ -131,9 +145,13 @@ let rec bytes = function
    part of a message bulky enough to be worth sharing inside a batch
    (rule (13), transfer sharing, applied at the transport layer). *)
 let shareable_forest = function
-  | Stream { forest; _ } | Insert { forest; _ } | Install_doc { forest; _ } ->
+  | Stream { forest; _ }
+  | Insert { forest; _ }
+  | Install_doc { forest; _ }
+  | Migrate_doc { forest; _ } ->
       if trees forest = 0 then None else Some forest
-  | Eval_request _ | Invoke _ | Deploy _ | Query_shipped _ | Ack _ | Batch _ ->
+  | Eval_request _ | Invoke _ | Deploy _ | Query_shipped _ | Ack _ | Batch _
+  | Retract_doc _ ->
       None
 
 (* Structural digest of the carried forest, cached per message.  0 is
@@ -206,6 +224,8 @@ let tag = function
   | Invoke _ -> "invoke"
   | Insert _ -> "insert"
   | Install_doc _ -> "install-doc"
+  | Migrate_doc _ -> "migrate-doc"
+  | Retract_doc _ -> "retract-doc"
   | Deploy _ -> "deploy"
   | Query_shipped _ -> "query-shipped"
   | Ack _ -> "ack"
@@ -233,6 +253,9 @@ let rec pp fmt = function
         Axml_xml.Node_id.pp node
   | Install_doc { name; forest; _ } ->
       Format.fprintf fmt "install %s (%a)" name pp_lf_bytes forest
+  | Migrate_doc { name; forest; _ } ->
+      Format.fprintf fmt "migrate %s (%a)" name pp_lf_bytes forest
+  | Retract_doc { name; _ } -> Format.fprintf fmt "retract %s" name
   | Deploy { prefix; _ } -> Format.fprintf fmt "deploy %s_*" prefix
   | Query_shipped { key; _ } -> Format.fprintf fmt "query-shipped[%d]" key
   | Ack { seq } -> Format.fprintf fmt "ack[%d]" seq

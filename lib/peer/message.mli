@@ -105,6 +105,21 @@ type payload =
       forest : lforest;
       notify : (Peer_id.t * int) option;
     }
+  | Migrate_doc of {
+      name : string;
+      forest : lforest;
+      notify : (Peer_id.t * int) option;
+    }
+      (** Placement handoff (DESIGN.md §17): install-or-replace a
+          replica of [name] at the destination {e preserving} the
+          shipped node ids, so the replica answers queries with the
+          same identifiers as the source.  Unlike {!Install_doc} the
+          name is never uniquified and an existing replica is
+          replaced, making re-shipment idempotent. *)
+  | Retract_doc of { name : string; notify : (Peer_id.t * int) option }
+      (** Placement cleanup: drop the replica of [name] at the
+          destination (idempotent — retracting an absent document is
+          a no-op). *)
   | Deploy of {
       prefix : string;
       query : Axml_query.Ast.t;

@@ -9,6 +9,7 @@ type t = {
   catalog : Axml_doc.Generic.t;
   mutable policy : Axml_doc.Generic.policy;
   watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
+  replicas : (Names.Doc_name.t, Peer_id.t list ref) Hashtbl.t;
 }
 
 let create ?gen ?(policy = Axml_doc.Generic.First) id =
@@ -23,12 +24,42 @@ let create ?gen ?(policy = Axml_doc.Generic.First) id =
     catalog = Axml_doc.Generic.create ();
     policy;
     watchers = Hashtbl.create 8;
+    replicas = Hashtbl.create 8;
   }
 
 let find_doc_with_node t node =
   List.find_opt
     (fun doc -> Axml_xml.Tree.mem_id node (Axml_doc.Document.root doc))
     (Axml_doc.Store.documents t.store)
+
+let add_replica t doc target =
+  match Hashtbl.find_opt t.replicas doc with
+  | Some cell ->
+      if not (List.exists (Peer_id.equal target) !cell) then
+        cell := !cell @ [ target ]
+  | None -> Hashtbl.replace t.replicas doc (ref [ target ])
+
+let remove_replica t doc target =
+  match Hashtbl.find_opt t.replicas doc with
+  | None -> ()
+  | Some cell ->
+      cell := List.filter (fun p -> not (Peer_id.equal target p)) !cell;
+      if !cell = [] then Hashtbl.remove t.replicas doc
+
+let replica_targets t doc =
+  match Hashtbl.find_opt t.replicas doc with Some cell -> !cell | None -> []
+
+let replica_links t =
+  Hashtbl.fold
+    (fun doc cell acc -> List.map (fun p -> (doc, p)) !cell @ acc)
+    t.replicas []
+  |> List.sort (fun (d, p) (d', p') ->
+         match
+           String.compare (Names.Doc_name.to_string d)
+             (Names.Doc_name.to_string d')
+         with
+         | 0 -> Peer_id.compare p p'
+         | c -> c)
 
 let watch t doc dest =
   match Hashtbl.find_opt t.watchers doc with

@@ -22,6 +22,11 @@ type t = {
   watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
       (** Doc-feed subscriptions: destinations to notify when a
           document grows. *)
+  replicas : (Names.Doc_name.t, Peer_id.t list ref) Hashtbl.t;
+      (** Placement forwarding links: peers holding a live replica of
+          a local document.  A streaming append applied here is also
+          shipped to each target (DESIGN.md §17); volatile, but
+          persisted by checkpoints so failover restores the links. *)
 }
 
 val create :
@@ -35,3 +40,15 @@ val find_doc_with_node : t -> Axml_xml.Node_id.t -> Axml_doc.Document.t option
 
 val watch : t -> Names.Doc_name.t -> Message.reply_dest -> unit
 val watchers_of : t -> Names.Doc_name.t -> Message.reply_dest list
+
+val add_replica : t -> Names.Doc_name.t -> Peer_id.t -> unit
+(** Record that [target] holds a replica of the local document
+    (idempotent). *)
+
+val remove_replica : t -> Names.Doc_name.t -> Peer_id.t -> unit
+val replica_targets : t -> Names.Doc_name.t -> Peer_id.t list
+
+val replica_links : t -> (Names.Doc_name.t * Peer_id.t) list
+(** Every (document, target) forwarding link, in a deterministic
+    order — checkpoint serialization and restart resynchronization
+    iterate this. *)

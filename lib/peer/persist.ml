@@ -71,10 +71,22 @@ let peer_to_xml_gen ?(pretty = true) ~tree_of sys pid =
         @ mk "service" svc_members Names.Service_ref.to_string)
       (Axml_doc.Generic.classes peer.Peer.catalog)
   in
+  let replicas =
+    List.map
+      (fun (doc, target) ->
+        Tree.element ~gen (l "replica")
+          ~attrs:
+            [
+              ("doc", Names.Doc_name.to_string doc);
+              ("peer", Peer_id.to_string target);
+            ]
+          [])
+      (Peer.replica_links peer)
+  in
   let root =
     Tree.element ~gen (l "peer")
       ~attrs:[ ("id", Peer_id.to_string pid) ]
-      (documents @ services @ classes)
+      (documents @ services @ classes @ replicas)
   in
   if pretty then Axml_xml.Serializer.to_string_pretty root
   else Axml_xml.Serializer.to_string ~decl:false root
@@ -210,6 +222,21 @@ let load_peer_xml_gen ~tree_of sys pid xml =
                 else if Label.equal e.label (l "service") then
                   load_service sys pid e
                 else if Label.equal e.label (l "class") then load_class sys pid e
+                else if Label.equal e.label (l "replica") then begin
+                  match (Tree.attr child "doc", Tree.attr child "peer") with
+                  | Some doc, Some target -> (
+                      match
+                        (Names.Doc_name.of_string doc, Peer_id.of_string_opt target)
+                      with
+                      | d, Some p ->
+                          Peer.add_replica (System.peer sys pid) d p;
+                          Ok ()
+                      | _, None ->
+                          Error
+                            (Printf.sprintf "replica with invalid peer %S" target)
+                      | exception Invalid_argument msg -> Error msg)
+                  | _ -> Error "replica without doc/peer"
+                end
                 else Ok () (* forward compatibility: ignore unknown *))
           (Ok ()) root.children
 

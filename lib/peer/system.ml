@@ -671,6 +671,23 @@ let ping t (self : Peer.t) = function
       send t ~src:self.Peer.id ~dst:peer
         (Message.Stream { key; forest = Message.now []; final = true })
 
+(* Placement forwarding (DESIGN.md §17): an append applied to a
+   document with registered replica links is re-shipped verbatim to
+   each target.  Replicas preserve node ids, so the same [Insert]
+   lands under the same node there; targets hold no links of their
+   own (the controller never replicates onto a holder), so
+   forwarding cannot loop. *)
+let forward_to_replicas t (self : Peer.t) name ~node forest =
+  match Peer.replica_targets self name with
+  | [] -> ()
+  | targets ->
+      List.iter
+        (fun dst ->
+          send t ~src:self.Peer.id ~dst
+            (Message.Insert
+               { node; forest = Message.now forest; notify = None }))
+        targets
+
 let handle_insert t (self : Peer.t) node forest notify =
   (match Peer.find_doc_with_node self node with
   | None ->
@@ -683,7 +700,9 @@ let handle_insert t (self : Peer.t) node forest notify =
          maintained incrementally instead of invalidating it. *)
       match Axml_doc.Store.insert_under self.Peer.store name ~node forest with
       | None -> ()
-      | Some _ -> notify_watchers t self name forest));
+      | Some _ ->
+          notify_watchers t self name forest;
+          forward_to_replicas t self name ~node forest));
   ping t self notify
 
 let handle_install t (self : Peer.t) name forest notify =
@@ -698,7 +717,10 @@ let handle_install t (self : Peer.t) name forest notify =
             Axml_doc.Store.insert_under self.Peer.store
               (Axml_doc.Document.name doc) ~node forest
           with
-          | Some _ -> notify_watchers t self (Axml_doc.Document.name doc) forest
+          | Some _ ->
+              notify_watchers t self (Axml_doc.Document.name doc) forest;
+              forward_to_replicas t self (Axml_doc.Document.name doc) ~node
+                forest
           | None -> ())
       | None -> ())
   | None ->
@@ -711,6 +733,36 @@ let handle_install t (self : Peer.t) name forest notify =
               forest
       in
       ignore (Axml_doc.Store.install self.Peer.store ~name root));
+  ping t self notify
+
+(* Placement handoff (DESIGN.md §17): install-or-replace a replica
+   under exactly the shipped name and node ids.  Unlike
+   [handle_install] the name is never uniquified and an existing
+   document is {e replaced}, so a re-shipped migration (restart
+   resync, duplicate delivery under Raw) is idempotent.  The
+   acknowledgement pings only on success — a malformed ship times out
+   at the controller and the migration aborts. *)
+let handle_migrate t (self : Peer.t) name forest notify =
+  match forest with
+  | [ (Tree.Element _ as root) ] ->
+      (match Axml_doc.Store.peek_by_string self.Peer.store name with
+      | Some doc ->
+          ignore
+            (Axml_doc.Store.update_root self.Peer.store
+               (Axml_doc.Document.name doc)
+               (fun _ -> root))
+      | None ->
+          Axml_doc.Store.add self.Peer.store (Axml_doc.Document.make ~name root));
+      ping t self notify
+  | _ ->
+      Log.warn (fun m ->
+          m "peer %a: malformed migrate of %s (not a single element)"
+            Peer_id.pp self.Peer.id name)
+
+let handle_retract t (self : Peer.t) name notify =
+  (match Axml_doc.Store.peek_by_string self.Peer.store name with
+  | Some doc -> Axml_doc.Store.remove self.Peer.store (Axml_doc.Document.name doc)
+  | None -> ());
   ping t self notify
 
 let dispatch_payload t (self : Peer.t) ~src payload =
@@ -775,6 +827,9 @@ let dispatch_payload t (self : Peer.t) ~src payload =
       handle_insert t self node (Message.force forest) notify
   | Message.Install_doc { name; forest; notify } ->
       handle_install t self name (Message.force forest) notify
+  | Message.Migrate_doc { name; forest; notify } ->
+      handle_migrate t self name (Message.force forest) notify
+  | Message.Retract_doc { name; notify } -> handle_retract t self name notify
   | Message.Deploy { prefix; query; reply } ->
       let name =
         Axml_doc.Registry.install_query self.Peer.registry ~prefix query
@@ -955,6 +1010,48 @@ let handle_crash t p =
   let old = peer t p in
   set_peer t p (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
 
+(* Restart resynchronization (DESIGN.md §17).  A crash wipes the
+   crashed peer's pending transport sends — forwarded appends in
+   flight {e from} it are gone — and a long outage may have exhausted
+   retransmissions {e toward} it.  Re-shipping the whole replica over
+   every forwarding link touching the restarted peer restores replica
+   equality; [Migrate_doc]'s replace semantics make each re-ship
+   idempotent, and Reliable FIFO sequences it correctly against any
+   appends still in flight on the same link. *)
+let reship_replica t ~src ~dst doc_name =
+  match Axml_doc.Store.peek (peer t src).Peer.store doc_name with
+  | Some doc -> (
+      match Axml_doc.Document.root doc with
+      | Tree.Element _ as root ->
+          send t ~src ~dst
+            (Message.Migrate_doc
+               {
+                 name = Names.Doc_name.to_string doc_name;
+                 forest = Message.now [ root ];
+                 notify = None;
+               })
+      | Tree.Text _ -> ())
+  | None -> ()
+
+let resync_replicas t p =
+  List.iter
+    (fun (doc, target) ->
+      if not (Sim.is_crashed t.sim target) then
+        reship_replica t ~src:p ~dst:target doc)
+    (Peer.replica_links (peer t p));
+  List.iter
+    (fun (q : Peer.t) ->
+      if
+        (not (Peer_id.equal q.Peer.id p))
+        && not (Sim.is_crashed t.sim q.Peer.id)
+      then
+        List.iter
+          (fun (doc, target) ->
+            if Peer_id.equal target p then
+              reship_replica t ~src:q.Peer.id ~dst:p doc)
+          (Peer.replica_links q))
+    (peers t)
+
 let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
     ?(transport = Raw) ?(wire = Xml) ?(rto_ms = 40.0) ?(max_retries = 30)
     ?(flush_ms = 0.0) ?(ack_delay_ms = 0.0) topology =
@@ -1003,7 +1100,9 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
     (Axml_net.Topology.peers topology);
   Sim.set_crash_hooks sim
     ~on_crash:(fun p -> handle_crash t p)
-    ~on_restart:(fun p -> t.failover_load p);
+    ~on_restart:(fun p ->
+      t.failover_load p;
+      resync_replicas t p);
   t
 
 let set_failover t ~save ~load =
@@ -1035,6 +1134,12 @@ let register_doc_class t ~class_name ref_ =
   List.iter
     (fun (p : Peer.t) ->
       Axml_doc.Generic.register_doc p.Peer.catalog ~class_name ref_)
+    (peers t)
+
+let unregister_doc_class t ~class_name ref_ =
+  List.iter
+    (fun (p : Peer.t) ->
+      Axml_doc.Generic.unregister_doc p.Peer.catalog ~class_name ref_)
     (peers t)
 
 let register_service_class t ~class_name ref_ =
@@ -1180,7 +1285,7 @@ let fingerprint t =
         (fun name ->
           let ns = Names.Doc_name.to_string name in
           if not (is_tmp ns) then begin
-            match Axml_doc.Store.find p.Peer.store name with
+            match Axml_doc.Store.peek p.Peer.store name with
             | Some doc ->
                 Buffer.add_string buf ns;
                 Buffer.add_char buf '=';
@@ -1201,6 +1306,44 @@ let fingerprint t =
         (Axml_doc.Registry.names p.Peer.registry);
       Buffer.add_string buf "}\n")
     (peers t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Location-independent Σ digest: what the system {e knows}, not
+   where it sits.  Identical replicas of a document collapse to one
+   entry (sort_uniq), so a migration — which copies content without
+   changing it — leaves this fingerprint untouched, while a lost,
+   duplicated or diverged append shows up immediately.  The content
+   digests come from {!Axml_doc.Equivalence.fingerprint}, which is
+   node-id-insensitive, so re-minted ids do not register either. *)
+let content_fingerprint t =
+  let entries = ref [] in
+  List.iter
+    (fun (p : Peer.t) ->
+      List.iter
+        (fun name ->
+          let ns = Names.Doc_name.to_string name in
+          if not (is_tmp ns) then
+            match Axml_doc.Store.peek p.Peer.store name with
+            | Some doc ->
+                entries :=
+                  (ns ^ "="
+                  ^ Axml_doc.Equivalence.fingerprint
+                      (Axml_doc.Document.root doc))
+                  :: !entries
+            | None -> ())
+        (Axml_doc.Store.names p.Peer.store);
+      List.iter
+        (fun name ->
+          let ns = Names.Service_name.to_string name in
+          if not (is_tmp ns) then entries := ("svc:" ^ ns) :: !entries)
+        (Axml_doc.Registry.names p.Peer.registry))
+    (peers t);
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf e;
+      Buffer.add_char buf '\n')
+    (List.sort_uniq String.compare !entries);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let find_document t p name =

@@ -116,6 +116,11 @@ val register_doc_class :
 val register_service_class :
   t -> class_name:string -> Names.Service_ref.t -> unit
 
+val unregister_doc_class :
+  t -> class_name:string -> Names.Doc_ref.t -> unit
+(** Retire a member from every peer's catalog (placement's
+    retire-the-source step; no-op where absent). *)
+
 (** {1 Continuations and messaging} *)
 
 val fresh_key : t -> int
@@ -234,6 +239,14 @@ val fingerprint : t -> string
     services materialized by rewrites (rules (10), (13)) — are
     excluded, so that plan equivalence can be checked as fingerprint
     equality. *)
+
+val content_fingerprint : t -> string
+(** Location-{e independent} digest of Σ: the sorted, deduplicated
+    set of (name, content-digest) pairs across all peers.  Identical
+    replicas collapse to one entry, so live migration leaves it
+    unchanged — whereas a lost, duplicated or diverged append changes
+    it.  The placement suites compare runs with this; {!fingerprint}
+    stays the location-{e sensitive} digest. *)
 
 val find_document : t -> Peer_id.t -> string -> Axml_doc.Document.t option
 

@@ -280,6 +280,205 @@ let flash_crowd ?(mirrors = 8) ?(subscribers = 64) ?(requests_per_subscriber = 4
     fc_unserved = unserved;
   }
 
+type hotspot = {
+  hs_system : System.t;
+  hs_writer : Peer_id.t;
+  hs_owners : Peer_id.t list;
+  hs_spares : Peer_id.t list;
+  hs_readers : Peer_id.t list;
+  hs_docs : (string * Peer_id.t) list;
+  hs_hot : string list;
+  hs_requests : int;
+  hs_completed : int ref;
+  hs_unserved : int ref;
+  hs_latencies : float list ref;
+}
+
+(* The placement workload (ROADMAP item 3): a skewed read load where a
+   [hot_fraction] of the documents draws a [hot_share] of the
+   traffic, plus a writer streaming appends into the hot documents —
+   the worst case for static placement and the input the adaptive
+   controller is built for.
+
+   Determinism contract: document contents and append forests are
+   functions of the document {e index}, not of [seed] — so every run
+   of the same shape reaches the same Σ content regardless of seed,
+   wire or faults (the chaos suite's reference).  The seed drives
+   only {e behaviour}: which documents are hot, when readers arrive,
+   what they read — exactly the inputs that must make same-seed runs
+   replay and cross-seed runs diverge. *)
+let hotspot ?(owners = 8) ?(spares = 4) ?(readers = 24) ?(docs = 50)
+    ?(hot_fraction = 0.02) ?(hot_share = 0.9) ?(reads_per_reader = 40)
+    ?(appends = 10) ?(append_every_ms = 20.0) ?(payload_bytes = 2048)
+    ?(think_ms = 2.0) ?(arrival_window_ms = 100.0) ?(steered = false)
+    ?wire ?(cpu_ms_per_kb = 0.4) ~seed () =
+  if owners < 1 then invalid_arg "Scenarios.hotspot: owners < 1";
+  if docs < 1 then invalid_arg "Scenarios.hotspot: docs < 1";
+  let writer = Peer_id.of_string "writer0" in
+  let owner_ids =
+    List.init owners (fun i -> Peer_id.of_string (Printf.sprintf "owner%02d" i))
+  in
+  let spare_ids =
+    List.init spares (fun i -> Peer_id.of_string (Printf.sprintf "spare%02d" i))
+  in
+  let reader_ids =
+    List.init readers (fun i ->
+        Peer_id.of_string (Printf.sprintf "reader%03d" i))
+  in
+  let topology =
+    Axml_net.Topology.clustered
+      ~intra:(Axml_net.Link.make ~latency_ms:2.0 ~bandwidth_bytes_per_ms:1000.0)
+      ~inter:(Axml_net.Link.make ~latency_ms:20.0 ~bandwidth_bytes_per_ms:200.0)
+      [ (writer :: owner_ids) @ spare_ids; reader_ids ]
+  in
+  (* Placement handoffs require Reliable; the static arm runs the
+     same transport so the comparison isolates placement itself. *)
+  let sys =
+    System.create ~transport:System.Reliable ?wire ~cpu_ms_per_kb topology
+  in
+  let sim = System.sim sys in
+  let doc_names = List.init docs (fun i -> Printf.sprintf "doc%03d" i) in
+  let owner_of = Array.of_list owner_ids in
+  (* Σ population: document [i] lives at owner [i mod owners], with
+     index-deterministic content, and is registered as the sole member
+     of a same-named generic class in every catalog. *)
+  let root_ids = Hashtbl.create docs in
+  let docs_with_owners =
+    List.mapi
+      (fun i name ->
+        let owner = owner_of.(i mod owners) in
+        let gen = System.gen_of sys owner in
+        let body =
+          List.init 4 (fun j ->
+              Tree.element ~gen (l "item")
+                ~attrs:[ ("n", string_of_int j) ]
+                [ Tree.text (String.make (payload_bytes / 4) 'x') ])
+        in
+        let root =
+          Tree.element ~gen (l "doc") ~attrs:[ ("name", name) ] body
+        in
+        Hashtbl.replace root_ids name (Option.get (Tree.id root));
+        System.add_document sys owner ~name root;
+        System.register_doc_class sys ~class_name:name
+          (Names.Doc_ref.make (Names.Doc_name.of_string name) (Names.At owner));
+        (name, owner))
+      doc_names
+  in
+  (* The hot set: seed-chosen indices, so different seeds heat
+     different documents (and migrate different ones) while the
+     universe of contents stays seed-independent. *)
+  let hot_count =
+    max 1 (int_of_float (Float.round (float_of_int docs *. hot_fraction)))
+  in
+  let hot_rng = Rng.create ~seed:(seed + 7) in
+  let hot_names =
+    Rng.shuffle hot_rng doc_names |> fun shuffled ->
+    List.filteri (fun i _ -> i < hot_count) shuffled
+    |> List.sort String.compare
+  in
+  (* Streaming appends: the writer fires [appends] rounds into every
+     hot document over the run — the traffic a live handoff must
+     forward without loss or duplication.  Forests are prebuilt with
+     index-deterministic ids and content. *)
+  let wgen = System.gen_of sys writer in
+  List.iter
+    (fun name ->
+      let owner = List.assoc name docs_with_owners in
+      let node = Hashtbl.find root_ids name in
+      for j = 0 to appends - 1 do
+        let forest =
+          [
+            Tree.element ~gen:wgen (l "append")
+              ~attrs:[ ("doc", name); ("seq", string_of_int j) ]
+              [ Tree.text (Printf.sprintf "update-%s-%d" name j) ];
+          ]
+        in
+        Axml_net.Sim.after sim ~peer:writer
+          ~delay_ms:(append_every_ms *. float_of_int (j + 1))
+          (fun () ->
+            System.send sys ~src:writer ~dst:owner
+              (Axml_peer.Message.Insert
+                 { node; forest = Axml_peer.Message.now forest; notify = None }))
+      done)
+    hot_names;
+  (* Readers: a closed loop of generic reads, [hot_share] of them
+     aimed at the hot set, resolved through the reader's own pick
+     policy — [Random] (static spreading) or the load-steered policy
+     fed by the controller's signals. *)
+  let hot_arr = Array.of_list hot_names in
+  let cold_arr =
+    Array.of_list
+      (List.filter (fun n -> not (List.mem n hot_names)) doc_names)
+  in
+  let completed = ref 0 and unserved = ref 0 in
+  let latencies = ref [] in
+  let rec read reader sub_rng remaining =
+    if Axml_obs.Trace.enabled () && Axml_obs.Trace.current_corr () = 0 then
+      Axml_obs.Trace.with_corr
+        (Axml_obs.Trace.fresh_corr ())
+        (fun () -> read reader sub_rng remaining)
+    else begin
+      let name =
+        if Array.length cold_arr = 0 || Rng.float sub_rng 1.0 < hot_share then
+          hot_arr.(Rng.int sub_rng (Array.length hot_arr))
+        else cold_arr.(Rng.int sub_rng (Array.length cold_arr))
+      in
+      let t0 = Axml_net.Sim.now sim in
+      let key = System.fresh_key sys in
+      System.set_cont sys key (fun forest ~final ->
+          if final then begin
+            if forest = [] then incr unserved
+            else begin
+              incr completed;
+              latencies := (Axml_net.Sim.now sim -. t0) :: !latencies
+            end;
+            if remaining > 1 then
+              Axml_net.Sim.after sim ~peer:reader
+                ~delay_ms:(Rng.float sub_rng think_ms)
+                (fun () -> read reader sub_rng (remaining - 1))
+          end);
+      (* Loopback: evaluation starts at the reader, so generic
+         resolution uses the reader's catalog and policy. *)
+      System.send sys ~src:reader ~dst:reader
+        (Axml_peer.Message.Eval_request
+           {
+             expr = Axml_algebra.Expr.doc_any name;
+             replies = [ Axml_peer.Message.Cont { peer = reader; key } ];
+             ack = None;
+           })
+    end
+  in
+  let arrival_rng = Rng.create ~seed in
+  List.iteri
+    (fun k reader ->
+      (if steered then
+         let policy =
+           Axml_peer.Placement.steered_policy ~seed:(seed + k) sys
+         in
+         (System.peer sys reader).Axml_peer.Peer.policy <- policy
+       else
+         (System.peer sys reader).Axml_peer.Peer.policy
+         <- Axml_doc.Generic.Random (seed + k));
+      let sub_rng = Rng.create ~seed:((seed * 1_000_003) + k) in
+      if reads_per_reader > 0 then
+        Axml_net.Sim.after sim ~peer:reader
+          ~delay_ms:(arrival_window_ms *. Rng.float arrival_rng 1.0)
+          (fun () -> read reader sub_rng reads_per_reader))
+    reader_ids;
+  {
+    hs_system = sys;
+    hs_writer = writer;
+    hs_owners = owner_ids;
+    hs_spares = spare_ids;
+    hs_readers = reader_ids;
+    hs_docs = docs_with_owners;
+    hs_hot = hot_names;
+    hs_requests = readers * reads_per_reader;
+    hs_completed = completed;
+    hs_unserved = unserved;
+    hs_latencies = latencies;
+  }
+
 type subscription = {
   sub_system : System.t;
   sub_aggregator : Peer_id.t;

@@ -87,6 +87,63 @@ val flash_crowd :
     transport.  Build, then {!Axml_peer.System.run} with a
     [max_events] budget of at least ~4·[fc_requests]. *)
 
+(** {1 Hotspot placement workload}
+
+    A skewed read load ([hot_fraction] of the documents draw
+    [hot_share] of the traffic) with a writer streaming appends into
+    the hot documents — the workload the adaptive placement
+    controller ({!Axml_peer.Placement}) is measured on (E23).
+    Document contents and appends are functions of the document index
+    only, so every same-shape run reaches the same Σ {e content}
+    ({!Axml_peer.System.content_fingerprint}) regardless of seed,
+    wire or (healed) faults; the seed drives which documents are hot,
+    reader arrival and read sampling. *)
+
+type hotspot = {
+  hs_system : Axml_peer.System.t;
+  hs_writer : Peer_id.t;  (** Never crash this peer: its timers drive appends. *)
+  hs_owners : Peer_id.t list;
+  hs_spares : Peer_id.t list;  (** Idle peers — natural migration targets. *)
+  hs_readers : Peer_id.t list;
+  hs_docs : (string * Peer_id.t) list;  (** (doc/class name, owner). *)
+  hs_hot : string list;
+  hs_requests : int;
+  hs_completed : int ref;
+  hs_unserved : int ref;
+  hs_latencies : float list ref;
+      (** Completed-read latencies (ms), newest first. *)
+}
+
+val hotspot :
+  ?owners:int ->
+  ?spares:int ->
+  ?readers:int ->
+  ?docs:int ->
+  ?hot_fraction:float ->
+  ?hot_share:float ->
+  ?reads_per_reader:int ->
+  ?appends:int ->
+  ?append_every_ms:float ->
+  ?payload_bytes:int ->
+  ?think_ms:float ->
+  ?arrival_window_ms:float ->
+  ?steered:bool ->
+  ?wire:Axml_peer.System.wire ->
+  ?cpu_ms_per_kb:float ->
+  seed:int ->
+  unit ->
+  hotspot
+(** Defaults: 8 owners, 4 spares, 24 readers, 50 docs, 2 % hot
+    drawing 90 % of reads, 40 reads/reader, 10 appends per hot doc
+    every 20 ms, 2 KB payloads, 0.4 cpu-ms/KB (serving a read is
+    real work — the queueing placement relieves).  Always the
+    [Reliable] transport.  [steered] selects the load-steered pick
+    policy for readers (else seeded [Random]).  The caller owns
+    telemetry ({!Axml_obs.Timeseries.set_window} /
+    [set_enabled]) and, for the adaptive arm, attaches
+    {!Axml_peer.Placement.enable} — restrict [eligible] to
+    [hs_owners @ hs_spares] or readers will attract replicas. *)
+
 (** {1 News subscription}
 
     [sources] peers each expose a continuous feed over their local

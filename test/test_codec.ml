@@ -122,7 +122,7 @@ let rand_batchable ~gen ~pool rng seq =
   Message.make ~corr:(Rng.int rng 100) ~seq ~op:(Rng.int rng 5 - 1) payload
 
 let rand_payload ~gen rng =
-  match Rng.int rng 9 with
+  match Rng.int rng 11 with
   | 0 ->
       Message.Stream
         {
@@ -169,6 +169,16 @@ let rand_payload ~gen rng =
       Message.Query_shipped
         { key = Rng.int rng 1000; query = Rng.pick rng (Lazy.force queries) }
   | 7 -> Message.Ack { seq = Rng.int rng 10_000 }
+  | 8 ->
+      Message.Migrate_doc
+        {
+          name = "hot" ^ string_of_int (Rng.int rng 20);
+          forest = rand_lforest ~gen rng;
+          notify = rand_notify rng;
+        }
+  | 9 ->
+      Message.Retract_doc
+        { name = "hot" ^ string_of_int (Rng.int rng 20); notify = rand_notify rng }
   | _ ->
       let pool = Array.init 2 (fun _ -> rand_forest ~gen rng) in
       let n = 1 + Rng.int rng 5 in
@@ -227,6 +237,11 @@ let rec payload_equal p p' =
   | Message.Query_shipped a, Message.Query_shipped b ->
       a.key = b.key && Query.Ast.equal a.query b.query
   | Message.Ack a, Message.Ack b -> a.seq = b.seq
+  | Message.Migrate_doc a, Message.Migrate_doc b ->
+      String.equal a.name b.name && a.notify = b.notify
+      && lf_identical a.forest b.forest
+  | Message.Retract_doc a, Message.Retract_doc b ->
+      String.equal a.name b.name && a.notify = b.notify
   | Message.Batch a, Message.Batch b ->
       a.ack = b.ack
       && List.length a.items = List.length b.items

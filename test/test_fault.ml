@@ -119,6 +119,125 @@ let batched_chaos_property =
         ~reference:(List.assoc name (Lazy.force reference))
         out (System.fingerprint sys))
 
+(* --- the chaos property, adaptive placement ------------------------ *)
+
+(* The placement controller mutates live state — forwarding links,
+   replica installs, class registrations — so it gets its own chaos
+   property over the hotspot workload: with the controller ON, under
+   random drops, a partition and two crash/restart cycles, the run
+   must still quiesce with the {e static-placement fault-free} Σ
+   content fingerprint ([System.content_fingerprint] collapses
+   identical replicas, so converged copies are invisible and any
+   lost, duplicated or stalled append is not).
+
+   The hotspot's contents and appends are functions of the document
+   index, but {e which} documents receive appends is the seed-chosen
+   hot set — so the reference is computed per hotspot seed.
+
+   Fault-plan shape: probabilistic faults quiet by 400 ms, crashes at
+   2000/2600 ms.  The gap is deliberate: a message dropped before the
+   quiet line has retried successfully by quiet + max-backoff
+   (32·rto = 1280 ms), so no crash can wipe a pending retransmission
+   whose sequence number the receiver still awaits — the one race the
+   WAL-modelled transport cannot heal (durable cursors, volatile
+   in-flight state).  Within that discipline, result equality under
+   crashes is a theorem; the directed placement tests cover the
+   crash-mid-handoff races themselves. *)
+
+module Placement = Runtime.Placement
+module Scenarios = Workload.Scenarios
+module Rng = Net.Rng
+module Ts = Obs.Timeseries
+
+let hotspot_shape ~steered ~seed () =
+  Scenarios.hotspot ~owners:3 ~spares:2 ~readers:4 ~docs:8 ~hot_fraction:0.15
+    ~hot_share:0.9 ~reads_per_reader:6 ~appends:6 ~append_every_ms:300.0
+    ~payload_bytes:512 ~think_ms:2.0 ~arrival_window_ms:100.0 ~steered ~seed ()
+
+let placement_reference_fp hotspot_seed =
+  (* Static placement, fault-free, telemetry off: readers spread by
+     seeded [Random], nothing migrates. *)
+  let hs = hotspot_shape ~steered:false ~seed:hotspot_seed () in
+  let out, _ = System.run hs.Scenarios.hs_system in
+  Alcotest.(check bool) "reference quiescent" true (out = `Quiescent);
+  System.content_fingerprint hs.Scenarios.hs_system
+
+let placement_chaos_plan ~seed (hs : Scenarios.hotspot) =
+  let r = Rng.create ~seed:((seed * 31) + 5) in
+  let storage = hs.Scenarios.hs_owners @ hs.Scenarios.hs_spares in
+  let profile =
+    {
+      Fault.drop = 0.15 *. Net.Rng.float r 1.0;
+      duplicate = 0.05 *. Net.Rng.float r 1.0;
+      jitter_ms = 3.0 *. Net.Rng.float r 1.0;
+    }
+  in
+  let island = [ List.nth storage (Rng.int r (List.length storage)) ] in
+  let victims = Rng.shuffle r storage in
+  Fault.make ~profile
+    ~events:
+      [
+        Fault.Partition
+          { island; window = Fault.window ~from_ms:100.0 ~until_ms:250.0 };
+        Fault.Crash
+          { peer = List.nth victims 0; at_ms = 2000.0; restart_ms = Some 2250.0 };
+        Fault.Crash
+          { peer = List.nth victims 1; at_ms = 2600.0; restart_ms = Some 2850.0 };
+      ]
+    ~quiet_after_ms:400.0 ~seed ()
+
+(* Accumulated across all 200 cases; a vacuous property (controller
+   never fires) must fail, not pass silently. *)
+let placement_migrations_seen = ref 0
+
+let placement_chaos_case (hotspot_seed, fault_seed) =
+  let reference = placement_reference_fp hotspot_seed in
+  let reg = Ts.default in
+  Ts.set_window reg 10.0;
+  Ts.set_enabled reg true;
+  Fun.protect
+    ~finally:(fun () ->
+      Ts.set_enabled reg false;
+      Ts.set_window reg 100.0)
+    (fun () ->
+      let hs = hotspot_shape ~steered:true ~seed:hotspot_seed () in
+      let sys = hs.Scenarios.hs_system in
+      let _fo = Runtime.Failover.enable sys in
+      let storage = hs.Scenarios.hs_owners @ hs.Scenarios.hs_spares in
+      let ctl =
+        Placement.enable
+          ~cfg:
+            {
+              Placement.default_config with
+              tick_ms = 20.0;
+              windows = 2;
+              hot_rate = 20.0;
+              migrations_per_tick = 2;
+              handoff_timeout_ms = 500.0;
+              seed = hotspot_seed + 99;
+              eligible =
+                Some (fun p -> List.exists (Net.Peer_id.equal p) storage);
+            }
+          sys
+      in
+      System.inject_faults sys (placement_chaos_plan ~seed:fault_seed hs);
+      let out, _ = System.run sys in
+      placement_migrations_seen :=
+        !placement_migrations_seen + (Placement.stats ctl).Placement.s_started;
+      out = `Quiescent && String.equal reference (System.content_fingerprint sys))
+
+let placement_chaos_arb =
+  QCheck.make
+    ~print:(fun (hs, fs) -> Printf.sprintf "hotspot_seed=%d fault_seed=%d" hs fs)
+    QCheck.Gen.(pair (int_bound 99_999) (int_bound 99_999))
+
+let placement_chaos_property =
+  QCheck.Test.make ~count:200
+    ~name:
+      "adaptive placement under drops/partitions/crashes matches the static \
+       fault-free Σ content"
+    placement_chaos_arb placement_chaos_case
+
 (* --- Raw ablation -------------------------------------------------- *)
 
 (* A harsh but eventually-quiet profile.  Reliable must still converge
@@ -395,6 +514,13 @@ let suite =
   [
     QCheck_alcotest.to_alcotest chaos_property;
     QCheck_alcotest.to_alcotest batched_chaos_property;
+    QCheck_alcotest.to_alcotest placement_chaos_property;
+    ( "placement chaos actually migrated",
+      `Quick,
+      fun () ->
+        Alcotest.(check bool) "at least one migration across the 200 cases"
+          true
+          (!placement_migrations_seen > 0) );
     ("raw transport loses data (ablation)", `Quick, test_raw_ablation);
     ("same seed, same run", `Quick, test_same_seed_same_run);
     ("different seeds, different plans", `Quick, test_different_seeds_differ);
