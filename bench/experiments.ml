@@ -1282,12 +1282,122 @@ let write_json path contents =
       output_string oc contents;
       output_char oc '\n')
 
+(* A previous BENCH_summary.json may hold experiments whose
+   per-experiment artifact is no longer on disk (pruned, or produced
+   by an earlier invocation in another tree).  Those entries must
+   survive a re-run of any single experiment, so the envelope is a
+   merge, not a rebuild — see {!write_summary}.  This extracts the
+   ["experiments"] object of the old envelope as raw (key, json-text)
+   pairs with a scanner matched to the hand-rolled writer: strings are
+   skipped escape-aware, composite values are delimited by bracket
+   balance.  Any parse trouble degrades to "no previous entries" —
+   the summary is a derived artifact, never an input to experiments. *)
+exception Bad_summary
+
+let previous_summary_entries path =
+  if not (Sys.file_exists path) then []
+  else
+    try
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let n = String.length s in
+      let ws i =
+        let j = ref i in
+        while
+          !j < n
+          && match s.[!j] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+        do
+          incr j
+        done;
+        !j
+      in
+      (* [i] at the opening quote; index just past the closing one. *)
+      let string_end i =
+        let j = ref (i + 1) in
+        while !j < n && s.[!j] <> '"' do
+          if s.[!j] = '\\' then j := !j + 2 else incr j
+        done;
+        if !j >= n then raise Bad_summary;
+        !j + 1
+      in
+      let value_end i =
+        let i = ws i in
+        if i >= n then raise Bad_summary;
+        match s.[i] with
+        | '"' -> string_end i
+        | ('{' | '[') as opening ->
+            let close = if opening = '{' then '}' else ']' in
+            let depth = ref 1 and j = ref (i + 1) in
+            while !depth > 0 do
+              if !j >= n then raise Bad_summary;
+              (match s.[!j] with
+              | '"' -> j := string_end !j - 1
+              | c when c = opening -> incr depth
+              | c when c = close -> decr depth
+              | _ -> ());
+              incr j
+            done;
+            !j
+        | _ ->
+            let j = ref i in
+            while
+              !j < n
+              && match s.[!j] with ',' | '}' | ']' -> false | _ -> true
+            do
+              incr j
+            done;
+            !j
+      in
+      (* [i] at (or before) '{'; [f key value_start value_end] per
+         member; index just past the matching '}'. *)
+      let parse_object i f =
+        let i = ws i in
+        if i >= n || s.[i] <> '{' then raise Bad_summary;
+        let j = ref (ws (i + 1)) in
+        if !j < n && s.[!j] = '}' then !j + 1
+        else begin
+          let result = ref (-1) in
+          while !result < 0 do
+            let k0 = ws !j in
+            if k0 >= n || s.[k0] <> '"' then raise Bad_summary;
+            let k1 = string_end k0 in
+            let key = String.sub s (k0 + 1) (k1 - k0 - 2) in
+            let c = ws k1 in
+            if c >= n || s.[c] <> ':' then raise Bad_summary;
+            let v0 = ws (c + 1) in
+            let v1 = value_end v0 in
+            f key v0 v1;
+            let next = ws v1 in
+            if next < n && s.[next] = ',' then j := next + 1
+            else if next < n && s.[next] = '}' then result := next + 1
+            else raise Bad_summary
+          done;
+          !result
+        end
+      in
+      let entries = ref [] in
+      ignore
+        (parse_object 0 (fun key v0 _v1 ->
+             if String.equal key "experiments" then
+               ignore
+                 (parse_object v0 (fun k e0 e1 ->
+                      entries := (k, String.sub s e0 (e1 - e0)) :: !entries))));
+      List.rev !entries
+    with _ -> []
+
 (* BENCH_summary.json: one uniform envelope embedding every
-   BENCH_E<n>.json artifact present in the working directory, keyed by
-   experiment id.  Every experiment calls this after writing its own
-   artifact, so the summary always reflects whichever subset was last
-   (re)run — a dashboard reads one file with one schema instead of one
-   ad-hoc schema per experiment. *)
+   BENCH_E<n>.json artifact, keyed by experiment id.  Every experiment
+   calls this after writing its own artifact — a dashboard reads one
+   file with one schema instead of one ad-hoc schema per experiment.
+   The envelope merges the previous summary with the artifacts present
+   in the working directory, on-disk artifacts winning on key clashes.
+   (Regression: it used to be rebuilt from the directory scan alone,
+   so re-running one experiment silently dropped every entry whose
+   BENCH_E<n>.json was not sitting next to it.) *)
 let write_summary () =
   let files =
     Sys.readdir "." |> Array.to_list
@@ -1296,7 +1406,7 @@ let write_summary () =
            && Filename.check_suffix f ".json")
     |> List.sort compare
   in
-  let entries =
+  let disk =
     List.map
       (fun f ->
         let key =
@@ -1309,12 +1419,22 @@ let write_summary () =
             ~finally:(fun () -> close_in_noerr ic)
             (fun () -> really_input_string ic (in_channel_length ic))
         in
-        json_s key ^ ": " ^ String.trim contents)
+        (key, String.trim contents))
       files
+  in
+  let merged =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v)
+      (previous_summary_entries "BENCH_summary.json");
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) disk;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   write_json "BENCH_summary.json"
     ("{" ^ json_s "schema_version" ^ ": 2, " ^ json_s "experiments" ^ ": {"
-   ^ String.concat ", " entries ^ "}}")
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> json_s k ^ ": " ^ v) merged)
+    ^ "}}")
 
 let e17 ?(smoke = false) () =
   section
@@ -3017,6 +3137,163 @@ let e23 ?(smoke = false) () =
      controller committing migrations on both tiers and pulling the\n\
      hot-owner read tail below the static arm's\n"
 
+let e24 ?(smoke = false) () =
+  section
+    (if smoke then "E24  semantic result cache (smoke)"
+     else "E24  semantic result cache");
+  Printf.printf
+    "scenario: overlap — subscribers re-issue fixed slates of\n\
+     continuous queries against shared source catalogs, round after\n\
+     round, with a rotating slice of the catalogs mutating between\n\
+     rounds; cache-off vs cache-on (per-peer semantic cache, DESIGN.md\n\
+     §18) on the same shape and seed.  The gate is byte-identical\n\
+     per-request result digests and Σ content across the two arms,\n\
+     with the cached arm strictly cheaper on bytes AND completion\n\n";
+  let sources, subscribers, queries_per_subscriber, rounds, items =
+    if smoke then (3, 8, 3, 3, 12) else (4, 24, 4, 4, 24)
+  in
+  let overlap_pct = 0.6 and mutate_fraction = 0.25 and seed = 24 in
+  let pct l q =
+    match List.sort compare l with
+    | [] -> Float.nan
+    | sorted ->
+        let a = Array.of_list sorted in
+        let n = Array.length a in
+        let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+        a.(max 0 (min (n - 1) i))
+  in
+  let run_arm ~cache =
+    let ov =
+      Sc.overlap ~sources ~subscribers ~queries_per_subscriber ~rounds
+        ~overlap_pct ~items ~mutate_fraction ~cache ~seed ()
+    in
+    let sys = ov.Sc.ov_system in
+    let t0 = Sys.time () in
+    let outcome, events = System.run sys in
+    let wall = Sys.time () -. t0 in
+    let st = System.stats sys in
+    let qs = System.qcache_stats sys in
+    let lats = !(ov.Sc.ov_latencies) in
+    let ok = outcome = `Quiescent && !(ov.Sc.ov_completed) = ov.Sc.ov_requests in
+    ( events, !(ov.Sc.ov_completed), pct lats 0.50, pct lats 0.95,
+      st.Net.Stats.messages, st.Net.Stats.bytes,
+      st.Net.Stats.completion_ms, qs,
+      List.sort String.compare !(ov.Sc.ov_digests),
+      System.content_fingerprint sys, wall, ok )
+  in
+  let arms = [ ("cache-off", false); ("cache-on", true) ] in
+  let rows = List.map (fun (arm, cache) -> (arm, run_arm ~cache)) arms in
+  table
+    ~headers:
+      [
+        "arm"; "completed"; "p50 ms"; "p95 ms"; "messages"; "bytes";
+        "done ms"; "hits"; "inval"; "ok";
+      ]
+    (List.map
+       (fun (arm, (_, completed, p50, p95, msgs, bytes, done_ms, qs, _, _,
+                   _, ok)) ->
+         [
+           arm; string_of_int completed;
+           Printf.sprintf "%.1f" p50;
+           Printf.sprintf "%.1f" p95;
+           string_of_int msgs; string_of_int bytes;
+           Printf.sprintf "%.1f" done_ms;
+           string_of_int qs.Query.Qcache.hits;
+           string_of_int
+             (qs.Query.Qcache.invalidations + qs.Query.Qcache.stale_drops);
+           (if ok then "yes" else "NO");
+         ])
+       rows);
+  let get arm f = f (List.assoc arm rows) in
+  let digests_of (_, _, _, _, _, _, _, _, d, _, _, _) = d in
+  let bytes_of (_, _, _, _, _, b, _, _, _, _, _, _) = b in
+  let done_of (_, _, _, _, _, _, d, _, _, _, _, _) = d in
+  let fp_of (_, _, _, _, _, _, _, _, _, fp, _, _) = fp in
+  let ok_of (_, _, _, _, _, _, _, _, _, _, _, ok) = ok in
+  let qs_on = get "cache-on" (fun (_, _, _, _, _, _, _, q, _, _, _, _) -> q) in
+  let digests_agree =
+    get "cache-off" digests_of = get "cache-on" digests_of
+  in
+  let sigma_agree =
+    String.equal (get "cache-off" fp_of) (get "cache-on" fp_of)
+  in
+  let all_ok = List.for_all (fun (_, row) -> ok_of row) rows in
+  let bytes_win = get "cache-on" bytes_of < get "cache-off" bytes_of in
+  let completion_win = get "cache-on" done_of < get "cache-off" done_of in
+  let cache_fired = qs_on.Query.Qcache.hits > 0 in
+  let invalidated =
+    qs_on.Query.Qcache.invalidations + qs_on.Query.Qcache.stale_drops > 0
+  in
+  Printf.printf "\nper-request digests %s across the arms; Σ content %s\n"
+    (if digests_agree then "byte-identical" else "DIFFER")
+    (if sigma_agree then "agrees" else "DIFFERS");
+  if not all_ok then Printf.printf "!! E24: an arm failed to complete\n";
+  if not cache_fired then Printf.printf "!! E24: the cache never hit\n";
+  if not invalidated then
+    Printf.printf "!! E24: the mutations never invalidated an entry\n";
+  if bytes_win && completion_win then
+    Printf.printf
+      "cache-on: %.2fx bytes, %.2fx completion (%d hits / %d misses, %d \
+       invalidations)\n"
+      (float_of_int (get "cache-on" bytes_of)
+      /. Float.max 1.0 (float_of_int (get "cache-off" bytes_of)))
+      (get "cache-on" done_of /. Float.max 1.0 (get "cache-off" done_of))
+      qs_on.Query.Qcache.hits qs_on.Query.Qcache.misses
+      (qs_on.Query.Qcache.invalidations + qs_on.Query.Qcache.stale_drops)
+  else
+    Printf.printf
+      "!! E24: cache-on was not strictly cheaper (bytes %s, completion %s)\n"
+      (if bytes_win then "ok" else "NOT lower")
+      (if completion_win then "ok" else "NOT lower");
+  let rows_json =
+    json_arr
+      (List.map
+         (fun (arm, (events, completed, p50, p95, msgs, bytes, done_ms, qs,
+                     _, fp, wall, ok)) ->
+           json_obj
+             [
+               ("arm", json_s arm);
+               ("events", string_of_int events);
+               ("completed", string_of_int completed);
+               ("p50_ms", json_f p50);
+               ("p95_ms", json_f p95);
+               ("messages", string_of_int msgs);
+               ("bytes", string_of_int bytes);
+               ("completion_ms", json_f done_ms);
+               ("cache_hits", string_of_int qs.Query.Qcache.hits);
+               ("cache_misses", string_of_int qs.Query.Qcache.misses);
+               ( "cache_invalidations",
+                 string_of_int
+                   (qs.Query.Qcache.invalidations
+                  + qs.Query.Qcache.stale_drops) );
+               ("cache_installs", string_of_int qs.Query.Qcache.installs);
+               ("fingerprint", json_s fp);
+               ("wall_s", json_f wall);
+               ("quiescent_and_complete", json_b ok);
+             ])
+         rows)
+  in
+  write_json "BENCH_E24.json"
+    (json_obj
+       [
+         ("experiment", json_s "E24");
+         ("smoke", json_b smoke);
+         ("rows", rows_json);
+         ("digests_identical_across_arms", json_b digests_agree);
+         ("sigma_agrees_across_arms", json_b sigma_agree);
+         ("all_arms_complete", json_b all_ok);
+         ("cache_hits_nonzero", json_b cache_fired);
+         ("invalidation_exercised", json_b invalidated);
+         ("bytes_strictly_lower", json_b bytes_win);
+         ("completion_strictly_lower", json_b completion_win);
+       ]);
+  write_summary ();
+  Printf.printf
+    "\nwrote BENCH_E24.json and BENCH_summary.json\n\
+     shape: identical digests and Σ across cache-off/cache-on, the\n\
+     cached arm strictly lower on both bytes and completion, with\n\
+     non-zero hits and exercised invalidation\n"
+
 let all =
   [
     e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16;
@@ -3027,4 +3304,5 @@ let all =
     (fun () -> e21 ());
     (fun () -> e22 ());
     (fun () -> e23 ());
+    (fun () -> e24 ());
   ]

@@ -17,8 +17,9 @@
    E21 only:              dune exec bench/main.exe -- --e21 [--smoke]
    E22 only:              dune exec bench/main.exe -- --e22 [--smoke]
    E23 only:              dune exec bench/main.exe -- --e23 [--smoke]
+   E24 only:              dune exec bench/main.exe -- --e24 [--smoke]
 
-   E17-E23 each write a BENCH_E<n>.json artifact to the current
+   E17-E24 each write a BENCH_E<n>.json artifact to the current
    directory, then regenerate BENCH_summary.json — a uniform
    {schema_version, experiments: {E17: ..., ...}} envelope embedding
    every artifact present; --smoke shrinks them to CI size. *)
@@ -288,6 +289,7 @@ let () =
   let e21_only = List.mem "--e21" args in
   let e22_only = List.mem "--e22" args in
   let e23_only = List.mem "--e23" args in
+  let e24_only = List.mem "--e24" args in
   let smoke = List.mem "--smoke" args in
   if e17_only then Experiments.e17 ~smoke ()
   else if e18_only then Experiments.e18 ~smoke ()
@@ -296,6 +298,7 @@ let () =
   else if e21_only then Experiments.e21 ~smoke ()
   else if e22_only then Experiments.e22 ~smoke ()
   else if e23_only then Experiments.e23 ~smoke ()
+  else if e24_only then Experiments.e24 ~smoke ()
   else begin
     if not micro_only then begin
       print_endline "AXML framework experiment harness (see EXPERIMENTS.md)";

@@ -11,6 +11,7 @@
      chaos      run the reference plans under seeded faults
      scale      run the flash-crowd scenario and print tier traffic
      place      hotspot scenario, static vs adaptive placement arms
+     cache      overlap workload, semantic result cache off vs on
      top        flash-crowd under windowed telemetry; per-peer table *)
 
 open Cmdliner
@@ -1125,6 +1126,174 @@ let place_cmd =
       const run $ owners $ spares $ readers $ docs $ reads $ appends $ seed
       $ chaos $ wire_arg $ slo_arg)
 
+(* --- cache ------------------------------------------------------- *)
+
+let cache_cmd =
+  let sources =
+    Arg.(
+      value & opt int 3
+      & info [ "sources" ] ~docv:"N" ~doc:"Catalog-owning source peers")
+  in
+  let subscribers =
+    Arg.(
+      value & opt int 12
+      & info [ "subscribers" ] ~docv:"N" ~doc:"Subscriber peers")
+  in
+  let queries =
+    Arg.(
+      value & opt int 3
+      & info [ "queries" ] ~docv:"Q"
+          ~doc:"Queries per subscriber slate (re-issued every round)")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds")
+  in
+  let overlap =
+    Arg.(
+      value & opt float 0.6
+      & info [ "overlap" ] ~docv:"PCT"
+          ~doc:
+            "Fraction of slate draws taken from the shared query pool \
+             (0..1) — the cross-plan sharing the cache exploits")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Scenario seed") in
+  let off =
+    Arg.(
+      value & flag
+      & info [ "off" ]
+          ~doc:"Run only the cache-off baseline (no comparison arm)")
+  in
+  let run sources subscribers queries rounds overlap seed off slo =
+    if sources < 1 || subscribers < 1 || queries < 1 || rounds < 1 then begin
+      prerr_endline
+        "error: --sources, --subscribers, --queries and --rounds must be >= 1";
+      exit 1
+    end;
+    if overlap < 0.0 || overlap > 1.0 then begin
+      prerr_endline "error: --overlap must be within 0..1";
+      exit 1
+    end;
+    let pct l q =
+      match List.sort compare l with
+      | [] -> Float.nan
+      | sorted ->
+          let a = Array.of_list sorted in
+          let n = Array.length a in
+          let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+          a.(max 0 (min (n - 1) i))
+    in
+    let run_arm cache =
+      let ov =
+        Workload.Scenarios.overlap ~sources ~subscribers
+          ~queries_per_subscriber:queries ~rounds ~overlap_pct:overlap ~cache
+          ~seed ()
+      in
+      let sys = ov.Workload.Scenarios.ov_system in
+      let outcome, events = Runtime.System.run sys in
+      ( ov, outcome, events,
+        Runtime.System.stats sys,
+        Runtime.System.qcache_stats sys,
+        List.sort String.compare !(ov.Workload.Scenarios.ov_digests),
+        Runtime.System.content_fingerprint sys )
+    in
+    Format.printf
+      "overlap: %d sources, %d subscribers x %d queries x %d rounds, %.0f%% \
+       pool overlap, seed %d@.@."
+      sources subscribers queries rounds (overlap *. 100.0) seed;
+    let row arm (ov : Workload.Scenarios.overlap) out events
+        (stats : Net.Stats.snapshot) (qs : Query.Qcache.stats) =
+      let lats = !(ov.Workload.Scenarios.ov_latencies) in
+      Format.printf
+        "%-9s completed %d/%d, p50 %.1f p95 %.1f ms, %d msgs, %d bytes, \
+         done %.1f ms, %d hit(s) / %d miss(es), %d invalidation(s), %s@."
+        arm
+        !(ov.Workload.Scenarios.ov_completed)
+        ov.Workload.Scenarios.ov_requests (pct lats 0.50) (pct lats 0.95)
+        stats.Net.Stats.messages stats.Net.Stats.bytes
+        stats.Net.Stats.completion_ms qs.Query.Qcache.hits
+        qs.Query.Qcache.misses
+        (qs.Query.Qcache.invalidations + qs.Query.Qcache.stale_drops)
+        (match out with
+        | `Quiescent -> Printf.sprintf "quiescent in %d events" events
+        | `Budget_exhausted -> "BUDGET EXHAUSTED")
+    in
+    let ov_off, out_off, events_off, stats_off, qs_off, digests_off, fp_off =
+      run_arm false
+    in
+    row "cache-off" ov_off out_off events_off stats_off qs_off;
+    let complete (ov : Workload.Scenarios.overlap) out =
+      out = `Quiescent
+      && !(ov.Workload.Scenarios.ov_completed)
+         = ov.Workload.Scenarios.ov_requests
+    in
+    if off then begin
+      if not (complete ov_off out_off) then begin
+        Format.eprintf "error: the baseline never completed@.";
+        exit 1
+      end
+    end
+    else begin
+      let ov_on, out_on, events_on, stats_on, qs_on, digests_on, fp_on =
+        run_arm true
+      in
+      row "cache-on" ov_on out_on events_on stats_on qs_on;
+      let digests_agree = digests_off = digests_on in
+      let sigma_agree = String.equal fp_off fp_on in
+      Format.printf
+        "@.per-request digests %s across arms; \xCE\xA3 content %s (%s)@."
+        (if digests_agree then "byte-identical" else "DIFFER")
+        (if sigma_agree then "agrees" else "DIFFERS")
+        (String.sub fp_on 0 (min 12 (String.length fp_on)));
+      if stats_off.Net.Stats.bytes > 0 then
+        Format.printf
+          "cache-on: %.2fx bytes, %.2fx completion, hit rate %.0f%%@."
+          (float_of_int stats_on.Net.Stats.bytes
+          /. float_of_int stats_off.Net.Stats.bytes)
+          (stats_on.Net.Stats.completion_ms
+          /. Float.max 1.0 stats_off.Net.Stats.completion_ms)
+          (100.0
+          *. float_of_int qs_on.Query.Qcache.hits
+          /. Float.max 1.0
+               (float_of_int (qs_on.Query.Qcache.hits + qs_on.Query.Qcache.misses))
+          );
+      (* The SLO judges the cached arm: results must be byte-identical
+         to the baseline and the cache must actually serve — a cache
+         that is never hit is misconfigured, not conservative. *)
+      (if slo then
+         if
+           (not digests_agree) || (not sigma_agree)
+           || qs_on.Query.Qcache.hits = 0
+         then begin
+           Format.eprintf "SLO breach: %s%s%s@."
+             (if digests_agree then "" else "result digests differ, ")
+             (if sigma_agree then "" else "\xCE\xA3 mismatch, ")
+             (if qs_on.Query.Qcache.hits = 0 then "zero cache hits" else "")
+           |> ignore;
+           exit 3
+         end
+         else Format.printf "SLO: no breaches@.");
+      if
+        (not digests_agree) || (not sigma_agree)
+        || not (complete ov_off out_off && complete ov_on out_on)
+      then begin
+        Format.eprintf
+          "error: arms disagree on results/\xCE\xA3 or never completed@.";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Run the overlapping-subscription workload with the semantic \
+          result cache off and on under the same seed, print traffic, \
+          completion and hit/invalidation counters, and cross-check that \
+          the per-request result digests and the final \xCE\xA3 content are \
+          byte-identical across the arms")
+    Term.(
+      const run $ sources $ subscribers $ queries $ rounds $ overlap $ seed
+      $ off $ slo_arg)
+
 (* --- top --------------------------------------------------------- *)
 
 let top_cmd =
@@ -1396,5 +1565,6 @@ let () =
             chaos_cmd;
             scale_cmd;
             place_cmd;
+            cache_cmd;
             top_cmd;
           ]))

@@ -85,6 +85,46 @@ let map_children f = function
 let rec size e =
   1 + List.fold_left (fun acc c -> acc + size c) 0 (subexpressions e)
 
+exception Uncacheable
+
+let cache_deps e =
+  let add acc (p, d) =
+    if List.exists (fun (p', d') -> Peer_id.equal p p' && String.equal d d') acc
+    then acc
+    else (p, d) :: acc
+  in
+  let rec go acc = function
+    | Data_at { forest; _ } ->
+        (* A literal forest is a value — no dependencies — unless it
+           carries sc-rooted trees: evaluating those activates the
+           calls (definition (6)), a side effect a cached replay would
+           repeat at the wrong time. *)
+        if List.exists Axml_doc.Sc.is_sc forest then raise Uncacheable else acc
+    | Doc { Names.Doc_ref.name; at = Names.At p } ->
+        add acc (p, Names.Doc_name.to_string name)
+    | Doc { at = Names.Any; _ } ->
+        (* Resolution of d@any depends on catalog state, not document
+           content — not captured by doc versions. *)
+        raise Uncacheable
+    | Query_app { query = Q_val _; args; _ } -> List.fold_left go acc args
+    | Query_app { query = Q_service _ | Q_send _; _ } ->
+        (* Service lookup reads registry state; Q_send deploys. *)
+        raise Uncacheable
+    | Eval_at { expr; _ } -> go acc expr
+    | Sc _ | Send _ | Shared _ ->
+        (* Activations, shipping and materialization are effects. *)
+        raise Uncacheable
+  in
+  match go [] e with
+  | deps ->
+      Some
+        (List.sort
+           (fun (p, d) (p', d') ->
+             let c = Peer_id.compare p p' in
+             if c <> 0 then c else String.compare d d')
+           deps)
+  | exception Uncacheable -> None
+
 let add_peer acc p = if List.exists (Peer_id.equal p) acc then acc else acc @ [ p ]
 let location_peers acc = function Names.At p -> add_peer acc p | Names.Any -> acc
 

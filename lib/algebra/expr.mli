@@ -99,6 +99,18 @@ val subexpressions : t -> t list
 val size : t -> int
 (** Number of expression nodes. *)
 
+val cache_deps : t -> (Peer_id.t * string) list option
+(** [Some deps] if the expression is a deterministic, effect-free
+    read whose result is a function of the listed documents alone —
+    the condition for {!Axml_query.Qcache} admission.  [deps] is the
+    sorted, de-duplicated list of [(peer, doc)] the expression reads;
+    it is empty for pure literals.  [None] marks the uncacheable:
+    [Sc]/[Send]/[Shared] (activations, shipping, materialization are
+    effects), [Doc] at [any] (resolution reads catalog state),
+    [Q_service]/[Q_send] query positions (registry state,
+    deployment), and [Data_at] forests embedding sc-rooted trees
+    (evaluation activates them, definition (6)). *)
+
 val map_children : (t -> t) -> t -> t
 (** Rebuild with rewritten direct children.  The function is applied
     to the children in {!subexpressions} order, so a stateful argument

@@ -10,14 +10,39 @@ type t = {
       (* Per-document load series ([doc/<name>/reads],
          [doc/<name>/write_bytes]), bound lazily so stores created
          with telemetry off pay nothing. *)
+  versions : (Names.Doc_name.t, int) Hashtbl.t;
+      (* Per-document version stamps — see [next_stamp]. *)
+  mutable on_mutate : Names.Doc_name.t -> unit;
 }
+
+(* Version stamps are drawn from one process-global monotonic counter,
+   not per-document counters: a semantic-cache entry pinned to stamp v
+   must never revalidate against a coincidentally equal stamp of a
+   different document state.  In particular a crash-restart reload
+   re-adds documents and receives fresh stamps, so entries computed
+   before the crash can never be served against checkpoint-restored
+   content. *)
+let stamp = ref 0
+
+let next_stamp () =
+  incr stamp;
+  !stamp
 
 let create () =
   {
     docs = Hashtbl.create 16;
     indexes = Hashtbl.create 16;
     series = Hashtbl.create 16;
+    versions = Hashtbl.create 16;
+    on_mutate = ignore;
   }
+
+let bump t name =
+  Hashtbl.replace t.versions name (next_stamp ());
+  t.on_mutate name
+
+let version_of t name = Hashtbl.find_opt t.versions name
+let set_on_mutate t f = t.on_mutate <- f
 
 (* Per-document load accounting: lookups and written bytes, windowed
    by {!Axml_obs.Timeseries} under the simulator's clock — the demand
@@ -55,7 +80,10 @@ let add t doc =
     invalid_arg
       (Printf.sprintf "Store.add: document %S already exists"
          (Names.Doc_name.to_string name))
-  else Hashtbl.replace t.docs name doc
+  else begin
+    Hashtbl.replace t.docs name doc;
+    bump t name
+  end
 
 let install t ~name root =
   let rec pick candidate i =
@@ -66,6 +94,7 @@ let install t ~name root =
   let dn = pick name 1 in
   let doc = Document.make ~name:(Names.Doc_name.to_string dn) root in
   Hashtbl.replace t.docs dn doc;
+  bump t dn;
   note_write t dn (Document.byte_size doc);
   dn
 
@@ -96,13 +125,20 @@ let peek_by_string t s =
 let mem t name = Hashtbl.mem t.docs name
 
 let remove t name =
+  let existed = Hashtbl.mem t.docs name in
   Hashtbl.remove t.docs name;
-  invalidate t name
+  Hashtbl.remove t.versions name;
+  invalidate t name;
+  (* No stamp to record for an absent document — [version_of] goes
+     [None], which every cache probe treats as stale — but the mutation
+     hook must still fire for eager invalidation. *)
+  if existed then t.on_mutate name
 
 let update t doc =
   let name = Document.name doc in
   if not (Hashtbl.mem t.docs name) then raise Not_found;
   Hashtbl.replace t.docs name doc;
+  bump t name;
   invalidate t name
 
 let names t =
@@ -119,6 +155,7 @@ let update_root t name f =
   | None -> false
   | Some doc ->
       Hashtbl.replace t.docs name (Document.with_root doc (f (Document.root doc)));
+      bump t name;
       invalidate t name;
       true
 
@@ -144,6 +181,7 @@ let insert_under t name ~node forest =
       | None -> None
       | Some doc' ->
           Hashtbl.replace t.docs name doc';
+          bump t name;
           note_write t name (Axml_xml.Forest.byte_size forest);
           (match Hashtbl.find_opt t.indexes name with
           | None -> ()

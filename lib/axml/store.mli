@@ -40,6 +40,26 @@ val update : t -> Document.t -> unit
 (** Replace the stored document of the same name.
     @raise Not_found if absent. *)
 
+(** {1 Version stamps}
+
+    Every mutation re-stamps the document from one process-global
+    monotonic counter: [add], [install], [update], [update_root] and
+    [insert_under] bump; [remove] clears the stamp ([version_of] goes
+    [None]).  Stamps are never reused, so a consumer that pinned
+    [(d, v)] can detect {e any} later state — including a
+    crash-restart reload of identical content, which re-adds the
+    document and draws a fresh stamp.  This is the invalidation signal
+    of the {!Axml_query.Qcache} semantic cache. *)
+
+val version_of : t -> Names.Doc_name.t -> int option
+(** The current version stamp; [None] if the document is absent. *)
+
+val set_on_mutate : t -> (Names.Doc_name.t -> unit) -> unit
+(** Install a hook called (with the document name) after every
+    mutation, including {!remove}.  One hook per store; installing
+    replaces the previous one.  Telemetry-quiet reads ({!peek}) never
+    fire it. *)
+
 val names : t -> Names.Doc_name.t list
 val documents : t -> Document.t list
 val total_bytes : t -> int

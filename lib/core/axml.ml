@@ -46,6 +46,7 @@ module Query = struct
   module Compile = Axml_query.Compile
   module Compose = Axml_query.Compose
   module Incremental = Axml_query.Incremental
+  module Qcache = Axml_query.Qcache
   module Selectivity = Axml_query.Selectivity
   module Relevance = Axml_query.Relevance
   module Optimize = Axml_query.Optimize

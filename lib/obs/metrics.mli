@@ -18,7 +18,11 @@
     - [stream/batches] (histogram: batches per response stream);
     - [plan/expansions], [plan/explored], [plan/rewrite_steps],
       [plan/equal_calls], [plan/queries_optimized],
-      [plan/search_ms] (histogram). *)
+      [plan/search_ms] (histogram);
+    - [qcache/hits], [qcache/misses], [qcache/collisions],
+      [qcache/stale_drops], [qcache/invalidations],
+      [qcache/installs], [qcache/evictions] — per peer, the semantic
+      result cache ([Axml_query.Qcache], DESIGN.md §18). *)
 
 (** {1 Histogram geometry}
 

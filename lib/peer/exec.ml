@@ -4,6 +4,7 @@ module Tree = Axml_xml.Tree
 module Forest = Axml_xml.Forest
 module Expr = Axml_algebra.Expr
 module Trace = Axml_obs.Trace
+module Qcache = Axml_query.Qcache
 
 let log = Logs.Src.create "axml.exec" ~doc:"AXML expression evaluation"
 
@@ -38,7 +39,89 @@ let delegate sys ~ctx ~to_ expr ~replies ~ack =
   System.send sys ~src:ctx ~dst:to_
     (Message.Eval_request { expr; replies; ack })
 
+(* Bridge between the planner's fingerprint record and the cache's
+   mirror of it (the dependency order keeps Qcache below Expr). *)
+let qfp (fp : Expr.Fingerprint.t) =
+  {
+    Qcache.hash = fp.Expr.Fingerprint.hash;
+    size = fp.Expr.Fingerprint.size;
+    depth = fp.Expr.Fingerprint.depth;
+  }
+
+let has_sc_root forest = List.exists Axml_doc.Sc.is_sc forest
+
+(* Probe-time revalidation callback: live version stamps, by name. *)
+let current_version sys ~peer ~doc =
+  match Peer_id.of_string_opt peer with
+  | Some p -> System.doc_version sys ~peer:p ~doc
+  | None -> None
+
+(* Evaluation with the semantic cache (DESIGN.md §18) in front of the
+   operational semantics: [eval] probes/fills the evaluating peer's
+   cache for admissible expressions and defers to [eval_core] — the
+   definitions (1)–(9) dispatcher — for the actual work.  Recursive
+   calls re-enter [eval], so every admissible subexpression probes
+   too, on whichever peer ends up evaluating it (delegations arrive
+   through the eval hook, which also lands here). *)
 let rec eval sys ~ctx (expr : Expr.t) ~(emit : System.emit) : unit =
+  match (System.peer sys ctx).Peer.qcache with
+  | None -> eval_core sys ~ctx expr ~emit
+  | Some cache -> (
+      match expr with
+      | Expr.Data_at _ ->
+          (* A literal is already its own result — nothing to save. *)
+          eval_core sys ~ctx expr ~emit
+      | _ -> (
+          match Expr.cache_deps expr with
+          | None -> eval_core sys ~ctx expr ~emit
+          | Some deps -> eval_cached sys ~ctx cache ~fresh_deps:deps expr ~emit))
+
+and eval_cached sys ~ctx cache ~fresh_deps expr ~emit =
+  let fp = qfp (Expr.fingerprint expr) in
+  let current = current_version sys in
+  match Qcache.find cache ~fp ~expr ~current with
+  | Some forest ->
+      if Trace.sampled () then
+        Trace.instant ~cat:"qcache"
+          ~peer:(Peer_id.to_string ctx)
+          ~ts:(System.now_ms sys)
+          ~args:[ ("expr", Expr.to_string expr) ]
+          "hit";
+      emit (Forest.copy ~gen:(System.gen_of sys ctx) forest) ~final:true
+  | None -> (
+      (* Pin the dependency versions *before* evaluation: installing
+         against versions read afterwards would pin a torn snapshot
+         (a dep may mutate mid-stream).  At completion the pins are
+         re-checked; a changed or vanished dep skips the install. *)
+      let pinned =
+        List.map
+          (fun (p, doc) ->
+            match System.doc_version sys ~peer:p ~doc with
+            | Some v -> Some (Peer_id.to_string p, doc, v)
+            | None -> None)
+          fresh_deps
+      in
+      match List.exists Option.is_none pinned with
+      | true -> eval_core sys ~ctx expr ~emit
+      | false ->
+          let pins = Array.of_list (List.filter_map Fun.id pinned) in
+          let acc = ref [] in
+          eval_core sys ~ctx expr ~emit:(fun forest ~final ->
+              acc := !acc @ forest;
+              (if final then
+                 let unchanged =
+                   Array.for_all
+                     (fun (p, d, v) -> current ~peer:p ~doc:d = Some v)
+                     pins
+                 in
+                 (* sc-rooted results stay out: serving them from the
+                    cache would re-activate the calls (definition
+                    (6)) at the wrong time. *)
+                 if unchanged && not (has_sc_root !acc) then
+                   Qcache.install cache ~fp ~expr ~deps:pins ~forest:!acc);
+              emit forest ~final))
+
+and eval_core sys ~ctx (expr : Expr.t) ~(emit : System.emit) : unit =
   match expr with
   | Expr.Data_at { forest = _; at } when not (Peer_id.equal at ctx) ->
       (* Definition (5): ask the owner to evaluate and send back. *)
@@ -441,6 +524,42 @@ let run_to_quiescence ?(reset_stats = true) ?max_events sys ~ctx expr =
   in
   if Trace.enabled () then Trace.with_corr (Trace.fresh_corr ()) go else go ()
 
+(* Cross-plan rule (13): rewrite every subplan matching a live cache
+   entry into a literal read of the cached lforest.  Probes run with
+   hit/miss accounting suppressed ([Qcache.probe]) because a missed
+   subplan is probed again by [eval] — only the hits, whose subtrees
+   [eval] never sees, are recorded here. *)
+let apply_qcache_rewrites sys ~ctx plan =
+  match (System.peer sys ctx).Peer.qcache with
+  | None -> (plan, 0)
+  | Some cache ->
+      let current = current_version sys in
+      let gen = System.gen_of sys ctx in
+      let hits = ref 0 in
+      let rec go e =
+        match e with
+        | Expr.Data_at _ -> e
+        | _ -> (
+            match Expr.cache_deps e with
+            | None -> Expr.map_children go e
+            | Some _ -> (
+                let fp = qfp (Expr.fingerprint e) in
+                match Qcache.probe cache ~fp ~expr:e ~current with
+                | Some forest ->
+                    incr hits;
+                    Qcache.record_hit cache;
+                    if Trace.sampled () then
+                      Trace.instant ~cat:"qcache"
+                        ~peer:(Peer_id.to_string ctx)
+                        ~ts:(System.now_ms sys)
+                        ~args:[ ("expr", Expr.to_string e) ]
+                        "plan_rewrite";
+                    Expr.Data_at { forest = Forest.copy ~gen forest; at = ctx }
+                | None -> Expr.map_children go e))
+      in
+      let plan = go plan in
+      (plan, !hits)
+
 let run_optimized ?reset_stats ?max_events
     ?(strategy = Axml_algebra.Optimizer.Best_first { max_expansions = 32 })
     ?objective ?visited ?stats sys ~ctx expr =
@@ -448,6 +567,13 @@ let run_optimized ?reset_stats ?max_events
   let wall0 = Trace.wall_ms () in
   let planned =
     Axml_algebra.Planner.plan ~env ~ctx ?objective ?visited ?stats strategy expr
+  in
+  let rewritten, qcache_rewrites =
+    apply_qcache_rewrites sys ~ctx planned.Axml_algebra.Planner.plan
+  in
+  let planned =
+    if qcache_rewrites = 0 then planned
+    else { planned with Axml_algebra.Planner.plan = rewritten }
   in
   (* The optimize phase consumes no virtual time; its span sits at the
      current virtual timestamp with the wall-clock planning duration,
@@ -464,6 +590,7 @@ let run_optimized ?reset_stats ?max_events
             string_of_int
               planned.Axml_algebra.Planner.search.Axml_algebra.Optimizer.explored
           );
+          ("qcache_rewrites", string_of_int qcache_rewrites);
         ]
       "optimize";
   ( planned,

@@ -10,6 +10,10 @@ type t = {
   mutable policy : Axml_doc.Generic.policy;
   watchers : (Names.Doc_name.t, Message.reply_dest list ref) Hashtbl.t;
   replicas : (Names.Doc_name.t, Peer_id.t list ref) Hashtbl.t;
+  mutable qcache : Axml_algebra.Expr.t Axml_query.Qcache.t option;
+      (* Volatile semantic result cache; [None] = caching off.  Not
+         part of Σ: a crash replaces it with a fresh empty cache
+         (never checkpointed, never resurrected). *)
 }
 
 let create ?gen ?(policy = Axml_doc.Generic.First) id =
@@ -25,6 +29,7 @@ let create ?gen ?(policy = Axml_doc.Generic.First) id =
     policy;
     watchers = Hashtbl.create 8;
     replicas = Hashtbl.create 8;
+    qcache = None;
   }
 
 let find_doc_with_node t node =

@@ -27,6 +27,11 @@ type t = {
           a local document.  A streaming append applied here is also
           shipped to each target (DESIGN.md §17); volatile, but
           persisted by checkpoints so failover restores the links. *)
+  mutable qcache : Axml_algebra.Expr.t Axml_query.Qcache.t option;
+      (** Semantic result cache (DESIGN.md §18); [None] = caching
+          off.  Strictly volatile — never checkpointed, and a crash
+          replaces it with a fresh empty cache, so restart cannot
+          resurrect entries pinned to pre-crash document versions. *)
 }
 
 val create :

@@ -120,6 +120,10 @@ type t = {
   rel : rel;
   mutable failover_save : Peer_id.t -> unit;
   mutable failover_load : Peer_id.t -> unit;
+  mutable qcache_capacity : int option;
+      (* [Some cap] = semantic caching enabled; every live peer (and
+         every peer recreated by a crash) carries a fresh
+         [Peer.qcache] of this capacity. *)
 }
 
 type eval_hook = t -> ctx:Peer_id.t -> Axml_algebra.Expr.t -> emit:emit -> unit
@@ -210,6 +214,52 @@ let peers t =
   Axml_net.Topology.peers (Sim.topology t.sim) |> List.map (peer t)
 
 let gen_of t p = (peer t p).Peer.gen
+
+(* Semantic result cache (DESIGN.md §18).  Attaching gives the peer a
+   fresh empty cache and wires the store's mutation hook to eager
+   invalidation of entries pinned to the peer's own documents;
+   cross-peer dependencies are revalidated lazily at probe time
+   against live version stamps (same live-read convention as
+   [cost_env]: versions model the invalidation protocol's knowledge,
+   not shipped state). *)
+let attach_qcache t p =
+  match t.qcache_capacity with
+  | None -> ()
+  | Some capacity ->
+      let pr = peer t p in
+      let owner = Peer_id.to_string p in
+      pr.Peer.qcache <-
+        Some
+          (Axml_query.Qcache.create ~capacity ~owner
+             ~equal:Axml_algebra.Expr.equal ());
+      Axml_doc.Store.set_on_mutate pr.Peer.store (fun name ->
+          match pr.Peer.qcache with
+          | Some c ->
+              Axml_query.Qcache.invalidate_dep c ~peer:owner
+                ~doc:(Names.Doc_name.to_string name)
+          | None -> ())
+
+let enable_qcache ?(capacity = 256) t =
+  t.qcache_capacity <- Some capacity;
+  List.iter (fun (pr : Peer.t) -> attach_qcache t pr.Peer.id) (peers t)
+
+let qcache_enabled t = t.qcache_capacity <> None
+
+let doc_version t ~peer:p ~doc =
+  match peer_slot t p with
+  | None -> None
+  | Some pr -> (
+      match Names.Doc_name.of_string_opt doc with
+      | None -> None
+      | Some n -> Axml_doc.Store.version_of pr.Peer.store n)
+
+let qcache_stats t =
+  List.fold_left
+    (fun acc (pr : Peer.t) ->
+      match pr.Peer.qcache with
+      | Some c -> Axml_query.Qcache.add_stats acc (Axml_query.Qcache.stats c)
+      | None -> acc)
+    Axml_query.Qcache.zero_stats (peers t)
 
 let fresh_key t =
   let k = t.next_key in
@@ -1008,7 +1058,10 @@ let handle_crash t p =
       end)
     t.rel.conns;
   let old = peer t p in
-  set_peer t p (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p)
+  set_peer t p (Peer.create ~gen:old.Peer.gen ~policy:old.Peer.policy p);
+  (* The semantic cache is volatile: the replacement peer gets a fresh
+     empty one (when caching is on), never the pre-crash contents. *)
+  attach_qcache t p
 
 (* Restart resynchronization (DESIGN.md §17).  A crash wipes the
    crashed peer's pending transport sends — forwarded appends in
@@ -1088,6 +1141,7 @@ let create ?(response_delay_ms = 1.0) ?(cpu_ms_per_kb = 0.01)
         };
       failover_save = ignore;
       failover_load = ignore;
+      qcache_capacity = None;
     }
   in
   List.iter

@@ -193,6 +193,30 @@ val set_failover :
 (** Install the checkpoint hooks used by {!crash} / {!restart}.
     {!Failover.enable} wires these to {!Persist} checkpoints. *)
 
+(** {1 Semantic result cache}
+
+    DESIGN.md §18.  Off by default; {!enable_qcache} gives every peer
+    a {!Axml_query.Qcache} keyed by planner expression fingerprints,
+    probed and filled by {!Exec}.  The cache is volatile: a {!crash}
+    replaces it with a fresh empty one, and failover checkpoints never
+    contain it — restart reloads re-stamp documents
+    ({!Axml_doc.Store.version_of}), so pre-crash entries could not
+    revalidate even if they survived. *)
+
+val enable_qcache : ?capacity:int -> t -> unit
+(** Attach a semantic cache (default capacity 256 entries) to every
+    peer, now and after any future crash-recreation. *)
+
+val qcache_enabled : t -> bool
+
+val qcache_stats : t -> Axml_query.Qcache.stats
+(** Sum over all peers' caches. *)
+
+val doc_version : t -> peer:Peer_id.t -> doc:string -> int option
+(** Current version stamp of [doc] at [peer]; [None] if peer or
+    document is absent.  A live read modeling the invalidation
+    protocol's knowledge (the convention {!cost_env} also uses). *)
+
 val availability : t -> from:Peer_id.t -> Peer_id.t -> bool
 (** The membership filter generic resolution uses: [true] iff the
     peer is [from] itself or currently reachable from it

@@ -479,6 +479,218 @@ let hotspot ?(owners = 8) ?(spares = 4) ?(readers = 24) ?(docs = 50)
     hs_latencies = latencies;
   }
 
+type overlap = {
+  ov_system : System.t;
+  ov_sources : Peer_id.t list;
+  ov_subscribers : Peer_id.t list;
+  ov_requests : int;
+  ov_completed : int ref;
+  ov_digests : string list ref;
+  ov_latencies : float list ref;
+}
+
+(* The semantic-cache workload (ROADMAP item 5): many subscribers
+   issuing overlapping continuous queries against shared sources.
+   Each subscriber owns a fixed slate of queries — a seed-chosen mix
+   of pool queries shared across subscribers and queries unique to it
+   — and re-issues the slate every round, with source catalogs
+   mutating between rounds.  Repetition across rounds exercises
+   subscriber-side caching, the shared pool exercises cross-plan
+   sharing at the sources, and the mutations exercise invalidation.
+
+   Determinism contract: rounds are barrier-synchronized, and the
+   between-round catalog appends are applied synchronously at the
+   barrier (directly in the owning store, not via messages) — so the
+   document state each round's queries observe is a pure function of
+   the round index.  Per-request results are therefore identical
+   whether or not caching is on, whatever the hit/miss interleaving:
+   the [ov_digests] multiset is the cache-off/cache-on correctness
+   gate. *)
+let overlap ?(sources = 4) ?(subscribers = 16) ?(queries_per_subscriber = 4)
+    ?(rounds = 3) ?(overlap_pct = 0.5) ?(categories = 4) ?(items = 24)
+    ?(payload_bytes = 256) ?(mutate_fraction = 0.25) ?(think_ms = 2.0)
+    ?(arrival_window_ms = 20.0) ?(cache = true) ?(cpu_ms_per_kb = 0.2) ~seed ()
+    =
+  if sources < 1 then invalid_arg "Scenarios.overlap: sources < 1";
+  if categories < 1 then invalid_arg "Scenarios.overlap: categories < 1";
+  if rounds < 1 then invalid_arg "Scenarios.overlap: rounds < 1";
+  let source_ids =
+    List.init sources (fun i -> Peer_id.of_string (Printf.sprintf "src%02d" i))
+  in
+  let sub_ids =
+    List.init subscribers (fun i ->
+        Peer_id.of_string (Printf.sprintf "sub%03d" i))
+  in
+  let topology =
+    Axml_net.Topology.clustered
+      ~intra:(Axml_net.Link.make ~latency_ms:2.0 ~bandwidth_bytes_per_ms:1000.0)
+      ~inter:(Axml_net.Link.make ~latency_ms:20.0 ~bandwidth_bytes_per_ms:200.0)
+      [ source_ids; sub_ids ]
+  in
+  let sys =
+    System.create ~transport:System.Reliable ~cpu_ms_per_kb topology
+  in
+  if cache then System.enable_qcache sys;
+  let sim = System.sim sys in
+  (* Source catalogs: index-deterministic content (the determinism
+     contract above), items spread over the categories. *)
+  let src_arr = Array.of_list source_ids in
+  let root_ids =
+    Array.map
+      (fun src ->
+        let gen = System.gen_of sys src in
+        let body =
+          List.init items (fun j ->
+              Tree.element ~gen (l "item")
+                ~attrs:
+                  [
+                    ("cat", Printf.sprintf "c%d" (j mod categories));
+                    ("n", string_of_int j);
+                  ]
+                [ Tree.text (String.make payload_bytes 'x') ])
+        in
+        let root = Tree.element ~gen (l "catalog") body in
+        System.add_document sys src ~name:"catalog" root;
+        Option.get (Tree.id root))
+      src_arr
+  in
+  (* One expression per (source, category, label) triple; ASTs and
+     expression nodes are built once and reused across rounds so
+     fingerprints and structural equality line up. *)
+  let mk_expr ~src_ix ~cat ~label =
+    let src = src_arr.(src_ix) in
+    let q =
+      Axml_query.Parser.parse_exn
+        (Printf.sprintf
+           "query(1) for $i in $0//item where attr($i, \"cat\") = \"c%d\" \
+            return <%s>{$i}</%s>"
+           cat label label)
+    in
+    Axml_algebra.Expr.eval_at src
+      (Axml_algebra.Expr.query_at q ~at:src
+         ~args:[ Axml_algebra.Expr.doc "catalog" ~at:(Peer_id.to_string src) ])
+  in
+  (* The shared pool: up to 16 (source, category) selections any
+     subscriber may draw; uniques are labeled per (subscriber, slot)
+     so they never alias the pool or each other. *)
+  let pool_size = min 16 (sources * categories) in
+  let pool =
+    Array.init pool_size (fun s ->
+        mk_expr ~src_ix:(s mod sources) ~cat:(s mod categories)
+          ~label:(Printf.sprintf "s%d" s))
+  in
+  let assign_rng = Rng.create ~seed:(seed + 13) in
+  let slates =
+    Array.init subscribers (fun k ->
+        Array.init queries_per_subscriber (fun j ->
+            if Rng.float assign_rng 1.0 < overlap_pct then
+              pool.(Rng.int assign_rng pool_size)
+            else
+              mk_expr
+                ~src_ix:((k + j) mod sources)
+                ~cat:(j mod categories)
+                ~label:(Printf.sprintf "u%dx%d" k j)))
+  in
+  (* Between-round catalog appends: a rotating [mutate_fraction] slice
+     of the sources gains one item per boundary — content a pure
+     function of (source, round). *)
+  let mutated_count =
+    max 0
+      (min sources
+         (int_of_float (Float.round (mutate_fraction *. float_of_int sources))))
+  in
+  let mutate_round r =
+    for i = 0 to sources - 1 do
+      if (i + r) mod sources < mutated_count then begin
+        let src = src_arr.(i) in
+        let gen = System.gen_of sys src in
+        let store = (System.peer sys src).Axml_peer.Peer.store in
+        ignore
+          (Axml_doc.Store.insert_under store
+             (Names.Doc_name.of_string "catalog")
+             ~node:root_ids.(i)
+             [
+               Tree.element ~gen (l "item")
+                 ~attrs:
+                   [
+                     ("cat", Printf.sprintf "c%d" (r mod categories));
+                     ("n", Printf.sprintf "r%d" r);
+                   ]
+                 [ Tree.text (Printf.sprintf "round-%d-src-%d" r i) ];
+             ])
+      end
+    done
+  in
+  let completed = ref 0 in
+  let digests = ref [] in
+  let latencies = ref [] in
+  let total = subscribers * queries_per_subscriber * rounds in
+  (* Closed loop per subscriber within a round; a barrier between
+     rounds (mutations apply only once every subscriber finished the
+     round, so no query races a catalog change). *)
+  let rec run_round r =
+    let open_subs = ref subscribers in
+    let sub_done () =
+      decr open_subs;
+      if !open_subs = 0 && r + 1 < rounds then begin
+        mutate_round r;
+        run_round (r + 1)
+      end
+    in
+    let arrival_rng = Rng.create ~seed:(seed + (r * 7919)) in
+    List.iteri
+      (fun k sub ->
+        let sub_rng = Rng.create ~seed:((seed * 1_000_003) + (r * 8191) + k) in
+        let rec issue j =
+          if j >= queries_per_subscriber then sub_done ()
+          else begin
+            let t0 = Axml_net.Sim.now sim in
+            let acc = ref [] in
+            let key = System.fresh_key sys in
+            System.set_cont sys key (fun forest ~final ->
+                acc := !acc @ forest;
+                if final then begin
+                  incr completed;
+                  latencies := (Axml_net.Sim.now sim -. t0) :: !latencies;
+                  let payload =
+                    String.concat "\x00"
+                      (List.map Axml_xml.Serializer.to_string !acc)
+                  in
+                  digests :=
+                    Printf.sprintf "%d/%d/%d:%s" k j r
+                      (Digest.to_hex (Digest.string payload))
+                    :: !digests;
+                  Axml_net.Sim.after sim ~peer:sub
+                    ~delay_ms:(Rng.float sub_rng think_ms)
+                    (fun () -> issue (j + 1))
+                end);
+            System.send sys ~src:sub ~dst:sub
+              (Axml_peer.Message.Eval_request
+                 {
+                   expr = slates.(k).(j);
+                   replies = [ Axml_peer.Message.Cont { peer = sub; key } ];
+                   ack = None;
+                 })
+          end
+        in
+        if queries_per_subscriber = 0 then sub_done ()
+        else
+          Axml_net.Sim.after sim ~peer:sub
+            ~delay_ms:(Rng.float arrival_rng arrival_window_ms)
+            (fun () -> issue 0))
+      sub_ids
+  in
+  run_round 0;
+  {
+    ov_system = sys;
+    ov_sources = source_ids;
+    ov_subscribers = sub_ids;
+    ov_requests = total;
+    ov_completed = completed;
+    ov_digests = digests;
+    ov_latencies = latencies;
+  }
+
 type subscription = {
   sub_system : System.t;
   sub_aggregator : Peer_id.t;

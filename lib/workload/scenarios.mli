@@ -144,6 +144,60 @@ val hotspot :
     {!Axml_peer.Placement.enable} — restrict [eligible] to
     [hs_owners @ hs_spares] or readers will attract replicas. *)
 
+(** {1 Overlapping continuous queries (the semantic-cache workload)}
+
+    [subscribers] peers repeatedly query the catalogs of [sources]
+    peers: each subscriber owns a fixed slate of
+    [queries_per_subscriber] expressions — a seed-chosen mix of pool
+    queries shared across subscribers ([overlap_pct] of the draws)
+    and queries unique to it — and re-issues the slate every round,
+    [rounds] times.  Between rounds a rotating [mutate_fraction]
+    slice of the catalogs gains an item.  Round repetition exercises
+    subscriber-side caching, the shared pool exercises cross-plan
+    sharing at the sources, and the mutations exercise invalidation
+    — the driver behind bench E24 and [axmlctl cache].
+
+    Rounds are barrier-synchronized with the appends applied
+    synchronously at the barrier, so the catalog state a round
+    observes is a pure function of the round index: the per-request
+    result digests ([ov_digests], one ["k/j/r:<md5>"] entry per
+    completed query) are byte-identical between cache-on and
+    cache-off runs of the same shape and seed — the correctness gate.
+    [cache] toggles {!Axml_peer.System.enable_qcache} (default on). *)
+
+type overlap = {
+  ov_system : Axml_peer.System.t;
+  ov_sources : Peer_id.t list;
+  ov_subscribers : Peer_id.t list;
+  ov_requests : int;  (** subscribers × queries_per_subscriber × rounds. *)
+  ov_completed : int ref;
+  ov_digests : string list ref;
+      (** Per-request result digests, unordered; compare as sorted
+          lists across arms. *)
+  ov_latencies : float list ref;  (** Per-request completion times (ms). *)
+}
+
+val overlap :
+  ?sources:int ->
+  ?subscribers:int ->
+  ?queries_per_subscriber:int ->
+  ?rounds:int ->
+  ?overlap_pct:float ->
+  ?categories:int ->
+  ?items:int ->
+  ?payload_bytes:int ->
+  ?mutate_fraction:float ->
+  ?think_ms:float ->
+  ?arrival_window_ms:float ->
+  ?cache:bool ->
+  ?cpu_ms_per_kb:float ->
+  seed:int ->
+  unit ->
+  overlap
+(** Defaults: 4 sources, 16 subscribers, 4 queries each, 3 rounds,
+    0.5 overlap, 4 categories, 24 items of 256 bytes per catalog,
+    0.25 mutate fraction.  Runs over Reliable transport. *)
+
 (** {1 News subscription}
 
     [sources] peers each expose a continuous feed over their local
